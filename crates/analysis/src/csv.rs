@@ -1,0 +1,112 @@
+//! A small CSV writer so experiments can emit machine-readable series
+//! next to their stdout tables (no external dependency needed for the
+//! subset of CSV we produce: RFC 4180 quoting of delimiter/quote/newline).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Escapes one CSV field per RFC 4180.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// An in-memory CSV document with a fixed header.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    columns: usize,
+    buffer: String,
+}
+
+impl Csv {
+    /// Starts a CSV with the given header.
+    pub fn new<S: AsRef<str>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let cells: Vec<String> = header
+            .into_iter()
+            .map(|s| escape_field(s.as_ref()))
+            .collect();
+        let columns = cells.len();
+        assert!(columns > 0, "CSV needs at least one column");
+        let mut buffer = cells.join(",");
+        buffer.push('\n');
+        Csv { columns, buffer }
+    }
+
+    /// Appends a row; width must match the header.
+    pub fn row<S: AsRef<str>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells
+            .into_iter()
+            .map(|s| escape_field(s.as_ref()))
+            .collect();
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        self.buffer.push_str(&cells.join(","));
+        self.buffer.push('\n');
+        self
+    }
+
+    /// The document text.
+    pub fn as_str(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        f.write_all(self.buffer.as_bytes())
+    }
+}
+
+/// The conventional output directory for experiment CSVs:
+/// `target/experiments/` under the workspace (overridable with
+/// `SCADDAR_EXPERIMENT_DIR`).
+pub fn experiment_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SCADDAR_EXPERIMENT_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from("target/experiments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn document_assembly() {
+        let mut csv = Csv::new(["op", "moved"]);
+        csv.row(["add,1", "42"]);
+        assert_eq!(csv.as_str(), "op,moved\n\"add,1\",42\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_panics() {
+        let mut csv = Csv::new(["a"]);
+        csv.row(["x", "y"]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("scaddar-csv-test");
+        let path = dir.join("nested/out.csv");
+        let mut csv = Csv::new(["k"]);
+        csv.row(["v"]);
+        csv.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "k\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,49 @@
+//! # scaddar-analysis — statistics, uniformity tests, and reporting
+//!
+//! The measurement toolkit behind the experiment suite:
+//!
+//! * [`stats`] — one-pass summaries (mean/variance/CoV — the paper's §5
+//!   load-balance metric), percentiles, geometric mean;
+//! * [`uniformity`] — chi-square goodness-of-fit against uniform
+//!   placement (quantifying RO2) and max-relative-deviation;
+//! * [`randtests`] — Knuth-style empirical generator tests (runs, gaps,
+//!   serial correlation);
+//! * [`regression`] — OLS line/exponential fits for trend quantification;
+//! * [`histogram`] — ASCII histograms for load distributions;
+//! * [`report`] — the monospace tables every experiment prints;
+//! * [`csv`] — machine-readable output next to the tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod histogram;
+pub mod randtests;
+pub mod regression;
+pub mod report;
+pub mod stats;
+pub mod uniformity;
+
+pub use csv::{experiment_dir, Csv};
+pub use histogram::Histogram;
+pub use randtests::{gap_test, runs_test, serial_correlation, GapTest, RunsTest};
+pub use regression::{fit_exponential, fit_line, LineFit};
+pub use report::{fmt_f64, fmt_pct, Align, Table};
+pub use stats::{geometric_mean, mean, percentile, Summary};
+pub use uniformity::{chi_square_uniform, max_relative_deviation, ChiSquare};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end: a uniform census summarizes and tests as uniform.
+    #[test]
+    fn toolkit_agrees_on_a_uniform_census() {
+        let census = vec![1_000u64, 1_020, 980, 1_005, 995];
+        let summary = Summary::of_counts(&census);
+        assert!(summary.cov < 0.02);
+        let chi = chi_square_uniform(&census);
+        assert!(chi.is_uniform_at(0.05));
+        assert!(max_relative_deviation(&census) < 0.03);
+    }
+}

@@ -1,0 +1,201 @@
+//! Classical empirical randomness tests (Knuth TAOCP vol. 2 §3.3), used
+//! to vet the placement generators beyond the chi-square census test:
+//!
+//! * [`runs_test`] — runs above/below the median: too few runs means
+//!   positive serial correlation, too many means negative;
+//! * [`serial_correlation`] — lag-1 autocorrelation of the sequence;
+//! * [`gap_test`] — chi-square on the gaps between visits to a value
+//!   band.
+//!
+//! These back experiment E14's claim that every generator family in the
+//! suite is comfortably above what SCADDAR's analysis needs.
+
+use crate::uniformity::{chi_square_sf, normal_sf};
+
+/// Result of the runs test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunsTest {
+    /// Observed runs above/below the median.
+    pub runs: u64,
+    /// Expected runs under independence.
+    pub expected: f64,
+    /// Z-score of the observation.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Wald–Wolfowitz runs test against the sample median.
+///
+/// # Panics
+/// If the sample has fewer than 16 values.
+pub fn runs_test(values: &[u64]) -> RunsTest {
+    assert!(values.len() >= 16, "runs test needs a real sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    // Lower median with a <=/> dichotomy: robust even when the sample
+    // concentrates on few distinct values (u64 samples rarely tie, but
+    // adversarial inputs do).
+    let median = sorted[(sorted.len() - 1) / 2];
+    let signs: Vec<bool> = values.iter().map(|&v| v > median).collect();
+    let n1 = signs.iter().filter(|&&s| s).count() as f64;
+    let n2 = signs.len() as f64 - n1;
+    let mut runs = 1u64;
+    for pair in signs.windows(2) {
+        if pair[0] != pair[1] {
+            runs += 1;
+        }
+    }
+    let expected = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
+    let var = (2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2))
+        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    let z = if var > 0.0 {
+        (runs as f64 - expected) / var.sqrt()
+    } else {
+        0.0
+    };
+    let p_value = 2.0 * normal_sf(z.abs());
+    RunsTest {
+        runs,
+        expected,
+        z,
+        p_value,
+    }
+}
+
+/// Lag-1 serial correlation coefficient of the sequence, in `[-1, 1]`.
+/// Independent uniform values give ~0 (±2/sqrt(n)).
+pub fn serial_correlation(values: &[u64]) -> f64 {
+    assert!(values.len() >= 3);
+    let xs: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = xs
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    cov / var
+}
+
+/// Result of the gap test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapTest {
+    /// Chi-square statistic over the gap-length histogram.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub degrees: usize,
+    /// p-value.
+    pub p_value: f64,
+}
+
+/// Knuth's gap test: gaps between successive values falling in
+/// `[0, p·2^64)` should be geometric with parameter `p`.
+///
+/// `p` must be in `(0, 1)`; `max_gap` buckets individual gap lengths
+/// `0..max_gap` plus one tail bucket.
+pub fn gap_test(values: &[u64], p: f64, max_gap: usize) -> GapTest {
+    assert!((0.0..1.0).contains(&p) && p > 0.0);
+    assert!(max_gap >= 2);
+    let threshold = (p * u64::MAX as f64) as u64;
+    let mut histogram = vec![0u64; max_gap + 1];
+    let mut gap = 0usize;
+    let mut gaps_total = 0u64;
+    for &v in values {
+        if v < threshold {
+            histogram[gap.min(max_gap)] += 1;
+            gaps_total += 1;
+            gap = 0;
+        } else {
+            gap += 1;
+        }
+    }
+    assert!(gaps_total >= 50, "too few marks for a gap test");
+    // Expected geometric probabilities.
+    let mut statistic = 0.0;
+    for (g, &obs) in histogram.iter().enumerate() {
+        let prob = if g < max_gap {
+            p * (1.0 - p).powi(g as i32)
+        } else {
+            (1.0 - p).powi(max_gap as i32)
+        };
+        let expected = prob * gaps_total as f64;
+        if expected > 0.0 {
+            let d = obs as f64 - expected;
+            statistic += d * d / expected;
+        }
+    }
+    let degrees = max_gap; // buckets - 1
+    GapTest {
+        statistic,
+        degrees,
+        p_value: chi_square_sf(statistic, degrees),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaddar_prng::{SeededRng, SplitMix64};
+
+    fn sample(n: usize, seed: u64) -> Vec<u64> {
+        let mut g = SplitMix64::from_seed(seed);
+        (0..n).map(|_| g.next_u64()).collect()
+    }
+
+    #[test]
+    fn good_generator_passes_all_three() {
+        let values = sample(20_000, 5);
+        let runs = runs_test(&values);
+        assert!(runs.p_value > 0.01, "runs p={}", runs.p_value);
+        let sc = serial_correlation(&values);
+        assert!(sc.abs() < 0.03, "serial correlation {sc}");
+        let gaps = gap_test(&values, 0.1, 30);
+        assert!(gaps.p_value > 0.01, "gap p={}", gaps.p_value);
+    }
+
+    #[test]
+    fn monotone_sequence_fails_runs_and_correlation() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| i * 1_000).collect();
+        let runs = runs_test(&values);
+        assert!(runs.p_value < 1e-6, "monotone data passed runs test");
+        let sc = serial_correlation(&values);
+        assert!(sc > 0.9, "monotone data should be strongly correlated: {sc}");
+    }
+
+    #[test]
+    fn alternating_sequence_has_too_many_runs() {
+        let values: Vec<u64> = (0..10_000u64)
+            .map(|i| if i % 2 == 0 { 1 } else { u64::MAX - 1 })
+            .collect();
+        let runs = runs_test(&values);
+        assert!(runs.z > 10.0, "alternation not detected: z={}", runs.z);
+    }
+
+    #[test]
+    fn clustered_marks_fail_gap_test() {
+        // Values below the threshold always arrive in bursts of 5.
+        let mut values = Vec::new();
+        let mut g = SplitMix64::from_seed(9);
+        for _ in 0..2_000 {
+            for _ in 0..5 {
+                values.push(g.next_u64() % (u64::MAX / 10)); // marked
+            }
+            for _ in 0..45 {
+                values.push(u64::MAX / 10 + g.next_u64() % (u64::MAX / 2)); // unmarked
+            }
+        }
+        let gaps = gap_test(&values, 0.1, 30);
+        assert!(gaps.p_value < 1e-6, "bursty marks passed: p={}", gaps.p_value);
+    }
+
+    #[test]
+    fn constant_series_has_zero_correlation_by_convention() {
+        let values = vec![7u64; 100];
+        assert_eq!(serial_correlation(&values), 0.0);
+    }
+}

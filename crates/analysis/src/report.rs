@@ -1,0 +1,165 @@
+//! ASCII table rendering for experiment stdout.
+//!
+//! Every experiment binary prints its results as a table whose rows
+//! mirror the series the paper reports; this module keeps the formatting
+//! consistent (and diff-able in `EXPERIMENTS.md`).
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers; numeric columns
+    /// default to right alignment except the first.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides one column's alignment.
+    pub fn align(mut self, column: usize, align: Align) -> Self {
+        self.aligns[column] = align;
+        self
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width does not match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<width$}", cells[i], width = widths[i])?,
+                    Align::Right => write!(f, "{:>width$}", cells[i], width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals, rendering non-finite values
+/// readably (`inf`, `nan`).
+pub fn fmt_f64(v: f64, digits: usize) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf" } else { "-inf" }.to_string()
+    } else {
+        format!("{v:.digits$}")
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_finite() {
+        format!("{:.2}%", v * 100.0)
+    } else {
+        fmt_f64(v, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["op", "moved", "cov"]);
+        t.row(["add+1", "2000", "0.0123"]);
+        t.row(["remove", "41", "0.0200"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("op"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right alignment: the numbers end at the same column.
+        let end = |line: &str, col_text: &str| line.find(col_text).map(|p| p + col_text.len());
+        assert_eq!(end(lines[2], "2000"), end(lines[3], "41").map(|_| end(lines[2], "2000").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::INFINITY, 2), "inf");
+        assert_eq!(fmt_f64(f64::NAN, 2), "nan");
+        assert_eq!(fmt_pct(0.2), "20.00%");
+        assert_eq!(fmt_pct(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

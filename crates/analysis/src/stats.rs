@@ -1,0 +1,193 @@
+//! Descriptive statistics used across the experiments.
+//!
+//! The paper's §5 metric is the **coefficient of variation** of per-disk
+//! block counts ("the standard deviation divided by the average number of
+//! blocks across all disks"); everything here exists to compute that and
+//! its supporting numbers reproducibly.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divide by `n`, matching the paper's usage on
+    /// complete censuses rather than samples).
+    pub variance: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Coefficient of variation `stddev / mean` (0 when the mean is 0).
+    pub cov: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of counts (the common case: a load census).
+    pub fn of_counts(census: &[u64]) -> Summary {
+        Summary::of_values(census.iter().map(|&c| c as f64))
+    }
+
+    /// Summarizes any sequence of values.
+    pub fn of_values<I: IntoIterator<Item = f64>>(values: I) -> Summary {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        // Welford's algorithm: numerically stable one-pass moments.
+        for v in values {
+            count += 1;
+            let delta = v - mean;
+            mean += delta / count as f64;
+            m2 += delta * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                stddev: 0.0,
+                cov: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let variance = m2 / count as f64;
+        let stddev = variance.sqrt();
+        Summary {
+            count,
+            mean,
+            variance,
+            stddev,
+            cov: if mean == 0.0 { 0.0 } else { stddev / mean },
+            min,
+            max,
+        }
+    }
+
+    /// Empirical unfairness of a census: `max/min - 1`, the sampled
+    /// analogue of the paper's §4.3 unfairness coefficient. Infinite if
+    /// some disk is empty.
+    pub fn empirical_unfairness(&self) -> f64 {
+        if self.min <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.max / self.min - 1.0
+        }
+    }
+}
+
+/// Mean of a slice of f64 (empty -> 0).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Percentile via linear interpolation on a sorted copy
+/// (`q` in `0.0..=1.0`).
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Geometric mean of positive values; the §4.3 rule of thumb's
+/// "average number of disks" is an arithmetic average, but the proof
+/// passes through the geometric mean — we expose both for E4.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positives");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        // Census 2, 4, 4, 4, 5, 5, 7, 9: mean 5, pop stddev 2.
+        let s = Summary::of_counts(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert!((s.cov - 0.4).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.empirical_unfairness() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let e = Summary::of_counts(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.cov, 0.0);
+        let z = Summary::of_counts(&[0, 0]);
+        assert_eq!(z.cov, 0.0);
+        assert_eq!(z.empirical_unfairness(), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_never_exceeds_arithmetic() {
+        let v = [4.0, 5.0, 6.0, 8.0, 16.0];
+        assert!(geometric_mean(&v) <= mean(&v));
+        // Equal values: equal means.
+        let u = [3.0, 3.0, 3.0];
+        assert!((geometric_mean(&u) - 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_matches_naive(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let s = Summary::of_values(values.iter().copied());
+            let n = values.len() as f64;
+            let m = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n;
+            prop_assert!((s.mean - m).abs() < 1e-6 * m.abs().max(1.0));
+            prop_assert!((s.variance - var).abs() < 1e-5 * var.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_percentile_is_monotone(
+            values in proptest::collection::vec(-1e9f64..1e9, 2..100),
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Uniformity testing for load censuses (RO2 verification).
+//!
+//! The paper argues qualitatively that SCADDAR "maintains randomized
+//! block placement"; the experiments make that quantitative with
+//! Pearson's chi-square goodness-of-fit against the uniform distribution,
+//! computed per census after every scaling operation.
+
+/// Result of a chi-square uniformity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The statistic `sum((obs - exp)^2 / exp)`.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins - 1`).
+    pub degrees: usize,
+    /// Approximate p-value (probability of a statistic at least this
+    /// large under uniformity), via the Wilson–Hilferty normal
+    /// approximation — accurate to ~1e-3 for `degrees >= 3`, ample for a
+    /// pass/fail experiment readout.
+    pub p_value: f64,
+}
+
+impl ChiSquare {
+    /// Convenience: does the census pass at significance `alpha`
+    /// (i.e. is there *no* evidence of non-uniformity)?
+    pub fn is_uniform_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Chi-square test of a census against the uniform distribution.
+///
+/// # Panics
+/// If the census has fewer than 2 bins or a zero total.
+pub fn chi_square_uniform(census: &[u64]) -> ChiSquare {
+    assert!(census.len() >= 2, "need at least two bins");
+    let total: u64 = census.iter().sum();
+    assert!(total > 0, "empty census");
+    let expected = total as f64 / census.len() as f64;
+    let statistic: f64 = census
+        .iter()
+        .map(|&obs| {
+            let d = obs as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let degrees = census.len() - 1;
+    ChiSquare {
+        statistic,
+        degrees,
+        p_value: chi_square_sf(statistic, degrees),
+    }
+}
+
+/// Survival function of the chi-square distribution via Wilson–Hilferty:
+/// `(X/k)^(1/3)` is approximately normal with mean `1 - 2/(9k)` and
+/// variance `2/(9k)`.
+pub fn chi_square_sf(statistic: f64, degrees: usize) -> f64 {
+    assert!(degrees > 0);
+    if statistic <= 0.0 {
+        return 1.0;
+    }
+    let k = degrees as f64;
+    let z = ((statistic / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k)))
+        / (2.0 / (9.0 * k)).sqrt();
+    normal_sf(z)
+}
+
+/// Survival function of the standard normal via Abramowitz–Stegun 7.1.26
+/// (max absolute error ~1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * erfc(x)
+}
+
+fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    poly * (-x * x).exp()
+}
+
+/// Kolmogorov–Smirnov-style max relative deviation of a census from
+/// uniform: `max_d |obs_d - mean| / mean`. A blunt, scale-free companion
+/// to the chi-square readout.
+pub fn max_relative_deviation(census: &[u64]) -> f64 {
+    if census.is_empty() {
+        return 0.0;
+    }
+    let mean = census.iter().sum::<u64>() as f64 / census.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    census
+        .iter()
+        .map(|&c| ((c as f64) - mean).abs() / mean)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_sf_reference_points() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_sf(1.96) - 0.025).abs() < 1e-3);
+        assert!((normal_sf(-1.96) - 0.975).abs() < 1e-3);
+        assert!(normal_sf(8.0) < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_reference_points() {
+        // chi2(k=9, x=16.92) ~ 0.05 (the classic 5% critical value).
+        let p = chi_square_sf(16.92, 9);
+        assert!((p - 0.05).abs() < 0.005, "p={p}");
+        // chi2(k=4, x=9.49) ~ 0.05.
+        let p = chi_square_sf(9.49, 4);
+        assert!((p - 0.05).abs() < 0.005, "p={p}");
+    }
+
+    #[test]
+    fn uniform_census_passes() {
+        let census = vec![1000u64; 16];
+        let t = chi_square_uniform(&census);
+        assert_eq!(t.statistic, 0.0);
+        assert!(t.is_uniform_at(0.05));
+    }
+
+    #[test]
+    fn skewed_census_fails() {
+        let mut census = vec![1000u64; 16];
+        census[0] = 3000;
+        census[1] = 10;
+        let t = chi_square_uniform(&census);
+        assert!(!t.is_uniform_at(0.05), "p={}", t.p_value);
+    }
+
+    #[test]
+    fn binomially_noisy_census_passes() {
+        // A census drawn from genuinely uniform placement should pass:
+        // simulate with a deterministic mix.
+        use scaddar_prng::{SeededRng, SplitMix64};
+        let mut rng = SplitMix64::from_seed(77);
+        let mut census = vec![0u64; 10];
+        for _ in 0..100_000 {
+            census[(rng.next_u64() % 10) as usize] += 1;
+        }
+        let t = chi_square_uniform(&census);
+        assert!(t.is_uniform_at(0.01), "stat={} p={}", t.statistic, t.p_value);
+    }
+
+    #[test]
+    fn max_relative_deviation_basics() {
+        assert_eq!(max_relative_deviation(&[]), 0.0);
+        assert_eq!(max_relative_deviation(&[5, 5, 5]), 0.0);
+        // Census 0,10: mean 5 -> max deviation 1.
+        assert!((max_relative_deviation(&[0, 10]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two bins")]
+    fn single_bin_panics() {
+        let _ = chi_square_uniform(&[4]);
+    }
+}

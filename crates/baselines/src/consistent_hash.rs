@@ -1,0 +1,218 @@
+//! Consistent hashing (Karger et al., 1997) — the contemporary technique
+//! closest in spirit to SCADDAR, included as a modern comparator
+//! (experiment E11).
+//!
+//! Disks own arcs of a hash ring via `vnodes` virtual points each; a
+//! block lives on the disk owning the first point clockwise of its hash.
+//! Adds and removes move only the blocks of the affected arcs (near-RO1),
+//! but balance is statistical in the *number of virtual nodes*: the load
+//! spread shrinks like `1/sqrt(vnodes)`, which for practical vnode counts
+//! is visibly worse than SCADDAR's mod-of-a-fresh-random-number placement
+//! (until the range-shrinking eventually catches up — exactly the
+//! comparison E11 draws).
+//!
+//! Physical disks keep stable internal identities across removals; the
+//! strategy maps them to dense logical indices (rank order) so its
+//! interface matches the others.
+
+use crate::strategy::{BlockKey, PlacementStrategy};
+use scaddar_core::{RemovedSet, ScalingError, ScalingOp};
+use std::collections::BTreeMap;
+
+/// Avalanche hash used for ring points and key lookup (splitmix64 mix).
+fn hash64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Consistent-hash ring strategy.
+#[derive(Debug, Clone)]
+pub struct ConsistentHashStrategy {
+    /// Ring position -> stable physical disk id.
+    ring: BTreeMap<u64, u64>,
+    /// Stable physical ids of live disks, ascending (rank = logical index).
+    live: Vec<u64>,
+    /// Next never-used physical id.
+    next_id: u64,
+    /// Virtual nodes per disk.
+    vnodes: u32,
+}
+
+impl ConsistentHashStrategy {
+    /// Creates a ring with `initial_disks` disks and `vnodes` virtual
+    /// points per disk (typical deployments use 100–1000).
+    pub fn new(initial_disks: u32, vnodes: u32) -> Result<Self, ScalingError> {
+        if initial_disks == 0 {
+            return Err(ScalingError::NoInitialDisks);
+        }
+        assert!(vnodes > 0, "need at least one virtual node per disk");
+        let mut s = ConsistentHashStrategy {
+            ring: BTreeMap::new(),
+            live: Vec::new(),
+            next_id: 0,
+            vnodes,
+        };
+        for _ in 0..initial_disks {
+            s.insert_disk();
+        }
+        Ok(s)
+    }
+
+    fn insert_disk(&mut self) {
+        let id = self.next_id;
+        self.next_id += 1;
+        for v in 0..self.vnodes {
+            // Mix disk id and vnode index into a ring position.
+            let point = hash64(id.wrapping_mul(0x1_0000_0001).wrapping_add(u64::from(v)));
+            // Collisions across (disk, vnode) pairs are vanishingly rare;
+            // last writer wins, costing one vnode — harmless.
+            self.ring.insert(point, id);
+        }
+        self.live.push(id);
+        self.live.sort_unstable();
+    }
+
+    fn remove_physical(&mut self, id: u64) {
+        self.ring.retain(|_, owner| *owner != id);
+        self.live.retain(|&d| d != id);
+    }
+
+    /// The stable physical id owning `key`'s hash.
+    fn owner(&self, key: BlockKey) -> u64 {
+        let h = hash64(key.id);
+        // First ring point at or after h, wrapping.
+        let candidate = self
+            .ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .expect("ring never empty");
+        *candidate.1
+    }
+}
+
+impl PlacementStrategy for ConsistentHashStrategy {
+    fn name(&self) -> &'static str {
+        "consistent-hash"
+    }
+
+    fn disks(&self) -> u32 {
+        self.live.len() as u32
+    }
+
+    fn place(&self, key: BlockKey) -> u32 {
+        let owner = self.owner(key);
+        self.live
+            .binary_search(&owner)
+            .expect("owner is live") as u32
+    }
+
+    fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError> {
+        let n_prev = self.disks();
+        op.disks_after(n_prev)?; // validate only
+        match op {
+            ScalingOp::Add { count } => {
+                for _ in 0..*count {
+                    self.insert_disk();
+                }
+            }
+            ScalingOp::Remove { disks } => {
+                let removed = RemovedSet::new(disks, n_prev)?;
+                // Resolve logical indices to physical ids first; removal
+                // renumbers.
+                let victims: Vec<u64> = removed
+                    .indices()
+                    .iter()
+                    .map(|&logical| self.live[logical as usize])
+                    .collect();
+                for id in victims {
+                    self.remove_physical(id);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PlacementStrategyExt;
+
+    fn keys(n: u64) -> Vec<BlockKey> {
+        (0..n)
+            .map(|i| BlockKey {
+                ordinal: i,
+                id: i.wrapping_mul(0x94D0_49BB_1331_11EB) >> 5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn addition_only_moves_onto_new_disk() {
+        let ks = keys(50_000);
+        let mut s = ConsistentHashStrategy::new(4, 200).unwrap();
+        let before = s.place_all(&ks);
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        let after = s.place_all(&ks);
+        for (i, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                assert_eq!(a, 4, "block {i} moved between old disks");
+            }
+        }
+        // Fraction is ~1/5, give a generous tolerance for arc variance.
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let frac = moved as f64 / ks.len() as f64;
+        assert!((frac - 0.2).abs() < 0.08, "fraction {frac}");
+    }
+
+    #[test]
+    fn removal_only_moves_victims() {
+        let ks = keys(50_000);
+        let mut s = ConsistentHashStrategy::new(5, 200).unwrap();
+        let before = s.place_all(&ks);
+        s.apply(&ScalingOp::remove_one(2)).unwrap();
+        let after = s.place_all(&ks);
+        for (i, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if b != 2 {
+                let expect = if b > 2 { b - 1 } else { b };
+                assert_eq!(a, expect, "survivor block {i} moved");
+            } else {
+                assert!(a < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_improves_with_vnodes() {
+        let ks = keys(100_000);
+        let spread = |vnodes: u32| {
+            let s = ConsistentHashStrategy::new(8, vnodes).unwrap();
+            let census = s.load_census(&ks);
+            let mean = ks.len() as f64 / 8.0;
+            census
+                .iter()
+                .map(|&c| ((c as f64 - mean) / mean).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let coarse = spread(4);
+        let fine = spread(512);
+        assert!(
+            fine < coarse,
+            "512 vnodes ({fine:.3}) should balance better than 4 ({coarse:.3})"
+        );
+    }
+
+    #[test]
+    fn logical_indices_stay_dense() {
+        let ks = keys(1000);
+        let mut s = ConsistentHashStrategy::new(6, 64).unwrap();
+        s.apply(&ScalingOp::Remove { disks: vec![1, 4] }).unwrap();
+        assert_eq!(s.disks(), 4);
+        for &k in &ks {
+            assert!(s.place(k) < 4);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Complete redistribution: `D_j = X_0 mod N_j` (Appendix A's second
+//! initial approach).
+//!
+//! Perfect randomness at every epoch — this is the *gold standard for
+//! RO2* and the reference curve in the paper's §5 figure ("this curve is
+//! growing at a higher rate than the curve representing redistributions
+//! of all blocks"). Its fatal flaw is RO1: changing the modulus reshuffles
+//! nearly every block (for `N -> N+1`, a `1 - 1/(N+1)`-ish fraction
+//! moves).
+
+use crate::strategy::{BlockKey, PlacementStrategy};
+use scaddar_core::{ScalingError, ScalingOp};
+
+/// The complete-redistribution strategy.
+#[derive(Debug, Clone)]
+pub struct FullRedistStrategy {
+    disks: u32,
+}
+
+impl FullRedistStrategy {
+    /// Starts with `initial_disks` disks.
+    pub fn new(initial_disks: u32) -> Result<Self, ScalingError> {
+        if initial_disks == 0 {
+            return Err(ScalingError::NoInitialDisks);
+        }
+        Ok(FullRedistStrategy {
+            disks: initial_disks,
+        })
+    }
+}
+
+impl PlacementStrategy for FullRedistStrategy {
+    fn name(&self) -> &'static str {
+        "full-redistribution"
+    }
+
+    fn disks(&self) -> u32 {
+        self.disks
+    }
+
+    fn place(&self, key: BlockKey) -> u32 {
+        (key.id % u64::from(self.disks)) as u32
+    }
+
+    fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError> {
+        self.disks = op.disks_after(self.disks)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PlacementStrategyExt;
+
+    fn keys(n: u64) -> Vec<BlockKey> {
+        (0..n)
+            .map(|i| BlockKey {
+                ordinal: i,
+                id: i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moves_nearly_everything_on_addition() {
+        let ks = keys(100_000);
+        let mut s = FullRedistStrategy::new(4).unwrap();
+        let before = s.place_all(&ks);
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        let after = s.place_all(&ks);
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let frac = moved as f64 / ks.len() as f64;
+        // x mod 4 == x mod 5 only when (x mod 20) in {0,1,2,3}: 4/20 stay.
+        assert!(frac > 0.75, "only {frac} moved — not a full reshuffle?");
+    }
+
+    #[test]
+    fn is_always_perfectly_random() {
+        let ks = keys(120_000);
+        let mut s = FullRedistStrategy::new(4).unwrap();
+        for op in [
+            ScalingOp::Add { count: 3 },
+            ScalingOp::remove_one(0),
+            ScalingOp::Add { count: 2 },
+        ] {
+            s.apply(&op).unwrap();
+            let census = s.load_census(&ks);
+            let mean = ks.len() as f64 / census.len() as f64;
+            for &c in &census {
+                assert!((c as f64 - mean).abs() / mean < 0.05, "census {census:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_operations() {
+        let mut s = FullRedistStrategy::new(2).unwrap();
+        assert!(s.apply(&ScalingOp::Remove { disks: vec![0, 1] }).is_err());
+        assert_eq!(s.disks(), 2, "failed op must not change state");
+    }
+}

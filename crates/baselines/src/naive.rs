@@ -1,0 +1,216 @@
+//! The paper's **naive** scheme (§4.1, Eq. 2) — the cautionary baseline.
+//!
+//! For an addition at operation `j` the naive scheme re-draws from the
+//! *original* random number:
+//!
+//! ```text
+//! D_j(X_0) = X_0 mod N_j          if X_0 mod N_j lands on an added disk
+//!          = D_{j-1}(X_0)         otherwise
+//! ```
+//!
+//! RO1 and AO1 hold, but RO2 fails from the second operation onward: the
+//! same entropy (`X_0`) is consulted every time, so which blocks move at
+//! operation `j` is correlated with where they sat after operation
+//! `j-1`. Figure 1 of the paper shows the symptom: after adding disk 4
+//! and then disk 5 to an initial 4-disk array, disk 5 receives blocks
+//! *only* from disks 1, 3 and 4 — disks 0 and 2 contribute nothing.
+//! Experiment E1/E2 reproduces that census with this implementation.
+//!
+//! The paper only specifies the naive scheme for additions ("the same
+//! results are seen when the scaling operation is a removal ... so
+//! further explanations ... are omitted"). We implement the analogous
+//! removal — blocks of removed disks re-land on `X_0 mod N_j` among the
+//! survivors, others stay — which inherits the same RO2 defect.
+
+use crate::strategy::{BlockKey, PlacementStrategy};
+use scaddar_core::{RemovedSet, ScalingError, ScalingOp};
+
+/// One recorded operation, in the minimal form naive placement needs.
+#[derive(Debug, Clone)]
+enum NaiveRecord {
+    /// Disk count grew to `n_new` (added disks are `n_prev..n_new`).
+    Add { n_prev: u32, n_new: u32 },
+    /// Disks removed; survivors renumbered by rank.
+    Remove { n_prev: u32, removed: RemovedSet },
+}
+
+/// The naive strategy (Eq. 2). Deliberately kept in the library — it is
+/// the experimental control that motivates SCADDAR.
+#[derive(Debug, Clone)]
+pub struct NaiveStrategy {
+    initial_disks: u32,
+    records: Vec<NaiveRecord>,
+}
+
+impl NaiveStrategy {
+    /// Starts with `initial_disks` disks.
+    pub fn new(initial_disks: u32) -> Result<Self, ScalingError> {
+        if initial_disks == 0 {
+            return Err(ScalingError::NoInitialDisks);
+        }
+        Ok(NaiveStrategy {
+            initial_disks,
+            records: Vec::new(),
+        })
+    }
+
+    fn disks_after(&self, upto: usize) -> u32 {
+        match upto.checked_sub(1).map(|i| &self.records[i]) {
+            None => self.initial_disks,
+            Some(NaiveRecord::Add { n_new, .. }) => *n_new,
+            Some(NaiveRecord::Remove { n_prev, removed }) => *n_prev - removed.len(),
+        }
+    }
+
+    /// `D_e(X_0)` by the Eq. 2 recursion (iteratively, oldest op first).
+    fn place_at(&self, x0: u64, epoch: usize) -> u32 {
+        let mut disk = (x0 % u64::from(self.initial_disks)) as u32;
+        for record in &self.records[..epoch] {
+            match record {
+                NaiveRecord::Add { n_prev, n_new } => {
+                    let candidate = (x0 % u64::from(*n_new)) as u32;
+                    if candidate >= *n_prev {
+                        disk = candidate;
+                    }
+                    // else: keep D_{j-1}.
+                }
+                NaiveRecord::Remove { n_prev: _, removed } => {
+                    if removed.contains(disk) {
+                        let n_new = self.disks_after_record(record);
+                        disk = (x0 % u64::from(n_new)) as u32;
+                    } else {
+                        disk = removed.renumber(disk);
+                    }
+                }
+            }
+        }
+        disk
+    }
+
+    fn disks_after_record(&self, record: &NaiveRecord) -> u32 {
+        match record {
+            NaiveRecord::Add { n_new, .. } => *n_new,
+            NaiveRecord::Remove { n_prev, removed } => *n_prev - removed.len(),
+        }
+    }
+}
+
+impl PlacementStrategy for NaiveStrategy {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn disks(&self) -> u32 {
+        self.disks_after(self.records.len())
+    }
+
+    fn place(&self, key: BlockKey) -> u32 {
+        self.place_at(key.id, self.records.len())
+    }
+
+    fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError> {
+        let n_prev = self.disks();
+        let n_new = op.disks_after(n_prev)?;
+        let record = match op {
+            ScalingOp::Add { .. } => NaiveRecord::Add { n_prev, n_new },
+            ScalingOp::Remove { disks } => NaiveRecord::Remove {
+                n_prev,
+                removed: RemovedSet::new(disks, n_prev)?,
+            },
+        };
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PlacementStrategyExt;
+
+    /// Reconstructs Figure 1 of the paper: X_0 = 0..=43 on 4 disks, then
+    /// two single-disk additions. After the second addition, disk 5 must
+    /// contain exactly the paper's blocks {5,11,17,23,29,35,41} — all
+    /// sourced from old disks 1, 3 and 4, never 0 or 2.
+    #[test]
+    fn figure_1_census() {
+        let keys: Vec<BlockKey> = (0..44).map(|i| BlockKey { ordinal: i, id: i }).collect();
+        let mut s = NaiveStrategy::new(4).unwrap();
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        // Fig 1b: disk 4 holds X_0 ≡ 4 (mod 5).
+        for key in &keys {
+            let expect = if key.id % 5 == 4 {
+                4
+            } else {
+                (key.id % 4) as u32
+            };
+            assert_eq!(s.place(*key), expect, "x0={}", key.id);
+        }
+        let before = s.place_all(&keys);
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        let after = s.place_all(&keys);
+        // Fig 1c: disk 5 holds X_0 ≡ 5 (mod 6).
+        let on_disk5: Vec<u64> = keys
+            .iter()
+            .filter(|k| after[k.ordinal as usize] == 5)
+            .map(|k| k.id)
+            .collect();
+        assert_eq!(on_disk5, vec![5, 11, 17, 23, 29, 35, 41]);
+        // And their sources exclude disks 0 and 2 — the RO2 violation.
+        let mut sources = std::collections::BTreeSet::new();
+        for k in &keys {
+            if after[k.ordinal as usize] == 5 {
+                sources.insert(before[k.ordinal as usize]);
+            }
+        }
+        assert!(!sources.contains(&0));
+        assert!(!sources.contains(&2));
+        assert_eq!(sources, [1u32, 3, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn single_addition_is_fine() {
+        // One operation keeps RO1+RO2: fraction ~1/5 and uniform targets.
+        let keys: Vec<BlockKey> = (0..100_000u64)
+            .map(|i| BlockKey {
+                ordinal: i,
+                id: i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16,
+            })
+            .collect();
+        let mut s = NaiveStrategy::new(4).unwrap();
+        let before = s.place_all(&keys);
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        let after = s.place_all(&keys);
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let frac = moved as f64 / keys.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn removal_moves_only_victims() {
+        let keys: Vec<BlockKey> = (0..50_000u64)
+            .map(|i| BlockKey {
+                ordinal: i,
+                id: i.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 8,
+            })
+            .collect();
+        let mut s = NaiveStrategy::new(5).unwrap();
+        let before = s.place_all(&keys);
+        s.apply(&ScalingOp::remove_one(2)).unwrap();
+        let after = s.place_all(&keys);
+        for (i, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if b == 2 {
+                assert!(a < 4, "block {i} out of range after removal");
+            } else {
+                // Renumbered but same physical disk.
+                let expected = if b > 2 { b - 1 } else { b };
+                assert_eq!(a, expected, "block {i} moved although not a victim");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_disks() {
+        assert!(NaiveStrategy::new(0).is_err());
+    }
+}

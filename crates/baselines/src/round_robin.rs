@@ -1,0 +1,79 @@
+//! Round-robin striping with reorganization — the constrained-placement
+//! baseline (paper §1/§2, following Ghandeharizadeh & Kim, DEXA'96).
+//!
+//! Block `ordinal` lives on disk `ordinal mod N`. Deterministic service
+//! guarantees, but "when adding or removing a disk, almost all the data
+//! blocks need to be moved to another disk" (§1) because the stripe
+//! period changes. This is the movement-cost baseline SCADDAR's §2
+//! motivates against.
+
+use crate::strategy::{BlockKey, PlacementStrategy};
+use scaddar_core::{ScalingError, ScalingOp};
+
+/// Round-robin striping; restriped in full on every scaling operation.
+#[derive(Debug, Clone)]
+pub struct RoundRobinStrategy {
+    disks: u32,
+}
+
+impl RoundRobinStrategy {
+    /// Starts with `initial_disks` disks.
+    pub fn new(initial_disks: u32) -> Result<Self, ScalingError> {
+        if initial_disks == 0 {
+            return Err(ScalingError::NoInitialDisks);
+        }
+        Ok(RoundRobinStrategy {
+            disks: initial_disks,
+        })
+    }
+}
+
+impl PlacementStrategy for RoundRobinStrategy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn disks(&self) -> u32 {
+        self.disks
+    }
+
+    fn place(&self, key: BlockKey) -> u32 {
+        (key.ordinal % u64::from(self.disks)) as u32
+    }
+
+    fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError> {
+        self.disks = op.disks_after(self.disks)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PlacementStrategyExt;
+
+    fn keys(n: u64) -> Vec<BlockKey> {
+        (0..n).map(|i| BlockKey { ordinal: i, id: i }).collect()
+    }
+
+    #[test]
+    fn striping_is_perfectly_balanced() {
+        let ks = keys(1000);
+        let s = RoundRobinStrategy::new(4).unwrap();
+        let census = s.load_census(&ks);
+        assert_eq!(census, vec![250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn restriping_moves_nearly_everything() {
+        let ks = keys(100_000);
+        let mut s = RoundRobinStrategy::new(4).unwrap();
+        let before = s.place_all(&ks);
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        let after = s.place_all(&ks);
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let frac = moved as f64 / ks.len() as f64;
+        // ordinal mod 4 == ordinal mod 5 for 4 of every 20 ordinals.
+        assert!((frac - 0.8).abs() < 0.01, "fraction {frac}");
+    }
+}

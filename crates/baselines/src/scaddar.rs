@@ -1,0 +1,82 @@
+//! SCADDAR wrapped as a [`PlacementStrategy`], so the experiment harness
+//! can pit it against every baseline under identical conditions.
+
+use crate::strategy::{BlockKey, PlacementStrategy};
+use scaddar_core::{locate, ScalingError, ScalingLog, ScalingOp};
+
+/// SCADDAR as a harness strategy. Thin adapter over
+/// [`scaddar_core::ScalingLog`] + [`scaddar_core::locate`].
+#[derive(Debug, Clone)]
+pub struct ScaddarStrategy {
+    log: ScalingLog,
+}
+
+impl ScaddarStrategy {
+    /// Starts with `initial_disks` disks.
+    pub fn new(initial_disks: u32) -> Result<Self, ScalingError> {
+        Ok(ScaddarStrategy {
+            log: ScalingLog::new(initial_disks)?,
+        })
+    }
+
+    /// Read access to the underlying log (for fairness tracking).
+    pub fn log(&self) -> &ScalingLog {
+        &self.log
+    }
+}
+
+impl PlacementStrategy for ScaddarStrategy {
+    fn name(&self) -> &'static str {
+        "scaddar"
+    }
+
+    fn disks(&self) -> u32 {
+        self.log.current_disks()
+    }
+
+    fn place(&self, key: BlockKey) -> u32 {
+        locate(key.id, &self.log).0
+    }
+
+    fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError> {
+        self.log.push(op).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PlacementStrategyExt;
+
+    fn keys(n: u64) -> Vec<BlockKey> {
+        // Uniform ids via a simple avalanche of the ordinal.
+        (0..n)
+            .map(|i| BlockKey {
+                ordinal: i,
+                id: i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn addition_moves_only_to_new_disks() {
+        let ks = keys(20_000);
+        let mut s = ScaddarStrategy::new(4).unwrap();
+        let before = s.place_all(&ks);
+        s.apply(&ScalingOp::Add { count: 1 }).unwrap();
+        let after = s.place_all(&ks);
+        let moved = before
+            .iter()
+            .zip(&after)
+            .filter(|(b, a)| b != a)
+            .inspect(|(_, a)| assert_eq!(**a, 4))
+            .count();
+        let frac = moved as f64 / ks.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "moved fraction {frac}");
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(ScaddarStrategy::new(2).unwrap().name(), "scaddar");
+    }
+}

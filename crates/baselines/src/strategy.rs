@@ -1,0 +1,109 @@
+//! The common interface all placement strategies implement, so SCADDAR,
+//! the paper's rejected alternatives, and modern comparators can be
+//! driven by one experiment harness.
+//!
+//! A strategy answers exactly one question — *which disk does a block
+//! live on right now?* — and accepts scaling operations. Movement is
+//! *observed* by the harness (snapshot before/after), not self-reported,
+//! so no strategy can flatter its own RO1 numbers.
+
+use scaddar_core::{ScalingError, ScalingOp};
+
+/// The identity of a block as strategies see it.
+///
+/// * `ordinal` — the block's global sequence number across the server
+///   (what constrained strategies like round-robin stripe on);
+/// * `id` — the block's placement random number `X_0` (what randomized
+///   strategies place by). Unique-ish, uniform, reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// Global sequence number (0-based, catalog order).
+    pub ordinal: u64,
+    /// `X_0`: the block's b-bit placement random number.
+    pub id: u64,
+}
+
+/// A placement + redistribution strategy under test.
+pub trait PlacementStrategy {
+    /// Short stable name used in experiment CSVs and tables.
+    fn name(&self) -> &'static str;
+
+    /// Current number of disks.
+    fn disks(&self) -> u32;
+
+    /// The disk (`0..disks()`) currently holding `key`.
+    fn place(&self, key: BlockKey) -> u32;
+
+    /// Applies one scaling operation.
+    ///
+    /// Strategies that cannot express some operation faithfully (e.g.
+    /// jump consistent hashing can only shrink from the tail) must
+    /// document the approximation on their type and still keep
+    /// `place` total.
+    fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError>;
+}
+
+/// Extension helpers shared by every strategy.
+pub trait PlacementStrategyExt: PlacementStrategy {
+    /// Places a whole population, in order.
+    fn place_all(&self, keys: &[BlockKey]) -> Vec<u32> {
+        keys.iter().map(|&k| self.place(k)).collect()
+    }
+
+    /// Per-disk load census of a population.
+    fn load_census(&self, keys: &[BlockKey]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.disks() as usize];
+        for &k in keys {
+            counts[self.place(k) as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl<T: PlacementStrategy + ?Sized> PlacementStrategyExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed strategy for exercising the extension helpers.
+    struct Fixed;
+
+    impl PlacementStrategy for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn disks(&self) -> u32 {
+            3
+        }
+        fn place(&self, key: BlockKey) -> u32 {
+            (key.id % 3) as u32
+        }
+        fn apply(&mut self, _op: &ScalingOp) -> Result<(), ScalingError> {
+            Ok(())
+        }
+    }
+
+    fn keys(n: u64) -> Vec<BlockKey> {
+        (0..n).map(|i| BlockKey { ordinal: i, id: i * 7 }).collect()
+    }
+
+    #[test]
+    fn census_sums_to_population() {
+        let s = Fixed;
+        let ks = keys(100);
+        let census = s.load_census(&ks);
+        assert_eq!(census.len(), 3);
+        assert_eq!(census.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn place_all_matches_place() {
+        let s = Fixed;
+        let ks = keys(10);
+        let all = s.place_all(&ks);
+        for (i, &k) in ks.iter().enumerate() {
+            assert_eq!(all[i], s.place(k));
+        }
+    }
+}

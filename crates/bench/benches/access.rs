@@ -1,0 +1,74 @@
+//! E8 — the cost of `AF()`: nanoseconds per block location, as a
+//! function of the number of scaling operations `j` and the generator
+//! family.
+//!
+//! AO1 claims lookup is "a low complexity function" — a chain of `j`
+//! mod/div pairs after one PRNG evaluation. Expect: tens of ns at
+//! `j = 0`, growing linearly by a few ns per operation; the O(1)
+//! SplitMix64 and O(log i) PCG/LCG families differ only in the constant
+//! for `X_0`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scaddar_bench::churn_log;
+use scaddar_core::locate;
+use scaddar_prng::{Bits, BlockRandoms, RngKind};
+use std::hint::black_box;
+
+fn bench_locate_vs_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("af_locate_vs_epoch");
+    let seq = BlockRandoms::new(RngKind::SplitMix64, 42, Bits::B32);
+    for ops in [0usize, 2, 4, 8, 16, 32] {
+        let log = churn_log(8, ops);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                let x0 = seq.value_at(black_box(i));
+                black_box(locate(x0, &log))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_x0_by_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x0_indexed_access");
+    for kind in RngKind::ALL {
+        let seq = BlockRandoms::new(kind, 42, Bits::B32);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                // Mid-object index: the O(i) xorshift fallback pays here,
+                // the jumpable generators do not.
+                i = (i + 17) % 4_096;
+                black_box(seq.value_at(black_box(i)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_cursor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x0_sequential_cursor");
+    for kind in RngKind::ALL {
+        let seq = BlockRandoms::new(kind, 42, Bits::B32);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in seq.cursor().take(1_000) {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_locate_vs_epoch,
+    bench_x0_by_rng,
+    bench_sequential_cursor
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Metadata persistence costs: snapshot encode/decode and the bulk
+//! `locate_all` path that restores use to rebuild residency.
+//!
+//! Expect: snapshots are microseconds (they are tiny — that is the
+//! paper's point); `locate_all` beats per-block `locate` by a large
+//! factor for the O(i)-indexed generator family and a modest one for the
+//! counter-based default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scaddar_core::{Scaddar, ScaddarConfig, ScalingOp};
+use scaddar_prng::RngKind;
+use std::hint::black_box;
+
+fn engine_with_history(rng: RngKind) -> (Scaddar, scaddar_core::ObjectId) {
+    let mut e = Scaddar::new(ScaddarConfig::new(8).with_catalog_seed(4).with_rng(rng)).unwrap();
+    let id = e.add_object(50_000);
+    for i in 0..8 {
+        if i % 2 == 0 {
+            e.scale(ScalingOp::remove_one(0)).unwrap();
+        } else {
+            e.scale(ScalingOp::Add { count: 1 }).unwrap();
+        }
+    }
+    (e, id)
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let (engine, _) = engine_with_history(RngKind::SplitMix64);
+    let bytes = engine.snapshot();
+    let mut group = c.benchmark_group("metadata_snapshot");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(engine.snapshot())));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(Scaddar::from_snapshot(&bytes, 0.05).expect("valid snapshot")))
+    });
+    group.finish();
+}
+
+fn bench_bulk_locate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_locate_50k_blocks");
+    group.throughput(Throughput::Elements(50_000));
+    for rng in [RngKind::SplitMix64, RngKind::XorShift64Star] {
+        let (engine, id) = engine_with_history(rng);
+        group.bench_with_input(
+            BenchmarkId::new("locate_all", rng),
+            &rng,
+            |b, _| b.iter(|| black_box(engine.locate_all(id).expect("object exists"))),
+        );
+        // Per-block indexed access, for contrast — quadratic for
+        // xorshift (O(i) per call), so sample a slice to keep it sane.
+        group.bench_with_input(
+            BenchmarkId::new("locate_first_1000_individually", rng),
+            &rng,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for blk in 0..1_000 {
+                        acc ^= engine.locate(id, blk).expect("in range").0;
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_bulk_locate);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E8 support — raw `REMAP_j` throughput and whole-operation `RF()`
+//! planning cost.
+//!
+//! `remap_add`/`remap_remove` are a handful of integer divisions; expect
+//! a few ns each. Planning a scaling operation over a 100k-block catalog
+//! is `O(B·j)`; expect single-digit milliseconds at `j = 8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scaddar_bench::churn_log;
+use scaddar_core::{plan_last_op, Catalog, RemovedSet, ScalingLog, ScalingOp};
+use scaddar_core::remap::{remap_add, remap_remove};
+use scaddar_prng::{Bits, RngKind};
+use std::hint::black_box;
+
+fn bench_remap_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remap_primitive");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("add", |b| {
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(remap_add(black_box(x), 8, 9))
+        });
+    });
+    let removed = RemovedSet::new(&[3], 8).expect("valid removal");
+    group.bench_function("remove", |b| {
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(remap_remove(black_box(x), 8, &removed))
+        });
+    });
+    group.finish();
+}
+
+fn catalog_100k() -> Catalog {
+    let mut c = Catalog::new(RngKind::SplitMix64, Bits::B32, 7);
+    for _ in 0..20 {
+        c.add_object(5_000);
+    }
+    c
+}
+
+fn bench_plan_operation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rf_plan_100k_blocks");
+    group.throughput(Throughput::Elements(100_000));
+    let catalog = catalog_100k();
+    for prior_ops in [0usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("addition_after", prior_ops),
+            &prior_ops,
+            |b, &prior| {
+                b.iter_batched(
+                    || {
+                        let mut log = churn_log(8, prior);
+                        log.push(&ScalingOp::Add { count: 1 }).expect("valid add");
+                        log
+                    },
+                    |log: ScalingLog| black_box(plan_last_op(&catalog, &log)),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remap_primitives, bench_plan_operation);
+criterion_main!(benches);

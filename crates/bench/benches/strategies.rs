@@ -1,0 +1,106 @@
+//! E11 support — `place()` cost across placement strategies after a
+//! mixed schedule, and the cost of applying a scaling operation.
+//!
+//! Expect: round-robin/full-redistribution ~1 ns (one mod); SCADDAR ~ns
+//! per logged operation; jump hash ~log(N) loop iterations; consistent
+//! hashing a BTree probe; directory a hash lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaddar_baselines::{
+    synthetic_population, BlockKey, ConsistentHashStrategy, DirectoryStrategy,
+    FullRedistStrategy, JumpHashStrategy, NaiveStrategy, PlacementStrategy, RoundRobinStrategy,
+    ScaddarStrategy,
+};
+use scaddar_core::ScalingOp;
+use std::hint::black_box;
+
+fn schedule() -> Vec<ScalingOp> {
+    vec![
+        ScalingOp::Add { count: 2 },
+        ScalingOp::remove_one(3),
+        ScalingOp::Add { count: 1 },
+        ScalingOp::remove_one(0),
+        ScalingOp::Add { count: 2 },
+        ScalingOp::Add { count: 1 },
+        ScalingOp::remove_one(5),
+        ScalingOp::Add { count: 1 },
+    ]
+}
+
+fn scheduled<S: PlacementStrategy>(mut s: S) -> S {
+    for op in schedule() {
+        s.apply(&op).expect("valid schedule");
+    }
+    s
+}
+
+fn bench_place(c: &mut Criterion) {
+    let keys = synthetic_population(10_000, 3);
+    let mut group = c.benchmark_group("place_after_8_ops");
+
+    let mut dir = DirectoryStrategy::new(8, 1).expect("dir");
+    dir.register(&keys);
+    let strategies: Vec<Box<dyn PlacementStrategy>> = vec![
+        Box::new(scheduled(ScaddarStrategy::new(8).expect("scaddar"))),
+        Box::new(scheduled(NaiveStrategy::new(8).expect("naive"))),
+        Box::new(scheduled(FullRedistStrategy::new(8).expect("full"))),
+        Box::new(scheduled(RoundRobinStrategy::new(8).expect("rr"))),
+        Box::new(scheduled(JumpHashStrategy::new(8).expect("jump"))),
+        Box::new(scheduled(ConsistentHashStrategy::new(8, 256).expect("ch"))),
+        Box::new(scheduled(dir)),
+    ];
+    for s in &strategies {
+        group.bench_function(s.name(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(s.place(black_box(keys[i])))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_one_addition");
+    group.bench_function("scaddar_log_push", |b| {
+        b.iter_batched(
+            || ScaddarStrategy::new(8).expect("scaddar"),
+            |mut s| {
+                s.apply(&ScalingOp::Add { count: 1 }).expect("valid");
+                black_box(s.disks())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("consistent_hash_ring_insert", |b| {
+        b.iter_batched(
+            || ConsistentHashStrategy::new(8, 256).expect("ch"),
+            |mut s| {
+                s.apply(&ScalingOp::Add { count: 1 }).expect("valid");
+                black_box(s.disks())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    // The directory must touch every entry — the Appendix A cost.
+    let keys: Vec<BlockKey> = synthetic_population(100_000, 4);
+    group.bench_function("directory_rewrite_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut d = DirectoryStrategy::new(8, 1).expect("dir");
+                d.register(&keys);
+                d
+            },
+            |mut d| {
+                d.apply(&ScalingOp::Add { count: 1 }).expect("valid");
+                black_box(d.disks())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_place, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,602 @@
+//! # scaddar-cli — an operator console for a SCADDAR placement engine
+//!
+//! A line-oriented command processor over [`scaddar_core::Scaddar`]:
+//! create a server, register objects, scale the array, locate and trace
+//! blocks, audit balance, and persist/restore the metadata snapshot.
+//! The processor is a plain function from input line to output string
+//! ([`Session::execute`]), so the whole surface is unit-testable; the
+//! `scaddar-console` binary is a thin stdin loop around it.
+//!
+//! ```text
+//! scaddar> init 4
+//! server: 4 disks, 32-bit randomness, eps 5%
+//! scaddar> add-object 100000
+//! object 0: 100000 blocks
+//! scaddar> scale add 2
+//! op 1: 4 -> 6 disks; moved 33297/100000 blocks (33.30%, optimal 33.33%)
+//! scaddar> locate 0 31337
+//! object 0 block 31337 -> disk 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scaddar_analysis::{fmt_f64, fmt_pct, Summary};
+use scaddar_core::{
+    audit_balance, audit_census, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
+};
+use scaddar_prng::Bits;
+use std::fmt::Write as _;
+
+/// Errors surfaced to the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Input could not be parsed; the payload explains usage.
+    Usage(String),
+    /// No server initialized yet.
+    NoServer,
+    /// The engine rejected the request.
+    Engine(String),
+    /// Filesystem failure on save/load.
+    Io(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage: {msg}"),
+            CliError::NoServer => write!(f, "no server — run `init <disks>` first"),
+            CliError::Engine(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// One interactive session (at most one engine at a time).
+#[derive(Debug, Default)]
+pub struct Session {
+    engine: Option<Scaddar>,
+    epsilon: f64,
+}
+
+/// The help text, kept verbatim-testable.
+pub const HELP: &str = "\
+commands:
+  init <disks> [bits=32|64] [seed=<u64>] [eps=<f64>]   create a server
+  add-object <blocks>                                  register an object
+  remove-object <id>                                   delete an object
+  objects                                              list objects
+  locate <object> <block>                              AF(): block -> disk
+  trace <object> <block>                               full remap history
+  scale add <count>                                    add a disk group
+  scale remove <d1,d2,...>                             remove disks (current indices)
+  plan add <count> | plan remove <d1,d2,...>           dry-run: predicted movement, no change
+  census                                               per-disk block counts
+  fairness                                             the §4.3 budget state
+  audit                                                balance + census self-check
+  save <path> / load <path>                            persist / restore metadata
+  help                                                 this text";
+
+impl Session {
+    /// A fresh session with no server.
+    pub fn new() -> Self {
+        Session {
+            engine: None,
+            epsilon: 0.05,
+        }
+    }
+
+    /// Direct access to the engine (for embedding in tests/tools).
+    pub fn engine(&self) -> Option<&Scaddar> {
+        self.engine.as_ref()
+    }
+
+    fn engine_mut(&mut self) -> Result<&mut Scaddar, CliError> {
+        self.engine.as_mut().ok_or(CliError::NoServer)
+    }
+
+    fn engine_ref(&self) -> Result<&Scaddar, CliError> {
+        self.engine.as_ref().ok_or(CliError::NoServer)
+    }
+
+    /// Executes one command line and returns its output text.
+    pub fn execute(&mut self, line: &str) -> Result<String, CliError> {
+        let mut parts = line.split_whitespace();
+        let Some(command) = parts.next() else {
+            return Ok(String::new());
+        };
+        let args: Vec<&str> = parts.collect();
+        match command {
+            "help" => Ok(HELP.to_string()),
+            "init" => self.cmd_init(&args),
+            "add-object" => self.cmd_add_object(&args),
+            "remove-object" => self.cmd_remove_object(&args),
+            "objects" => self.cmd_objects(),
+            "locate" => self.cmd_locate(&args),
+            "trace" => self.cmd_trace(&args),
+            "scale" => self.cmd_scale(&args),
+            "plan" => self.cmd_plan(&args),
+            "census" => self.cmd_census(),
+            "fairness" => self.cmd_fairness(),
+            "audit" => self.cmd_audit(),
+            "save" => self.cmd_save(&args),
+            "load" => self.cmd_load(&args),
+            other => Err(CliError::Usage(format!(
+                "unknown command `{other}` — try `help`"
+            ))),
+        }
+    }
+
+    fn cmd_init(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let usage = || CliError::Usage("init <disks> [bits=32|64] [seed=<u64>] [eps=<f64>]".into());
+        let disks: u32 = args
+            .first()
+            .ok_or_else(usage)?
+            .parse()
+            .map_err(|_| usage())?;
+        let mut config = ScaddarConfig::new(disks);
+        for kv in &args[1..] {
+            let (key, value) = kv.split_once('=').ok_or_else(usage)?;
+            match key {
+                "bits" => {
+                    let b: u8 = value.parse().map_err(|_| usage())?;
+                    config.bits = Bits::new(b)
+                        .filter(|b| *b == Bits::B32 || *b == Bits::B64)
+                        .ok_or_else(usage)?;
+                }
+                "seed" => config.catalog_seed = value.parse().map_err(|_| usage())?,
+                "eps" => {
+                    config.epsilon = value.parse().map_err(|_| usage())?;
+                    if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
+                        return Err(usage());
+                    }
+                }
+                _ => return Err(usage()),
+            }
+        }
+        self.epsilon = config.epsilon;
+        let engine = Scaddar::new(config).map_err(|e| CliError::Engine(e.to_string()))?;
+        let summary = format!(
+            "server: {} disks, {}-bit randomness, eps {}",
+            engine.disks(),
+            config.bits.get(),
+            fmt_pct(config.epsilon)
+        );
+        self.engine = Some(engine);
+        Ok(summary)
+    }
+
+    fn cmd_add_object(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let blocks: u64 = args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| CliError::Usage("add-object <blocks>".into()))?;
+        let id = self.engine_mut()?.add_object(blocks);
+        Ok(format!("{id}: {blocks} blocks"))
+    }
+
+    fn cmd_remove_object(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let id: u64 = args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| CliError::Usage("remove-object <id>".into()))?;
+        let obj = self
+            .engine_mut()?
+            .remove_object(ObjectId(id))
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        Ok(format!("removed {} ({} blocks)", obj.id, obj.blocks))
+    }
+
+    fn cmd_objects(&self) -> Result<String, CliError> {
+        let engine = self.engine_ref()?;
+        let objects = engine.catalog().objects();
+        if objects.is_empty() {
+            return Ok("no objects".to_string());
+        }
+        let mut out = String::new();
+        for obj in objects {
+            writeln!(out, "{}: {} blocks (seed {:#018x})", obj.id, obj.blocks, obj.seed)
+                .expect("write to string");
+        }
+        out.pop();
+        Ok(out)
+    }
+
+    fn parse_object_block(args: &[&str], usage: &str) -> Result<(ObjectId, u64), CliError> {
+        let err = || CliError::Usage(usage.to_string());
+        let object: u64 = args.first().and_then(|a| a.parse().ok()).ok_or_else(err)?;
+        let block: u64 = args.get(1).and_then(|a| a.parse().ok()).ok_or_else(err)?;
+        Ok((ObjectId(object), block))
+    }
+
+    fn cmd_locate(&self, args: &[&str]) -> Result<String, CliError> {
+        let (object, block) = Self::parse_object_block(args, "locate <object> <block>")?;
+        let disk = self
+            .engine_ref()?
+            .locate(object, block)
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        Ok(format!("{object} block {block} -> {disk}"))
+    }
+
+    fn cmd_trace(&self, args: &[&str]) -> Result<String, CliError> {
+        let (object, block) = Self::parse_object_block(args, "trace <object> <block>")?;
+        let steps = self
+            .engine_ref()?
+            .trace(object, block)
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        let mut out = String::new();
+        for step in steps {
+            writeln!(
+                out,
+                "epoch {:>3}: X={:<20} N={:<5} disk {}{}",
+                step.epoch,
+                step.x,
+                step.disks,
+                step.disk.0,
+                if step.moved { "  (moved)" } else { "" }
+            )
+            .expect("write to string");
+        }
+        out.pop();
+        Ok(out)
+    }
+
+    fn cmd_scale(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let op = Self::parse_op(args, "scale add <count> | scale remove <d1,d2,...>")?;
+        let engine = self.engine_mut()?;
+        let before = engine.disks();
+        let warn = if !engine.next_op_is_safe(
+            op.disks_after(before)
+                .map_err(|e| CliError::Engine(e.to_string()))?,
+        ) {
+            "\nwarning: §4.3 fairness budget exceeded — schedule a full redistribution"
+        } else {
+            ""
+        };
+        let plan = engine
+            .scale(op)
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        Ok(format!(
+            "op {}: {} -> {} disks; moved {}/{} blocks ({}, optimal {}){warn}",
+            engine.epoch(),
+            before,
+            engine.disks(),
+            plan.moves.len(),
+            plan.total_blocks,
+            fmt_pct(plan.moved_fraction()),
+            fmt_pct(plan.optimal_fraction),
+        ))
+    }
+
+    /// Parses `add <count>` / `remove <list>` argument forms.
+    fn parse_op(args: &[&str], usage: &str) -> Result<ScalingOp, CliError> {
+        let err = || CliError::Usage(usage.to_string());
+        match (args.first().copied(), args.get(1)) {
+            (Some("add"), Some(count)) => Ok(ScalingOp::Add {
+                count: count.parse().map_err(|_| err())?,
+            }),
+            (Some("remove"), Some(list)) => {
+                let disks: Result<Vec<u32>, _> = list.split(',').map(str::parse).collect();
+                Ok(ScalingOp::Remove {
+                    disks: disks.map_err(|_| err())?,
+                })
+            }
+            _ => Err(err()),
+        }
+    }
+
+    fn cmd_plan(&self, args: &[&str]) -> Result<String, CliError> {
+        let op = Self::parse_op(args, "plan add <count> | plan remove <d1,d2,...>")?;
+        let engine = self.engine_ref()?;
+        // Dry-run on a clone; the live engine is untouched.
+        let mut probe = engine.clone();
+        let disks_after = op
+            .disks_after(engine.disks())
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        let safe = engine.next_op_is_safe(disks_after);
+        let plan = probe
+            .scale(op)
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        Ok(format!(
+            "dry run: {} -> {} disks; would move {}/{} blocks ({}, optimal {}); within eps budget: {}",
+            engine.disks(),
+            disks_after,
+            plan.moves.len(),
+            plan.total_blocks,
+            fmt_pct(plan.moved_fraction()),
+            fmt_pct(plan.optimal_fraction),
+            if safe { "yes" } else { "NO" },
+        ))
+    }
+
+    fn cmd_census(&self) -> Result<String, CliError> {
+        let engine = self.engine_ref()?;
+        let census = engine.load_distribution();
+        let summary = Summary::of_counts(&census);
+        let mut out = String::new();
+        for (d, &c) in census.iter().enumerate() {
+            writeln!(out, "disk {d:>3}: {c}").expect("write to string");
+        }
+        write!(
+            out,
+            "total {} blocks, CoV {}",
+            census.iter().sum::<u64>(),
+            fmt_f64(summary.cov, 4)
+        )
+        .expect("write to string");
+        Ok(out)
+    }
+
+    fn cmd_fairness(&self) -> Result<String, CliError> {
+        let engine = self.engine_ref()?;
+        let report = engine.fairness();
+        let safe = engine.next_op_is_safe(engine.disks());
+        Ok(format!(
+            "operations: {}\nsigma_k: {}\nguaranteed cycles: {}\nunfairness bound: {}\nnext op within eps={}? {}",
+            report.operations,
+            report.sigma,
+            report.guaranteed_range,
+            fmt_f64(report.unfairness_bound, 8),
+            fmt_pct(self.epsilon),
+            if safe { "yes" } else { "NO — redistribute in full" },
+        ))
+    }
+
+    fn cmd_audit(&self) -> Result<String, CliError> {
+        let engine = self.engine_ref()?;
+        let tolerance = scaddar_core::audit::suggested_tolerance(engine.catalog(), engine.log());
+        let balance = audit_balance(engine.catalog(), engine.log(), tolerance);
+        let census = engine.load_distribution();
+        let consistency = audit_census(engine.catalog(), engine.log(), &census);
+        let mut out = format!(
+            "balance audit (tolerance {}): {}",
+            fmt_pct(tolerance),
+            if balance.passed() { "PASS" } else { "FAIL" }
+        );
+        for f in &balance.findings {
+            write!(out, "\n  {f:?}").expect("write to string");
+        }
+        write!(
+            out,
+            "\ncensus self-consistency: {}",
+            if consistency.passed() { "PASS" } else { "FAIL" }
+        )
+        .expect("write to string");
+        Ok(out)
+    }
+
+    fn cmd_save(&self, args: &[&str]) -> Result<String, CliError> {
+        let path = args
+            .first()
+            .ok_or_else(|| CliError::Usage("save <path>".into()))?;
+        let bytes = self.engine_ref()?.snapshot();
+        std::fs::write(path, &bytes).map_err(|e| CliError::Io(e.to_string()))?;
+        Ok(format!("saved {} bytes to {path}", bytes.len()))
+    }
+
+    fn cmd_load(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let path = args
+            .first()
+            .ok_or_else(|| CliError::Usage("load <path>".into()))?;
+        let bytes = std::fs::read(path).map_err(|e| CliError::Io(e.to_string()))?;
+        let engine = Scaddar::from_snapshot(&bytes, self.epsilon)
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+        let summary = format!(
+            "restored: {} disks, {} objects, epoch {}",
+            engine.disks(),
+            engine.catalog().objects().len(),
+            engine.epoch()
+        );
+        self.engine = Some(engine);
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut Session, line: &str) -> String {
+        session
+            .execute(line)
+            .unwrap_or_else(|e| panic!("`{line}` failed: {e}"))
+    }
+
+    #[test]
+    fn full_operator_session() {
+        let mut s = Session::new();
+        assert!(run(&mut s, "init 4 seed=9").contains("4 disks"));
+        assert!(run(&mut s, "add-object 10000").starts_with("object 0"));
+        let loc = run(&mut s, "locate 0 1234");
+        assert!(loc.contains("-> disk"));
+        let scale = run(&mut s, "scale add 2");
+        assert!(scale.contains("4 -> 6 disks"));
+        assert!(scale.contains("optimal 33.33%"));
+        // Location may have changed but must stay valid.
+        let census = run(&mut s, "census");
+        assert!(census.contains("disk   5:"));
+        assert!(census.contains("total 10000 blocks"));
+        let fairness = run(&mut s, "fairness");
+        assert!(fairness.contains("operations: 1"));
+        assert!(fairness.contains("yes"));
+        let audit = run(&mut s, "audit");
+        assert!(audit.contains("PASS"));
+        assert!(!audit.contains("FAIL"));
+    }
+
+    #[test]
+    fn trace_shows_history() {
+        let mut s = Session::new();
+        run(&mut s, "init 6 seed=1");
+        run(&mut s, "add-object 100");
+        run(&mut s, "scale remove 4");
+        let trace = run(&mut s, "trace 0 7");
+        assert_eq!(trace.lines().count(), 2);
+        assert!(trace.contains("epoch   0"));
+        assert!(trace.contains("epoch   1"));
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        let mut s = Session::new();
+        assert_eq!(s.execute("census"), Err(CliError::NoServer));
+        assert!(matches!(s.execute("init"), Err(CliError::Usage(_))));
+        assert!(matches!(s.execute("bogus"), Err(CliError::Usage(_))));
+        run(&mut s, "init 4");
+        assert!(matches!(s.execute("locate 9 0"), Err(CliError::Engine(_))));
+        assert!(matches!(
+            s.execute("scale remove 99"),
+            Err(CliError::Engine(_))
+        ));
+        assert!(matches!(s.execute("init 4 bits=13"), Err(CliError::Usage(_))));
+        assert!(matches!(s.execute("init 4 eps=2.0"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let path = std::env::temp_dir().join("scaddar-cli-test.snap");
+        let path_s = path.to_str().unwrap();
+        let mut s = Session::new();
+        run(&mut s, "init 5 seed=77");
+        run(&mut s, "add-object 5000");
+        run(&mut s, "scale add 1");
+        let before = run(&mut s, "locate 0 4321");
+        assert!(run(&mut s, &format!("save {path_s}")).contains("saved"));
+
+        let mut fresh = Session::new();
+        let restored = run(&mut fresh, &format!("load {path_s}"));
+        assert!(restored.contains("6 disks"));
+        assert_eq!(run(&mut fresh, "locate 0 4321"), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn budget_warning_fires() {
+        let mut s = Session::new();
+        run(&mut s, "init 8 eps=0.05");
+        let mut warned = false;
+        for i in 0..20 {
+            let out = if i % 2 == 0 {
+                run(&mut s, "scale remove 0")
+            } else {
+                run(&mut s, "scale add 1")
+            };
+            if out.contains("warning") {
+                warned = true;
+                break;
+            }
+        }
+        assert!(warned, "the §4.3 warning never fired");
+    }
+
+    #[test]
+    fn empty_line_is_silent_and_help_is_stable() {
+        let mut s = Session::new();
+        assert_eq!(s.execute("   ").unwrap(), "");
+        assert!(s.execute("help").unwrap().contains("scale add <count>"));
+    }
+
+    #[test]
+    fn object_listing_and_removal() {
+        let mut s = Session::new();
+        run(&mut s, "init 4");
+        assert_eq!(run(&mut s, "objects"), "no objects");
+        run(&mut s, "add-object 10");
+        run(&mut s, "add-object 20");
+        let listing = run(&mut s, "objects");
+        assert_eq!(listing.lines().count(), 2);
+        assert!(run(&mut s, "remove-object 0").contains("removed object 0"));
+        assert_eq!(run(&mut s, "objects").lines().count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// No input line may ever panic the session — errors yes, panics
+        /// never (the console faces operators and scripts).
+        #[test]
+        fn arbitrary_lines_never_panic(lines in proptest::collection::vec(".{0,60}", 0..20)) {
+            let mut session = Session::new();
+            for line in &lines {
+                let _ = session.execute(line);
+            }
+        }
+
+        /// Same, but with token soup biased toward real commands and
+        /// numbers, which reaches much deeper into the handlers.
+        #[test]
+        fn command_soup_never_panics(
+            tokens in proptest::collection::vec(
+                prop_oneof![
+                    Just("init".to_string()),
+                    Just("add-object".to_string()),
+                    Just("scale".to_string()),
+                    Just("add".to_string()),
+                    Just("remove".to_string()),
+                    Just("locate".to_string()),
+                    Just("trace".to_string()),
+                    Just("census".to_string()),
+                    Just("fairness".to_string()),
+                    Just("audit".to_string()),
+                    Just("objects".to_string()),
+                    Just("remove-object".to_string()),
+                    Just("bits=64".to_string()),
+                    Just("eps=0.05".to_string()),
+                    (0u64..100).prop_map(|n| n.to_string()),
+                    Just("0,1,2".to_string()),
+                ],
+                0..120,
+            ),
+            width in 1usize..5,
+        ) {
+            let mut session = Session::new();
+            for line_tokens in tokens.chunks(width) {
+                let line = line_tokens.join(" ");
+                let _ = session.execute(&line);
+            }
+            // Whatever happened, an initialized session must still work.
+            let _ = session.execute("init 4");
+            prop_assert!(session.execute("census").is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod plan_tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_a_side_effect_free_preview() {
+        let mut s = Session::new();
+        s.execute("init 4 seed=1").unwrap();
+        s.execute("add-object 20000").unwrap();
+        let preview = s.execute("plan add 2").unwrap();
+        assert!(preview.contains("4 -> 6 disks"));
+        assert!(preview.contains("optimal 33.33%"));
+        assert!(preview.contains("within eps budget: yes"));
+        // Nothing changed.
+        assert_eq!(s.engine().unwrap().epoch(), 0);
+        assert_eq!(s.engine().unwrap().disks(), 4);
+        // The real op then matches the preview's optimum.
+        let real = s.execute("scale add 2").unwrap();
+        assert!(real.contains("optimal 33.33%"));
+    }
+
+    #[test]
+    fn plan_remove_and_errors() {
+        let mut s = Session::new();
+        assert_eq!(s.execute("plan add 1"), Err(CliError::NoServer));
+        s.execute("init 5 seed=2").unwrap();
+        s.execute("add-object 1000").unwrap();
+        let preview = s.execute("plan remove 1,3").unwrap();
+        assert!(preview.contains("5 -> 3 disks"));
+        assert!(matches!(s.execute("plan remove 9"), Err(CliError::Engine(_))));
+        assert!(matches!(s.execute("plan frobnicate 1"), Err(CliError::Usage(_))));
+    }
+}

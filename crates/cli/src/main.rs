@@ -1,0 +1,34 @@
+//! The `scaddar` operator console: a stdin loop over
+//! [`scaddar_cli::Session`].
+
+use scaddar_cli::Session;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let mut session = Session::new();
+    println!("SCADDAR operator console — `help` for commands, ctrl-d to exit");
+    loop {
+        print!("scaddar> ");
+        stdout.flush().expect("stdout flush");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "exit" || line == "quit" {
+            break;
+        }
+        match session.execute(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! A physical disk-drive model: where "blocks per round" comes from.
+//!
+//! The CM-server literature the paper builds on (\[2\], \[16\], \[18\]) sizes
+//! service rounds from drive physics: a round must fit `k` block
+//! retrievals, each paying a seek, rotational latency, and transfer
+//! time. This module models a ca.-2001 drive (defaults resemble a
+//! Seagate Cheetah X15: 3.9 ms average seek, 15k RPM, ~45 MB/s sustained
+//! transfer) and derives
+//!
+//! * the worst-case time to serve `k` blocks in one seek-optimized sweep
+//!   ([`DiskModel::sweep_time`], C-SCAN: `k` seeks bounded by the
+//!   full-stroke/k amortization + `k` rotational latencies + transfers);
+//! * the maximum blocks per round of a given duration
+//!   ([`DiskModel::blocks_per_round`]) — the number the rest of the
+//!   simulator abstracts as `disk_bandwidth`;
+//! * the continuous-display constraint: a round must not exceed the time
+//!   `k` consumers take to play a block ([`DiskModel::max_streams`]).
+//!
+//! The model is deliberately first-order (no zoning, no cache): its role
+//! is to ground the simulator's bandwidth abstraction in real units and
+//! expose the knobs (block size, round length) CM-server papers sweep.
+
+/// Parameters of a disk drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average seek time, seconds.
+    pub avg_seek_s: f64,
+    /// Full-stroke (worst-case) seek time, seconds.
+    pub max_seek_s: f64,
+    /// Spindle speed, revolutions per minute.
+    pub rpm: f64,
+    /// Sustained transfer rate, bytes per second.
+    pub transfer_bps: f64,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl DiskModel {
+    /// A ca.-2001 15k-RPM enterprise drive (Cheetah X15-class).
+    pub fn cheetah_2001() -> Self {
+        DiskModel {
+            avg_seek_s: 0.0039,
+            max_seek_s: 0.0087,
+            rpm: 15_000.0,
+            transfer_bps: 45.0e6,
+            capacity_bytes: 18 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A ca.-2001 7200-RPM commodity drive (Barracuda-class) — the
+    /// "older generation" in heterogeneous-array scenarios.
+    pub fn barracuda_2001() -> Self {
+        DiskModel {
+            avg_seek_s: 0.0085,
+            max_seek_s: 0.016,
+            rpm: 7_200.0,
+            transfer_bps: 25.0e6,
+            capacity_bytes: 40 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Worst-case rotational latency: one full revolution, seconds.
+    pub fn rotation_s(&self) -> f64 {
+        60.0 / self.rpm
+    }
+
+    /// Transfer time for one block of `block_bytes`, seconds.
+    pub fn transfer_s(&self, block_bytes: u64) -> f64 {
+        block_bytes as f64 / self.transfer_bps
+    }
+
+    /// Worst-case time to retrieve `k` blocks in one C-SCAN sweep:
+    /// the `k` seeks of a sweep jointly cover at most one full stroke
+    /// plus per-request settle (approximated by `max_seek/k + avg_seek/2`
+    /// each, the standard amortization), plus a worst-case rotation and
+    /// a transfer per block.
+    pub fn sweep_time(&self, k: u32, block_bytes: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k_f = f64::from(k);
+        let seek_total = self.max_seek_s + k_f * (self.avg_seek_s / 2.0);
+        seek_total + k_f * (self.rotation_s() + self.transfer_s(block_bytes))
+    }
+
+    /// The largest `k` whose worst-case sweep fits in `round_s` seconds.
+    pub fn blocks_per_round(&self, round_s: f64, block_bytes: u64) -> u32 {
+        assert!(round_s > 0.0);
+        let mut k = 0u32;
+        while self.sweep_time(k + 1, block_bytes) <= round_s {
+            k += 1;
+            if k == 1_000_000 {
+                break; // absurd configuration; avoid spinning
+            }
+        }
+        k
+    }
+
+    /// Continuous display: a stream consuming media at `consume_bps`
+    /// plays one `block_bytes` block in `block_bytes / consume_bps`
+    /// seconds; the round must be exactly that long. Returns the
+    /// resulting `(round_s, blocks_per_round)` pair.
+    pub fn round_for_rate(&self, block_bytes: u64, consume_bps: f64) -> (f64, u32) {
+        assert!(consume_bps > 0.0);
+        let round_s = block_bytes as f64 / consume_bps;
+        (round_s, self.blocks_per_round(round_s, block_bytes))
+    }
+
+    /// Maximum simultaneous streams one disk sustains at the given block
+    /// size and consumption rate — `blocks_per_round` under the
+    /// continuous-display round.
+    pub fn max_streams(&self, block_bytes: u64, consume_bps: f64) -> u32 {
+        self.round_for_rate(block_bytes, consume_bps).1
+    }
+
+    /// Block capacity at a given block size.
+    pub fn capacity_blocks(&self, block_bytes: u64) -> u64 {
+        assert!(block_bytes > 0);
+        self.capacity_bytes / block_bytes
+    }
+}
+
+/// Sweeps block sizes and reports `(block_bytes, round_s, streams)` —
+/// the classic CM-server provisioning table (bigger blocks amortize
+/// seeks toward the transfer-rate bound; smaller blocks cut latency and
+/// buffer memory).
+pub fn provisioning_table(model: &DiskModel, consume_bps: f64) -> Vec<(u64, f64, u32)> {
+    [64u64, 128, 256, 512, 1024, 2048]
+        .into_iter()
+        .map(|kib| {
+            let bytes = kib * 1024;
+            let (round, streams) = model.round_for_rate(bytes, consume_bps);
+            (bytes, round, streams)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBPS4: f64 = 4.0e6 / 8.0 * 8.0; // 4 Mbit/s MPEG-2 in bytes/s is 0.5e6; keep explicit below.
+
+    #[test]
+    fn rotation_matches_rpm() {
+        let d = DiskModel::cheetah_2001();
+        assert!((d.rotation_s() - 0.004).abs() < 1e-9);
+        let slow = DiskModel::barracuda_2001();
+        assert!((slow.rotation_s() - 60.0 / 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_time_is_monotone_and_superlinear_in_overheads() {
+        let d = DiskModel::cheetah_2001();
+        let block = 256 * 1024;
+        let mut prev = 0.0;
+        for k in 1..50 {
+            let t = d.sweep_time(k, block);
+            assert!(t > prev);
+            prev = t;
+        }
+        // Zero requests, zero time.
+        assert_eq!(d.sweep_time(0, block), 0.0);
+    }
+
+    #[test]
+    fn blocks_per_round_inverts_sweep_time() {
+        let d = DiskModel::cheetah_2001();
+        let block = 256 * 1024;
+        for round_s in [0.25, 0.5, 1.0, 2.0] {
+            let k = d.blocks_per_round(round_s, block);
+            assert!(d.sweep_time(k, block) <= round_s);
+            assert!(d.sweep_time(k + 1, block) > round_s);
+        }
+    }
+
+    #[test]
+    fn continuous_display_numbers_are_sane_for_mpeg2() {
+        // 4 Mbit/s MPEG-2 = 0.5 MB/s consumption, 256 KiB blocks:
+        // round = 0.524 s; a Cheetah-class disk should sustain dozens of
+        // streams, a Barracuda fewer.
+        let consume = 0.5e6;
+        let block = 256 * 1024;
+        let fast = DiskModel::cheetah_2001().max_streams(block, consume);
+        let slow = DiskModel::barracuda_2001().max_streams(block, consume);
+        assert!(fast > slow, "faster disk must admit more streams");
+        assert!(
+            (20..100).contains(&fast),
+            "Cheetah MPEG-2 streams out of plausible range: {fast}"
+        );
+        assert!(slow >= 10, "Barracuda too weak: {slow}");
+        let _ = MBPS4;
+    }
+
+    #[test]
+    fn bigger_blocks_amortize_seeks() {
+        // At a fixed *round length*, bigger blocks mean fewer blocks but
+        // more payload; the delivered bandwidth must increase toward the
+        // transfer bound.
+        let d = DiskModel::cheetah_2001();
+        let round = 1.0;
+        let mut prev_payload = 0.0;
+        for kib in [64u64, 256, 1024] {
+            let bytes = kib * 1024;
+            let k = d.blocks_per_round(round, bytes);
+            let payload = (k as f64) * bytes as f64;
+            assert!(
+                payload > prev_payload,
+                "payload should grow with block size"
+            );
+            prev_payload = payload;
+        }
+        assert!(prev_payload < d.transfer_bps * round);
+    }
+
+    #[test]
+    fn provisioning_table_shape() {
+        let table = provisioning_table(&DiskModel::cheetah_2001(), 0.5e6);
+        assert_eq!(table.len(), 6);
+        // Streams grow with block size under continuous display.
+        assert!(table.windows(2).all(|w| w[1].2 >= w[0].2));
+        // Rounds scale linearly with block size.
+        assert!((table[1].1 / table[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_blocks() {
+        let d = DiskModel::cheetah_2001();
+        assert_eq!(d.capacity_blocks(256 * 1024), 18 * 1024 * 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fault tolerance by mirroring (§6): "Mirrored blocks could be placed at
+//! a fixed offset determined by a function f(N_j). For example, f(N_j)
+//! could return N_j/2 as an offset."
+//!
+//! The mirror of a block on logical disk `d` sits on logical disk
+//! `(d + f(N)) mod N`. Because the offset is a pure function of the disk
+//! count, mirrors stay directory-free: `AF()` gives the primary, one add
+//! and one mod give the mirror. The guarantee is loss of any *single*
+//! disk never loses data (for `N >= 2`, the offset is nonzero, so primary
+//! and mirror never coincide); a pair of disks exactly `f(N)` apart is
+//! the minimal fatal combination.
+
+use crate::server::CmServer;
+use scaddar_core::{DiskIndex, ObjectId, ScaddarError};
+
+/// The paper's example offset function: `f(N) = N/2`, floored, but never
+/// zero for `N >= 2` (for `N = 1` mirroring is impossible and the offset
+/// is 0).
+pub fn mirror_offset(disks: u32) -> u32 {
+    if disks < 2 {
+        0
+    } else {
+        (disks / 2).max(1)
+    }
+}
+
+/// The mirror disk of logical `primary` among `disks` disks.
+pub fn mirror_of(primary: DiskIndex, disks: u32) -> DiskIndex {
+    DiskIndex((primary.0 + mirror_offset(disks)) % disks)
+}
+
+/// Mirrored read-path resolution over a [`CmServer`]: where can block
+/// `(object, block)` be read from if the given logical disks have failed?
+///
+/// Returns the surviving logical disk holding a copy, or `None` if both
+/// primary and mirror are down (data loss for that block).
+pub fn locate_with_failures(
+    server: &CmServer,
+    object: ObjectId,
+    block: u64,
+    failed: &[DiskIndex],
+) -> Result<Option<DiskIndex>, ScaddarError> {
+    let n = server.disks().disks();
+    let primary = server.engine().locate(object, block)?;
+    let mirror = mirror_of(primary, n);
+    let down = |d: DiskIndex| failed.contains(&d);
+    Ok(if !down(primary) {
+        Some(primary)
+    } else if !down(mirror) && mirror != primary {
+        Some(mirror)
+    } else {
+        None
+    })
+}
+
+/// Availability census under a failure set: `(readable, lost)` block
+/// counts across the whole catalog.
+pub fn availability_census(
+    server: &CmServer,
+    failed: &[DiskIndex],
+) -> Result<(u64, u64), ScaddarError> {
+    let mut readable = 0u64;
+    let mut lost = 0u64;
+    let objects: Vec<(ObjectId, u64)> = server
+        .engine()
+        .catalog()
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.blocks))
+        .collect();
+    for (id, blocks) in objects {
+        for b in 0..blocks {
+            match locate_with_failures(server, id, b, failed)? {
+                Some(_) => readable += 1,
+                None => lost += 1,
+            }
+        }
+    }
+    Ok((readable, lost))
+}
+
+/// The storage overhead of mirroring: a factor of exactly 2 (every block
+/// has one mirror). The paper's §6 notes parity as the future
+/// lower-overhead alternative; [`parity_group_overhead`] quantifies what
+/// that would save.
+pub fn mirroring_overhead() -> f64 {
+    2.0
+}
+
+/// Storage overhead of an (n, n-1) parity scheme with group size `g`:
+/// `g/(g-1)` (one parity block per `g-1` data blocks).
+pub fn parity_group_overhead(group: u32) -> f64 {
+    assert!(group >= 2, "parity group needs at least 2 members");
+    f64::from(group) / f64::from(group - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use scaddar_core::ScalingOp;
+
+    fn server(disks: u32, blocks: u64) -> (CmServer, ObjectId) {
+        let mut s = CmServer::new(ServerConfig::new(disks).with_catalog_seed(13)).unwrap();
+        let id = s.add_object(blocks).unwrap();
+        (s, id)
+    }
+
+    #[test]
+    fn offset_function_matches_paper() {
+        assert_eq!(mirror_offset(6), 3);
+        assert_eq!(mirror_offset(7), 3);
+        assert_eq!(mirror_offset(2), 1);
+        assert_eq!(mirror_offset(1), 0);
+    }
+
+    #[test]
+    fn mirror_never_coincides_with_primary_for_n_ge_2() {
+        for n in 2u32..50 {
+            for d in 0..n {
+                assert_ne!(mirror_of(DiskIndex(d), n), DiskIndex(d), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_disk_failure_loses_nothing() {
+        let (s, _) = server(6, 3_000);
+        for d in 0..6 {
+            let (readable, lost) = availability_census(&s, &[DiskIndex(d)]).unwrap();
+            assert_eq!(lost, 0, "disk {d} failure lost data");
+            assert_eq!(readable, 3_000);
+        }
+    }
+
+    #[test]
+    fn opposite_pair_failure_loses_exactly_their_shared_blocks() {
+        let (s, id) = server(6, 3_000);
+        // Disks 0 and 3 are mirror partners (offset 3).
+        let (readable, lost) = availability_census(&s, &[DiskIndex(0), DiskIndex(3)]).unwrap();
+        assert!(lost > 0, "opposite pair must be fatal for some blocks");
+        assert_eq!(readable + lost, 3_000);
+        // The lost blocks are exactly those whose primary is 0 or 3
+        // (mirror on the other failed disk).
+        let mut expected_lost = 0;
+        for b in 0..3_000 {
+            let p = s.engine().locate(id, b).unwrap();
+            if p == DiskIndex(0) || p == DiskIndex(3) {
+                expected_lost += 1;
+            }
+        }
+        assert_eq!(lost, expected_lost);
+    }
+
+    #[test]
+    fn non_partner_pair_failure_loses_nothing() {
+        let (s, _) = server(6, 3_000);
+        // Disks 0 and 2 are not partners under offset 3 (0<->3, 2<->5).
+        let (_, lost) = availability_census(&s, &[DiskIndex(0), DiskIndex(2)]).unwrap();
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn mirror_offset_tracks_scaling() {
+        let (mut s, id) = server(6, 100);
+        s.scale_offline(ScalingOp::Add { count: 2 }).unwrap();
+        // Now 8 disks: offset must be 4.
+        let p = s.engine().locate(id, 0).unwrap();
+        assert_eq!(mirror_of(p, 8).0, (p.0 + 4) % 8);
+    }
+
+    #[test]
+    fn parity_beats_mirroring_on_overhead() {
+        assert!(parity_group_overhead(5) < mirroring_overhead());
+        assert!((parity_group_overhead(2) - 2.0).abs() < 1e-12);
+    }
+}

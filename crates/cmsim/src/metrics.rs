@@ -1,0 +1,154 @@
+//! Service metrics: what "uninterrupted service during scaling" means,
+//! measured.
+//!
+//! The paper's motivation (§1) is qualitative — no downtime, no broken
+//! streams during maintenance. The simulator makes it measurable: every
+//! round records demand, service, *hiccups* (a playing stream whose block
+//! could not be delivered this round), and redistribution traffic.
+
+/// One round's aggregate record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Blocks requested by playing streams.
+    pub requested: u64,
+    /// Blocks delivered on time.
+    pub served: u64,
+    /// Requests that missed their round (stream stalls).
+    pub hiccups: u64,
+    /// Requests served from a mirror because the primary disk has
+    /// failed (§6 fault tolerance in action).
+    pub recovered: u64,
+    /// Redistribution block-moves completed this round.
+    pub moves: u64,
+    /// Redistribution moves still pending after this round.
+    pub backlog: u64,
+    /// Active streams at the end of the round.
+    pub active_streams: u64,
+}
+
+/// Accumulated simulation metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    rounds: Vec<RoundRecord>,
+}
+
+impl Metrics {
+    /// An empty metrics sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one round.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// All round records, in order.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Total rounds simulated.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Total hiccups across the run.
+    pub fn total_hiccups(&self) -> u64 {
+        self.rounds.iter().map(|r| r.hiccups).sum()
+    }
+
+    /// Total blocks served.
+    pub fn total_served(&self) -> u64 {
+        self.rounds.iter().map(|r| r.served).sum()
+    }
+
+    /// Total redistribution moves executed.
+    pub fn total_moves(&self) -> u64 {
+        self.rounds.iter().map(|r| r.moves).sum()
+    }
+
+    /// Total mirror-served (recovered) reads.
+    pub fn total_recovered(&self) -> u64 {
+        self.rounds.iter().map(|r| r.recovered).sum()
+    }
+
+    /// Hiccup rate: hiccups / requests (0 when idle).
+    pub fn hiccup_rate(&self) -> f64 {
+        let requested: u64 = self.rounds.iter().map(|r| r.requested).sum();
+        if requested == 0 {
+            0.0
+        } else {
+            self.total_hiccups() as f64 / requested as f64
+        }
+    }
+
+    /// Rounds until the redistribution backlog drained to zero, measured
+    /// from the first round with a backlog; `None` if it never drained.
+    pub fn drain_time(&self) -> Option<usize> {
+        let start = self.rounds.iter().position(|r| r.backlog > 0)?;
+        let end = self.rounds[start..].iter().position(|r| r.backlog == 0)?;
+        Some(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(requested: u64, served: u64, hiccups: u64, moves: u64, backlog: u64) -> RoundRecord {
+        RoundRecord {
+            requested,
+            served,
+            hiccups,
+            recovered: 0,
+            moves,
+            backlog,
+            active_streams: 0,
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let mut m = Metrics::new();
+        m.push(rec(10, 10, 0, 0, 0));
+        m.push(rec(10, 8, 2, 3, 5));
+        m.push(rec(10, 10, 0, 5, 0));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.total_hiccups(), 2);
+        assert_eq!(m.total_served(), 28);
+        assert_eq!(m.total_moves(), 8);
+        assert!((m.hiccup_rate() - 2.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_time_measures_backlog() {
+        let mut m = Metrics::new();
+        m.push(rec(0, 0, 0, 0, 0));
+        m.push(rec(0, 0, 0, 2, 8)); // backlog appears
+        m.push(rec(0, 0, 0, 4, 4));
+        m.push(rec(0, 0, 0, 4, 0)); // drained
+        assert_eq!(m.drain_time(), Some(2));
+    }
+
+    #[test]
+    fn drain_time_none_cases() {
+        let mut m = Metrics::new();
+        m.push(rec(1, 1, 0, 0, 0));
+        assert_eq!(m.drain_time(), None, "no backlog ever");
+        m.push(rec(1, 1, 0, 1, 7));
+        assert_eq!(m.drain_time(), None, "backlog never drained");
+    }
+
+    #[test]
+    fn idle_run_has_zero_rate() {
+        let m = Metrics::new();
+        assert_eq!(m.hiccup_rate(), 0.0);
+        assert!(m.is_empty());
+    }
+}

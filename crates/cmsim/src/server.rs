@@ -1,0 +1,911 @@
+//! The simulated continuous media server: SCADDAR placement + physical
+//! disks + block residency + streams + online redistribution, advanced
+//! one service round at a time.
+//!
+//! The server realizes the paper's deployment story end to end:
+//!
+//! 1. objects are ingested block-by-block to wherever `AF()` points;
+//! 2. streams consume one block per round, served from the block's
+//!    *actual* residency (which lags `AF()` during redistribution);
+//! 3. a scaling operation plans its moves with `RF()` and hands them to
+//!    the [`RedistributionExecutor`], which drains them over subsequent
+//!    rounds within per-disk bandwidth budgets — streams keep playing;
+//! 4. metrics record whether they actually kept playing (hiccups).
+
+use crate::admission::AdmissionController;
+use crate::config::ServerConfig;
+use crate::disk::{DiskArray, DiskSpec};
+use crate::metrics::{Metrics, RoundRecord};
+use crate::redistribute::{PendingMove, RedistributionExecutor};
+use crate::store::BlockStore;
+use crate::stream::{PlayState, Stream, StreamId};
+use scaddar_baselines::PhysicalDiskId;
+use scaddar_core::{
+    BlockRef, ObjectId, Scaddar, ScaddarConfig, ScaddarError, ScalingOp,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Errors from server operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Placement-engine error.
+    Engine(ScaddarError),
+    /// A disk would exceed its block capacity.
+    DiskFull(PhysicalDiskId),
+    /// Unknown stream id.
+    UnknownStream(StreamId),
+    /// Admission control rejected the stream.
+    AdmissionRejected,
+    /// A metadata snapshot was requested while redistribution is pending.
+    RedistributionPending,
+    /// A snapshot failed to decode.
+    Snapshot(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Engine(e) => write!(f, "placement engine: {e}"),
+            ServerError::DiskFull(d) => write!(f, "disk {} is full", d.0),
+            ServerError::UnknownStream(s) => write!(f, "unknown stream {}", s.0),
+            ServerError::AdmissionRejected => write!(f, "admission control rejected the stream"),
+            ServerError::RedistributionPending => {
+                write!(f, "cannot snapshot while redistribution is pending — drain first")
+            }
+            ServerError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ScaddarError> for ServerError {
+    fn from(e: ScaddarError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+/// The simulated CM server.
+#[derive(Debug, Clone)]
+pub struct CmServer {
+    config: ServerConfig,
+    engine: Scaddar,
+    disks: DiskArray,
+    store: BlockStore,
+    streams: Vec<Stream>,
+    next_stream: u64,
+    executor: RedistributionExecutor,
+    metrics: Metrics,
+    admission: AdmissionController,
+    /// Disks removed from the logical array but still spinning until
+    /// their blocks are copied off (§1: removal is known a priori, so
+    /// the data is redistributed *before* the disk is pulled). They keep
+    /// serving reads and participating in move bandwidth.
+    draining: HashMap<PhysicalDiskId, DiskSpec>,
+    /// Disks that failed *unexpectedly* (§1 distinguishes this from
+    /// planned removal). Their data is gone; reads are served from the
+    /// §6 mirror until the operator removes the disk, and removal moves
+    /// reconstruct from mirrors.
+    failed: HashSet<PhysicalDiskId>,
+}
+
+impl CmServer {
+    /// Builds an empty server per the configuration.
+    pub fn new(config: ServerConfig) -> Result<Self, ServerError> {
+        let engine = Scaddar::new(
+            ScaddarConfig::new(config.initial_disks)
+                .with_bits(config.bits)
+                .with_rng(config.rng)
+                .with_catalog_seed(config.catalog_seed)
+                .with_epsilon(config.epsilon),
+        )?;
+        Ok(CmServer {
+            engine,
+            disks: DiskArray::new(
+                config.initial_disks,
+                DiskSpec {
+                    bandwidth: config.disk_bandwidth,
+                    capacity: config.disk_capacity,
+                },
+            ),
+            store: BlockStore::new(),
+            streams: Vec::new(),
+            next_stream: 0,
+            executor: RedistributionExecutor::new(),
+            metrics: Metrics::new(),
+            admission: AdmissionController::new(0.8),
+            draining: HashMap::new(),
+            failed: HashSet::new(),
+            config,
+        })
+    }
+
+    /// The placement engine (read-only).
+    pub fn engine(&self) -> &Scaddar {
+        &self.engine
+    }
+
+    /// The disk array (read-only).
+    pub fn disks(&self) -> &DiskArray {
+        &self.disks
+    }
+
+    /// The block store (read-only).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Pending redistribution moves.
+    pub fn backlog(&self) -> u64 {
+        self.executor.backlog()
+    }
+
+    /// Blocks with a queued (not yet executed) redistribution move.
+    pub fn pending_moves(&self) -> Vec<BlockRef> {
+        self.executor.pending().map(|mv| mv.block).collect()
+    }
+
+    /// Serializes placement metadata (catalog + scaling log) for durable
+    /// storage. Only callable when no redistribution is pending — a real
+    /// server quiesces before checkpointing, and a snapshot taken
+    /// mid-drain would teleport in-transit blocks on restore.
+    pub fn snapshot(&self) -> Result<Vec<u8>, ServerError> {
+        if !self.executor.is_idle() {
+            return Err(ServerError::RedistributionPending);
+        }
+        Ok(self.engine.snapshot())
+    }
+
+    /// Rebuilds a server from a [`CmServer::snapshot`]: the engine is
+    /// decoded and the block store re-derived from `AF()` (valid because
+    /// snapshots are only taken at consistency points). Runtime knobs
+    /// (bandwidths) come from `config`; placement state comes from the
+    /// snapshot.
+    pub fn restore(config: ServerConfig, bytes: &[u8]) -> Result<Self, ServerError> {
+        let engine = Scaddar::from_snapshot(bytes, config.epsilon)
+            .map_err(|e| ServerError::Snapshot(e.to_string()))?;
+        let mut disks = DiskArray::new(
+            engine.log().initial_disks(),
+            DiskSpec {
+                bandwidth: config.disk_bandwidth,
+                capacity: config.disk_capacity,
+            },
+        );
+        // Replay the logged operations so physical identities line up
+        // with a server that lived through the history.
+        for record in engine.log().records().to_vec() {
+            let op = match record.action() {
+                scaddar_core::RecordAction::Added { count } => ScalingOp::Add { count: *count },
+                scaddar_core::RecordAction::Removed(set) => ScalingOp::Remove {
+                    disks: set.indices().to_vec(),
+                },
+            };
+            disks
+                .apply(&op)
+                .expect("snapshot history was validated on decode");
+        }
+        let mut store = BlockStore::new();
+        for obj in engine.catalog().objects().to_vec() {
+            let placements = engine.locate_all(obj.id).expect("catalog object");
+            for (block, logical) in placements.into_iter().enumerate() {
+                store.ingest(
+                    BlockRef {
+                        object: obj.id,
+                        block: block as u64,
+                    },
+                    disks.physical(logical),
+                );
+            }
+        }
+        Ok(CmServer {
+            engine,
+            disks,
+            store,
+            streams: Vec::new(),
+            next_stream: 0,
+            executor: RedistributionExecutor::new(),
+            metrics: Metrics::new(),
+            admission: AdmissionController::new(0.8),
+            draining: HashMap::new(),
+            failed: HashSet::new(),
+            config,
+        })
+    }
+
+    /// Simulates an **unexpected failure** of the disk at logical index
+    /// `logical`: its data becomes unreadable immediately. Reads fall
+    /// back to the §6 mirror (`f(N) = N/2` offset); the operator should
+    /// follow up with a `scale(Remove)` of the same disk, whose
+    /// reconstruction moves will read from mirrors too. Returns the
+    /// failed physical id.
+    pub fn fail_disk(&mut self, logical: scaddar_core::DiskIndex) -> PhysicalDiskId {
+        let id = self.disks.physical(logical);
+        self.failed.insert(id);
+        // Pending moves sourced from the dead disk must now read from
+        // the mirror of the block's *current placement* (the data's
+        // replica location).
+        let engine = &self.engine;
+        let disks = &self.disks;
+        let n = disks.disks();
+        self.executor.resource_moves(|mv| {
+            if mv.from == id {
+                let af = engine.locate(mv.block.object, mv.block.block).ok()?;
+                Some(disks.physical(crate::faults::mirror_of(af, n)))
+            } else {
+                None
+            }
+        });
+        id
+    }
+
+    /// Physical disks currently marked failed.
+    pub fn failed_disks(&self) -> Vec<PhysicalDiskId> {
+        let mut ids: Vec<PhysicalDiskId> = self.failed.iter().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Removed disks still draining their blocks.
+    pub fn draining_disks(&self) -> Vec<PhysicalDiskId> {
+        let mut ids: Vec<PhysicalDiskId> = self.draining.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Currently active (not Done) streams.
+    pub fn active_streams(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| s.state != PlayState::Done)
+            .count()
+    }
+
+    /// Ingests a new object of `blocks` blocks. Every block is written
+    /// where `AF()` currently points. Fails (and rolls back the catalog
+    /// entry) if any target disk is at capacity.
+    pub fn add_object(&mut self, blocks: u64) -> Result<ObjectId, ServerError> {
+        let id = self.engine.add_object(blocks);
+        for b in 0..blocks {
+            let logical = self.engine.locate(id, b).expect("fresh object block");
+            let disk = self.disks.physical(logical);
+            if self.store.blocks_on(disk) >= self.disks.spec(disk).capacity {
+                // Roll back: evict what we ingested, drop the object.
+                for undo in 0..b {
+                    self.store.evict(BlockRef { object: id, block: undo });
+                }
+                self.engine.remove_object(id).expect("object just added");
+                return Err(ServerError::DiskFull(disk));
+            }
+            self.store.ingest(BlockRef { object: id, block: b }, disk);
+        }
+        Ok(id)
+    }
+
+    /// Deletes an object: evicts its blocks and cancels its pending
+    /// moves.
+    pub fn remove_object(&mut self, id: ObjectId) -> Result<(), ServerError> {
+        let obj = self.engine.remove_object(id)?;
+        for b in 0..obj.blocks {
+            self.store.evict(BlockRef { object: id, block: b });
+        }
+        self.executor.cancel_blocks(|blk| blk.object == id);
+        self.streams.retain(|s| s.object != id);
+        Ok(())
+    }
+
+    /// Opens a stream on `object`, subject to admission control.
+    pub fn open_stream(&mut self, object: ObjectId) -> Result<StreamId, ServerError> {
+        let blocks = self
+            .engine
+            .catalog()
+            .object(object)
+            .ok_or(ServerError::Engine(ScaddarError::UnknownObject(object)))?
+            .blocks;
+        let active = self.active_streams() as u64;
+        if !self
+            .admission
+            .admit(active, self.disks.disks(), self.config.disk_bandwidth)
+        {
+            return Err(ServerError::AdmissionRejected);
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.streams.push(Stream::new(id, object, blocks));
+        Ok(id)
+    }
+
+    /// Mutable access to a stream for VCR operations.
+    pub fn stream_mut(&mut self, id: StreamId) -> Result<&mut Stream, ServerError> {
+        self.streams
+            .iter_mut()
+            .find(|s| s.id == id)
+            .ok_or(ServerError::UnknownStream(id))
+    }
+
+    /// Read access to a stream.
+    pub fn stream(&self, id: StreamId) -> Option<&Stream> {
+        self.streams.iter().find(|s| s.id == id)
+    }
+
+    /// A copy of all live streams (they are small `Copy` structs); used
+    /// by drivers that need to iterate while mutating.
+    pub fn streams_snapshot(&self) -> Vec<Stream> {
+        self.streams.clone()
+    }
+
+    /// §4.3 guard, surfaced: would `op` keep fairness within `eps`?
+    pub fn next_op_is_safe(&self, op: &ScalingOp) -> bool {
+        match op.disks_after(self.disks.disks()) {
+            Ok(after) => self.engine.next_op_is_safe(after),
+            Err(_) => false,
+        }
+    }
+
+    /// Applies a scaling operation **online**: the move plan is queued,
+    /// not executed; streams keep playing while subsequent [`Self::tick`]
+    /// calls drain the queue. Returns the number of queued moves.
+    ///
+    /// Blocks that already had a pending move are re-planned from their
+    /// *actual* current residency, so at most one pending move exists per
+    /// block at any time.
+    pub fn scale(&mut self, op: ScalingOp) -> Result<u64, ServerError> {
+        let plan = self.engine.scale(op.clone())?;
+        // A removed disk enters the *draining* state: it leaves the
+        // logical array immediately (AF() no longer maps anything to it)
+        // but keeps spinning — serving stale reads and sourcing moves —
+        // until its last block is copied off.
+        if let ScalingOp::Remove { disks } = &op {
+            for &logical in disks {
+                let id = self.disks.physical(scaddar_core::DiskIndex(logical));
+                // A failed disk has nothing to drain; it is simply
+                // pulled. A healthy disk drains per the §1 discipline.
+                if !self.failed.contains(&id) {
+                    self.draining.insert(id, self.disks.spec(id));
+                }
+            }
+        }
+        // Snapshot the pre-op logical -> physical mapping: reconstruction
+        // sources (mirrors) are defined against the pre-op epoch.
+        let pre_physicals: Vec<PhysicalDiskId> = self.disks.physical_ids();
+        let n_prev = self.disks.disks();
+        self.disks
+            .apply(&op)
+            .expect("engine accepted the op, the array must too");
+        // Drop superseded pending moves for re-planned blocks.
+        let replanned: HashSet<BlockRef> = plan.moves.iter().map(|m| m.block).collect();
+        self.executor.cancel_blocks(|b| replanned.contains(&b));
+        let moves: Vec<PendingMove> = plan
+            .moves
+            .iter()
+            .filter_map(|m| {
+                let stored = self
+                    .store
+                    .locate(m.block)
+                    .expect("planned block exists in store");
+                let to = self.disks.physical(m.to);
+                if self.failed.contains(&stored) {
+                    // Reconstruction: data is read from the pre-op
+                    // mirror. Keep the move even when mirror == target —
+                    // the block must still be materialized there (the
+                    // executor treats it as a one-disk local copy).
+                    let mirror = crate::faults::mirror_of(m.from, n_prev);
+                    Some(PendingMove {
+                        block: m.block,
+                        from: pre_physicals[mirror.0 as usize],
+                        to,
+                    })
+                } else if stored == to {
+                    // Already in place (a replanned block whose earlier
+                    // pending move had completed to the same target).
+                    None
+                } else {
+                    Some(PendingMove {
+                        block: m.block,
+                        from: stored,
+                        to,
+                    })
+                }
+            })
+            .collect();
+        let queued = moves.len() as u64;
+        self.executor.enqueue(moves);
+        Ok(queued)
+    }
+
+    /// Convenience: apply a scaling operation **offline** — queue and
+    /// immediately drain it, ignoring bandwidth. Returns moves executed.
+    pub fn scale_offline(&mut self, op: ScalingOp) -> Result<u64, ServerError> {
+        self.scale(op)?;
+        Ok(self.drain_all_moves())
+    }
+
+    /// Executes every pending move immediately, ignoring bandwidth.
+    fn drain_all_moves(&mut self) -> u64 {
+        let mut unlimited: HashMap<PhysicalDiskId, u32> = self
+            .disks
+            .physical_ids()
+            .into_iter()
+            .chain(self.draining.keys().copied())
+            .map(|d| (d, u32::MAX))
+            .collect();
+        let executed = self.executor.execute_round(&mut unlimited);
+        self.apply_executed(&executed);
+        self.purge_drained();
+        debug_assert!(self.executor.is_idle());
+        executed.len() as u64
+    }
+
+    /// Applies executed moves to the store. A move whose source differs
+    /// from the stored location is a *reconstruction* (the stored copy
+    /// died with a failed disk; the data flowed from a mirror).
+    fn apply_executed(&mut self, executed: &[PendingMove]) {
+        for mv in executed {
+            if self.store.locate(mv.block) == Some(mv.from) {
+                self.store.relocate(mv.block, mv.from, mv.to);
+            } else {
+                self.store.relocate_reconstructed(mv.block, mv.to);
+            }
+        }
+    }
+
+    /// Retires draining disks whose last block has been copied off.
+    fn purge_drained(&mut self) {
+        let store = &self.store;
+        self.draining.retain(|&id, _| store.blocks_on(id) > 0);
+    }
+
+    /// Advances one service round.
+    pub fn tick(&mut self) {
+        let ids = self.disks.physical_ids();
+        let mut remaining: HashMap<PhysicalDiskId, u32> = ids
+            .iter()
+            .map(|&d| (d, self.disks.spec(d).bandwidth))
+            .collect();
+        // Draining disks still serve reads and moves at full bandwidth.
+        for (&d, spec) in &self.draining {
+            remaining.insert(d, spec.bandwidth);
+        }
+        // Failed disks serve nothing.
+        for d in &self.failed {
+            remaining.remove(d);
+        }
+
+        // 1. Serve playing streams from actual residency, in id order.
+        //    Requests landing on a failed disk fall back to the §6
+        //    mirror of the block's placement.
+        let mut requested = 0u64;
+        let mut served = 0u64;
+        let mut hiccups = 0u64;
+        let mut recovered = 0u64;
+        let n = self.disks.disks();
+        for stream in &mut self.streams {
+            let Some(block) = stream.current_request() else {
+                continue;
+            };
+            requested += 1;
+            let blockref = BlockRef {
+                object: stream.object,
+                block,
+            };
+            // A block can be missing only if the object was deleted, and
+            // deletion reaps its streams; treat missing as a hiccup
+            // defensively.
+            let Some(disk) = self.store.locate(blockref) else {
+                hiccups += 1;
+                continue;
+            };
+            let (serve_from, is_recovery) = if self.failed.contains(&disk) {
+                // Primary gone: read the mirror copy at
+                // (AF + N/2) mod N.
+                let af = self
+                    .engine
+                    .locate(stream.object, block)
+                    .expect("stream block in catalog");
+                let mirror = self.disks.physical(crate::faults::mirror_of(af, n));
+                if self.failed.contains(&mirror) {
+                    // Both copies gone: data loss, permanent stall.
+                    hiccups += 1;
+                    continue;
+                }
+                (mirror, true)
+            } else {
+                (disk, false)
+            };
+            let cap = remaining.get_mut(&serve_from).expect("live disk");
+            if *cap > 0 {
+                *cap -= 1;
+                served += 1;
+                if is_recovery {
+                    recovered += 1;
+                }
+                stream.advance();
+            } else {
+                hiccups += 1;
+            }
+        }
+
+        // 2. Redistribution: reserved bandwidth plus whatever streams
+        //    left unused this round.
+        let mut move_budget: HashMap<PhysicalDiskId, u32> = remaining
+            .iter()
+            .map(|(&d, &left)| (d, left.saturating_add(self.config.redistribution_bandwidth)))
+            .collect();
+        let executed = self.executor.execute_round(&mut move_budget);
+        self.apply_executed(&executed);
+        self.purge_drained();
+
+        // 3. Reap finished streams and record the round.
+        self.streams.retain(|s| s.state != PlayState::Done);
+        self.metrics.push(RoundRecord {
+            requested,
+            served,
+            hiccups,
+            recovered,
+            moves: executed.len() as u64,
+            backlog: self.executor.backlog(),
+            active_streams: self.streams.len() as u64,
+        });
+    }
+
+    /// Load census (blocks per disk) in logical order — the §5 metric's
+    /// input. Uses actual residency.
+    pub fn load_census(&self) -> Vec<u64> {
+        self.store.census(&self.disks.physical_ids())
+    }
+
+    /// Verifies that residency matches `AF()` for every block (only true
+    /// when no redistribution is pending). The simulator's end-to-end
+    /// invariant; exercised constantly by tests.
+    pub fn residency_consistent(&self) -> bool {
+        if !self.executor.is_idle() {
+            return false;
+        }
+        for obj in self.engine.catalog().objects() {
+            for b in 0..obj.blocks {
+                let logical = self.engine.locate(obj.id, b).expect("catalog block");
+                let expect = self.disks.physical(logical);
+                if self.store.locate(BlockRef { object: obj.id, block: b }) != Some(expect) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(disks: u32) -> CmServer {
+        CmServer::new(ServerConfig::new(disks).with_catalog_seed(21)).unwrap()
+    }
+
+    #[test]
+    fn ingest_matches_engine_placement() {
+        let mut s = server(4);
+        s.add_object(5_000).unwrap();
+        assert!(s.residency_consistent());
+        assert_eq!(s.load_census().iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn offline_scale_keeps_consistency() {
+        let mut s = server(4);
+        s.add_object(20_000).unwrap();
+        let moved = s.scale_offline(ScalingOp::Add { count: 2 }).unwrap();
+        assert!(moved > 0);
+        assert!(s.residency_consistent());
+        let census = s.load_census();
+        assert_eq!(census.len(), 6);
+        let mean = 20_000.0 / 6.0;
+        for &c in &census {
+            assert!((c as f64 - mean).abs() / mean < 0.1, "{census:?}");
+        }
+    }
+
+    #[test]
+    fn online_scale_drains_and_converges() {
+        let mut s = server(4);
+        s.add_object(10_000).unwrap();
+        let queued = s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert!(queued > 1_000);
+        assert_eq!(s.backlog(), queued);
+        let mut rounds = 0;
+        while s.backlog() > 0 {
+            s.tick();
+            rounds += 1;
+            assert!(rounds < 10_000, "redistribution never drains");
+        }
+        assert!(rounds > 1, "online redistribution should take >1 round");
+        assert!(s.residency_consistent());
+    }
+
+    #[test]
+    fn streams_survive_online_scaling() {
+        let mut s = CmServer::new(
+            ServerConfig::new(4)
+                .with_bandwidth(32)
+                .with_redistribution_bandwidth(4)
+                .with_catalog_seed(3),
+        )
+        .unwrap();
+        let obj = s.add_object(2_000).unwrap();
+        for _ in 0..20 {
+            s.open_stream(obj).unwrap();
+        }
+        // Scale mid-playback.
+        for _ in 0..5 {
+            s.tick();
+        }
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        // Light load (20 streams, 4-5 disks x 32 bw): zero hiccups.
+        assert_eq!(s.metrics().total_hiccups(), 0);
+        assert!(s.metrics().total_served() > 0);
+    }
+
+    #[test]
+    fn admission_control_rejects_past_capacity() {
+        // 1 disk, bandwidth 2, target 80%: exactly 1 stream fits.
+        let mut s = CmServer::new(
+            ServerConfig::new(1)
+                .with_bandwidth(2)
+                .with_catalog_seed(5),
+        )
+        .unwrap();
+        let obj = s.add_object(100).unwrap();
+        s.open_stream(obj).unwrap();
+        assert_eq!(s.open_stream(obj), Err(ServerError::AdmissionRejected));
+    }
+
+    #[test]
+    fn correlated_start_positions_cause_hiccups() {
+        // 12 streams all start at block 0, which lives on exactly one
+        // disk (bandwidth 4): 8 must hiccup in round one even though
+        // aggregate bandwidth is ample — the statistical reality of
+        // random placement the admission margin exists for.
+        let mut s = CmServer::new(
+            ServerConfig::new(4)
+                .with_bandwidth(4)
+                .with_catalog_seed(5),
+        )
+        .unwrap();
+        let obj = s.add_object(1_000).unwrap();
+        for _ in 0..12 {
+            s.open_stream(obj).unwrap();
+        }
+        s.tick();
+        assert_eq!(s.metrics().rounds()[0].hiccups, 8);
+        assert_eq!(s.metrics().rounds()[0].served, 4);
+    }
+
+    #[test]
+    fn scaling_during_pending_redistribution_is_safe() {
+        let mut s = server(4);
+        s.add_object(10_000).unwrap();
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        // Immediately scale again while the first op's moves are pending.
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.residency_consistent());
+        assert_eq!(s.disks().disks(), 6);
+    }
+
+    #[test]
+    fn online_removal_drains_the_victim_while_serving() {
+        let mut s = server(6);
+        let obj = s.add_object(6_000).unwrap();
+        for _ in 0..10 {
+            s.open_stream(obj).unwrap();
+        }
+        let queued = s.scale(ScalingOp::remove_one(2)).unwrap();
+        assert!(queued > 0);
+        assert_eq!(s.draining_disks().len(), 1, "victim must enter draining");
+        let victim = s.draining_disks()[0];
+        let mut rounds = 0;
+        while s.backlog() > 0 {
+            s.tick();
+            rounds += 1;
+            assert!(rounds < 10_000);
+        }
+        assert!(s.draining_disks().is_empty(), "victim retired after drain");
+        assert_eq!(s.store().blocks_on(victim), 0);
+        assert!(s.residency_consistent());
+        assert_eq!(s.metrics().total_hiccups(), 0, "no service interruption");
+    }
+
+    #[test]
+    fn removal_scaling_end_to_end() {
+        let mut s = server(6);
+        s.add_object(12_000).unwrap();
+        let moved = s.scale_offline(ScalingOp::remove_one(2)).unwrap();
+        // Optimal: 1/6 of blocks.
+        let frac = moved as f64 / 12_000.0;
+        assert!((frac - 1.0 / 6.0).abs() < 0.02, "{frac}");
+        assert!(s.residency_consistent());
+        assert_eq!(s.load_census().len(), 5);
+    }
+
+    #[test]
+    fn object_deletion_cancels_pending_moves() {
+        let mut s = server(4);
+        let obj = s.add_object(5_000).unwrap();
+        let _keep = s.add_object(5_000).unwrap();
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert!(s.backlog() > 0);
+        s.remove_object(obj).unwrap();
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.residency_consistent());
+        assert_eq!(s.load_census().iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut s = server(5);
+        let obj = s.add_object(3_000).unwrap();
+        s.scale_offline(ScalingOp::Add { count: 2 }).unwrap();
+        s.scale_offline(ScalingOp::remove_one(1)).unwrap();
+        let bytes = s.snapshot().unwrap();
+        let restored = CmServer::restore(ServerConfig::new(5).with_catalog_seed(21), &bytes).unwrap();
+        assert_eq!(restored.disks().disks(), s.disks().disks());
+        assert!(restored.residency_consistent());
+        assert_eq!(restored.load_census(), s.load_census());
+        for blk in (0..3_000).step_by(97) {
+            assert_eq!(
+                restored.store().locate(BlockRef { object: obj, block: blk }),
+                s.store().locate(BlockRef { object: obj, block: blk })
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_refused_mid_redistribution() {
+        let mut s = server(4);
+        s.add_object(5_000).unwrap();
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert!(matches!(
+            s.snapshot(),
+            Err(ServerError::RedistributionPending)
+        ));
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.snapshot().is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(matches!(
+            CmServer::restore(ServerConfig::new(4), b"not a snapshot"),
+            Err(ServerError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_limit_rolls_back() {
+        let mut cfg = ServerConfig::new(2).with_catalog_seed(1);
+        cfg.disk_capacity = 10;
+        let mut s = CmServer::new(cfg).unwrap();
+        assert!(matches!(s.add_object(1_000), Err(ServerError::DiskFull(_))));
+        // Rollback leaves the server empty and usable.
+        assert_eq!(s.store().len(), 0);
+        assert!(s.add_object(10).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use scaddar_core::DiskIndex;
+
+    fn server(disks: u32) -> CmServer {
+        CmServer::new(
+            ServerConfig::new(disks)
+                .with_bandwidth(32)
+                .with_redistribution_bandwidth(8)
+                .with_catalog_seed(33),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn failed_disk_is_served_from_mirrors() {
+        let mut s = server(6);
+        let obj = s.add_object(3_000).unwrap();
+        for _ in 0..12 {
+            s.open_stream(obj).unwrap();
+        }
+        // Spread positions so requests hit many disks.
+        for (i, st) in s.streams_snapshot().into_iter().enumerate() {
+            s.stream_mut(st.id).unwrap().seek((i as u64) * 211 % 3_000);
+        }
+        s.tick();
+        let baseline_recovered = s.metrics().total_recovered();
+        assert_eq!(baseline_recovered, 0);
+
+        let dead = s.fail_disk(DiskIndex(2));
+        assert_eq!(s.failed_disks(), vec![dead]);
+        for _ in 0..50 {
+            s.tick();
+        }
+        assert!(
+            s.metrics().total_recovered() > 0,
+            "mirror reads should have served the failed disk's blocks"
+        );
+        assert_eq!(
+            s.metrics().total_hiccups(),
+            0,
+            "single failure with mirroring must not stall streams"
+        );
+    }
+
+    #[test]
+    fn removing_the_failed_disk_reconstructs_from_mirrors() {
+        let mut s = server(6);
+        s.add_object(6_000).unwrap();
+        let dead = s.fail_disk(DiskIndex(2));
+        let dead_blocks = s.store().blocks_on(dead);
+        assert!(dead_blocks > 0);
+        // Operator pulls the dead disk; moves must be sourced elsewhere.
+        let queued = s.scale(ScalingOp::remove_one(2)).unwrap();
+        assert!(queued >= dead_blocks, "every dead block needs reconstruction");
+        assert!(
+            s.draining_disks().is_empty(),
+            "a failed disk has nothing to drain"
+        );
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert_eq!(s.store().blocks_on(dead), 0);
+        assert!(s.residency_consistent());
+        assert_eq!(s.disks().disks(), 5);
+    }
+
+    #[test]
+    fn failure_mid_redistribution_resources_pending_moves() {
+        let mut s = server(6);
+        s.add_object(8_000).unwrap();
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert!(s.backlog() > 0);
+        // A disk dies while its outbound moves are still queued.
+        s.fail_disk(DiskIndex(0));
+        s.scale(ScalingOp::remove_one(0)).unwrap();
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.residency_consistent());
+        assert_eq!(s.disks().disks(), 6); // 6 + 1 - 1
+    }
+
+    #[test]
+    fn partner_pair_failure_causes_stalls() {
+        // Disks 0 and 3 are mirror partners at N=6: blocks whose primary
+        // is on one and mirror on the other are unreadable.
+        let mut s = server(6);
+        let obj = s.add_object(2_000).unwrap();
+        for _ in 0..12 {
+            s.open_stream(obj).unwrap();
+        }
+        s.fail_disk(DiskIndex(0));
+        s.fail_disk(DiskIndex(3));
+        for _ in 0..30 {
+            s.tick();
+        }
+        assert!(
+            s.metrics().total_hiccups() > 0,
+            "losing a mirror pair must be visible as stalls"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The block store: where each block's data *physically* is right now.
+//!
+//! SCADDAR's access function says where a block *should* be; during an
+//! online redistribution the data may still be in transit. The store
+//! tracks actual residency so the simulator can model serving from stale
+//! locations, and it validates every applied move plan against the
+//! engine's arithmetic (a continuous end-to-end check that `RF()` and
+//! `AF()` agree).
+
+use scaddar_baselines::PhysicalDiskId;
+use scaddar_core::{BlockMove, BlockRef};
+use std::collections::HashMap;
+
+/// Residency of all blocks, keyed by block reference.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    residency: HashMap<BlockRef, PhysicalDiskId>,
+    per_disk: HashMap<PhysicalDiskId, u64>,
+}
+
+impl BlockStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.residency.len()
+    }
+
+    /// True when no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.residency.is_empty()
+    }
+
+    /// Ingests a block onto a disk (initial load or object addition).
+    ///
+    /// # Panics
+    /// If the block is already stored (double ingest is a logic error).
+    pub fn ingest(&mut self, block: BlockRef, disk: PhysicalDiskId) {
+        let prev = self.residency.insert(block, disk);
+        assert!(prev.is_none(), "block {block:?} ingested twice");
+        *self.per_disk.entry(disk).or_insert(0) += 1;
+    }
+
+    /// Drops a block (object deletion).
+    pub fn evict(&mut self, block: BlockRef) -> Option<PhysicalDiskId> {
+        let disk = self.residency.remove(&block)?;
+        let count = self.per_disk.get_mut(&disk).expect("census in sync");
+        *count -= 1;
+        if *count == 0 {
+            self.per_disk.remove(&disk);
+        }
+        Some(disk)
+    }
+
+    /// Where a block's data currently lives.
+    pub fn locate(&self, block: BlockRef) -> Option<PhysicalDiskId> {
+        self.residency.get(&block).copied()
+    }
+
+    /// Moves one block between disks.
+    ///
+    /// # Panics
+    /// If the block is unknown or not on `from` — both indicate the move
+    /// plan and the store have diverged, which must never happen.
+    pub fn relocate(&mut self, block: BlockRef, from: PhysicalDiskId, to: PhysicalDiskId) {
+        let slot = self
+            .residency
+            .get_mut(&block)
+            .unwrap_or_else(|| panic!("relocating unknown block {block:?}"));
+        assert_eq!(*slot, from, "move plan disagrees with store for {block:?}");
+        *slot = to;
+        let count = self.per_disk.get_mut(&from).expect("census in sync");
+        *count -= 1;
+        if *count == 0 {
+            self.per_disk.remove(&from);
+        }
+        *self.per_disk.entry(to).or_insert(0) += 1;
+    }
+
+    /// Moves a block to `to` from wherever the store believes it is,
+    /// without checking the source. For *reconstruction* paths only
+    /// (rebuilding a failed disk's block from its mirror): the stored
+    /// location is the dead disk, and the data actually flows from the
+    /// replica. Returns the prior location.
+    ///
+    /// # Panics
+    /// If the block is unknown.
+    pub fn relocate_reconstructed(&mut self, block: BlockRef, to: PhysicalDiskId) -> PhysicalDiskId {
+        let from = self
+            .locate(block)
+            .unwrap_or_else(|| panic!("reconstructing unknown block {block:?}"));
+        let slot = self.residency.get_mut(&block).expect("just located");
+        *slot = to;
+        let count = self.per_disk.get_mut(&from).expect("census in sync");
+        *count -= 1;
+        if *count == 0 {
+            self.per_disk.remove(&from);
+        }
+        *self.per_disk.entry(to).or_insert(0) += 1;
+        from
+    }
+
+    /// Number of blocks currently on `disk`.
+    pub fn blocks_on(&self, disk: PhysicalDiskId) -> u64 {
+        self.per_disk.get(&disk).copied().unwrap_or(0)
+    }
+
+    /// The blocks currently on `disk` (unordered). O(total blocks) — used
+    /// by removal planning and failure simulation, not per-round serving.
+    pub fn scan_disk(&self, disk: PhysicalDiskId) -> Vec<BlockRef> {
+        self.residency
+            .iter()
+            .filter_map(|(b, &d)| (d == disk).then_some(*b))
+            .collect()
+    }
+
+    /// Load census over an explicit disk ordering (absent disks count 0).
+    pub fn census(&self, disks: &[PhysicalDiskId]) -> Vec<u64> {
+        disks.iter().map(|&d| self.blocks_on(d)).collect()
+    }
+
+    /// Applies a whole move plan at once (*offline* redistribution),
+    /// translating logical endpoints through the given pre/post logical
+    /// maps. Returns the number of blocks relocated.
+    pub fn apply_moves<F, G>(&mut self, moves: &[BlockMove], pre: F, post: G) -> u64
+    where
+        F: Fn(u32) -> PhysicalDiskId,
+        G: Fn(u32) -> PhysicalDiskId,
+    {
+        for mv in moves {
+            self.relocate(mv.block, pre(mv.from.0), post(mv.to.0));
+        }
+        moves.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaddar_core::ObjectId;
+
+    fn blk(o: u64, b: u64) -> BlockRef {
+        BlockRef {
+            object: ObjectId(o),
+            block: b,
+        }
+    }
+
+    #[test]
+    fn ingest_locate_evict_roundtrip() {
+        let mut s = BlockStore::new();
+        s.ingest(blk(0, 0), PhysicalDiskId(2));
+        s.ingest(blk(0, 1), PhysicalDiskId(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.locate(blk(0, 0)), Some(PhysicalDiskId(2)));
+        assert_eq!(s.blocks_on(PhysicalDiskId(2)), 2);
+        assert_eq!(s.evict(blk(0, 0)), Some(PhysicalDiskId(2)));
+        assert_eq!(s.blocks_on(PhysicalDiskId(2)), 1);
+        assert_eq!(s.evict(blk(9, 9)), None);
+    }
+
+    #[test]
+    fn relocate_updates_census() {
+        let mut s = BlockStore::new();
+        s.ingest(blk(1, 0), PhysicalDiskId(0));
+        s.relocate(blk(1, 0), PhysicalDiskId(0), PhysicalDiskId(3));
+        assert_eq!(s.blocks_on(PhysicalDiskId(0)), 0);
+        assert_eq!(s.blocks_on(PhysicalDiskId(3)), 1);
+        assert_eq!(s.locate(blk(1, 0)), Some(PhysicalDiskId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn relocate_from_wrong_disk_panics() {
+        let mut s = BlockStore::new();
+        s.ingest(blk(1, 0), PhysicalDiskId(0));
+        s.relocate(blk(1, 0), PhysicalDiskId(7), PhysicalDiskId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_ingest_panics() {
+        let mut s = BlockStore::new();
+        s.ingest(blk(1, 0), PhysicalDiskId(0));
+        s.ingest(blk(1, 0), PhysicalDiskId(1));
+    }
+
+    #[test]
+    fn scan_disk_finds_all_and_only() {
+        let mut s = BlockStore::new();
+        for b in 0..10 {
+            s.ingest(blk(0, b), PhysicalDiskId(b % 2));
+        }
+        let mut on0 = s.scan_disk(PhysicalDiskId(0));
+        on0.sort();
+        assert_eq!(on0, (0..10).step_by(2).map(|b| blk(0, b)).collect::<Vec<_>>());
+        assert_eq!(s.census(&[PhysicalDiskId(0), PhysicalDiskId(1)]), vec![5, 5]);
+    }
+}

@@ -1,0 +1,529 @@
+//! # scaddar-core — SCAling Disks for Data Arranged Randomly
+//!
+//! A faithful implementation of **SCADDAR** (Goel, Shahabi, Yao,
+//! Zimmermann; USC TR-742 / ICDE 2002): pseudo-random placement of
+//! continuous-media blocks that survives disk additions and removals with
+//!
+//! * **RO1** — minimal block movement (exactly the optimal fraction
+//!   `z_j`),
+//! * **RO2** — preserved randomization (and hence load balance), and
+//! * **AO1** — directory-free, `O(j)` mod/div block lookup,
+//!
+//! for up to a provable number of scaling operations (§4.3), after which
+//! a full redistribution is recommended and the counters reset.
+//!
+//! ## Layout
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`remap`] | §4.2, Eqs. 3 & 5 | the `REMAP_j` functions |
+//! | [`address`] | §4, AO1 | the access function `AF()`, tracing |
+//! | [`plan`] | §4, RO1 | the redistribution function `RF()` |
+//! | [`ops`], [`log`] | Def. 3.3 | scaling operations and the scaling log |
+//! | [`bounds`] | §4.3 | unfairness analysis, rule of thumb, tracker |
+//! | [`object`] | Def. 3.2 | objects, seeds, the catalog |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use scaddar_core::{Scaddar, ScaddarConfig, ScalingOp};
+//!
+//! // A server with 4 disks, 32-bit placement randomness.
+//! let mut server = Scaddar::new(ScaddarConfig::new(4)).unwrap();
+//! let movie = server.add_object(10_000); // 10k blocks
+//!
+//! // Blocks are spread across all 4 disks.
+//! let d = server.locate(movie, 1234).unwrap();
+//! assert!(d.0 < 4);
+//!
+//! // Add a disk group: only ~2/6 of blocks move, all onto disks 4 and 5.
+//! let plan = server.scale(ScalingOp::Add { count: 2 }).unwrap();
+//! assert!((plan.moved_fraction() - 2.0 / 6.0).abs() < 0.02);
+//! assert!(plan.moves.iter().all(|m| m.to.0 >= 4));
+//!
+//! // Lookup still works, no directory anywhere.
+//! let d = server.locate(movie, 1234).unwrap();
+//! assert!(d.0 < 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod audit;
+pub mod bounds;
+pub mod error;
+pub mod log;
+pub mod object;
+pub mod ops;
+pub mod persist;
+pub mod plan;
+pub mod remap;
+
+pub use address::{locate, locate_at_epoch, trace, DiskIndex, TraceStep};
+pub use audit::{audit_balance, audit_census, audit_plan, AuditReport, Finding};
+pub use bounds::{
+    exact_unfairness, rule_of_thumb_max_ops, unfairness_coefficient, FairnessReport,
+    FairnessTracker,
+};
+pub use error::ScalingError;
+pub use log::{RecordAction, ScalingLog, ScalingRecord};
+pub use object::{BlockRef, Catalog, CmObject, ObjectId};
+pub use ops::{RemovedSet, ScalingOp};
+pub use persist::{PersistError, Snapshot};
+pub use plan::{plan_last_op, plan_last_op_with_x, BlockMove, MovePlan};
+
+use scaddar_prng::{Bits, RngKind};
+
+/// Configuration of a SCADDAR placement engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaddarConfig {
+    /// Initial number of disks `N_0`.
+    pub initial_disks: u32,
+    /// Bit width `b` of placement random numbers (paper: 32 or 64).
+    pub bits: Bits,
+    /// Generator family for `p_r(s)`.
+    pub rng: RngKind,
+    /// Server-wide seed decorrelating object seeds.
+    pub catalog_seed: u64,
+    /// Fairness tolerance `eps` for the §4.3 precondition
+    /// ([`Scaddar::next_op_is_safe`]). Paper's §5 uses 5%.
+    pub epsilon: f64,
+}
+
+impl ScaddarConfig {
+    /// Paper-flavoured defaults: 32-bit randomness, `eps = 5%`,
+    /// SplitMix64 generator.
+    pub fn new(initial_disks: u32) -> Self {
+        ScaddarConfig {
+            initial_disks,
+            bits: Bits::B32,
+            rng: RngKind::SplitMix64,
+            catalog_seed: 0,
+            epsilon: 0.05,
+        }
+    }
+
+    /// Overrides the bit width.
+    pub fn with_bits(mut self, bits: Bits) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Overrides the generator family.
+    pub fn with_rng(mut self, rng: RngKind) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Overrides the catalog seed.
+    pub fn with_catalog_seed(mut self, seed: u64) -> Self {
+        self.catalog_seed = seed;
+        self
+    }
+
+    /// Overrides the fairness tolerance.
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = eps;
+        self
+    }
+}
+
+/// Errors from the high-level [`Scaddar`] engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaddarError {
+    /// Underlying scaling-log error.
+    Scaling(ScalingError),
+    /// Unknown object id.
+    UnknownObject(ObjectId),
+    /// Block index out of range for the object.
+    BlockOutOfRange {
+        /// The object.
+        object: ObjectId,
+        /// The requested block.
+        block: u64,
+        /// The object's block count.
+        blocks: u64,
+    },
+}
+
+impl std::fmt::Display for ScaddarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScaddarError::Scaling(e) => write!(f, "scaling error: {e}"),
+            ScaddarError::UnknownObject(id) => write!(f, "unknown {id}"),
+            ScaddarError::BlockOutOfRange {
+                object,
+                block,
+                blocks,
+            } => write!(f, "{object} has {blocks} blocks, no block {block}"),
+        }
+    }
+}
+
+impl std::error::Error for ScaddarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScaddarError::Scaling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScalingError> for ScaddarError {
+    fn from(e: ScalingError) -> Self {
+        ScaddarError::Scaling(e)
+    }
+}
+
+/// The high-level SCADDAR placement engine: a [`Catalog`], a
+/// [`ScalingLog`], and a [`FairnessTracker`], behind one API.
+///
+/// This is pure placement logic — it decides *where blocks live*, not how
+/// bytes move. The `cmsim` crate wraps it in a simulated CM server with
+/// disks, streams, and an online redistribution executor.
+#[derive(Debug, Clone)]
+pub struct Scaddar {
+    catalog: Catalog,
+    log: ScalingLog,
+    fairness: FairnessTracker,
+    epsilon: f64,
+}
+
+impl Scaddar {
+    /// Creates an engine with `config.initial_disks` empty disks.
+    pub fn new(config: ScaddarConfig) -> Result<Self, ScaddarError> {
+        let log = ScalingLog::new(config.initial_disks)?;
+        Ok(Scaddar {
+            catalog: Catalog::new(config.rng, config.bits, config.catalog_seed),
+            fairness: FairnessTracker::new(config.bits, config.initial_disks),
+            log,
+            epsilon: config.epsilon,
+        })
+    }
+
+    /// The object catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The scaling log (read-only).
+    pub fn log(&self) -> &ScalingLog {
+        &self.log
+    }
+
+    /// Current number of disks `N_j`.
+    pub fn disks(&self) -> u32 {
+        self.log.current_disks()
+    }
+
+    /// Current epoch `j`.
+    pub fn epoch(&self) -> usize {
+        self.log.epoch()
+    }
+
+    /// Registers a new object of `blocks` blocks.
+    pub fn add_object(&mut self, blocks: u64) -> ObjectId {
+        self.catalog.add_object(blocks)
+    }
+
+    /// Deletes an object from the catalog.
+    pub fn remove_object(&mut self, id: ObjectId) -> Result<CmObject, ScaddarError> {
+        self.catalog
+            .remove_object(id)
+            .ok_or(ScaddarError::UnknownObject(id))
+    }
+
+    /// `AF()`: the disk of `block` of `object` at the current epoch.
+    pub fn locate(&self, object: ObjectId, block: u64) -> Result<DiskIndex, ScaddarError> {
+        let obj = self
+            .catalog
+            .object(object)
+            .ok_or(ScaddarError::UnknownObject(object))?;
+        if block >= obj.blocks {
+            return Err(ScaddarError::BlockOutOfRange {
+                object,
+                block,
+                blocks: obj.blocks,
+            });
+        }
+        Ok(locate(self.catalog.x0(obj, block), &self.log))
+    }
+
+    /// Bulk `AF()`: the disks of *every* block of `object`, in block
+    /// order.
+    ///
+    /// Walks the object's random sequence with the sequential cursor
+    /// instead of per-block indexed access — for generators without O(1)
+    /// indexing this turns an O(B²) scan into O(B·j), and even for
+    /// counter-based generators it saves the per-call setup. The bulk
+    /// path of initial loads, redistribution planning, and censuses.
+    pub fn locate_all(&self, object: ObjectId) -> Result<Vec<DiskIndex>, ScaddarError> {
+        let obj = self
+            .catalog
+            .object(object)
+            .ok_or(ScaddarError::UnknownObject(object))?;
+        Ok(self
+            .catalog
+            .randoms(obj)
+            .cursor()
+            .take(obj.blocks as usize)
+            .map(|x0| locate(x0, &self.log))
+            .collect())
+    }
+
+    /// The full remap history of one block (worked examples, debugging).
+    pub fn trace(&self, object: ObjectId, block: u64) -> Result<Vec<TraceStep>, ScaddarError> {
+        let obj = self
+            .catalog
+            .object(object)
+            .ok_or(ScaddarError::UnknownObject(object))?;
+        Ok(trace(self.catalog.x0(obj, block), &self.log))
+    }
+
+    /// Applies a scaling operation and returns the move plan (`RF()`).
+    pub fn scale(&mut self, op: ScalingOp) -> Result<MovePlan, ScaddarError> {
+        let record = self.log.push(&op)?;
+        let disks_after = record.disks_after();
+        self.fairness.record_op(disks_after);
+        Ok(plan_last_op(&self.catalog, &self.log))
+    }
+
+    /// Lemma 4.3 guard: is one more operation (ending at `disks_after`
+    /// disks) within the configured fairness tolerance?
+    pub fn next_op_is_safe(&self, disks_after: u32) -> bool {
+        self.fairness.next_op_is_safe(disks_after, self.epsilon)
+    }
+
+    /// Analytic fairness snapshot (§4.3).
+    pub fn fairness(&self) -> FairnessReport {
+        self.fairness.report()
+    }
+
+    /// Performs the paper's recommended escape hatch once the §4.3
+    /// precondition fails: a **full redistribution**. The scaling log
+    /// restarts at the current disk count (placement becomes plain
+    /// `X_0 mod N`) and the fairness tracker resets. Returns how many
+    /// blocks change disks — essentially a `z`-independent, near-complete
+    /// reshuffle, which is why the paper avoids doing this often.
+    pub fn full_redistribution(&mut self) -> u64 {
+        let disks = self.disks();
+        let moved = self
+            .catalog
+            .iter_x0()
+            .filter(|(_, x0)| {
+                let old = locate(*x0, &self.log);
+                let fresh = DiskIndex((*x0 % u64::from(disks)) as u32);
+                old != fresh
+            })
+            .count() as u64;
+        self.log = ScalingLog::new(disks).expect("disks > 0 by invariant");
+        self.fairness.reset(disks);
+        moved
+    }
+
+    /// Serializes the engine's entire placement state (catalog + log) to
+    /// the compact [`persist`] format — everything a restarted server
+    /// needs to relocate every block.
+    pub fn snapshot(&self) -> Vec<u8> {
+        persist::encode(&Snapshot {
+            log: self.log.clone(),
+            catalog: self.catalog.clone(),
+        })
+    }
+
+    /// Rebuilds an engine from a [`Scaddar::snapshot`]. The fairness
+    /// tolerance is configuration, not placement state, so it is passed
+    /// fresh.
+    pub fn from_snapshot(bytes: &[u8], epsilon: f64) -> Result<Self, PersistError> {
+        let snap = persist::decode(bytes)?;
+        let fairness = FairnessTracker::from_log(snap.catalog.bits(), &snap.log);
+        Ok(Scaddar {
+            catalog: snap.catalog,
+            log: snap.log,
+            fairness,
+            epsilon,
+        })
+    }
+
+    /// Per-disk block counts across the whole catalog — the load census
+    /// behind every balance experiment.
+    pub fn load_distribution(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.disks() as usize];
+        for (_, x0) in self.catalog.iter_x0() {
+            counts[locate(x0, &self.log).0 as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(disks: u32, blocks: u64) -> (Scaddar, ObjectId) {
+        let mut s = Scaddar::new(ScaddarConfig::new(disks).with_catalog_seed(11)).unwrap();
+        let id = s.add_object(blocks);
+        (s, id)
+    }
+
+    #[test]
+    fn locate_validates_inputs() {
+        let (s, id) = engine(4, 100);
+        assert!(s.locate(id, 99).is_ok());
+        assert_eq!(
+            s.locate(id, 100),
+            Err(ScaddarError::BlockOutOfRange {
+                object: id,
+                block: 100,
+                blocks: 100
+            })
+        );
+        assert_eq!(
+            s.locate(ObjectId(42), 0),
+            Err(ScaddarError::UnknownObject(ObjectId(42)))
+        );
+    }
+
+    #[test]
+    fn scale_moves_minimum_and_locate_follows() {
+        let (mut s, id) = engine(4, 50_000);
+        let before: Vec<_> = (0..50_000).map(|b| s.locate(id, b).unwrap()).collect();
+        let plan = s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        let after: Vec<_> = (0..50_000).map(|b| s.locate(id, b).unwrap()).collect();
+        let mut observed_moves = 0;
+        for b in 0..50_000usize {
+            if before[b] != after[b] {
+                observed_moves += 1;
+                assert_eq!(after[b], DiskIndex(4), "block {b} moved to an old disk");
+            }
+        }
+        assert_eq!(observed_moves, plan.moves.len());
+    }
+
+    #[test]
+    fn load_stays_balanced_through_mixed_ops() {
+        let (mut s, _) = engine(4, 2_000);
+        for _ in 0..19 {
+            s.add_object(2_000);
+        }
+        for op in [
+            ScalingOp::Add { count: 2 },
+            ScalingOp::remove_one(3),
+            ScalingOp::Add { count: 1 },
+        ] {
+            s.scale(op).unwrap();
+        }
+        let loads = s.load_distribution();
+        assert_eq!(loads.iter().sum::<u64>(), 40_000);
+        let mean = 40_000.0 / loads.len() as f64;
+        for (d, &l) in loads.iter().enumerate() {
+            let dev = (l as f64 - mean).abs() / mean;
+            assert!(dev < 0.1, "disk {d} load {l} deviates {dev:.3} from mean");
+        }
+    }
+
+    #[test]
+    fn fairness_guard_trips_near_paper_threshold() {
+        // b=32, hovering at 8 disks, eps=5%: the §4.3 budget admits
+        // sigma up to ~2^27.6; alternating remove/add multiplies sigma by
+        // 7·8 per round-trip, so the guard must trip within a handful of
+        // round-trips but not immediately.
+        let mut s = Scaddar::new(ScaddarConfig::new(8)).unwrap();
+        let mut ops = 0;
+        while s.next_op_is_safe(if ops % 2 == 0 { 7 } else { 8 }) && ops < 100 {
+            if ops % 2 == 0 {
+                s.scale(ScalingOp::remove_one(0)).unwrap();
+            } else {
+                s.scale(ScalingOp::Add { count: 1 }).unwrap();
+            }
+            ops += 1;
+        }
+        assert!((4..=10).contains(&ops), "guard tripped at {ops} ops");
+    }
+
+    #[test]
+    fn full_redistribution_resets_fairness() {
+        let (mut s, _) = engine(8, 10_000);
+        for _ in 0..12 {
+            s.scale(ScalingOp::remove_one(0)).unwrap();
+            s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        }
+        assert!(!s.next_op_is_safe(8));
+        let moved = s.full_redistribution();
+        assert!(moved > 0, "a late full redistribution moves many blocks");
+        assert_eq!(s.epoch(), 0);
+        assert!(s.next_op_is_safe(8));
+        let loads = s.load_distribution();
+        assert_eq!(loads.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn engines_are_reproducible() {
+        let build = || {
+            let (mut s, id) = engine(5, 1_000);
+            s.scale(ScalingOp::Add { count: 2 }).unwrap();
+            s.scale(ScalingOp::remove_one(1)).unwrap();
+            (s, id)
+        };
+        let (a, id_a) = build();
+        let (b, id_b) = build();
+        assert_eq!(id_a, id_b);
+        for blk in 0..1_000 {
+            assert_eq!(a.locate(id_a, blk).unwrap(), b.locate(id_b, blk).unwrap());
+        }
+    }
+
+    #[test]
+    fn locate_all_matches_per_block_locate() {
+        use scaddar_prng::RngKind;
+        // Include the O(i)-indexed generator: the bulk path must agree
+        // with the slow path for every family.
+        for rng in [RngKind::SplitMix64, RngKind::XorShift64Star] {
+            let mut s = Scaddar::new(
+                ScaddarConfig::new(5).with_catalog_seed(3).with_rng(rng),
+            )
+            .unwrap();
+            let id = s.add_object(2_000);
+            s.scale(ScalingOp::Add { count: 2 }).unwrap();
+            s.scale(ScalingOp::remove_one(0)).unwrap();
+            let bulk = s.locate_all(id).unwrap();
+            assert_eq!(bulk.len(), 2_000);
+            for (b, &d) in bulk.iter().enumerate() {
+                assert_eq!(d, s.locate(id, b as u64).unwrap(), "{rng} block {b}");
+            }
+        }
+        let s = Scaddar::new(ScaddarConfig::new(2)).unwrap();
+        assert_eq!(
+            s.locate_all(ObjectId(9)),
+            Err(ScaddarError::UnknownObject(ObjectId(9)))
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bytes() {
+        let (mut s, id) = engine(5, 2_000);
+        s.scale(ScalingOp::Add { count: 2 }).unwrap();
+        s.scale(ScalingOp::remove_one(1)).unwrap();
+        let bytes = s.snapshot();
+        let restored = Scaddar::from_snapshot(&bytes, 0.05).unwrap();
+        assert_eq!(restored.disks(), s.disks());
+        assert_eq!(restored.epoch(), s.epoch());
+        for blk in (0..2_000).step_by(13) {
+            assert_eq!(restored.locate(id, blk).unwrap(), s.locate(id, blk).unwrap());
+        }
+        // Fairness state is re-derived from the log.
+        assert_eq!(restored.fairness(), s.fairness());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ScaddarError::BlockOutOfRange {
+            object: ObjectId(3),
+            block: 10,
+            blocks: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("object 3") && msg.contains("10") && msg.contains('5'));
+    }
+}

@@ -1,0 +1,248 @@
+//! Scaling operations (Definition 3.3): adding or removing one *disk
+//! group* — `k >= 1` disks added, or a named set of logical disks removed.
+//!
+//! Removals are specified by the disks' **logical indices at the epoch the
+//! operation applies to** (`0..N_{j-1}`). After the removal, survivors are
+//! renumbered by rank — the paper's `new()` function — so logical indices
+//! are always dense `0..N_j`. [`RemovedSet`] precomputes that rank map.
+
+use crate::error::ScalingError;
+
+/// One scaling operation: add a group of disks, or remove a named group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalingOp {
+    /// Add `count` fresh disks; they take logical indices
+    /// `N_{j-1}..N_{j-1}+count`.
+    Add {
+        /// Number of disks in the added group (`>= 1`).
+        count: u32,
+    },
+    /// Remove the disks whose logical indices (at epoch `j-1`) are listed.
+    Remove {
+        /// Logical indices to remove; need not be sorted, must be unique.
+        disks: Vec<u32>,
+    },
+}
+
+impl ScalingOp {
+    /// Convenience constructor for a single-disk addition.
+    pub fn add_one() -> Self {
+        ScalingOp::Add { count: 1 }
+    }
+
+    /// Convenience constructor for a single-disk removal.
+    pub fn remove_one(disk: u32) -> Self {
+        ScalingOp::Remove { disks: vec![disk] }
+    }
+
+    /// Whether this is an addition.
+    pub fn is_addition(&self) -> bool {
+        matches!(self, ScalingOp::Add { .. })
+    }
+
+    /// The disk count after applying this operation to `disks_before`
+    /// disks, validating the operation along the way.
+    pub fn disks_after(&self, disks_before: u32) -> Result<u32, ScalingError> {
+        match self {
+            ScalingOp::Add { count } => {
+                if *count == 0 {
+                    return Err(ScalingError::EmptyAddition);
+                }
+                disks_before
+                    .checked_add(*count)
+                    .ok_or(ScalingError::TooManyDisks)
+            }
+            ScalingOp::Remove { disks } => {
+                if disks.is_empty() {
+                    return Err(ScalingError::EmptyRemoval);
+                }
+                let set = RemovedSet::new(disks, disks_before)?;
+                let remaining = disks_before - set.len();
+                if remaining == 0 {
+                    return Err(ScalingError::WouldRemoveAllDisks);
+                }
+                Ok(remaining)
+            }
+        }
+    }
+}
+
+/// A validated, sorted set of removed logical disk indices, supporting
+/// the paper's `new()` renumbering (rank among survivors) in O(log k).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovedSet {
+    sorted: Vec<u32>,
+}
+
+impl RemovedSet {
+    /// Validates and sorts a removal list against the current disk count.
+    pub fn new(disks: &[u32], disks_before: u32) -> Result<Self, ScalingError> {
+        if disks.is_empty() {
+            return Err(ScalingError::EmptyRemoval);
+        }
+        let mut sorted = disks.to_vec();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ScalingError::DuplicateRemoval { disk: pair[0] });
+            }
+        }
+        if let Some(&max) = sorted.last() {
+            if max >= disks_before {
+                return Err(ScalingError::RemovalOutOfRange {
+                    disk: max,
+                    disks: disks_before,
+                });
+            }
+        }
+        Ok(RemovedSet { sorted })
+    }
+
+    /// Number of removed disks.
+    pub fn len(&self) -> u32 {
+        self.sorted.len() as u32
+    }
+
+    /// True iff empty (never, by construction; present for API hygiene).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The removed indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.sorted
+    }
+
+    /// Is logical disk `d` removed by this operation?
+    pub fn contains(&self, d: u32) -> bool {
+        self.sorted.binary_search(&d).is_ok()
+    }
+
+    /// The paper's `new()` function: the post-removal logical index of a
+    /// *surviving* disk `d`, i.e. its rank among survivors.
+    ///
+    /// # Panics
+    /// In debug builds, if `d` is itself removed (callers must branch on
+    /// [`RemovedSet::contains`] first, as Eq. 3 does).
+    pub fn renumber(&self, d: u32) -> u32 {
+        debug_assert!(!self.contains(d), "renumber() called on a removed disk");
+        let removed_below = match self.sorted.binary_search(&d) {
+            Ok(pos) | Err(pos) => pos as u32,
+        };
+        d - removed_below
+    }
+
+    /// Inverse of [`RemovedSet::renumber`]: which old logical index does
+    /// post-removal index `new_d` correspond to? Used by the simulator to
+    /// keep physical-disk identity across renumbering.
+    pub fn old_index(&self, new_d: u32) -> u32 {
+        // Walk the removed list: every removed index <= candidate shifts
+        // the candidate up by one.
+        let mut candidate = new_d;
+        for &r in &self.sorted {
+            if r <= candidate {
+                candidate += 1;
+            } else {
+                break;
+            }
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_validates_and_counts() {
+        assert_eq!(ScalingOp::Add { count: 3 }.disks_after(4), Ok(7));
+        assert_eq!(
+            ScalingOp::Add { count: 0 }.disks_after(4),
+            Err(ScalingError::EmptyAddition)
+        );
+        assert_eq!(
+            ScalingOp::Add { count: 1 }.disks_after(u32::MAX),
+            Err(ScalingError::TooManyDisks)
+        );
+    }
+
+    #[test]
+    fn remove_validates_and_counts() {
+        assert_eq!(ScalingOp::Remove { disks: vec![1, 3] }.disks_after(4), Ok(2));
+        assert_eq!(
+            ScalingOp::Remove { disks: vec![] }.disks_after(4),
+            Err(ScalingError::EmptyRemoval)
+        );
+        assert_eq!(
+            ScalingOp::Remove { disks: vec![4] }.disks_after(4),
+            Err(ScalingError::RemovalOutOfRange { disk: 4, disks: 4 })
+        );
+        assert_eq!(
+            ScalingOp::Remove { disks: vec![2, 2] }.disks_after(4),
+            Err(ScalingError::DuplicateRemoval { disk: 2 })
+        );
+        assert_eq!(
+            ScalingOp::Remove { disks: vec![0, 1] }.disks_after(2),
+            Err(ScalingError::WouldRemoveAllDisks)
+        );
+    }
+
+    #[test]
+    fn renumber_matches_paper_example() {
+        // Paper §4.2.1: "if disk 1 were removed from the disk set 0,1,2,3
+        // and r_{j-1} = 2 then new(r_{j-1}) should become 1".
+        let set = RemovedSet::new(&[1], 4).unwrap();
+        assert_eq!(set.renumber(2), 1);
+        assert_eq!(set.renumber(0), 0);
+        assert_eq!(set.renumber(3), 2);
+    }
+
+    #[test]
+    fn renumber_matches_second_paper_example() {
+        // §4.2.1 worked example: remove disk 4 of 0..=5; new(5) = 4.
+        let set = RemovedSet::new(&[4], 6).unwrap();
+        assert_eq!(set.renumber(5), 4);
+        assert_eq!(set.renumber(3), 3);
+    }
+
+    #[test]
+    fn old_index_round_trips() {
+        let set = RemovedSet::new(&[0, 2, 5], 8).unwrap();
+        // Survivors: 1,3,4,6,7 -> new indices 0..5.
+        let survivors = [1u32, 3, 4, 6, 7];
+        for (new_d, &old_d) in survivors.iter().enumerate() {
+            assert_eq!(set.renumber(old_d), new_d as u32);
+            assert_eq!(set.old_index(new_d as u32), old_d);
+        }
+    }
+
+    #[test]
+    fn removal_list_order_is_irrelevant() {
+        let a = RemovedSet::new(&[5, 1, 3], 8).unwrap();
+        let b = RemovedSet::new(&[1, 3, 5], 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_renumber_is_dense_and_ordered(
+            removal in proptest::collection::btree_set(0u32..32, 1..8),
+        ) {
+            let disks = 32u32;
+            let removal: Vec<u32> = removal.into_iter().collect();
+            prop_assume!((removal.len() as u32) < disks);
+            let set = RemovedSet::new(&removal, disks).unwrap();
+            let mut expected_new = 0u32;
+            for d in 0..disks {
+                if !set.contains(d) {
+                    prop_assert_eq!(set.renumber(d), expected_new);
+                    prop_assert_eq!(set.old_index(expected_new), d);
+                    expected_new += 1;
+                }
+            }
+            prop_assert_eq!(expected_new, disks - set.len());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! E15 (ablation) — disk-group size vs the fairness budget.
+//!
+//! §4.3's sigma product charges *one factor of N per operation*, however
+//! many disks the operation touches. So growing 8 -> 16 disks as eight
+//! single-disk operations multiplies sigma by ~9·10·…·16, while one
+//! 8-disk group operation multiplies it by 16 only — the budget strongly
+//! rewards batching. This ablation quantifies that: remaining safe
+//! operations and the unfairness bound after reaching 16 disks by
+//! different group sizes, plus the measured CoV at arrival.
+
+use scaddar_analysis::{fmt_f64, Csv, Table};
+use scaddar_baselines::{run_schedule, ScaddarStrategy};
+use scaddar_core::{FairnessTracker, ScalingOp};
+use scaddar_experiments::{banner, write_csv, PaperSetup};
+use scaddar_prng::Bits;
+
+fn main() {
+    banner(
+        "E15",
+        "ablation: group size vs the §4.3 fairness budget",
+        "§4.3 (sigma_k charges per operation, not per disk)",
+    );
+    let keys = PaperSetup::population(55);
+
+    let mut table = Table::new([
+        "path 8 -> 16 disks",
+        "operations",
+        "sigma_k",
+        "unfairness bound",
+        "CoV at 16 disks",
+        "further safe ops (eps=5%)",
+    ]);
+    let mut csv = Csv::new(["group", "ops", "sigma", "bound", "cov", "headroom"]);
+
+    for group in [1u32, 2, 4, 8] {
+        let ops_needed = 8 / group as usize;
+        let schedule: Vec<ScalingOp> =
+            (0..ops_needed).map(|_| ScalingOp::Add { count: group }).collect();
+
+        let mut tracker = FairnessTracker::new(Bits::B32, 8);
+        let mut disks = 8u32;
+        for _ in 0..ops_needed {
+            disks += group;
+            tracker.record_op(disks);
+        }
+        let report = tracker.report();
+
+        let mut strategy = ScaddarStrategy::new(8).unwrap();
+        let stats = run_schedule(&mut strategy, &keys, &schedule).unwrap();
+        let cov = stats.last().unwrap().load_cov();
+
+        // Headroom: how many more hover-at-16 operations stay safe.
+        let mut probe = tracker.clone();
+        let mut headroom = 0;
+        while probe.next_op_is_safe(16, 0.05) && headroom < 99 {
+            probe.record_op(16);
+            headroom += 1;
+        }
+
+        table.row([
+            format!("{} x add {group}", ops_needed),
+            ops_needed.to_string(),
+            report.sigma.to_string(),
+            fmt_f64(report.unfairness_bound, 8),
+            fmt_f64(cov, 4),
+            headroom.to_string(),
+        ]);
+        csv.row([
+            group.to_string(),
+            ops_needed.to_string(),
+            report.sigma.to_string(),
+            fmt_f64(report.unfairness_bound, 10),
+            fmt_f64(cov, 6),
+            headroom.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("reading: reaching the same 16-disk array in one group operation leaves a");
+    println!("~6 orders of magnitude smaller sigma — and correspondingly more future");
+    println!("scaling headroom — than eight single-disk operations. Batch your disks.");
+    let path = write_csv("e15_group_size.csv", &csv);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,142 @@
+//! E17 (ablation) — the hidden cost of the §6 mirroring sketch: mirror
+//! copies break RO1.
+//!
+//! The mirror of a block on disk `d` lives at `(d + f(N)) mod N` with
+//! `f(N) = N/2`. The offset is a function of `N`, so *every scaling
+//! operation changes it* — and then almost every mirror copy is on the
+//! "wrong" disk and must move, even though SCADDAR moved only `z_j` of
+//! the primaries. This ablation measures primary vs mirror movement per
+//! operation, and compares against an alternative the paper could have
+//! chosen: a **fixed** offset (`f = 1`), which keeps mirrors glued to
+//! their primaries' movement at the cost of pairing adjacent disks
+//! (worse failure correlation under correlated-by-position failures,
+//! e.g. a shared power rail or shelf).
+
+use scaddar_analysis::{fmt_pct, Csv, Table};
+use scaddar_core::{locate, Catalog, DiskIndex, ScalingLog, ScalingOp};
+use scaddar_experiments::{banner, write_csv, PaperSetup};
+
+fn mirror_with_offset(primary: DiskIndex, disks: u32, offset: u32) -> DiskIndex {
+    DiskIndex((primary.0 + offset) % disks)
+}
+
+fn main() {
+    banner(
+        "E17",
+        "mirror copies under scaling: f(N)=N/2 vs a fixed offset",
+        "§6 (the mirroring sketch, cost the paper leaves implicit)",
+    );
+    let catalog = Catalog::new(
+        scaddar_prng::RngKind::SplitMix64,
+        PaperSetup::BITS,
+        21,
+    );
+    let mut catalog = catalog;
+    for _ in 0..PaperSetup::OBJECTS {
+        catalog.add_object(PaperSetup::BLOCKS_PER_OBJECT);
+    }
+    let x0s: Vec<u64> = catalog.iter_x0().map(|(_, x)| x).collect();
+    let total = x0s.len() as f64;
+
+    let schedule = [
+        ScalingOp::Add { count: 1 },  // 8 -> 9 (offset 4 -> 4)
+        ScalingOp::Add { count: 1 },  // 9 -> 10 (offset 4 -> 5)
+        ScalingOp::remove_one(3),     // 10 -> 9 (offset 5 -> 4)
+        ScalingOp::Add { count: 3 },  // 9 -> 12 (offset 4 -> 6)
+    ];
+
+    let mut log = ScalingLog::new(PaperSetup::INITIAL_DISKS).unwrap();
+    let mut table = Table::new([
+        "op",
+        "disks",
+        "primaries moved (z_j)",
+        "mirrors moved, f=N/2",
+        "mirrors moved, f=1",
+    ]);
+    let mut csv = Csv::new(["op", "disks", "primary_frac", "mirror_half_frac", "mirror_fixed_frac"]);
+
+    // Track previous physical placements. Removals renumber logical
+    // indices; for movement accounting we track physical identity the
+    // same way the harness does, via a running logical->physical map.
+    let mut physical = scaddar_baselines::PhysicalMap::new(PaperSetup::INITIAL_DISKS);
+    let place_all = |log: &ScalingLog,
+                     physical: &scaddar_baselines::PhysicalMap,
+                     x0s: &[u64]| {
+        let n = log.current_disks();
+        let offset_half = (n / 2).max(1);
+        x0s.iter()
+            .map(|&x| {
+                let p = locate(x, log);
+                (
+                    physical.physical(p.0),
+                    physical.physical(mirror_with_offset(p, n, offset_half).0),
+                    physical.physical(mirror_with_offset(p, n, 1).0),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut prev = place_all(&log, &physical, &x0s);
+    for (i, op) in schedule.iter().enumerate() {
+        let (z, n_before, n_after) = {
+            let record = log.push(op).unwrap();
+            (
+                record.optimal_move_fraction(),
+                record.disks_before(),
+                record.disks_after(),
+            )
+        };
+        physical.apply(op).unwrap();
+        let now = place_all(&log, &physical, &x0s);
+        let mut moved = [0u64; 3];
+        for (a, b) in prev.iter().zip(&now) {
+            if a.0 != b.0 {
+                moved[0] += 1;
+            }
+            if a.1 != b.1 {
+                moved[1] += 1;
+            }
+            if a.2 != b.2 {
+                moved[2] += 1;
+            }
+        }
+        table.row([
+            format!("{} ({op:?})", i + 1),
+            log.current_disks().to_string(),
+            format!("{} (z={})", fmt_pct(moved[0] as f64 / total), fmt_pct(z)),
+            fmt_pct(moved[1] as f64 / total),
+            fmt_pct(moved[2] as f64 / total),
+        ]);
+        csv.row([
+            (i + 1).to_string(),
+            log.current_disks().to_string(),
+            format!("{:.6}", moved[0] as f64 / total),
+            format!("{:.6}", moved[1] as f64 / total),
+            format!("{:.6}", moved[2] as f64 / total),
+        ]);
+        // The headline claim of this ablation: when the offset changes,
+        // nearly all N/2-mirrors move while primaries move only z_j.
+        if (n_before / 2).max(1) != (n_after / 2).max(1) {
+            assert!(
+                moved[1] as f64 / total > 0.5,
+                "offset changed but mirrors did not mass-migrate?"
+            );
+        }
+        // Fixed offset mirrors track primary movement closely.
+        assert!(
+            (moved[2] as f64 - moved[0] as f64).abs() / total < 0.35,
+            "fixed-offset mirrors should move roughly like primaries"
+        );
+        prev = now;
+    }
+    println!("{table}");
+    println!("reading: with f(N)=N/2, the mirror address (d + N/2) mod N depends on N");
+    println!("twice over — via the offset and via the wrap — so even a +1-disk operation");
+    println!("relocates ~half of all *mirror* copies, and an offset change relocates");
+    println!("nearly all of them: the replication layer silently forfeits RO1.");
+    println!("A fixed offset keeps mirror movement at ~z_j but pairs fixed neighbours.");
+    println!("Production systems solve this with placement-independent replica choices");
+    println!("(cf. CRUSH); for SCADDAR it is a concrete, quantified future-work gap.");
+    let path = write_csv("e17_mirror_movement.csv", &csv);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! E19 — grounding "blocks per round": the drive-physics provisioning
+//! table behind the simulator's bandwidth abstraction.
+//!
+//! CM-server papers (the paper's refs \[2\], \[16\], \[18\]) size service
+//! rounds from seek/rotation/transfer budgets. This experiment prints
+//! the provisioning table for two period drive generations and verifies
+//! the two classic shapes: streams-per-disk grows with block size
+//! (seek amortization) and saturates toward the transfer-rate bound;
+//! heterogeneity (fast vs slow drive) motivates the §6 weighted-logical
+//! mapping, with the measured weight ratio printed.
+
+use cmsim::{provisioning_table, DiskModel};
+use scaddar_analysis::{fmt_f64, Csv, Table};
+use scaddar_experiments::{banner, write_csv};
+
+fn main() {
+    banner(
+        "E19",
+        "drive-physics provisioning: block size vs streams per disk",
+        "refs [2],[16],[18] service-round model; grounds cmsim bandwidth",
+    );
+    let consume = 0.5e6; // 4 Mbit/s MPEG-2
+
+    let drives = [
+        ("cheetah-15k (2001 enterprise)", DiskModel::cheetah_2001()),
+        ("barracuda-7k2 (2001 commodity)", DiskModel::barracuda_2001()),
+    ];
+    let mut csv = Csv::new(["drive", "block_kib", "round_s", "streams_per_disk"]);
+    let mut streams_at_256 = Vec::new();
+    for (name, model) in &drives {
+        println!("{name}:");
+        let mut table = Table::new(["block", "round (s)", "streams/disk", "payload MB/s"]);
+        let mut prev_streams = 0;
+        for (bytes, round_s, streams) in provisioning_table(model, consume) {
+            let payload = streams as f64 * bytes as f64 / round_s / 1e6;
+            table.row([
+                format!("{} KiB", bytes / 1024),
+                fmt_f64(round_s, 3),
+                streams.to_string(),
+                fmt_f64(payload, 1),
+            ]);
+            csv.row([
+                name.to_string(),
+                (bytes / 1024).to_string(),
+                fmt_f64(round_s, 4),
+                streams.to_string(),
+            ]);
+            assert!(streams >= prev_streams, "seek amortization must not regress");
+            assert!(
+                payload < model.transfer_bps / 1e6,
+                "payload exceeded the physical transfer bound"
+            );
+            if bytes == 256 * 1024 {
+                streams_at_256.push(streams);
+            }
+            prev_streams = streams;
+        }
+        println!("{table}");
+    }
+    let ratio = f64::from(streams_at_256[0]) / f64::from(streams_at_256[1]);
+    println!(
+        "at 256 KiB blocks, the fast drive sustains {:.2}x the slow drive's streams —",
+        ratio
+    );
+    println!("the weight ratio a §6 heterogeneous deployment would feed `HeteroMap::attach`");
+    println!("(see E16 for the placement side of that story).");
+    assert!(ratio > 1.2, "generational gap vanished?");
+    let path = write_csv("e19_provisioning.csv", &csv);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,100 @@
+//! E14 (ablation) — placement quality across PRNG families.
+//!
+//! The paper assumes an abstract `p_r(s)`; this ablation verifies the
+//! assumption is safe: SCADDAR's balance (CoV) and movement optimality
+//! are statistically identical across four generator families with very
+//! different internals (counter-based avalanche, 64-bit LCG, 128-bit
+//! PCG, xorshift*). What differs is only the *cost model* of indexed
+//! access (benched in `x0_indexed_access`).
+
+use scaddar_analysis::{fmt_f64, mean, Csv, Table};
+use scaddar_baselines::{run_schedule, ScaddarStrategy};
+use scaddar_core::Catalog;
+use scaddar_experiments::{banner, catalog_population, churn, write_csv};
+use scaddar_prng::{Bits, RngKind};
+
+const OPS: usize = 8;
+
+fn main() {
+    banner(
+        "E14",
+        "ablation: generator family vs placement quality",
+        "§3 (the p_r(s) abstraction) / DESIGN.md ablation list",
+    );
+
+    let mut table = Table::new([
+        "rng",
+        "mean CoV (8 ops)",
+        "max CoV",
+        "mean movement overhead",
+        "runs-test p",
+        "lag-1 corr",
+    ]);
+    let mut csv = Csv::new([
+        "rng",
+        "mean_cov",
+        "max_cov",
+        "mean_overhead",
+        "runs_p",
+        "serial_corr",
+    ]);
+    let mut mean_covs = Vec::new();
+    for kind in RngKind::ALL {
+        let mut covs = Vec::new();
+        let mut overheads = Vec::new();
+        for seed in [1u64, 2, 3] {
+            let mut catalog = Catalog::new(kind, Bits::B32, seed);
+            for _ in 0..20 {
+                catalog.add_object(5_000);
+            }
+            let keys = catalog_population(&catalog);
+            let mut strategy = ScaddarStrategy::new(8).unwrap();
+            let stats = run_schedule(&mut strategy, &keys, &churn(OPS)).unwrap();
+            for s in &stats {
+                covs.push(s.load_cov());
+                overheads.push(s.moved_fraction() / s.optimal_fraction);
+            }
+        }
+        let mean_cov = mean(&covs);
+        let max_cov = covs.iter().copied().fold(0.0f64, f64::max);
+        let mean_overhead = mean(&overheads);
+        // Raw-stream quality: Knuth-style tests over the family's output.
+        let stream = scaddar_prng::BlockRandoms::new(kind, 0xBEEF, Bits::B64).take_values(20_000);
+        let runs = scaddar_analysis::runs_test(&stream);
+        let corr = scaddar_analysis::serial_correlation(&stream);
+        table.row([
+            kind.to_string(),
+            fmt_f64(mean_cov, 4),
+            fmt_f64(max_cov, 4),
+            fmt_f64(mean_overhead, 3),
+            fmt_f64(runs.p_value, 3),
+            fmt_f64(corr, 4),
+        ]);
+        csv.row([
+            kind.to_string(),
+            fmt_f64(mean_cov, 6),
+            fmt_f64(max_cov, 6),
+            fmt_f64(mean_overhead, 5),
+            fmt_f64(runs.p_value, 5),
+            fmt_f64(corr, 6),
+        ]);
+        assert!(runs.p_value > 0.001, "{kind} failed the runs test");
+        assert!(corr.abs() < 0.05, "{kind} serially correlated: {corr}");
+        mean_covs.push(mean_cov);
+        assert!(
+            (mean_overhead - 1.0).abs() < 0.03,
+            "{kind}: movement depends on the generator?!"
+        );
+    }
+    println!("{table}");
+
+    let spread = mean_covs.iter().copied().fold(0.0f64, f64::max)
+        / mean_covs.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "max/min of mean CoV across families: {} — placement quality is generator-insensitive.",
+        fmt_f64(spread, 3)
+    );
+    assert!(spread < 1.5, "a generator family is an outlier: {mean_covs:?}");
+    let path = write_csv("e14_rng_ablation.csv", &csv);
+    println!("csv: {}", path.display());
+}

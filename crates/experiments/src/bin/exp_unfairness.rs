@@ -1,0 +1,97 @@
+//! E7 — §4.3: the unfairness coefficient, measured against Lemma 4.2's
+//! analytic bound, operation by operation.
+//!
+//! Two series per operation count `k`:
+//! * the **bound** `1 / (R_0 div sigma_k)` (Lemmas 4.2/4.3) — by the
+//!   paper's identity `(x div a) div b = x div (ab)`, the guaranteed
+//!   per-disk cycle count is exactly `R_0 div sigma_k`, so the bound is
+//!   tight for the worst-case surviving range;
+//! * the **empirical census unfairness** `max/min - 1` of an actual
+//!   placement (binomial sampling noise on top of the systematic range
+//!   effect — it dominates until the range gets very thin).
+//!
+//! Shape: the bound decays from astronomically-safe toward the eps
+//! threshold as sigma_k eats the random range; b = 64 buys roughly twice
+//! the operations of b = 32 at the same disk count.
+
+use scaddar_analysis::{fmt_f64, Csv, Summary, Table};
+use scaddar_baselines::{run_schedule, OpStats, ScaddarStrategy};
+use scaddar_core::FairnessTracker;
+use scaddar_experiments::{banner, catalog_population, churn, write_csv};
+use scaddar_prng::{Bits, RngKind};
+
+const OPS: usize = 12;
+const DISKS: u32 = 8;
+
+fn main() {
+    banner(
+        "E7",
+        "unfairness coefficient vs the Lemma 4.2 bound",
+        "§4.3 (unfairness coefficient, Lemmas 4.2/4.3)",
+    );
+
+    let mut csv = Csv::new([
+        "bits",
+        "op",
+        "sigma",
+        "guaranteed_cycles",
+        "bound",
+        "empirical_census",
+    ]);
+
+    for bits in [Bits::B32, Bits::B64] {
+        println!("b = {} random bits, {DISKS} disks, churn schedule:", bits.get());
+        // Empirical placement under this bit width.
+        let mut catalog = scaddar_core::Catalog::new(RngKind::SplitMix64, bits, 5);
+        for _ in 0..20 {
+            catalog.add_object(5_000);
+        }
+        let keys = catalog_population(&catalog);
+        let mut strategy = ScaddarStrategy::new(DISKS).unwrap();
+        let stats: Vec<OpStats> =
+            run_schedule(&mut strategy, &keys, &churn(OPS)).expect("valid schedule");
+
+        let mut tracker = FairnessTracker::new(bits, DISKS);
+        let mut table = Table::new([
+            "op",
+            "sigma_k",
+            "guaranteed cycles",
+            "bound 1/(R div sigma)",
+            "empirical census",
+        ]);
+        let mut prev_bound = 0.0f64;
+        for s in &stats {
+            tracker.record_op(s.disks_after);
+            let report = tracker.report();
+            let empirical = Summary::of_counts(&s.load_census).empirical_unfairness();
+            table.row([
+                s.op_index.to_string(),
+                report.sigma.to_string(),
+                report.guaranteed_range.to_string(),
+                fmt_f64(report.unfairness_bound, 6),
+                fmt_f64(empirical, 4),
+            ]);
+            csv.row([
+                bits.get().to_string(),
+                s.op_index.to_string(),
+                report.sigma.to_string(),
+                report.guaranteed_range.to_string(),
+                fmt_f64(report.unfairness_bound, 8),
+                fmt_f64(empirical, 6),
+            ]);
+            // Invariant: the bound decays monotonically as sigma grows.
+            assert!(
+                report.unfairness_bound >= prev_bound,
+                "bound must be monotone in k"
+            );
+            prev_bound = report.unfairness_bound;
+        }
+        println!("{table}");
+    }
+
+    println!("reading: b=64 keeps the bound negligible for every schedule length shown,");
+    println!("while b=32 approaches the eps=5% threshold around k=8-9 — the paper's");
+    println!("motivation for tracking sigma_k and redistributing in full at the threshold.");
+    let path = write_csv("e7_unfairness.csv", &csv);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! E3 — the §4.2.1 worked examples, traced through the real access
+//! function.
+//!
+//! Case 1: disks 0..=5, remove disk 4; a block with `X_{j-1} = 28` sits
+//! on the removed disk and must move — the paper derives `X_j = 4`,
+//! landing on the 4th surviving disk (physical "Disk 5").
+//! Case 2: a block with `X_{j-1} = 41` sits on surviving disk 5 and must
+//! stay — the paper derives `X_j = 34` (`q·N_j + new(5) = 6·5 + 4`).
+
+use scaddar_analysis::Table;
+use scaddar_core::{trace, ScalingLog, ScalingOp};
+use scaddar_experiments::banner;
+
+fn print_trace(label: &str, x0: u64, log: &ScalingLog) {
+    println!("{label}");
+    let mut t = Table::new(["epoch", "X_j", "N_j", "D_j = X_j mod N_j", "moved?"]);
+    for step in trace(x0, log) {
+        t.row([
+            step.epoch.to_string(),
+            step.x.to_string(),
+            step.disks.to_string(),
+            step.disk.0.to_string(),
+            if step.moved { "yes".into() } else { String::from("no") },
+        ]);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    banner(
+        "E3",
+        "§4.2.1 worked examples through AF()",
+        "§4.2.1 'Example of disk removal'",
+    );
+
+    let mut log = ScalingLog::new(6).unwrap();
+    log.push(&ScalingOp::remove_one(4)).unwrap();
+
+    print_trace("case 1: X = 28 on removed disk 4 (must move):", 28, &log);
+    let steps = trace(28, &log);
+    assert_eq!(steps[1].x, 4, "paper derives X_j = 4");
+    assert_eq!(steps[1].disk.0, 4, "paper derives the 4th surviving disk");
+    assert!(steps[1].moved);
+    println!("paper: X_j = q_(j-1) = 4; D_j = 4 -> the old physical Disk 5. reproduced.\n");
+
+    print_trace("case 2: X = 41 on surviving disk 5 (must stay):", 41, &log);
+    let steps = trace(41, &log);
+    assert_eq!(steps[1].x, 34, "paper derives X_j = 34");
+    assert_eq!(steps[1].disk.0, 4, "new(5) = 4");
+    assert!(!steps[1].moved);
+    println!("paper: X_j = q*N_j + new(5) = 6*5 + 4 = 34; block stays on its disk. reproduced.\n");
+
+    // Bonus: the same block followed through a longer mixed history, to
+    // show AF() chaining (AO1: a handful of mod/div per op).
+    let mut log = ScalingLog::new(4).unwrap();
+    for op in [
+        ScalingOp::Add { count: 2 },
+        ScalingOp::remove_one(1),
+        ScalingOp::Add { count: 1 },
+        ScalingOp::remove_one(0),
+    ] {
+        log.push(&op).unwrap();
+    }
+    print_trace("bonus: X_0 = 123456789 through 4 mixed operations:", 123_456_789, &log);
+}

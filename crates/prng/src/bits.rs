@@ -1,0 +1,109 @@
+//! The `b`-bit output range of `p_r(s)`.
+//!
+//! Definition 3.2 of the paper: `p_r(s)` returns values in `0..=R` with
+//! `R = 2^b - 1`. The width `b` matters beyond mere plumbing — §4.3 shows
+//! each scaling operation consumes about `log2(N)` bits of the range, so
+//! `b` directly bounds how many operations keep the load fair. The paper
+//! evaluates both `b = 64` (rule-of-thumb example) and `b = 32` (the §5
+//! simulation).
+
+use std::fmt;
+
+/// Bit width `b` of the random numbers used for placement.
+///
+/// Constructed via [`Bits::new`] for arbitrary widths in `1..=64`, or the
+/// two widths the paper uses as associated constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bits(u8);
+
+impl Bits {
+    /// The 32-bit range used in the paper's §5 simulation.
+    pub const B32: Bits = Bits(32);
+    /// The 64-bit range used in the paper's §4.3 rule-of-thumb example.
+    pub const B64: Bits = Bits(64);
+
+    /// Creates a width, returning `None` unless `1 <= b <= 64`.
+    pub fn new(b: u8) -> Option<Bits> {
+        (1..=64).contains(&b).then_some(Bits(b))
+    }
+
+    /// The width `b` itself.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// `R = 2^b - 1`, the largest value `p_r(s)` may return.
+    pub fn max_value(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// The number of values in the range, `R + 1 = 2^b`, as a `u128` so
+    /// `b = 64` does not overflow.
+    pub fn range_size(self) -> u128 {
+        u128::from(self.max_value()) + 1
+    }
+
+    /// Truncates a 64-bit generator output into this range by masking the
+    /// low `b` bits.
+    ///
+    /// Masking (rather than `mod`) keeps the mapping from generator output
+    /// to placement value exactly uniform: every `b`-bit pattern has the
+    /// same number of 64-bit preimages.
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.max_value()
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_widths() {
+        assert_eq!(Bits::B32.max_value(), u64::from(u32::MAX));
+        assert_eq!(Bits::B64.max_value(), u64::MAX);
+        assert_eq!(Bits::B32.range_size(), 1u128 << 32);
+        assert_eq!(Bits::B64.range_size(), 1u128 << 64);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Bits::new(0).is_none());
+        assert!(Bits::new(65).is_none());
+        assert_eq!(Bits::new(1).unwrap().max_value(), 1);
+        assert_eq!(Bits::new(64), Some(Bits::B64));
+    }
+
+    #[test]
+    fn truncate_is_identity_within_range() {
+        let b = Bits::new(16).unwrap();
+        assert_eq!(b.truncate(0xFFFF), 0xFFFF);
+        assert_eq!(b.truncate(0x1_0000), 0);
+        assert_eq!(b.truncate(0x1_2345), 0x2345);
+    }
+
+    proptest! {
+        #[test]
+        fn truncate_never_exceeds_max(b in 1u8..=64, v in any::<u64>()) {
+            let bits = Bits::new(b).unwrap();
+            prop_assert!(bits.truncate(v) <= bits.max_value());
+        }
+
+        #[test]
+        fn truncate_is_idempotent(b in 1u8..=64, v in any::<u64>()) {
+            let bits = Bits::new(b).unwrap();
+            prop_assert_eq!(bits.truncate(bits.truncate(v)), bits.truncate(v));
+        }
+    }
+}

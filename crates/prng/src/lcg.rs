@@ -1,0 +1,148 @@
+//! A 64-bit linear congruential generator with O(log n) jump-ahead.
+//!
+//! `state' = a·state + c (mod 2^64)` with Knuth's MMIX multiplier. LCGs
+//! are the textbook example of `p_r(s)` the paper assumes: cheap,
+//! reproducible, and — crucially for placement — *jumpable*: the state
+//! after `n` steps is `a^n·s + c·(a^{n-1} + … + 1)`, computable in
+//! O(log n) by square-and-multiply. That makes locating an arbitrary
+//! block's random number cheap even for generators that are not
+//! counter-based.
+//!
+//! The raw low bits of an LCG are weak (the low bit alternates), so the
+//! output is finalized with an avalanche mix. The *sequence structure*
+//! (state recurrence) is still a pure LCG, so jump-ahead stays exact.
+
+use crate::splitmix;
+use crate::traits::{IndexedRng, SeededRng};
+
+/// Knuth MMIX multiplier.
+const A: u64 = 6_364_136_223_846_793_005;
+/// Knuth MMIX increment.
+const C: u64 = 1_442_695_040_888_963_407;
+
+/// 64-bit LCG (MMIX constants) with mixed output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg64 {
+    state: u64,
+}
+
+/// Computes `(a^n mod 2^64, (a^{n-1} + ... + a + 1)·c mod 2^64)` by
+/// square-and-multiply, so that `jump(s, n) = a^n·s + sum·c`.
+///
+/// Standard technique (Brown, "Random Number Generation with Arbitrary
+/// Strides", 1994).
+fn jump_coefficients(mut a: u64, mut c: u64, mut n: u64) -> (u64, u64) {
+    let mut acc_mul: u64 = 1;
+    let mut acc_add: u64 = 0;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc_mul = acc_mul.wrapping_mul(a);
+            acc_add = acc_add.wrapping_mul(a).wrapping_add(c);
+        }
+        c = a.wrapping_add(1).wrapping_mul(c);
+        a = a.wrapping_mul(a);
+        n >>= 1;
+    }
+    (acc_mul, acc_add)
+}
+
+impl Lcg64 {
+    fn step(&mut self) {
+        self.state = A.wrapping_mul(self.state).wrapping_add(C);
+    }
+}
+
+impl SeededRng for Lcg64 {
+    /// The seed is passed through one avalanche round before use so that
+    /// small consecutive seeds (object 0, object 1, …) do not start in
+    /// correlated states.
+    fn from_seed(seed: u64) -> Self {
+        Lcg64 {
+            state: splitmix::scramble_seed(seed),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step();
+        // Output finalization: xorshift-multiply avalanche over the state.
+        let mut z = self.state;
+        z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z ^ (z >> 32)
+    }
+
+    fn advance(&mut self, n: u64) {
+        let (mul, add) = jump_coefficients(A, C, n);
+        self.state = mul.wrapping_mul(self.state).wrapping_add(add);
+    }
+}
+
+impl IndexedRng for Lcg64 {
+    fn value_at(seed: u64, index: u64) -> u64 {
+        let mut g = Lcg64::from_seed(seed);
+        g.advance(index);
+        g.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::contract;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jump_zero_is_identity() {
+        let mut g = Lcg64::from_seed(5);
+        let before = g.clone();
+        g.advance(0);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn indexed_matches_sequential() {
+        contract::indexed_matches_sequential::<Lcg64>(99, 200);
+    }
+
+    #[test]
+    fn advance_matches_stepping() {
+        contract::advance_matches_stepping::<Lcg64>(17, 1234);
+    }
+
+    #[test]
+    fn looks_uniform() {
+        contract::looks_uniform::<Lcg64>(2026);
+    }
+
+    #[test]
+    fn jump_coefficients_small_cases() {
+        // n = 1: mul = A, add = C.
+        assert_eq!(jump_coefficients(A, C, 1), (A, C));
+        // n = 2: mul = A^2, add = (A + 1)·C.
+        assert_eq!(
+            jump_coefficients(A, C, 2),
+            (A.wrapping_mul(A), A.wrapping_add(1).wrapping_mul(C))
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_advance_composes(seed in any::<u64>(), a in 0u64..5000, b in 0u64..5000) {
+            let mut one = Lcg64::from_seed(seed);
+            one.advance(a + b);
+            let mut two = Lcg64::from_seed(seed);
+            two.advance(a);
+            two.advance(b);
+            prop_assert_eq!(one, two);
+        }
+
+        #[test]
+        fn prop_indexed_contract(seed in any::<u64>(), i in 0u64..256) {
+            let mut g = Lcg64::from_seed(seed);
+            for _ in 0..i {
+                g.next_u64();
+            }
+            prop_assert_eq!(Lcg64::value_at(seed, i), g.next_u64());
+        }
+    }
+}

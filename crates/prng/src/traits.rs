@@ -1,0 +1,103 @@
+//! Generator traits.
+//!
+//! The split between [`SeededRng`] (sequential) and [`IndexedRng`]
+//! (random access) mirrors the two access paths of a CM server:
+//!
+//! * *sequential playback* walks a stream's blocks in order, so iterating
+//!   the generator once per block is natural;
+//! * *interactive / VCR access* (pause, seek, fast-forward — one of the
+//!   motivations for random placement cited from the RIO project) jumps to
+//!   an arbitrary block `i` and must obtain `X_0^{(i)}` without replaying
+//!   `i` generator steps.
+
+/// A deterministic pseudo-random generator constructed from a 64-bit seed.
+///
+/// Implementations must be pure integer recurrences: two instances built
+/// from the same seed yield identical streams on every platform, forever.
+/// This is Definition 3.1 of the paper ("random placement whose random
+/// sequence can be reproduced").
+pub trait SeededRng: Clone {
+    /// Builds the generator from a seed. The mapping seed → initial state
+    /// must be fixed (documented per implementation).
+    fn from_seed(seed: u64) -> Self;
+
+    /// Returns the next 64-bit output and advances the state.
+    fn next_u64(&mut self) -> u64;
+
+    /// Advances the state by `n` steps, as if [`SeededRng::next_u64`] had
+    /// been called `n` times and the outputs discarded.
+    ///
+    /// The default implementation is O(`n`); generators with an algebraic
+    /// jump (LCG, PCG) or counter-based state (SplitMix) override it.
+    fn advance(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u64();
+        }
+    }
+}
+
+/// A generator that can produce its `i`-th output directly.
+///
+/// `value_at(seed, i)` must equal the `i`-th call to `next_u64()` on a
+/// generator freshly built with `from_seed(seed)` (0-indexed). The blanket
+/// contract is checked by property tests in each implementation module.
+pub trait IndexedRng: SeededRng {
+    /// Returns output number `index` (0-based) of the stream seeded with
+    /// `seed`, without materializing the earlier outputs.
+    fn value_at(seed: u64, index: u64) -> u64;
+}
+
+#[cfg(test)]
+pub(crate) mod contract {
+    //! Shared contract checks used by every generator's test module.
+    use super::*;
+
+    /// `value_at` must agree with sequential generation.
+    pub(crate) fn indexed_matches_sequential<R: IndexedRng>(seed: u64, upto: u64) {
+        let mut sequential = R::from_seed(seed);
+        for i in 0..upto {
+            let expect = sequential.next_u64();
+            assert_eq!(
+                R::value_at(seed, i),
+                expect,
+                "value_at({seed}, {i}) disagrees with sequential stream"
+            );
+        }
+    }
+
+    /// `advance(n)` must agree with n discarded calls.
+    pub(crate) fn advance_matches_stepping<R: SeededRng>(seed: u64, n: u64) {
+        let mut jumped = R::from_seed(seed);
+        jumped.advance(n);
+        let mut stepped = R::from_seed(seed);
+        for _ in 0..n {
+            stepped.next_u64();
+        }
+        for _ in 0..16 {
+            assert_eq!(jumped.next_u64(), stepped.next_u64());
+        }
+    }
+
+    /// Crude equidistribution check: over many draws, the mean of the top
+    /// bit should be near 1/2 and bytes should hit most of their range.
+    /// This is a smoke test, not a statistical suite; the uniformity of
+    /// placement itself is tested end-to-end in `scaddar-analysis`.
+    pub(crate) fn looks_uniform<R: SeededRng>(seed: u64) {
+        let mut rng = R::from_seed(seed);
+        let draws = 4096;
+        let mut top_bits = 0u32;
+        let mut seen = [false; 256];
+        for _ in 0..draws {
+            let v = rng.next_u64();
+            top_bits += (v >> 63) as u32;
+            seen[(v & 0xFF) as usize] = true;
+        }
+        let frac = f64::from(top_bits) / f64::from(draws);
+        assert!(
+            (0.45..=0.55).contains(&frac),
+            "top bit frequency {frac} too far from 0.5"
+        );
+        let coverage = seen.iter().filter(|&&s| s).count();
+        assert!(coverage > 250, "low byte coverage only {coverage}/256");
+    }
+}

@@ -1,0 +1,73 @@
+//! Every strategy, one schedule, one table: the trade-off space the
+//! paper positions SCADDAR in, on your terminal.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use scaddar::analysis::{fmt_f64, fmt_pct, Table};
+use scaddar::baselines::{
+    run_schedule, ConsistentHashStrategy, DirectoryStrategy, FullRedistStrategy,
+    JumpHashStrategy, NaiveStrategy, PlacementStrategy, RoundRobinStrategy, ScaddarStrategy,
+    synthetic_population,
+};
+use scaddar::prelude::*;
+
+fn main() {
+    let keys = synthetic_population(100_000, 2026);
+    let schedule = vec![
+        ScalingOp::Add { count: 2 },
+        ScalingOp::Add { count: 1 },
+        ScalingOp::remove_one(4),
+        ScalingOp::Add { count: 2 },
+        ScalingOp::remove_one(0),
+        ScalingOp::Add { count: 1 },
+    ];
+    println!(
+        "100k blocks, 8 disks, schedule of {} mixed operations\n",
+        schedule.len()
+    );
+
+    let mut dir = DirectoryStrategy::new(8, 5).unwrap();
+    dir.register(&keys);
+    let strategies: Vec<Box<dyn PlacementStrategy>> = vec![
+        Box::new(ScaddarStrategy::new(8).unwrap()),
+        Box::new(NaiveStrategy::new(8).unwrap()),
+        Box::new(dir),
+        Box::new(FullRedistStrategy::new(8).unwrap()),
+        Box::new(RoundRobinStrategy::new(8).unwrap()),
+        Box::new(JumpHashStrategy::new(8).unwrap()),
+        Box::new(ConsistentHashStrategy::new(8, 256).unwrap()),
+    ];
+
+    let mut table = Table::new([
+        "strategy",
+        "total moved",
+        "vs optimal",
+        "worst CoV",
+        "final CoV",
+    ]);
+    for mut s in strategies {
+        let stats = run_schedule(s.as_mut(), &keys, &schedule).expect("valid schedule");
+        let moved: u64 = stats.iter().map(|s| s.moved).sum();
+        let optimal: f64 = stats
+            .iter()
+            .map(|s| s.optimal_fraction * s.total_blocks as f64)
+            .sum();
+        let worst_cov = stats.iter().map(|s| s.load_cov()).fold(0.0f64, f64::max);
+        table.row([
+            stats[0].strategy.to_string(),
+            fmt_pct(moved as f64 / (keys.len() as f64 * schedule.len() as f64)),
+            format!("{}x", fmt_f64(moved as f64 / optimal, 2)),
+            fmt_f64(worst_cov, 4),
+            fmt_f64(stats.last().unwrap().load_cov(), 4),
+        ]);
+    }
+    println!("{table}");
+    println!("how to read it:");
+    println!("  - 'vs optimal' is RO1: SCADDAR and the directory sit at ~1x; complete");
+    println!("    redistribution and round-robin restriping pay ~5-8x.");
+    println!("  - 'worst CoV' is RO2: naive collapses after the second operation; finite");
+    println!("    vnodes make consistent hashing lumpy; SCADDAR stays at binomial noise");
+    println!("    for the §4.3-budgeted number of operations.");
+    println!("  - the directory achieves both — at the cost of a per-block table and a");
+    println!("    table-rewrite on every operation (Appendix A's rejected design).");
+}

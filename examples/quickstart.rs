@@ -1,0 +1,72 @@
+//! Quickstart: place an object, scale the array, watch SCADDAR keep its
+//! three promises (minimal movement, balanced load, directory-free
+//! lookup).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use scaddar::prelude::*;
+
+fn print_loads(label: &str, loads: &[u64]) {
+    let total: u64 = loads.iter().sum();
+    let mean = total as f64 / loads.len() as f64;
+    print!("{label:<28}");
+    for &l in loads {
+        print!(" {l:>6}");
+    }
+    let worst = loads
+        .iter()
+        .map(|&l| ((l as f64 - mean) / mean).abs())
+        .fold(0.0f64, f64::max);
+    println!("   (worst deviation {:.1}%)", worst * 100.0);
+}
+
+fn main() {
+    // A server with 4 disks; paper defaults (32-bit randomness, eps=5%).
+    let mut engine = Scaddar::new(ScaddarConfig::new(4).with_catalog_seed(2026)).unwrap();
+
+    // Store a two-hour movie: 100k quarter-megabyte blocks.
+    let movie = engine.add_object(100_000);
+    println!("stored one object, {} blocks, on {} disks", 100_000, engine.disks());
+    print_loads("initial load:", &engine.load_distribution());
+
+    // Any block is locatable from (seed, index) alone — no directory.
+    let d = engine.locate(movie, 31_337).unwrap();
+    println!("block 31337 lives on {d} — computed, not looked up\n");
+
+    // Grow the array: add a group of 2 disks.
+    let plan = engine.scale(ScalingOp::Add { count: 2 }).unwrap();
+    println!(
+        "added 2 disks: moved {} of {} blocks ({:.2}%; optimal is {:.2}%)",
+        plan.moves.len(),
+        plan.total_blocks,
+        plan.moved_fraction() * 100.0,
+        plan.optimal_fraction * 100.0,
+    );
+    assert!(plan.moves.iter().all(|m| m.to.0 >= 4), "moves target only new disks");
+    print_loads("after adding 2:", &engine.load_distribution());
+
+    // Retire a disk. Only its blocks move, scattered over the survivors.
+    let plan = engine.scale(ScalingOp::remove_one(1)).unwrap();
+    println!(
+        "\nremoved disk 1: moved {} blocks ({:.2}%; optimal {:.2}%)",
+        plan.moves.len(),
+        plan.moved_fraction() * 100.0,
+        plan.optimal_fraction * 100.0,
+    );
+    print_loads("after removing 1:", &engine.load_distribution());
+
+    // The same lookup still works; the chain of remaps is the directory.
+    let d = engine.locate(movie, 31_337).unwrap();
+    println!("\nblock 31337 now lives on {d} — same computation, longer chain");
+
+    // And §4.3 tells us how much longer this can continue.
+    let report = engine.fairness();
+    println!(
+        "fairness after {} ops: sigma={}, unfairness bound {:.4} (eps budget 0.05)",
+        report.operations, report.sigma, report.unfairness_bound
+    );
+    println!(
+        "rule of thumb at ~6 disks, b=32, eps=5%: {} operations before full redistribution",
+        rule_of_thumb_max_ops(Bits::B32, 6.0, 0.05)
+    );
+}

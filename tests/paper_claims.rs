@@ -1,0 +1,145 @@
+//! Integration tests asserting the paper's claims across crate
+//! boundaries — every numbered claim of the paper, as a test.
+
+use scaddar::baselines::{run_schedule, NaiveStrategy, ScaddarStrategy, synthetic_population};
+use scaddar::prelude::*;
+
+/// Definition 3.4 RO1 — additions: exactly `(N_j - N_{j-1})/N_j` of
+/// blocks move (binomially), and only onto added disks.
+#[test]
+fn ro1_addition_moves_optimal_fraction() {
+    for (n0, added) in [(4u32, 1u32), (8, 2), (5, 5), (16, 4)] {
+        let mut engine = Scaddar::new(ScaddarConfig::new(n0).with_catalog_seed(1)).unwrap();
+        engine.add_object(200_000);
+        let plan = engine.scale(ScalingOp::Add { count: added }).unwrap();
+        let z = f64::from(added) / f64::from(n0 + added);
+        assert!(
+            (plan.moved_fraction() - z).abs() < 0.01,
+            "N0={n0}+{added}: moved {} vs z={z}",
+            plan.moved_fraction()
+        );
+        assert!(
+            plan.moves.iter().all(|m| m.to.0 >= n0),
+            "N0={n0}+{added}: a block moved onto an old disk"
+        );
+    }
+}
+
+/// Definition 3.4 RO1 — removals: exactly the removed disks' blocks move.
+#[test]
+fn ro1_removal_moves_only_victims() {
+    let mut engine = Scaddar::new(ScaddarConfig::new(8).with_catalog_seed(2)).unwrap();
+    let obj = engine.add_object(100_000);
+    // Record who lives on disks 2 and 5.
+    let victims: Vec<u64> = (0..100_000)
+        .filter(|&b| {
+            let d = engine.locate(obj, b).unwrap().0;
+            d == 2 || d == 5
+        })
+        .collect();
+    let plan = engine
+        .scale(ScalingOp::Remove { disks: vec![2, 5] })
+        .unwrap();
+    assert_eq!(plan.moves.len(), victims.len());
+    let moved: std::collections::HashSet<u64> =
+        plan.moves.iter().map(|m| m.block.block).collect();
+    assert_eq!(moved, victims.into_iter().collect());
+}
+
+/// RO2 — randomization is maintained: after each budgeted operation the
+/// load census passes a chi-square uniformity test at 1%.
+#[test]
+fn ro2_uniformity_holds_within_budget() {
+    let mut engine = Scaddar::new(ScaddarConfig::new(8).with_catalog_seed(3)).unwrap();
+    for _ in 0..20 {
+        engine.add_object(5_000);
+    }
+    let schedule = [
+        ScalingOp::Add { count: 1 },
+        ScalingOp::remove_one(0),
+        ScalingOp::Add { count: 2 },
+        ScalingOp::remove_one(4),
+        ScalingOp::Add { count: 1 },
+        ScalingOp::remove_one(2),
+    ];
+    for op in schedule {
+        assert!(engine.next_op_is_safe(engine.disks()), "budget exhausted early");
+        engine.scale(op).unwrap();
+        let census = engine.load_distribution();
+        let chi = scaddar::analysis::chi_square_uniform(&census);
+        assert!(
+            chi.is_uniform_at(0.01),
+            "census failed uniformity after an op: {census:?} (p={})",
+            chi.p_value
+        );
+    }
+}
+
+/// AO1 — block location is pure arithmetic: a rebuilt engine (fresh
+/// process, same seeds, same log) computes identical locations, with no
+/// state beyond catalog + log.
+#[test]
+fn ao1_lookup_is_replayable_from_metadata() {
+    let build = || {
+        let mut e = Scaddar::new(ScaddarConfig::new(6).with_catalog_seed(44)).unwrap();
+        let id = e.add_object(10_000);
+        e.scale(ScalingOp::Add { count: 3 }).unwrap();
+        e.scale(ScalingOp::Remove { disks: vec![1, 7] }).unwrap();
+        e.scale(ScalingOp::Add { count: 1 }).unwrap();
+        (e, id)
+    };
+    let (a, id) = build();
+    let (b, _) = build();
+    for blk in (0..10_000).step_by(7) {
+        assert_eq!(a.locate(id, blk).unwrap(), b.locate(id, blk).unwrap());
+    }
+    // The metadata truly is tiny (§1's storage claim).
+    assert!(a.log().metadata_bytes() < 64);
+}
+
+/// §4.1 / Figure 1 — the naive scheme's RO2 violation is real and
+/// SCADDAR fixes it: compare the source census of blocks arriving on the
+/// newest disk after two additions.
+#[test]
+fn naive_biases_sources_scaddar_does_not() {
+    let keys = synthetic_population(120_000, 5);
+    let ops = [ScalingOp::Add { count: 1 }, ScalingOp::Add { count: 1 }];
+
+    let census_of = |stats: &[scaddar::baselines::OpStats]| stats[1].load_census.clone();
+    let mut naive = NaiveStrategy::new(4).unwrap();
+    let naive_stats = run_schedule(&mut naive, &keys, &ops).unwrap();
+    let mut scad = ScaddarStrategy::new(4).unwrap();
+    let scad_stats = run_schedule(&mut scad, &keys, &ops).unwrap();
+
+    // Both move near-optimal amounts (RO1 holds for both)...
+    assert!((naive_stats[1].moved_fraction() - 1.0 / 6.0).abs() < 0.01);
+    assert!((scad_stats[1].moved_fraction() - 1.0 / 6.0).abs() < 0.01);
+    // ...but the naive census is visibly skewed and SCADDAR's is not.
+    let naive_cov = scaddar::analysis::Summary::of_counts(&census_of(&naive_stats)).cov;
+    let scad_cov = scaddar::analysis::Summary::of_counts(&census_of(&scad_stats)).cov;
+    assert!(
+        naive_cov > 10.0 * scad_cov,
+        "naive CoV {naive_cov} should dwarf SCADDAR's {scad_cov}"
+    );
+}
+
+/// §4.3 — the paper's two rule-of-thumb instances.
+#[test]
+fn rule_of_thumb_matches_paper_numbers() {
+    assert_eq!(rule_of_thumb_max_ops(Bits::B64, 16.0, 0.01), 13);
+    assert_eq!(rule_of_thumb_max_ops(Bits::B32, 8.0, 0.05), 8);
+}
+
+/// §4.2.1 — both worked examples, through the public API.
+#[test]
+fn worked_examples_via_public_api() {
+    let mut log = ScalingLog::new(6).unwrap();
+    log.push(&ScalingOp::remove_one(4)).unwrap();
+    // Moved case: X = 28 -> X_j = 4, 4th surviving disk.
+    assert_eq!(locate(28, &log), DiskIndex(4));
+    // Staying case: X = 41 -> X_j = 34, still the (renumbered) disk 5.
+    assert_eq!(locate(41, &log), DiskIndex(4));
+    let steps = scaddar::core::trace(41, &log);
+    assert_eq!(steps[1].x, 34);
+    assert!(!steps[1].moved);
+}

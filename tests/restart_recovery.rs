@@ -1,0 +1,93 @@
+//! Restart and recovery: the directory-freeness claim under the
+//! operational lens. A CM server that crashes or restarts must relocate
+//! every block from durable metadata alone — the object seeds and the
+//! scaling log — and a rebuilt block store must agree with the old one.
+
+use cmsim::{CmServer, ServerConfig};
+use scaddar::prelude::*;
+
+/// Replays a "persisted" description (config + object sizes + ops) into
+/// a fresh server, as a restart would.
+fn replay(config: ServerConfig, objects: &[u64], ops: &[ScalingOp]) -> CmServer {
+    let mut server = CmServer::new(config).unwrap();
+    for &blocks in objects {
+        server.add_object(blocks).unwrap();
+    }
+    for op in ops {
+        server.scale_offline(op.clone()).unwrap();
+    }
+    server
+}
+
+#[test]
+fn restart_reconstructs_identical_placement() {
+    let config = ServerConfig::new(5).with_catalog_seed(777);
+    let objects = [4_000u64, 6_000, 2_000];
+    let ops = [
+        ScalingOp::Add { count: 2 },
+        ScalingOp::remove_one(3),
+        ScalingOp::Add { count: 1 },
+    ];
+
+    let a = replay(config, &objects, &ops);
+    let b = replay(config, &objects, &ops);
+
+    for (i, &blocks) in objects.iter().enumerate() {
+        let id = ObjectId(i as u64);
+        for blk in (0..blocks).step_by(101) {
+            assert_eq!(
+                a.engine().locate(id, blk).unwrap(),
+                b.engine().locate(id, blk).unwrap(),
+                "object {i} block {blk} diverged across restart"
+            );
+            assert_eq!(
+                a.store().locate(BlockRef { object: id, block: blk }),
+                b.store().locate(BlockRef { object: id, block: blk }),
+            );
+        }
+    }
+    assert_eq!(a.load_census(), b.load_census());
+}
+
+#[test]
+fn restart_with_different_catalog_seed_diverges() {
+    // Sanity check of the test itself: the seed genuinely drives
+    // placement — a wrong seed would corrupt recovery.
+    let objects = [4_000u64];
+    let ops = [ScalingOp::Add { count: 1 }];
+    let a = replay(ServerConfig::new(5).with_catalog_seed(1), &objects, &ops);
+    let b = replay(ServerConfig::new(5).with_catalog_seed(2), &objects, &ops);
+    let same = (0..4_000)
+        .filter(|&blk| {
+            a.engine().locate(ObjectId(0), blk).unwrap()
+                == b.engine().locate(ObjectId(0), blk).unwrap()
+        })
+        .count();
+    // ~1/6 agree by chance on 6 disks; identical placement would be 4000.
+    assert!(same < 1_000, "placements should diverge, {same} matched");
+}
+
+#[test]
+fn interrupted_redistribution_can_resume_after_replay() {
+    // A crash mid-redistribution: on restart, the engine's AF() already
+    // points at the new epoch; re-deriving the residual move set from
+    // (AF target != current residency) and executing it converges to a
+    // consistent state. We simulate the crash by replaying into a server
+    // that has only *partially* executed the op's moves.
+    let config = ServerConfig::new(4).with_catalog_seed(3);
+    let mut server = CmServer::new(config).unwrap();
+    server.add_object(10_000).unwrap();
+    server.scale(ScalingOp::Add { count: 1 }).unwrap();
+    // Execute only a few rounds, then "crash".
+    for _ in 0..3 {
+        server.tick();
+    }
+    assert!(server.backlog() > 0, "crash must interrupt mid-drain");
+    // Recovery: keep draining (the queue in a real system is re-derived
+    // by scanning residency vs AF(); here the executor state doubles as
+    // that scan's result).
+    while server.backlog() > 0 {
+        server.tick();
+    }
+    assert!(server.residency_consistent());
+}
