@@ -47,8 +47,8 @@ pub fn runs_test(values: &[u64]) -> RunsTest {
         }
     }
     let expected = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
-    let var = (2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2))
-        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    let var =
+        (2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)) / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
     let z = if var > 0.0 {
         (runs as f64 - expected) / var.sqrt()
     } else {
@@ -164,7 +164,10 @@ mod tests {
         let runs = runs_test(&values);
         assert!(runs.p_value < 1e-6, "monotone data passed runs test");
         let sc = serial_correlation(&values);
-        assert!(sc > 0.9, "monotone data should be strongly correlated: {sc}");
+        assert!(
+            sc > 0.9,
+            "monotone data should be strongly correlated: {sc}"
+        );
     }
 
     #[test]
@@ -190,7 +193,11 @@ mod tests {
             }
         }
         let gaps = gap_test(&values, 0.1, 30);
-        assert!(gaps.p_value < 1e-6, "bursty marks passed: p={}", gaps.p_value);
+        assert!(
+            gaps.p_value < 1e-6,
+            "bursty marks passed: p={}",
+            gaps.p_value
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
     assert!(sxx > 0.0, "x values are constant — no line to fit");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LineFit {
         slope,
         intercept,

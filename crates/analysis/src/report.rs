@@ -137,7 +137,10 @@ mod tests {
         assert!(lines[1].chars().all(|c| c == '-'));
         // Right alignment: the numbers end at the same column.
         let end = |line: &str, col_text: &str| line.find(col_text).map(|p| p + col_text.len());
-        assert_eq!(end(lines[2], "2000"), end(lines[3], "41").map(|_| end(lines[2], "2000").unwrap()));
+        assert_eq!(
+            end(lines[2], "2000"),
+            end(lines[3], "41").map(|_| end(lines[2], "2000").unwrap())
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
 /// "average number of disks" is an arithmetic average, but the proof
 /// passes through the geometric mean — we expose both for E4.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positives");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positives"
+    );
     if values.is_empty() {
         return 0.0;
     }

@@ -60,8 +60,7 @@ pub fn chi_square_sf(statistic: f64, degrees: usize) -> f64 {
         return 1.0;
     }
     let k = degrees as f64;
-    let z = ((statistic / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k)))
-        / (2.0 / (9.0 * k)).sqrt();
+    let z = ((statistic / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
     normal_sf(z)
 }
 
@@ -79,7 +78,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     poly * (-x * x).exp()
 }
 
@@ -150,7 +150,12 @@ mod tests {
             census[(rng.next_u64() % 10) as usize] += 1;
         }
         let t = chi_square_uniform(&census);
-        assert!(t.is_uniform_at(0.01), "stat={} p={}", t.statistic, t.p_value);
+        assert!(
+            t.is_uniform_at(0.01),
+            "stat={} p={}",
+            t.statistic,
+            t.p_value
+        );
     }
 
     #[test]

@@ -104,9 +104,7 @@ impl PlacementStrategy for ConsistentHashStrategy {
 
     fn place(&self, key: BlockKey) -> u32 {
         let owner = self.owner(key);
-        self.live
-            .binary_search(&owner)
-            .expect("owner is live") as u32
+        self.live.binary_search(&owner).expect("owner is live") as u32
     }
 
     fn apply(&mut self, op: &ScalingOp) -> Result<(), ScalingError> {

@@ -56,7 +56,8 @@ impl PhysicalMap {
         match op {
             ScalingOp::Add { count } => {
                 for _ in 0..*count {
-                    self.logical_to_physical.push(PhysicalDiskId(self.next_physical));
+                    self.logical_to_physical
+                        .push(PhysicalDiskId(self.next_physical));
                     self.next_physical += 1;
                 }
             }

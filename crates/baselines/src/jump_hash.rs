@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn reference_properties_of_jump() {
         // Stability: same key, same bucket count -> same bucket.
-        assert_eq!(jump_consistent_hash(12345, 10), jump_consistent_hash(12345, 10));
+        assert_eq!(
+            jump_consistent_hash(12345, 10),
+            jump_consistent_hash(12345, 10)
+        );
         // Monotone containment: growing buckets never moves a key
         // backwards between old buckets.
         for key in 0..2000u64 {

@@ -35,8 +35,7 @@ pub use consistent_hash::ConsistentHashStrategy;
 pub use directory::DirectoryStrategy;
 pub use full::FullRedistStrategy;
 pub use harness::{
-    cov, optimal_fraction, run_schedule, synthetic_population, OpStats, PhysicalDiskId,
-    PhysicalMap,
+    cov, optimal_fraction, run_schedule, synthetic_population, OpStats, PhysicalDiskId, PhysicalMap,
 };
 pub use jump_hash::{jump_consistent_hash, JumpHashStrategy};
 pub use naive::NaiveStrategy;
@@ -91,10 +90,14 @@ mod tests {
         let schedule = [ScalingOp::Add { count: 1 }];
         let frac = |stats: Vec<OpStats>| stats[0].moved_fraction();
 
-        let scaddar = frac(run_schedule(&mut ScaddarStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
-        let full = frac(run_schedule(&mut FullRedistStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
-        let rr = frac(run_schedule(&mut RoundRobinStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
-        let jump = frac(run_schedule(&mut JumpHashStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
+        let scaddar =
+            frac(run_schedule(&mut ScaddarStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
+        let full =
+            frac(run_schedule(&mut FullRedistStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
+        let rr =
+            frac(run_schedule(&mut RoundRobinStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
+        let jump =
+            frac(run_schedule(&mut JumpHashStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
 
         assert!((scaddar - 0.2).abs() < 0.02);
         assert!((jump - 0.2).abs() < 0.02);

@@ -85,7 +85,12 @@ mod tests {
     }
 
     fn keys(n: u64) -> Vec<BlockKey> {
-        (0..n).map(|i| BlockKey { ordinal: i, id: i * 7 }).collect()
+        (0..n)
+            .map(|i| BlockKey {
+                ordinal: i,
+                id: i * 7,
+            })
+            .collect()
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scaddar_bench::churn_log;
-use scaddar_core::locate;
+use scaddar_core::{locate, Scaddar, ScaddarConfig, ScalingOp};
 use scaddar_prng::{Bits, BlockRandoms, RngKind};
 use std::hint::black_box;
 
@@ -65,10 +65,48 @@ fn bench_sequential_cursor(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine lookups with the epoch-tagged X-cache vs the stateless O(j)
+/// fold, at two log depths. The cached path is one table read and one
+/// `mod`; it should be flat in `j` while the oracle grows linearly.
+fn bench_cached_vs_oracle_locate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("af_cached_vs_oracle");
+    for ops in [8usize, 32] {
+        let mut engine = Scaddar::new(ScaddarConfig::new(8).with_catalog_seed(42)).unwrap();
+        let id = engine.add_object(10_000);
+        for i in 0..ops {
+            let op = if i % 2 == 0 {
+                ScalingOp::remove_one(0)
+            } else {
+                ScalingOp::Add { count: 1 }
+            };
+            engine.scale(op).expect("valid churn op");
+        }
+        let obj = *engine.catalog().object(id).expect("object exists");
+        let seq = engine.catalog().randoms(&obj);
+        group.bench_with_input(BenchmarkId::new("oracle", ops), &ops, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                let x0 = seq.value_at(black_box(i));
+                black_box(locate(x0, engine.log()))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached", ops), &ops, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                black_box(engine.locate(id, black_box(i)).expect("valid block"))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_locate_vs_epoch,
     bench_x0_by_rng,
-    bench_sequential_cursor
+    bench_sequential_cursor,
+    bench_cached_vs_oracle_locate
 );
 criterion_main!(benches);

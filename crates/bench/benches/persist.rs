@@ -41,11 +41,9 @@ fn bench_bulk_locate(c: &mut Criterion) {
     group.throughput(Throughput::Elements(50_000));
     for rng in [RngKind::SplitMix64, RngKind::XorShift64Star] {
         let (engine, id) = engine_with_history(rng);
-        group.bench_with_input(
-            BenchmarkId::new("locate_all", rng),
-            &rng,
-            |b, _| b.iter(|| black_box(engine.locate_all(id).expect("object exists"))),
-        );
+        group.bench_with_input(BenchmarkId::new("locate_all", rng), &rng, |b, _| {
+            b.iter(|| black_box(engine.locate_all(id).expect("object exists")))
+        });
         // Per-block indexed access, for contrast — quadratic for
         // xorshift (O(i) per call), so sample a slice to keep it sane.
         group.bench_with_input(

@@ -2,18 +2,14 @@
 //! load, and the cost of committing a scaling operation (plan + queue)
 //! versus executing it offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cmsim::{CmServer, ServerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scaddar_core::ScalingOp;
 use std::hint::black_box;
 
 fn loaded_server(streams: u32) -> CmServer {
-    let mut s = CmServer::new(
-        ServerConfig::new(8)
-            .with_bandwidth(32)
-            .with_catalog_seed(9),
-    )
-    .expect("server builds");
+    let mut s = CmServer::new(ServerConfig::new(8).with_bandwidth(32).with_catalog_seed(9))
+        .expect("server builds");
     let obj = s.add_object(100_000).expect("ingest");
     for _ in 0..streams {
         let id = s.open_stream(obj).expect("admitted");
@@ -28,17 +24,13 @@ fn bench_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("server_tick");
     for streams in [10u32, 100, 200] {
         group.throughput(Throughput::Elements(u64::from(streams)));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(streams),
-            &streams,
-            |b, &n| {
-                let mut server = loaded_server(n);
-                b.iter(|| {
-                    server.tick();
-                    black_box(server.metrics().len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(streams), &streams, |b, &n| {
+            let mut server = loaded_server(n);
+            b.iter(|| {
+                server.tick();
+                black_box(server.metrics().len())
+            });
+        });
     }
     group.finish();
 }

@@ -7,9 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scaddar_baselines::{
-    synthetic_population, BlockKey, ConsistentHashStrategy, DirectoryStrategy,
-    FullRedistStrategy, JumpHashStrategy, NaiveStrategy, PlacementStrategy, RoundRobinStrategy,
-    ScaddarStrategy,
+    synthetic_population, BlockKey, ConsistentHashStrategy, DirectoryStrategy, FullRedistStrategy,
+    JumpHashStrategy, NaiveStrategy, PlacementStrategy, RoundRobinStrategy, ScaddarStrategy,
 };
 use scaddar_core::ScalingOp;
 use std::hint::black_box;

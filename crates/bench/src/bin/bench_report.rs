@@ -1,0 +1,190 @@
+//! Condenses the criterion JSON emitted by the `remap` and `access`
+//! benches into a machine-readable `BENCH_remap.json` at the repo root:
+//! raw ns-per-iteration plus the headline speedup ratios of the bulk
+//! location engine (pipeline fold vs record fold, parallel vs serial
+//! planning, cached vs oracle lookup).
+//!
+//! Run after the benches:
+//!
+//! ```text
+//! cargo bench -p scaddar-bench --bench remap --bench access
+//! cargo run -p scaddar-bench --bin bench_report
+//! ```
+//!
+//! Reads `target/criterion-json/{remap,access}.json` relative to the
+//! current directory (override with `BENCH_JSON_DIR`) and writes
+//! `BENCH_remap.json` (override with the first CLI argument).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One measured benchmark, keyed `group/bench`.
+#[derive(Debug, Clone)]
+struct Measurement {
+    ns_per_iter: f64,
+}
+
+/// Scans a shim-criterion JSON report for `(group, bench, ns_per_iter)`
+/// triples. The format is flat and machine-written (no nesting inside
+/// the result objects, no escapes in the names we generate), so a
+/// field-by-field scan is sufficient and keeps this binary
+/// dependency-free.
+fn parse_results(json: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    // Each result object lies between '{' and '}' inside the "results"
+    // array; split on '{' and pick the pieces with the expected fields.
+    for chunk in json.split('{').skip(1) {
+        let obj = chunk.split('}').next().unwrap_or("");
+        let (mut group, mut bench, mut ns) = (None, None, None);
+        for field in obj.split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "group" => group = Some(value.trim_matches('"').to_string()),
+                "bench" => bench = Some(value.trim_matches('"').to_string()),
+                "ns_per_iter" => ns = value.parse::<f64>().ok(),
+                _ => {}
+            }
+        }
+        if let (Some(g), Some(b), Some(n)) = (group, bench, ns) {
+            out.push((g, b, n));
+        }
+    }
+    out
+}
+
+fn load_measurements(dirs: &[std::path::PathBuf]) -> BTreeMap<String, Measurement> {
+    let mut all = BTreeMap::new();
+    for stem in ["remap", "access"] {
+        // Cargo runs bench binaries with the package directory as cwd,
+        // so the shim's reports land under `crates/bench/target/` when
+        // benches run from the workspace root; accept either location.
+        let Some(json) = dirs
+            .iter()
+            .find_map(|dir| std::fs::read_to_string(dir.join(format!("{stem}.json"))).ok())
+        else {
+            eprintln!(
+                "bench_report: missing {stem}.json (run `cargo bench -p scaddar-bench --bench {stem}` first)"
+            );
+            continue;
+        };
+        for (group, bench, ns_per_iter) in parse_results(&json) {
+            all.insert(format!("{group}/{bench}"), Measurement { ns_per_iter });
+        }
+    }
+    all
+}
+
+/// `baseline_ns / candidate_ns`: how many times faster the candidate is.
+fn speedup(all: &BTreeMap<String, Measurement>, baseline: &str, candidate: &str) -> Option<f64> {
+    let b = all.get(baseline)?.ns_per_iter;
+    let c = all.get(candidate)?.ns_per_iter;
+    (c > 0.0).then(|| b / c)
+}
+
+fn main() {
+    let json_dirs: Vec<std::path::PathBuf> = match std::env::var("BENCH_JSON_DIR") {
+        Ok(dir) => vec![dir.into()],
+        Err(_) => vec![
+            "target/criterion-json".into(),
+            "crates/bench/target/criterion-json".into(),
+        ],
+    };
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_remap.json".to_string());
+    let all = load_measurements(&json_dirs);
+    if all.is_empty() {
+        eprintln!("bench_report: no measurements found; nothing written");
+        std::process::exit(1);
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut speedups = String::new();
+    let mut push_ratio = |name: &str, baseline: &str, candidate: &str| {
+        if let Some(ratio) = speedup(&all, baseline, candidate) {
+            if !speedups.is_empty() {
+                speedups.push_str(",\n");
+            }
+            write!(
+                speedups,
+                "    {{\"name\": \"{name}\", \"baseline\": \"{baseline}\", \"candidate\": \"{candidate}\", \"speedup\": {ratio:.3}}}"
+            )
+            .expect("write to string");
+        }
+    };
+    for j in [8, 16, 32] {
+        push_ratio(
+            &format!("pipeline_fold_vs_records_j{j}"),
+            &format!("x_fold/records/{j}"),
+            &format!("x_fold/pipeline/{j}"),
+        );
+    }
+    push_ratio(
+        "parallel_vs_serial_plan_1m",
+        "rf_plan_1m_blocks/serial",
+        &format!("rf_plan_1m_blocks/parallel/{threads}"),
+    );
+    for j in [8, 32] {
+        push_ratio(
+            &format!("cached_vs_oracle_locate_j{j}"),
+            &format!("af_cached_vs_oracle/oracle/{j}"),
+            &format!("af_cached_vs_oracle/cached/{j}"),
+        );
+    }
+
+    let mut raw = String::new();
+    for (key, m) in &all {
+        if !raw.is_empty() {
+            raw.push_str(",\n");
+        }
+        write!(
+            raw,
+            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
+            m.ns_per_iter
+        )
+        .expect("write to string");
+    }
+
+    let report = format!(
+        "{{\n  \"threads\": {threads},\n  \"speedups\": [\n{speedups}\n  ],\n  \"raw\": [\n{raw}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &report).expect("write report");
+    println!(
+        "bench_report: wrote {out_path} ({} measurements)",
+        all.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"bench": "remap", "results": [
+      {"group": "x_fold", "bench": "records/8", "ns_per_iter": 120.5, "iterations": 1000},
+      {"group": "x_fold", "bench": "pipeline/8", "ns_per_iter": 30.1, "iterations": 4000}
+    ]}"#;
+
+    #[test]
+    fn parses_shim_report() {
+        let rows = parse_results(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "x_fold");
+        assert_eq!(rows[0].1, "records/8");
+        assert!((rows[0].2 - 120.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_candidate() {
+        let mut all = BTreeMap::new();
+        for (g, b, n) in parse_results(SAMPLE) {
+            all.insert(format!("{g}/{b}"), Measurement { ns_per_iter: n });
+        }
+        let s = speedup(&all, "x_fold/records/8", "x_fold/pipeline/8").unwrap();
+        assert!((s - 120.5 / 30.1).abs() < 1e-9);
+        assert!(speedup(&all, "missing", "x_fold/pipeline/8").is_none());
+    }
+}

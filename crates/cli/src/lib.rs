@@ -22,9 +22,7 @@
 #![warn(missing_docs)]
 
 use scaddar_analysis::{fmt_f64, fmt_pct, Summary};
-use scaddar_core::{
-    audit_balance, audit_census, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
-};
+use scaddar_core::{audit_balance, audit_census, ObjectId, Scaddar, ScaddarConfig, ScalingOp};
 use scaddar_prng::Bits;
 use std::fmt::Write as _;
 
@@ -197,8 +195,12 @@ impl Session {
         }
         let mut out = String::new();
         for obj in objects {
-            writeln!(out, "{}: {} blocks (seed {:#018x})", obj.id, obj.blocks, obj.seed)
-                .expect("write to string");
+            writeln!(
+                out,
+                "{}: {} blocks (seed {:#018x})",
+                obj.id, obj.blocks, obj.seed
+            )
+            .expect("write to string");
         }
         out.pop();
         Ok(out)
@@ -450,8 +452,14 @@ mod tests {
             s.execute("scale remove 99"),
             Err(CliError::Engine(_))
         ));
-        assert!(matches!(s.execute("init 4 bits=13"), Err(CliError::Usage(_))));
-        assert!(matches!(s.execute("init 4 eps=2.0"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            s.execute("init 4 bits=13"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            s.execute("init 4 eps=2.0"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -596,7 +604,13 @@ mod plan_tests {
         s.execute("add-object 1000").unwrap();
         let preview = s.execute("plan remove 1,3").unwrap();
         assert!(preview.contains("5 -> 3 disks"));
-        assert!(matches!(s.execute("plan remove 9"), Err(CliError::Engine(_))));
-        assert!(matches!(s.execute("plan frobnicate 1"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            s.execute("plan remove 9"),
+            Err(CliError::Engine(_))
+        ));
+        assert!(matches!(
+            s.execute("plan frobnicate 1"),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::server::{CmServer, ServerError};
 use parking_lot::RwLock;
+use scaddar_baselines::PhysicalDiskId;
 use scaddar_core::{DiskIndex, ObjectId, ScalingOp};
 
 /// A snapshot of one lookup with the epoch it was served at.
@@ -56,6 +57,21 @@ impl SharedServer {
             disks: guard.disks().disks(),
             disk,
         })
+    }
+
+    /// Consistent **bulk** lookup: every block located under *one*
+    /// shared lock acquisition, so the whole batch is served at a single
+    /// epoch — a session thread prefetching a playback window can never
+    /// observe a scaling operation ripping through the middle of its
+    /// batch. Returns the epoch alongside the physical disks.
+    pub fn locate_batch(
+        &self,
+        object: ObjectId,
+        blocks: &[u64],
+    ) -> Result<(usize, Vec<PhysicalDiskId>), ServerError> {
+        let guard = self.inner.read();
+        let disks = guard.locate_batch(object, blocks)?;
+        Ok((guard.engine().epoch(), disks))
     }
 
     /// Applies a scaling operation under the exclusive lock.
@@ -146,6 +162,52 @@ mod tests {
 
         assert_eq!(shared.with_read(|s| s.disks().disks()), 8);
         assert!(shared.with_read(|s| s.residency_consistent()));
+    }
+
+    #[test]
+    fn batch_reads_are_epoch_consistent_during_scaling() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(9)).unwrap();
+        let object = server.add_object(3_000).unwrap();
+        let shared = SharedServer::new(server);
+        let stop = AtomicBool::new(false);
+        let total_batches = AtomicU64::new(0);
+        let window: Vec<u64> = (0..64).collect();
+
+        crossbeam::scope(|scope| {
+            for _ in 0..2 {
+                let shared = &shared;
+                let stop = &stop;
+                let total_batches = &total_batches;
+                let window = &window;
+                scope.spawn(move |_| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let (epoch, disks) =
+                            shared.locate_batch(object, window).expect("batch lookup");
+                        // Single-epoch guarantee: re-locating the same
+                        // window at the same epoch must agree entirely.
+                        let (epoch2, disks2) =
+                            shared.locate_batch(object, window).expect("batch lookup");
+                        if epoch == epoch2 {
+                            assert_eq!(disks, disks2, "torn batch at epoch {epoch}");
+                        }
+                        total_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let seen = total_batches.load(Ordering::Relaxed);
+                shared.scale(ScalingOp::Add { count: 1 }).expect("scale");
+                while shared.backlog() > 0 {
+                    shared.tick();
+                }
+                while total_batches.load(Ordering::Relaxed) < seen + 20 {
+                    std::thread::yield_now();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .expect("threads join cleanly");
+        assert_eq!(shared.with_read(|s| s.disks().disks()), 7);
     }
 
     #[test]

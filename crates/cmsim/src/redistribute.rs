@@ -70,10 +70,7 @@ impl RedistributionExecutor {
     /// source or target is out of budget are deferred, preserving their
     /// relative order (head-of-line blocking is deliberate — it models a
     /// sequential sweep and keeps the executor fair across disks).
-    pub fn execute_round(
-        &mut self,
-        budget: &mut HashMap<PhysicalDiskId, u32>,
-    ) -> Vec<PendingMove> {
+    pub fn execute_round(&mut self, budget: &mut HashMap<PhysicalDiskId, u32>) -> Vec<PendingMove> {
         let mut executed = Vec::new();
         let mut deferred = VecDeque::new();
         while let Some(mv) = self.queue.pop_front() {

@@ -20,9 +20,7 @@ use crate::redistribute::{PendingMove, RedistributionExecutor};
 use crate::store::BlockStore;
 use crate::stream::{PlayState, Stream, StreamId};
 use scaddar_baselines::PhysicalDiskId;
-use scaddar_core::{
-    BlockRef, ObjectId, Scaddar, ScaddarConfig, ScaddarError, ScalingOp,
-};
+use scaddar_core::{BlockRef, ObjectId, Scaddar, ScaddarConfig, ScaddarError, ScalingOp};
 use std::collections::{HashMap, HashSet};
 
 /// Errors from server operations.
@@ -50,7 +48,10 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownStream(s) => write!(f, "unknown stream {}", s.0),
             ServerError::AdmissionRejected => write!(f, "admission control rejected the stream"),
             ServerError::RedistributionPending => {
-                write!(f, "cannot snapshot while redistribution is pending — drain first")
+                write!(
+                    f,
+                    "cannot snapshot while redistribution is pending — drain first"
+                )
             }
             ServerError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
         }
@@ -276,12 +277,21 @@ impl CmServer {
             if self.store.blocks_on(disk) >= self.disks.spec(disk).capacity {
                 // Roll back: evict what we ingested, drop the object.
                 for undo in 0..b {
-                    self.store.evict(BlockRef { object: id, block: undo });
+                    self.store.evict(BlockRef {
+                        object: id,
+                        block: undo,
+                    });
                 }
                 self.engine.remove_object(id).expect("object just added");
                 return Err(ServerError::DiskFull(disk));
             }
-            self.store.ingest(BlockRef { object: id, block: b }, disk);
+            self.store.ingest(
+                BlockRef {
+                    object: id,
+                    block: b,
+                },
+                disk,
+            );
         }
         Ok(id)
     }
@@ -291,7 +301,10 @@ impl CmServer {
     pub fn remove_object(&mut self, id: ObjectId) -> Result<(), ServerError> {
         let obj = self.engine.remove_object(id)?;
         for b in 0..obj.blocks {
-            self.store.evict(BlockRef { object: id, block: b });
+            self.store.evict(BlockRef {
+                object: id,
+                block: b,
+            });
         }
         self.executor.cancel_blocks(|blk| blk.object == id);
         self.streams.retain(|s| s.object != id);
@@ -552,6 +565,24 @@ impl CmServer {
         });
     }
 
+    /// Bulk lookup: the *physical* disks of the given blocks of one
+    /// object, in input order. Delegates to the engine's cached batch
+    /// path ([`Scaddar::locate_batch`]) and maps logical to physical in
+    /// one pass — the session-serving companion of per-block
+    /// [`Scaddar::locate`].
+    pub fn locate_batch(
+        &self,
+        object: ObjectId,
+        blocks: &[u64],
+    ) -> Result<Vec<PhysicalDiskId>, ServerError> {
+        Ok(self
+            .engine
+            .locate_batch(object, blocks)?
+            .into_iter()
+            .map(|logical| self.disks.physical(logical))
+            .collect())
+    }
+
     /// Load census (blocks per disk) in logical order — the §5 metric's
     /// input. Uses actual residency.
     pub fn load_census(&self) -> Vec<u64> {
@@ -560,16 +591,21 @@ impl CmServer {
 
     /// Verifies that residency matches `AF()` for every block (only true
     /// when no redistribution is pending). The simulator's end-to-end
-    /// invariant; exercised constantly by tests.
+    /// invariant; exercised constantly by tests. Scans with the engine's
+    /// O(B) bulk path rather than per-block lookups.
     pub fn residency_consistent(&self) -> bool {
         if !self.executor.is_idle() {
             return false;
         }
         for obj in self.engine.catalog().objects() {
-            for b in 0..obj.blocks {
-                let logical = self.engine.locate(obj.id, b).expect("catalog block");
+            let placements = self.engine.locate_all(obj.id).expect("catalog object");
+            for (b, &logical) in placements.iter().enumerate() {
                 let expect = self.disks.physical(logical);
-                if self.store.locate(BlockRef { object: obj.id, block: b }) != Some(expect) {
+                let blockref = BlockRef {
+                    object: obj.id,
+                    block: b as u64,
+                };
+                if self.store.locate(blockref) != Some(expect) {
                     return false;
                 }
             }
@@ -592,6 +628,21 @@ mod tests {
         s.add_object(5_000).unwrap();
         assert!(s.residency_consistent());
         assert_eq!(s.load_census().iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn locate_batch_matches_per_block_lookups() {
+        let mut s = server(4);
+        let obj = s.add_object(2_000).unwrap();
+        s.scale_offline(ScalingOp::Add { count: 2 }).unwrap();
+        let blocks: Vec<u64> = (0..2_000).step_by(7).collect();
+        let batch = s.locate_batch(obj, &blocks).unwrap();
+        for (&b, &physical) in blocks.iter().zip(&batch) {
+            let logical = s.engine().locate(obj, b).unwrap();
+            assert_eq!(physical, s.disks().physical(logical), "block {b}");
+        }
+        assert!(s.locate_batch(obj, &[2_000]).is_err());
+        assert!(s.locate_batch(ObjectId(99), &[0]).is_err());
     }
 
     #[test]
@@ -655,12 +706,8 @@ mod tests {
     #[test]
     fn admission_control_rejects_past_capacity() {
         // 1 disk, bandwidth 2, target 80%: exactly 1 stream fits.
-        let mut s = CmServer::new(
-            ServerConfig::new(1)
-                .with_bandwidth(2)
-                .with_catalog_seed(5),
-        )
-        .unwrap();
+        let mut s =
+            CmServer::new(ServerConfig::new(1).with_bandwidth(2).with_catalog_seed(5)).unwrap();
         let obj = s.add_object(100).unwrap();
         s.open_stream(obj).unwrap();
         assert_eq!(s.open_stream(obj), Err(ServerError::AdmissionRejected));
@@ -672,12 +719,8 @@ mod tests {
         // disk (bandwidth 4): 8 must hiccup in round one even though
         // aggregate bandwidth is ample — the statistical reality of
         // random placement the admission margin exists for.
-        let mut s = CmServer::new(
-            ServerConfig::new(4)
-                .with_bandwidth(4)
-                .with_catalog_seed(5),
-        )
-        .unwrap();
+        let mut s =
+            CmServer::new(ServerConfig::new(4).with_bandwidth(4).with_catalog_seed(5)).unwrap();
         let obj = s.add_object(1_000).unwrap();
         for _ in 0..12 {
             s.open_stream(obj).unwrap();
@@ -758,14 +801,21 @@ mod tests {
         s.scale_offline(ScalingOp::Add { count: 2 }).unwrap();
         s.scale_offline(ScalingOp::remove_one(1)).unwrap();
         let bytes = s.snapshot().unwrap();
-        let restored = CmServer::restore(ServerConfig::new(5).with_catalog_seed(21), &bytes).unwrap();
+        let restored =
+            CmServer::restore(ServerConfig::new(5).with_catalog_seed(21), &bytes).unwrap();
         assert_eq!(restored.disks().disks(), s.disks().disks());
         assert!(restored.residency_consistent());
         assert_eq!(restored.load_census(), s.load_census());
         for blk in (0..3_000).step_by(97) {
             assert_eq!(
-                restored.store().locate(BlockRef { object: obj, block: blk }),
-                s.store().locate(BlockRef { object: obj, block: blk })
+                restored.store().locate(BlockRef {
+                    object: obj,
+                    block: blk
+                }),
+                s.store().locate(BlockRef {
+                    object: obj,
+                    block: blk
+                })
             );
         }
     }
@@ -860,7 +910,10 @@ mod failure_tests {
         assert!(dead_blocks > 0);
         // Operator pulls the dead disk; moves must be sourced elsewhere.
         let queued = s.scale(ScalingOp::remove_one(2)).unwrap();
-        assert!(queued >= dead_blocks, "every dead block needs reconstruction");
+        assert!(
+            queued >= dead_blocks,
+            "every dead block needs reconstruction"
+        );
         assert!(
             s.draining_disks().is_empty(),
             "a failed disk has nothing to drain"

@@ -74,7 +74,14 @@ impl Simulation {
             .server
             .streams_snapshot()
             .into_iter()
-            .map(|s| (s.id, s.object, s.state == PlayState::Playing, s.object_blocks))
+            .map(|s| {
+                (
+                    s.id,
+                    s.object,
+                    s.state == PlayState::Playing,
+                    s.object_blocks,
+                )
+            })
             .collect();
         for (id, _object, playing, blocks) in ids {
             match self.workload.vcr_action(playing, blocks) {

@@ -88,7 +88,11 @@ impl BlockStore {
     ///
     /// # Panics
     /// If the block is unknown.
-    pub fn relocate_reconstructed(&mut self, block: BlockRef, to: PhysicalDiskId) -> PhysicalDiskId {
+    pub fn relocate_reconstructed(
+        &mut self,
+        block: BlockRef,
+        to: PhysicalDiskId,
+    ) -> PhysicalDiskId {
         let from = self
             .locate(block)
             .unwrap_or_else(|| panic!("reconstructing unknown block {block:?}"));
@@ -196,7 +200,13 @@ mod tests {
         }
         let mut on0 = s.scan_disk(PhysicalDiskId(0));
         on0.sort();
-        assert_eq!(on0, (0..10).step_by(2).map(|b| blk(0, b)).collect::<Vec<_>>());
-        assert_eq!(s.census(&[PhysicalDiskId(0), PhysicalDiskId(1)]), vec![5, 5]);
+        assert_eq!(
+            on0,
+            (0..10).step_by(2).map(|b| blk(0, b)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            s.census(&[PhysicalDiskId(0), PhysicalDiskId(1)]),
+            vec![5, 5]
+        );
     }
 }

@@ -41,10 +41,7 @@ pub struct TraceStep {
 }
 
 /// Applies `REMAP_{e}` for the record at epoch `e` (1-based) to `x_prev`.
-fn apply_record(
-    x_prev: u64,
-    record: &crate::log::ScalingRecord,
-) -> crate::remap::Remapped {
+fn apply_record(x_prev: u64, record: &crate::log::ScalingRecord) -> crate::remap::Remapped {
     let n_prev = u64::from(record.disks_before());
     match record.action() {
         RecordAction::Added { .. } => remap_add(x_prev, n_prev, u64::from(record.disks_after())),
@@ -161,7 +158,10 @@ mod tests {
     fn trace_moved_flags_match_disk_changes_for_additions() {
         // For pure additions there is no renumbering, so `moved` must
         // coincide exactly with a disk change between epochs.
-        let log = log_with(4, &[ScalingOp::Add { count: 1 }, ScalingOp::Add { count: 2 }]);
+        let log = log_with(
+            4,
+            &[ScalingOp::Add { count: 1 }, ScalingOp::Add { count: 2 }],
+        );
         for x0 in 0..10_000u64 {
             let steps = trace(x0, &log);
             for w in steps.windows(2) {

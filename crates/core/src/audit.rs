@@ -289,7 +289,10 @@ mod tests {
             log.push(&op).unwrap();
         }
         let tol = suggested_tolerance(&catalog, &log);
-        assert!(audit_balance(&catalog, &log, tol).passed(), "tolerance {tol}");
+        assert!(
+            audit_balance(&catalog, &log, tol).passed(),
+            "tolerance {tol}"
+        );
         // An absurdly tight tolerance fails, proving the check is live.
         let report = audit_balance(&catalog, &log, 1e-9);
         assert!(matches!(

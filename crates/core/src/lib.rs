@@ -57,8 +57,10 @@ pub mod log;
 pub mod object;
 pub mod ops;
 pub mod persist;
+pub mod pipeline;
 pub mod plan;
 pub mod remap;
+pub mod xcache;
 
 pub use address::{locate, locate_at_epoch, trace, DiskIndex, TraceStep};
 pub use audit::{audit_balance, audit_census, audit_plan, AuditReport, Finding};
@@ -71,7 +73,9 @@ pub use log::{RecordAction, ScalingLog, ScalingRecord};
 pub use object::{BlockRef, Catalog, CmObject, ObjectId};
 pub use ops::{RemovedSet, ScalingOp};
 pub use persist::{PersistError, Snapshot};
-pub use plan::{plan_last_op, plan_last_op_with_x, BlockMove, MovePlan};
+pub use pipeline::RemapPipeline;
+pub use plan::{plan_last_op, plan_last_op_parallel, plan_last_op_with_x, BlockMove, MovePlan};
+pub use xcache::XCache;
 
 use scaddar_prng::{Bits, RngKind};
 
@@ -182,10 +186,21 @@ impl From<ScalingError> for ScaddarError {
 /// This is pure placement logic — it decides *where blocks live*, not how
 /// bytes move. The `cmsim` crate wraps it in a simulated CM server with
 /// disks, streams, and an online redistribution executor.
+///
+/// Internally the engine keeps two accelerations in lockstep with the
+/// log — a compiled [`RemapPipeline`] and an epoch-tagged [`XCache`] of
+/// every block's current `X_j` — which make [`Scaddar::locate`] O(1),
+/// [`Scaddar::locate_all`] O(B), and [`Scaddar::scale`] O(B) per
+/// operation instead of the stateless O(j)/O(B·j) folds. Both are
+/// derived state: always reconstructible from catalog + log, and the
+/// stateless fold remains available as [`locate`]/[`plan_last_op`] (the
+/// reference oracle the accelerated paths are property-tested against).
 #[derive(Debug, Clone)]
 pub struct Scaddar {
     catalog: Catalog,
     log: ScalingLog,
+    pipeline: RemapPipeline,
+    cache: XCache,
     fairness: FairnessTracker,
     epsilon: f64,
 }
@@ -196,6 +211,8 @@ impl Scaddar {
         let log = ScalingLog::new(config.initial_disks)?;
         Ok(Scaddar {
             catalog: Catalog::new(config.rng, config.bits, config.catalog_seed),
+            pipeline: RemapPipeline::compile(&log),
+            cache: XCache::new(),
             fairness: FairnessTracker::new(config.bits, config.initial_disks),
             log,
             epsilon: config.epsilon,
@@ -222,19 +239,32 @@ impl Scaddar {
         self.log.epoch()
     }
 
+    /// The compiled remap pipeline kept in lockstep with the log.
+    pub fn pipeline(&self) -> &RemapPipeline {
+        &self.pipeline
+    }
+
     /// Registers a new object of `blocks` blocks.
     pub fn add_object(&mut self, blocks: u64) -> ObjectId {
-        self.catalog.add_object(blocks)
+        let id = self.catalog.add_object(blocks);
+        let obj = *self.catalog.object(id).expect("object was just added");
+        self.cache
+            .insert_object(&self.catalog, &obj, &self.pipeline);
+        id
     }
 
     /// Deletes an object from the catalog.
     pub fn remove_object(&mut self, id: ObjectId) -> Result<CmObject, ScaddarError> {
-        self.catalog
+        let obj = self
+            .catalog
             .remove_object(id)
-            .ok_or(ScaddarError::UnknownObject(id))
+            .ok_or(ScaddarError::UnknownObject(id))?;
+        self.cache.remove_object(id);
+        Ok(obj)
     }
 
     /// `AF()`: the disk of `block` of `object` at the current epoch.
+    /// O(1): one lookup in the X-cache and one `mod` — no per-epoch fold.
     pub fn locate(&self, object: ObjectId, block: u64) -> Result<DiskIndex, ScaddarError> {
         let obj = self
             .catalog
@@ -247,29 +277,50 @@ impl Scaddar {
                 blocks: obj.blocks,
             });
         }
-        Ok(locate(self.catalog.x0(obj, block), &self.log))
+        let x = self
+            .cache
+            .x(object, block)
+            .expect("cache holds every catalog block");
+        Ok(DiskIndex((x % u64::from(self.disks())) as u32))
     }
 
     /// Bulk `AF()`: the disks of *every* block of `object`, in block
-    /// order.
-    ///
-    /// Walks the object's random sequence with the sequential cursor
-    /// instead of per-block indexed access — for generators without O(1)
-    /// indexing this turns an O(B²) scan into O(B·j), and even for
-    /// counter-based generators it saves the per-call setup. The bulk
-    /// path of initial loads, redistribution planning, and censuses.
+    /// order. O(B): one `mod` per cached `X_j`.
     pub fn locate_all(&self, object: ObjectId) -> Result<Vec<DiskIndex>, ScaddarError> {
-        let obj = self
-            .catalog
-            .object(object)
+        let xs = self
+            .cache
+            .xs(object)
             .ok_or(ScaddarError::UnknownObject(object))?;
-        Ok(self
-            .catalog
-            .randoms(obj)
-            .cursor()
-            .take(obj.blocks as usize)
-            .map(|x0| locate(x0, &self.log))
-            .collect())
+        let disks = u64::from(self.disks());
+        Ok(xs.iter().map(|&x| DiskIndex((x % disks) as u32)).collect())
+    }
+
+    /// Bulk `AF()` for an arbitrary list of blocks of one object, in
+    /// input order. The batch companion of [`Scaddar::locate`] (same
+    /// validation, same O(1)-per-block cost).
+    pub fn locate_batch(
+        &self,
+        object: ObjectId,
+        blocks: &[u64],
+    ) -> Result<Vec<DiskIndex>, ScaddarError> {
+        let xs = self
+            .cache
+            .xs(object)
+            .ok_or(ScaddarError::UnknownObject(object))?;
+        let disks = u64::from(self.disks());
+        blocks
+            .iter()
+            .map(|&block| {
+                let x = xs
+                    .get(block as usize)
+                    .ok_or(ScaddarError::BlockOutOfRange {
+                        object,
+                        block,
+                        blocks: xs.len() as u64,
+                    })?;
+                Ok(DiskIndex((x % disks) as u32))
+            })
+            .collect()
     }
 
     /// The full remap history of one block (worked examples, debugging).
@@ -282,11 +333,19 @@ impl Scaddar {
     }
 
     /// Applies a scaling operation and returns the move plan (`RF()`).
+    ///
+    /// O(B): the cache already holds every block's `X_{j-1}`, so the plan
+    /// applies only the new record, and advancing the cache afterwards is
+    /// the same single [`RemapPipeline::step`] per block. (The stateless
+    /// O(B·j) [`plan_last_op`] computes the identical plan.)
     pub fn scale(&mut self, op: ScalingOp) -> Result<MovePlan, ScaddarError> {
         let record = self.log.push(&op)?;
         let disks_after = record.disks_after();
         self.fairness.record_op(disks_after);
-        Ok(plan_last_op(&self.catalog, &self.log))
+        self.pipeline.extend_from(&self.log);
+        let plan = plan_last_op_with_x(self.cache.blocks_with_x(&self.catalog), &self.log);
+        self.cache.advance_to(&self.pipeline);
+        Ok(plan)
     }
 
     /// Lemma 4.3 guard: is one more operation (ending at `disks_after`
@@ -307,18 +366,19 @@ impl Scaddar {
     /// blocks change disks — essentially a `z`-independent, near-complete
     /// reshuffle, which is why the paper avoids doing this often.
     pub fn full_redistribution(&mut self) -> u64 {
-        let disks = self.disks();
+        let disks = u64::from(self.disks());
+        // Old disk from the cached X_j, fresh disk from X_0; the two
+        // iterators walk the same catalog order.
         let moved = self
-            .catalog
-            .iter_x0()
-            .filter(|(_, x0)| {
-                let old = locate(*x0, &self.log);
-                let fresh = DiskIndex((*x0 % u64::from(disks)) as u32);
-                old != fresh
-            })
+            .cache
+            .blocks_with_x(&self.catalog)
+            .zip(self.catalog.iter_x0())
+            .filter(|((_, x_j), (_, x0))| x_j % disks != x0 % disks)
             .count() as u64;
-        self.log = ScalingLog::new(disks).expect("disks > 0 by invariant");
-        self.fairness.reset(disks);
+        self.log = ScalingLog::new(disks as u32).expect("disks > 0 by invariant");
+        self.fairness.reset(disks as u32);
+        self.pipeline = RemapPipeline::compile(&self.log);
+        self.cache = XCache::rebuild(&self.catalog, &self.pipeline);
         moved
     }
 
@@ -338,20 +398,25 @@ impl Scaddar {
     pub fn from_snapshot(bytes: &[u8], epsilon: f64) -> Result<Self, PersistError> {
         let snap = persist::decode(bytes)?;
         let fairness = FairnessTracker::from_log(snap.catalog.bits(), &snap.log);
+        let pipeline = RemapPipeline::compile(&snap.log);
+        let cache = XCache::rebuild(&snap.catalog, &pipeline);
         Ok(Scaddar {
             catalog: snap.catalog,
             log: snap.log,
+            pipeline,
+            cache,
             fairness,
             epsilon,
         })
     }
 
     /// Per-disk block counts across the whole catalog — the load census
-    /// behind every balance experiment.
+    /// behind every balance experiment. O(B) over the cached `X_j`.
     pub fn load_distribution(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.disks() as usize];
-        for (_, x0) in self.catalog.iter_x0() {
-            counts[locate(x0, &self.log).0 as usize] += 1;
+        let disks = u64::from(self.disks());
+        let mut counts = vec![0u64; disks as usize];
+        for (_, x) in self.cache.blocks_with_x(&self.catalog) {
+            counts[(x % disks) as usize] += 1;
         }
         counts
     }
@@ -480,10 +545,8 @@ mod tests {
         // Include the O(i)-indexed generator: the bulk path must agree
         // with the slow path for every family.
         for rng in [RngKind::SplitMix64, RngKind::XorShift64Star] {
-            let mut s = Scaddar::new(
-                ScaddarConfig::new(5).with_catalog_seed(3).with_rng(rng),
-            )
-            .unwrap();
+            let mut s =
+                Scaddar::new(ScaddarConfig::new(5).with_catalog_seed(3).with_rng(rng)).unwrap();
             let id = s.add_object(2_000);
             s.scale(ScalingOp::Add { count: 2 }).unwrap();
             s.scale(ScalingOp::remove_one(0)).unwrap();
@@ -510,7 +573,10 @@ mod tests {
         assert_eq!(restored.disks(), s.disks());
         assert_eq!(restored.epoch(), s.epoch());
         for blk in (0..2_000).step_by(13) {
-            assert_eq!(restored.locate(id, blk).unwrap(), s.locate(id, blk).unwrap());
+            assert_eq!(
+                restored.locate(id, blk).unwrap(),
+                s.locate(id, blk).unwrap()
+            );
         }
         // Fairness state is re-derived from the log.
         assert_eq!(restored.fairness(), s.fairness());

@@ -189,9 +189,9 @@ mod tests {
         let log = log_with(
             4,
             &[
-                ScalingOp::Add { count: 2 },           // 4 -> 6
-                ScalingOp::Remove { disks: vec![4] },  // 6 -> 5
-                ScalingOp::Add { count: 3 },           // 5 -> 8
+                ScalingOp::Add { count: 2 },          // 4 -> 6
+                ScalingOp::Remove { disks: vec![4] }, // 6 -> 5
+                ScalingOp::Add { count: 3 },          // 5 -> 8
             ],
         );
         assert_eq!(log.epoch(), 3);
@@ -213,7 +213,10 @@ mod tests {
     fn optimal_fraction_matches_def_3_4() {
         let log = log_with(
             4,
-            &[ScalingOp::Add { count: 1 }, ScalingOp::Remove { disks: vec![0] }],
+            &[
+                ScalingOp::Add { count: 1 },
+                ScalingOp::Remove { disks: vec![0] },
+            ],
         );
         // Addition 4 -> 5: z = 1/5.
         assert!((log.records()[0].optimal_move_fraction() - 0.2).abs() < 1e-12);

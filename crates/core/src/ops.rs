@@ -68,13 +68,23 @@ impl ScalingOp {
 }
 
 /// A validated, sorted set of removed logical disk indices, supporting
-/// the paper's `new()` renumbering (rank among survivors) in O(log k).
+/// the paper's `new()` renumbering (rank among survivors) in O(1) via a
+/// precomputed dense rank table over `0..N_{j-1}`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemovedSet {
     sorted: Vec<u32>,
+    /// `rank[d]` is the post-removal index of surviving disk `d`, or
+    /// [`RemovedSet::REMOVED`] if `d` is removed; `rank.len()` is the
+    /// pre-removal disk count.
+    rank: Vec<u32>,
 }
 
 impl RemovedSet {
+    /// Sentinel marking a removed disk in [`RemovedSet::rank_table`].
+    /// Never collides with a real index: survivors number strictly fewer
+    /// than `u32::MAX`.
+    pub const REMOVED: u32 = u32::MAX;
+
     /// Validates and sorts a removal list against the current disk count.
     pub fn new(disks: &[u32], disks_before: u32) -> Result<Self, ScalingError> {
         if disks.is_empty() {
@@ -95,7 +105,19 @@ impl RemovedSet {
                 });
             }
         }
-        Ok(RemovedSet { sorted })
+        let mut rank = vec![0u32; disks_before as usize];
+        let mut next_removed = 0usize;
+        let mut new_index = 0u32;
+        for d in 0..disks_before {
+            if next_removed < sorted.len() && sorted[next_removed] == d {
+                rank[d as usize] = Self::REMOVED;
+                next_removed += 1;
+            } else {
+                rank[d as usize] = new_index;
+                new_index += 1;
+            }
+        }
+        Ok(RemovedSet { sorted, rank })
     }
 
     /// Number of removed disks.
@@ -113,19 +135,45 @@ impl RemovedSet {
         &self.sorted
     }
 
+    /// The pre-removal disk count this set was validated against.
+    pub fn disks_before(&self) -> u32 {
+        self.rank.len() as u32
+    }
+
     /// Is logical disk `d` removed by this operation?
     pub fn contains(&self, d: u32) -> bool {
-        self.sorted.binary_search(&d).is_ok()
+        self.rank
+            .get(d as usize)
+            .is_some_and(|&m| m == Self::REMOVED)
+    }
+
+    /// The full dense renumber table over `0..N_{j-1}`: survivors map to
+    /// their post-removal index, removed disks to
+    /// [`RemovedSet::REMOVED`]. This is what [`RemapPipeline`] copies
+    /// into its flat step list.
+    ///
+    /// [`RemapPipeline`]: crate::RemapPipeline
+    pub fn rank_table(&self) -> &[u32] {
+        &self.rank
     }
 
     /// The paper's `new()` function: the post-removal logical index of a
-    /// *surviving* disk `d`, i.e. its rank among survivors.
+    /// *surviving* disk `d`, i.e. its rank among survivors. O(1) table
+    /// lookup.
     ///
     /// # Panics
     /// In debug builds, if `d` is itself removed (callers must branch on
-    /// [`RemovedSet::contains`] first, as Eq. 3 does).
+    /// [`RemovedSet::contains`] first, as Eq. 3 does); in all builds if
+    /// `d` is outside `0..N_{j-1}`.
     pub fn renumber(&self, d: u32) -> u32 {
         debug_assert!(!self.contains(d), "renumber() called on a removed disk");
+        self.rank[d as usize]
+    }
+
+    /// The original O(log k) binary-search renumbering, kept as a
+    /// reference implementation cross-checked against the rank table.
+    #[cfg(test)]
+    pub(crate) fn renumber_by_search(&self, d: u32) -> u32 {
         let removed_below = match self.sorted.binary_search(&d) {
             Ok(pos) | Err(pos) => pos as u32,
         };
@@ -170,7 +218,10 @@ mod tests {
 
     #[test]
     fn remove_validates_and_counts() {
-        assert_eq!(ScalingOp::Remove { disks: vec![1, 3] }.disks_after(4), Ok(2));
+        assert_eq!(
+            ScalingOp::Remove { disks: vec![1, 3] }.disks_after(4),
+            Ok(2)
+        );
         assert_eq!(
             ScalingOp::Remove { disks: vec![] }.disks_after(4),
             Err(ScalingError::EmptyRemoval)
@@ -243,6 +294,24 @@ mod tests {
                 }
             }
             prop_assert_eq!(expected_new, disks - set.len());
+        }
+
+        /// The dense rank table agrees with the original binary-search
+        /// renumbering on every surviving disk, for arbitrary removals.
+        #[test]
+        fn prop_rank_table_matches_binary_search(
+            removal in proptest::collection::btree_set(0u32..64, 1..12),
+            disks in 64u32..128,
+        ) {
+            let removal: Vec<u32> = removal.into_iter().collect();
+            let set = RemovedSet::new(&removal, disks).unwrap();
+            for d in 0..disks {
+                if set.contains(d) {
+                    prop_assert_eq!(set.rank_table()[d as usize], RemovedSet::REMOVED);
+                } else {
+                    prop_assert_eq!(set.renumber(d), set.renumber_by_search(d));
+                }
+            }
         }
     }
 }

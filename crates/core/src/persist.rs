@@ -236,10 +236,9 @@ pub fn decode(data: &[u8]) -> Result<Snapshot, PersistError> {
     }
 
     // Log, re-validated operation by operation.
-    let initial = u32::try_from(get_varint(body, &mut pos)?)
-        .map_err(|_| PersistError::VarintOverflow)?;
-    let mut log = ScalingLog::new(initial)
-        .map_err(PersistError::InvalidHistory)?;
+    let initial =
+        u32::try_from(get_varint(body, &mut pos)?).map_err(|_| PersistError::VarintOverflow)?;
+    let mut log = ScalingLog::new(initial).map_err(PersistError::InvalidHistory)?;
     let records = get_varint(body, &mut pos)?;
     for _ in 0..records {
         let tag = get_u8(body, &mut pos)?;
@@ -349,14 +348,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        assert!(matches!(decode(b"NOPEnope-nope"), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            decode(b"NOPEnope-nope"),
+            Err(PersistError::BadMagic)
+        ));
         // Valid magic, bumped version.
         let mut bytes = encode(&sample_snapshot());
         bytes[4] = 99;
         let fixed_crc = crc32(&bytes[..bytes.len() - 4]);
         let n = bytes.len();
         bytes[n - 4..].copy_from_slice(&fixed_crc.to_le_bytes());
-        assert!(matches!(decode(&bytes), Err(PersistError::UnknownVersion(99))));
+        assert!(matches!(
+            decode(&bytes),
+            Err(PersistError::UnknownVersion(99))
+        ));
     }
 
     #[test]
@@ -383,7 +388,10 @@ mod tests {
     fn rejects_truncation_everywhere() {
         let bytes = encode(&sample_snapshot());
         for len in 0..bytes.len() {
-            assert!(decode(&bytes[..len]).is_err(), "accepted truncation at {len}");
+            assert!(
+                decode(&bytes[..len]).is_err(),
+                "accepted truncation at {len}"
+            );
         }
     }
 

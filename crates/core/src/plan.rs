@@ -17,6 +17,7 @@
 use crate::address::DiskIndex;
 use crate::log::{RecordAction, ScalingLog, ScalingRecord};
 use crate::object::{BlockRef, Catalog};
+use crate::pipeline::RemapPipeline;
 use crate::remap::{remap_add, remap_remove};
 
 /// One block that must change disks.
@@ -112,10 +113,72 @@ pub fn plan_last_op(catalog: &Catalog, log: &ScalingLog) -> MovePlan {
         })
     };
     plan_from_x_prev(
-        catalog.iter_x0().map(|(blockref, x0)| (blockref, x_prev_of(x0))),
+        catalog
+            .iter_x0()
+            .map(|(blockref, x0)| (blockref, x_prev_of(x0))),
         record,
         j,
     )
+}
+
+/// Parallel `RF()`: the same plan as [`plan_last_op`], computed by
+/// `threads` scoped worker threads.
+///
+/// The catalog's flattened block index space is split into one
+/// contiguous span per thread; each worker seeks into the random
+/// streams with [`Catalog::iter_x0_range`], folds `X_0 → X_{j-1}`
+/// through a compiled prefix [`RemapPipeline`], applies the final
+/// record, and emits a partial plan. Partial move lists are
+/// concatenated in span order — which *is* catalog order — so the
+/// result is equal to the serial plan, moves and censuses included.
+///
+/// # Panics
+/// If the log has no operations.
+pub fn plan_last_op_parallel(catalog: &Catalog, log: &ScalingLog, threads: usize) -> MovePlan {
+    let j = log.epoch();
+    assert!(j > 0, "log has no scaling operation to plan");
+    let total = catalog.total_blocks();
+    let threads = threads.max(1).min(total.max(1) as usize);
+    if threads == 1 {
+        return plan_last_op(catalog, log);
+    }
+    let prefix = RemapPipeline::compile_prefix(log, j - 1);
+    let record = &log.records()[j - 1];
+    let chunk = total.div_ceil(threads as u64);
+    let partials: Vec<MovePlan> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let start = t * chunk;
+                let len = chunk.min(total - start);
+                let prefix = &prefix;
+                scope.spawn(move |_| {
+                    plan_from_x_prev(
+                        catalog
+                            .iter_x0_range(start, len)
+                            .map(|(blockref, x0)| (blockref, prefix.fold(x0))),
+                        record,
+                        j,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("planner worker panicked"))
+            .collect()
+    })
+    .expect("planner scope joins cleanly");
+    let mut merged = MovePlan {
+        target_epoch: j,
+        moves: Vec::with_capacity(partials.iter().map(|p| p.moves.len()).sum()),
+        total_blocks: 0,
+        optimal_fraction: record.optimal_move_fraction(),
+    };
+    for partial in partials {
+        merged.moves.extend(partial.moves);
+        merged.total_blocks += partial.total_blocks;
+    }
+    merged
 }
 
 /// Plans the moves for the last operation given each block's *current*
@@ -223,6 +286,36 @@ mod tests {
             .collect();
         let incremental = plan_last_op_with_x(cached, &log);
         assert_eq!(full, incremental);
+    }
+
+    #[test]
+    fn parallel_plan_equals_serial_plan() {
+        let mut catalog = Catalog::new(RngKind::SplitMix64, Bits::B32, 7);
+        catalog.add_object(5_000);
+        catalog.add_object(1);
+        catalog.add_object(3_000);
+        let mut log = ScalingLog::new(4).unwrap();
+        for op in [
+            ScalingOp::Add { count: 2 },
+            ScalingOp::remove_one(1),
+            ScalingOp::Add { count: 1 },
+        ] {
+            log.push(&op).unwrap();
+            let serial = plan_last_op(&catalog, &log);
+            for threads in [1, 2, 3, 7, 64] {
+                let parallel = plan_last_op_parallel(&catalog, &log, threads);
+                assert_eq!(parallel, serial, "threads={threads} epoch={}", log.epoch());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plan_handles_empty_catalog() {
+        let catalog = Catalog::new(RngKind::SplitMix64, Bits::B32, 7);
+        let mut log = ScalingLog::new(2).unwrap();
+        log.push(&ScalingOp::Add { count: 1 }).unwrap();
+        let plan = plan_last_op_parallel(&catalog, &log, 8);
+        assert_eq!(plan, plan_last_op(&catalog, &log));
     }
 
     #[test]

@@ -113,7 +113,10 @@ pub fn remap_add_naive(x0: u64, n_prev: u64, n_new: u64) -> Remapped {
         // Block keeps whatever disk the previous epoch gave it; the
         // caller keeps X unchanged because the naive scheme always
         // re-derives from X_0.
-        Remapped { x: x0, moved: false }
+        Remapped {
+            x: x0,
+            moved: false,
+        }
     }
 }
 

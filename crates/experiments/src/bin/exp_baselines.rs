@@ -23,14 +23,14 @@ use scaddar_experiments::{banner, write_csv, PaperSetup};
 
 fn mixed_schedule() -> Vec<ScalingOp> {
     vec![
-        ScalingOp::Add { count: 2 },  // 8 -> 10
-        ScalingOp::Add { count: 2 },  // 10 -> 12
-        ScalingOp::remove_one(3),     // 12 -> 11
-        ScalingOp::Add { count: 3 },  // 11 -> 14
-        ScalingOp::remove_one(0),     // 14 -> 13
-        ScalingOp::remove_one(7),     // 13 -> 12
-        ScalingOp::Add { count: 4 },  // 12 -> 16
-        ScalingOp::remove_one(10),    // 16 -> 15
+        ScalingOp::Add { count: 2 }, // 8 -> 10
+        ScalingOp::Add { count: 2 }, // 10 -> 12
+        ScalingOp::remove_one(3),    // 12 -> 11
+        ScalingOp::Add { count: 3 }, // 11 -> 14
+        ScalingOp::remove_one(0),    // 14 -> 13
+        ScalingOp::remove_one(7),    // 13 -> 12
+        ScalingOp::Add { count: 4 }, // 12 -> 16
+        ScalingOp::remove_one(10),   // 16 -> 15
     ]
 }
 

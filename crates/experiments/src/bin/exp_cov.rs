@@ -56,10 +56,12 @@ fn main() {
         "load CoV across successive scaling operations",
         "§5 (20 objects, b=32, eps=5%, ~8 disks; threshold k=8)",
     );
-    let k = rule_of_thumb_max_ops(PaperSetup::BITS, f64::from(PaperSetup::INITIAL_DISKS), PaperSetup::EPSILON);
-    println!(
-        "rule-of-thumb threshold: k = {k} operations (paper: k = 8)\n"
+    let k = rule_of_thumb_max_ops(
+        PaperSetup::BITS,
+        f64::from(PaperSetup::INITIAL_DISKS),
+        PaperSetup::EPSILON,
     );
+    println!("rule-of-thumb threshold: k = {k} operations (paper: k = 8)\n");
 
     let (scaddar_cov, scaddar_p) =
         cov_series(|| Box::new(ScaddarStrategy::new(PaperSetup::INITIAL_DISKS).unwrap()));

@@ -7,7 +7,9 @@
 //! and 4 are moved onto disk 5 while disk 0 and disk 2 are ignored".
 
 use scaddar_analysis::{Csv, Table};
-use scaddar_baselines::{BlockKey, NaiveStrategy, PlacementStrategy, PlacementStrategyExt, ScaddarStrategy};
+use scaddar_baselines::{
+    BlockKey, NaiveStrategy, PlacementStrategy, PlacementStrategyExt, ScaddarStrategy,
+};
 use scaddar_core::ScalingOp;
 use scaddar_experiments::{banner, write_csv};
 

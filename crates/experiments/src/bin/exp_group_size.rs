@@ -34,8 +34,9 @@ fn main() {
 
     for group in [1u32, 2, 4, 8] {
         let ops_needed = 8 / group as usize;
-        let schedule: Vec<ScalingOp> =
-            (0..ops_needed).map(|_| ScalingOp::Add { count: group }).collect();
+        let schedule: Vec<ScalingOp> = (0..ops_needed)
+            .map(|_| ScalingOp::Add { count: group })
+            .collect();
 
         let mut tracker = FairnessTracker::new(Bits::B32, 8);
         let mut disks = 8u32;

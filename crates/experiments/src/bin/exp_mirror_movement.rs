@@ -26,11 +26,7 @@ fn main() {
         "mirror copies under scaling: f(N)=N/2 vs a fixed offset",
         "§6 (the mirroring sketch, cost the paper leaves implicit)",
     );
-    let catalog = Catalog::new(
-        scaddar_prng::RngKind::SplitMix64,
-        PaperSetup::BITS,
-        21,
-    );
+    let catalog = Catalog::new(scaddar_prng::RngKind::SplitMix64, PaperSetup::BITS, 21);
     let mut catalog = catalog;
     for _ in 0..PaperSetup::OBJECTS {
         catalog.add_object(PaperSetup::BLOCKS_PER_OBJECT);
@@ -39,10 +35,10 @@ fn main() {
     let total = x0s.len() as f64;
 
     let schedule = [
-        ScalingOp::Add { count: 1 },  // 8 -> 9 (offset 4 -> 4)
-        ScalingOp::Add { count: 1 },  // 9 -> 10 (offset 4 -> 5)
-        ScalingOp::remove_one(3),     // 10 -> 9 (offset 5 -> 4)
-        ScalingOp::Add { count: 3 },  // 9 -> 12 (offset 4 -> 6)
+        ScalingOp::Add { count: 1 }, // 8 -> 9 (offset 4 -> 4)
+        ScalingOp::Add { count: 1 }, // 9 -> 10 (offset 4 -> 5)
+        ScalingOp::remove_one(3),    // 10 -> 9 (offset 5 -> 4)
+        ScalingOp::Add { count: 3 }, // 9 -> 12 (offset 4 -> 6)
     ];
 
     let mut log = ScalingLog::new(PaperSetup::INITIAL_DISKS).unwrap();
@@ -53,15 +49,19 @@ fn main() {
         "mirrors moved, f=N/2",
         "mirrors moved, f=1",
     ]);
-    let mut csv = Csv::new(["op", "disks", "primary_frac", "mirror_half_frac", "mirror_fixed_frac"]);
+    let mut csv = Csv::new([
+        "op",
+        "disks",
+        "primary_frac",
+        "mirror_half_frac",
+        "mirror_fixed_frac",
+    ]);
 
     // Track previous physical placements. Removals renumber logical
     // indices; for movement accounting we track physical identity the
     // same way the harness does, via a running logical->physical map.
     let mut physical = scaddar_baselines::PhysicalMap::new(PaperSetup::INITIAL_DISKS);
-    let place_all = |log: &ScalingLog,
-                     physical: &scaddar_baselines::PhysicalMap,
-                     x0s: &[u64]| {
+    let place_all = |log: &ScalingLog, physical: &scaddar_baselines::PhysicalMap, x0s: &[u64]| {
         let n = log.current_disks();
         let offset_half = (n / 2).max(1);
         x0s.iter()

@@ -19,8 +19,7 @@ fn pair_survey(server: &CmServer, total_blocks: u64, csv: &mut Csv, phase: &str)
     let mut worst_loss = 0u64;
     for a in 0..n {
         for b in (a + 1)..n {
-            let (_, lost) =
-                availability_census(server, &[DiskIndex(a), DiskIndex(b)]).unwrap();
+            let (_, lost) = availability_census(server, &[DiskIndex(a), DiskIndex(b)]).unwrap();
             if lost > 0 {
                 fatal_pairs += 1;
                 worst_loss = worst_loss.max(lost);
@@ -38,7 +37,11 @@ fn pair_survey(server: &CmServer, total_blocks: u64, csv: &mut Csv, phase: &str)
     // up and there are N/2 of them; otherwise each d yields a distinct
     // unordered pair, giving N (one side of each pair loses its blocks).
     let off = mirror_offset(n);
-    let expected_fatal = if (2 * off).is_multiple_of(n) { n / 2 } else { n };
+    let expected_fatal = if (2 * off).is_multiple_of(n) {
+        n / 2
+    } else {
+        n
+    };
     println!(
         "{phase}: N={n}, offset={}, fatal pairs {fatal_pairs}/{} (expected {expected_fatal}), worst pair loses {} blocks ({})",
         mirror_offset(n),

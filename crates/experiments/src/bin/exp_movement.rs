@@ -57,7 +57,14 @@ fn main() {
         ),
     ];
 
-    let mut csv = Csv::new(["schedule", "strategy", "op", "moved_fraction", "optimal", "overhead"]);
+    let mut csv = Csv::new([
+        "schedule",
+        "strategy",
+        "op",
+        "moved_fraction",
+        "optimal",
+        "overhead",
+    ]);
     for (label, schedule) in &schedules {
         println!("schedule: {label}");
         let mut table = Table::new(["strategy", "op", "moved", "optimal z_j", "overhead ratio"]);

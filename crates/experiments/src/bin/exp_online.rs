@@ -91,7 +91,14 @@ fn main() {
         "hiccups during+after",
         "blocks served",
     ]);
-    let mut csv = Csv::new(["scenario", "bw", "queued", "drain_rounds", "hiccups", "served"]);
+    let mut csv = Csv::new([
+        "scenario",
+        "bw",
+        "queued",
+        "drain_rounds",
+        "hiccups",
+        "served",
+    ]);
 
     let mut drain_by_bw = Vec::new();
     for bw in [1u32, 2, 4, 8, 16] {
@@ -113,7 +120,10 @@ fn main() {
             o.hiccups.to_string(),
             o.served.to_string(),
         ]);
-        assert_eq!(o.hiccups, 0, "scaling must not interrupt service at bw={bw}");
+        assert_eq!(
+            o.hiccups, 0,
+            "scaling must not interrupt service at bw={bw}"
+        );
     }
     // Heavier churn at a fixed bandwidth, for contrast.
     let o = run(4, true);

@@ -75,8 +75,7 @@ fn main() {
         let mut worst = 0u64;
         let mut total_lost = 0u64;
         for d in 0..DISKS {
-            let (_, _, lost) =
-                parity_availability_census(&server, g, &[DiskIndex(d)]).unwrap();
+            let (_, _, lost) = parity_availability_census(&server, g, &[DiskIndex(d)]).unwrap();
             worst = worst.max(lost);
             total_lost += lost;
         }

@@ -23,7 +23,10 @@ fn main() {
 
     let drives = [
         ("cheetah-15k (2001 enterprise)", DiskModel::cheetah_2001()),
-        ("barracuda-7k2 (2001 commodity)", DiskModel::barracuda_2001()),
+        (
+            "barracuda-7k2 (2001 commodity)",
+            DiskModel::barracuda_2001(),
+        ),
     ];
     let mut csv = Csv::new(["drive", "block_kib", "round_s", "streams_per_disk"]);
     let mut streams_at_256 = Vec::new();
@@ -45,7 +48,10 @@ fn main() {
                 fmt_f64(round_s, 4),
                 streams.to_string(),
             ]);
-            assert!(streams >= prev_streams, "seek amortization must not regress");
+            assert!(
+                streams >= prev_streams,
+                "seek amortization must not regress"
+            );
             assert!(
                 payload < model.transfer_bps / 1e6,
                 "payload exceeded the physical transfer bound"

@@ -94,7 +94,10 @@ fn main() {
         "max/min of mean CoV across families: {} — placement quality is generator-insensitive.",
         fmt_f64(spread, 3)
     );
-    assert!(spread < 1.5, "a generator family is an outlier: {mean_covs:?}");
+    assert!(
+        spread < 1.5,
+        "a generator family is an outlier: {mean_covs:?}"
+    );
     let path = write_csv("e14_rng_ablation.csv", &csv);
     println!("csv: {}", path.display());
 }

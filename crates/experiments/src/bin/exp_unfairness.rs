@@ -40,7 +40,10 @@ fn main() {
     ]);
 
     for bits in [Bits::B32, Bits::B64] {
-        println!("b = {} random bits, {DISKS} disks, churn schedule:", bits.get());
+        println!(
+            "b = {} random bits, {DISKS} disks, churn schedule:",
+            bits.get()
+        );
         // Empirical placement under this bit width.
         let mut catalog = scaddar_core::Catalog::new(RngKind::SplitMix64, bits, 5);
         for _ in 0..20 {

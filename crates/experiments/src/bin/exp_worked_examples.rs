@@ -20,7 +20,11 @@ fn print_trace(label: &str, x0: u64, log: &ScalingLog) {
             step.x.to_string(),
             step.disks.to_string(),
             step.disk.0.to_string(),
-            if step.moved { "yes".into() } else { String::from("no") },
+            if step.moved {
+                "yes".into()
+            } else {
+                String::from("no")
+            },
         ]);
     }
     println!("{t}");
@@ -61,5 +65,9 @@ fn main() {
     ] {
         log.push(&op).unwrap();
     }
-    print_trace("bonus: X_0 = 123456789 through 4 mixed operations:", 123_456_789, &log);
+    print_trace(
+        "bonus: X_0 = 123456789 through 4 mixed operations:",
+        123_456_789,
+        &log,
+    );
 }

@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn write_csv_lands_in_experiment_dir() {
-        std::env::set_var("SCADDAR_EXPERIMENT_DIR", std::env::temp_dir().join("scaddar-exp-test"));
+        std::env::set_var(
+            "SCADDAR_EXPERIMENT_DIR",
+            std::env::temp_dir().join("scaddar-exp-test"),
+        );
         let mut csv = Csv::new(["a"]);
         csv.row(["1"]);
         let path = write_csv("unit_test.csv", &csv);

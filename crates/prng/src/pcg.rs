@@ -54,10 +54,7 @@ impl SeededRng for Pcg64 {
         let lo = splitmix::scramble_seed(seed);
         let hi = splitmix::scramble_seed(seed.wrapping_add(1));
         let init = (u128::from(hi) << 64) | u128::from(lo);
-        let state = init
-            .wrapping_add(C)
-            .wrapping_mul(A)
-            .wrapping_add(C);
+        let state = init.wrapping_add(C).wrapping_mul(A).wrapping_add(C);
         Pcg64 { state }
     }
 

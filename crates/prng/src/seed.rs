@@ -27,7 +27,8 @@ pub fn derive_object_seed(catalog_seed: u64, object_id: u64) -> u64 {
     // Two dependent scramble rounds: first fold the object id into the
     // catalog seed, then avalanche the combination. A single xor would
     // leave (catalog, id) pairs with colliding xors correlated.
-    let folded = splitmix::scramble_seed(catalog_seed) ^ object_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let folded =
+        splitmix::scramble_seed(catalog_seed) ^ object_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     splitmix::scramble_seed(folded)
 }
 
@@ -74,7 +75,9 @@ mod tests {
     fn different_catalogs_diverge() {
         let a = SeedDeriver::new(1);
         let b = SeedDeriver::new(2);
-        let same = (0..1000).filter(|&id| a.object_seed(id) == b.object_seed(id)).count();
+        let same = (0..1000)
+            .filter(|&id| a.object_seed(id) == b.object_seed(id))
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -21,8 +21,9 @@ use std::fmt;
 /// Placement quality is insensitive to the choice (each is far better
 /// than the uniformity SCADDAR's analysis requires — verified empirically
 /// by experiment E12); the knob exists because the *cost model* differs:
-/// `SplitMix64` gives O(1) random access, the LCG/PCG families O(log i),
-/// and `XorShift64Star` O(i).
+/// the counter-based families give O(1) random access while the
+/// sequential families pay O(log i) for an algebraic or GF(2)-linear
+/// jump-ahead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RngKind {
     /// Counter-based; O(1) indexed access. The default.
@@ -34,7 +35,8 @@ pub enum RngKind {
     /// Philox4x32-10 counter block cipher; O(1) indexed access,
     /// Crush-resistant mixing.
     Philox4x32,
-    /// xorshift64*; O(i) indexed access (exercises the fallback path).
+    /// xorshift64*; O(log i) indexed access via GF(2) matrix jump-ahead
+    /// (the largest per-jump constant of the suite).
     XorShift64Star,
 }
 
@@ -109,6 +111,16 @@ impl BlockRandoms {
         BlockRandomCursor::new(*self)
     }
 
+    /// A sequential cursor starting at `X_0^{(index)}` — seek via each
+    /// generator's jump-ahead (O(1) for counter-based kinds, O(log i)
+    /// for the others), then iterate. This is what lets parallel bulk
+    /// scans hand each worker a mid-object starting point cheaply.
+    pub fn cursor_at(&self, index: u64) -> BlockRandomCursor {
+        let mut cursor = BlockRandomCursor::new(*self);
+        cursor.advance(index);
+        cursor
+    }
+
     /// Convenience: the first `n` values, materialized.
     pub fn take_values(&self, n: u64) -> Vec<u64> {
         self.cursor().take(n as usize).collect()
@@ -135,6 +147,17 @@ pub struct BlockRandomCursor {
 }
 
 impl BlockRandomCursor {
+    /// Skips `n` values using the underlying generator's jump-ahead.
+    pub fn advance(&mut self, n: u64) {
+        match &mut self.state {
+            CursorState::SplitMix64(g) => g.advance(n),
+            CursorState::Lcg64(g) => g.advance(n),
+            CursorState::Pcg64(g) => g.advance(n),
+            CursorState::XorShift64Star(g) => g.advance(n),
+            CursorState::Philox4x32(g) => g.advance(n),
+        }
+    }
+
     fn new(seq: BlockRandoms) -> Self {
         let state = match seq.kind {
             RngKind::SplitMix64 => CursorState::SplitMix64(SplitMix64::from_seed(seq.seed)),
@@ -145,7 +168,10 @@ impl BlockRandomCursor {
             }
             RngKind::Philox4x32 => CursorState::Philox4x32(Philox4x32::from_seed(seq.seed)),
         };
-        BlockRandomCursor { state, bits: seq.bits }
+        BlockRandomCursor {
+            state,
+            bits: seq.bits,
+        }
     }
 }
 
@@ -201,6 +227,18 @@ mod tests {
         assert_eq!(RngKind::Pcg64.to_string(), "pcg64");
         assert_eq!(RngKind::XorShift64Star.to_string(), "xorshift64star");
         assert_eq!(RngKind::Philox4x32.to_string(), "philox4x32");
+    }
+
+    #[test]
+    fn cursor_at_matches_skipped_cursor_for_all_kinds() {
+        for kind in RngKind::ALL {
+            let seq = BlockRandoms::new(kind, 0xABCD, Bits::B32);
+            for start in [0u64, 1, 17, 1500] {
+                let seeked: Vec<u64> = seq.cursor_at(start).take(8).collect();
+                let walked: Vec<u64> = seq.cursor().skip(start as usize).take(8).collect();
+                assert_eq!(seeked, walked, "kind {kind} start {start}");
+            }
+        }
     }
 
     proptest! {

@@ -1,0 +1,100 @@
+//! Offline stand-in for the [`crossbeam`] crate.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the one crossbeam facility the workspace uses — scoped threads — as a
+//! thin wrapper over [`std::thread::scope`] (stable since 1.63), keeping
+//! crossbeam's call shape: the closure passed to [`scope`] and to
+//! [`thread::Scope::spawn`] receives a scope handle, and `scope` returns
+//! a `Result` (always `Ok` here; panics propagate as panics, as they do
+//! with std scoped threads).
+//!
+//! [`crossbeam`]: https://docs.rs/crossbeam
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped thread spawning (`crossbeam::thread`).
+
+    use std::any::Any;
+    use std::thread::ScopedJoinHandle;
+
+    /// Result type of [`scope`], matching `crossbeam::thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning threads tied to the enclosing [`scope`]
+    /// call; all spawned threads are joined before `scope` returns.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// a scope handle so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns_ok() {
+        let counter = AtomicU64::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7u32
+        })
+        .expect("no panics");
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_handle() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn threads_can_borrow_environment() {
+        let data = [1u64, 2, 3, 4];
+        let sum = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("no panics");
+        assert_eq!(sum, 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! `any::<T>()` — full-domain strategies for primitive types, biased
+//! toward boundary values the way upstream proptest's binary search
+//! tends to surface them.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // One draw in eight lands on an edge value: integer
+                // overflow and off-by-one bugs live there, and pure
+                // uniform sampling essentially never visits them.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 4] = [0, 1, <$t>::MAX, <$t>::MAX - 1];
+                    EDGES[rng.below(4) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_is_deterministic_per_seed() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..64 {
+            assert_eq!(u64::arbitrary_value(&mut a), u64::arbitrary_value(&mut b));
+        }
+    }
+
+    #[test]
+    fn any_hits_edges() {
+        let mut rng = TestRng::new(1);
+        let strat = any::<u32>();
+        let mut saw_max = false;
+        for _ in 0..500 {
+            saw_max |= strat.generate(&mut rng) == u32::MAX;
+        }
+        assert!(saw_max, "edge bias should surface MAX within 500 draws");
+    }
+}

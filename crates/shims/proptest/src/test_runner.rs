@@ -1,0 +1,225 @@
+//! The case runner: deterministic RNG, config, and pass/reject/fail
+//! plumbing for the [`proptest!`](crate::proptest) macro.
+
+/// SplitMix64-based generator backing every strategy draw.
+///
+/// Deliberately independent of the workspace's own PRNG crates so the
+/// test harness cannot be perturbed by the code under test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounding; the bias is far below what sampling
+        // (no statistics) can observe, and it stays deterministic.
+        let wide = u128::from(self.next_u64()) * u128::from(bound);
+        (wide >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Outcome of one generated case: rejected by an assumption, or failed
+/// an assertion.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` did not hold; the case is discarded, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) outcome with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Per-case result type produced by the macro-generated closure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            max_global_rejects: cases.saturating_mul(16).max(256),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self::with_cases(cases)
+    }
+}
+
+/// Drives one property: draws cases, tracks rejects, panics on failure
+/// with enough context to replay.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the named property under `config`.
+    pub fn new(config: Config, name: &'static str) -> Self {
+        Self { config, name }
+    }
+
+    fn base_seed(&self) -> u64 {
+        if let Some(seed) = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            return seed;
+        }
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in self.name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs the property to the configured number of accepted cases.
+    ///
+    /// Panics (failing the `#[test]`) on the first assertion failure or
+    /// if rejections exhaust the budget before any case is accepted.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let base = self.base_seed();
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while accepted < self.config.cases {
+            case_index += 1;
+            let seed = base ^ case_index.wrapping_mul(0xA24B_AED4_963E_E407);
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        if accepted == 0 {
+                            panic!(
+                                "[{}] every generated case was rejected \
+                                 (last assumption: {reason})",
+                                self.name
+                            );
+                        }
+                        // Enough signal; stop early rather than spin.
+                        return;
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "[{}] property failed at case {case_index} \
+                     (replay with PROPTEST_RNG_SEED={base}):\n{msg}",
+                    self.name
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..1000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn runner_counts_accepted_cases() {
+        let mut runner = TestRunner::new(Config::with_cases(10), "counter");
+        let mut n = 0;
+        runner.run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_panics_on_failure() {
+        let mut runner = TestRunner::new(Config::with_cases(10), "failer");
+        runner.run(|_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    #[should_panic(expected = "every generated case was rejected")]
+    fn runner_panics_when_all_rejected() {
+        let mut runner = TestRunner::new(Config::with_cases(10), "rejecter");
+        runner.run(|_| Err(TestCaseError::reject("never")));
+    }
+}

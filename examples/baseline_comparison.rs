@@ -5,9 +5,9 @@
 
 use scaddar::analysis::{fmt_f64, fmt_pct, Table};
 use scaddar::baselines::{
-    run_schedule, ConsistentHashStrategy, DirectoryStrategy, FullRedistStrategy,
-    JumpHashStrategy, NaiveStrategy, PlacementStrategy, RoundRobinStrategy, ScaddarStrategy,
-    synthetic_population,
+    run_schedule, synthetic_population, ConsistentHashStrategy, DirectoryStrategy,
+    FullRedistStrategy, JumpHashStrategy, NaiveStrategy, PlacementStrategy, RoundRobinStrategy,
+    ScaddarStrategy,
 };
 use scaddar::prelude::*;
 

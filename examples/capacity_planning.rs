@@ -14,28 +14,36 @@ fn main() {
     // The media: 4 Mbit/s MPEG-2 -> 0.5 MB/s consumption per stream.
     let consume_bps = 0.5e6;
     let model = DiskModel::cheetah_2001();
-    println!("drive: 15k RPM, {:.1} ms avg seek, {:.0} MB/s transfer", model.avg_seek_s * 1e3, model.transfer_bps / 1e6);
-    println!("media: 4 Mbit/s MPEG-2 ({} KB/s per stream)\n", consume_bps as u64 / 1000);
+    println!(
+        "drive: 15k RPM, {:.1} ms avg seek, {:.0} MB/s transfer",
+        model.avg_seek_s * 1e3,
+        model.transfer_bps / 1e6
+    );
+    println!(
+        "media: 4 Mbit/s MPEG-2 ({} KB/s per stream)\n",
+        consume_bps as u64 / 1000
+    );
 
     println!("provisioning table (continuous-display rounds):");
     println!("{:>10}  {:>9}  {:>13}", "block", "round", "streams/disk");
     for (bytes, round_s, streams) in provisioning_table(&model, consume_bps) {
-        println!("{:>7} KiB  {:>7.3} s  {:>13}", bytes / 1024, round_s, streams);
+        println!(
+            "{:>7} KiB  {:>7.3} s  {:>13}",
+            bytes / 1024,
+            round_s,
+            streams
+        );
     }
 
     // Choose 256 KiB blocks (a typical latency/throughput compromise).
     let block_bytes = 256 * 1024;
     let (round_s, per_disk) = model.round_for_rate(block_bytes, consume_bps);
-    println!(
-        "\nchosen: 256 KiB blocks -> {round_s:.3} s rounds, {per_disk} streams/disk"
-    );
+    println!("\nchosen: 256 KiB blocks -> {round_s:.3} s rounds, {per_disk} streams/disk");
 
     // Target: 300 concurrent viewers with 20% headroom -> disks needed.
     let target_streams = 300.0;
     let disks = (target_streams / (f64::from(per_disk) * 0.8)).ceil() as u32;
-    println!(
-        "target 300 viewers at 80% utilization -> {disks} disks\n"
-    );
+    println!("target 300 viewers at 80% utilization -> {disks} disks\n");
 
     // Build the simulator from the plan and prove it.
     let config = ServerConfig::new(disks)

@@ -26,7 +26,11 @@ fn main() {
 
     // Store a two-hour movie: 100k quarter-megabyte blocks.
     let movie = engine.add_object(100_000);
-    println!("stored one object, {} blocks, on {} disks", 100_000, engine.disks());
+    println!(
+        "stored one object, {} blocks, on {} disks",
+        100_000,
+        engine.disks()
+    );
     print_loads("initial load:", &engine.load_distribution());
 
     // Any block is locatable from (seed, index) alone — no directory.
@@ -42,7 +46,10 @@ fn main() {
         plan.moved_fraction() * 100.0,
         plan.optimal_fraction * 100.0,
     );
-    assert!(plan.moves.iter().all(|m| m.to.0 >= 4), "moves target only new disks");
+    assert!(
+        plan.moves.iter().all(|m| m.to.0 >= 4),
+        "moves target only new disks"
+    );
     print_loads("after adding 2:", &engine.load_distribution());
 
     // Retire a disk. Only its blocks move, scattered over the survivors.

@@ -148,6 +148,9 @@ fn full_redistribution_endgame() {
     let census_after = engine.load_distribution();
     let cov_after = scaddar::analysis::Summary::of_counts(&census_after).cov;
     let cov_before = scaddar::analysis::Summary::of_counts(&census_before).cov;
-    assert!(cov_after <= cov_before + 0.01, "reset must not worsen balance");
+    assert!(
+        cov_after <= cov_before + 0.01,
+        "reset must not worsen balance"
+    );
     assert!(engine.next_op_is_safe(8), "budget restored");
 }

@@ -1,7 +1,7 @@
 //! Integration tests asserting the paper's claims across crate
 //! boundaries — every numbered claim of the paper, as a test.
 
-use scaddar::baselines::{run_schedule, NaiveStrategy, ScaddarStrategy, synthetic_population};
+use scaddar::baselines::{run_schedule, synthetic_population, NaiveStrategy, ScaddarStrategy};
 use scaddar::prelude::*;
 
 /// Definition 3.4 RO1 — additions: exactly `(N_j - N_{j-1})/N_j` of
@@ -41,8 +41,7 @@ fn ro1_removal_moves_only_victims() {
         .scale(ScalingOp::Remove { disks: vec![2, 5] })
         .unwrap();
     assert_eq!(plan.moves.len(), victims.len());
-    let moved: std::collections::HashSet<u64> =
-        plan.moves.iter().map(|m| m.block.block).collect();
+    let moved: std::collections::HashSet<u64> = plan.moves.iter().map(|m| m.block.block).collect();
     assert_eq!(moved, victims.into_iter().collect());
 }
 
@@ -63,7 +62,10 @@ fn ro2_uniformity_holds_within_budget() {
         ScalingOp::remove_one(2),
     ];
     for op in schedule {
-        assert!(engine.next_op_is_safe(engine.disks()), "budget exhausted early");
+        assert!(
+            engine.next_op_is_safe(engine.disks()),
+            "budget exhausted early"
+        );
         engine.scale(op).unwrap();
         let census = engine.load_distribution();
         let chi = scaddar::analysis::chi_square_uniform(&census);

@@ -1,0 +1,158 @@
+//! Property-based equivalence tests for the bulk location engine: the
+//! compiled [`RemapPipeline`], the epoch-tagged X-cache behind
+//! [`Scaddar::locate`], and the parallel planner must all agree with the
+//! stateless reference fold, for arbitrary valid scaling histories.
+
+use proptest::prelude::*;
+use scaddar::core::address::x_at_current_epoch;
+use scaddar::core::xcache::XCache;
+use scaddar::prelude::*;
+
+/// Random valid schedules (same shape as `property_invariants`): a mix
+/// of single/group removals and additions, disk count kept in 2..=64.
+fn schedules(max_ops: usize) -> impl Strategy<Value = (u32, Vec<ScalingOp>)> {
+    (
+        2u32..12,
+        proptest::collection::vec((0u32..4, any::<u64>()), 1..=max_ops),
+    )
+        .prop_map(|(initial, raw)| {
+            let mut disks = initial;
+            let mut ops = Vec::new();
+            for (kind, pick) in raw {
+                if kind == 0 && disks > 2 {
+                    let victim = (pick % u64::from(disks)) as u32;
+                    ops.push(ScalingOp::remove_one(victim));
+                    disks -= 1;
+                } else if kind == 1 && disks > 4 {
+                    let a = (pick % u64::from(disks)) as u32;
+                    let b = (a + 1 + (pick >> 32) as u32 % (disks - 1)) % disks;
+                    if a != b {
+                        ops.push(ScalingOp::Remove { disks: vec![a, b] });
+                        disks -= 2;
+                    }
+                } else {
+                    let count = 1 + (pick % 3) as u32;
+                    if disks + count <= 64 {
+                        ops.push(ScalingOp::Add { count });
+                        disks += count;
+                    }
+                }
+            }
+            (initial, ops)
+        })
+}
+
+fn log_of(initial: u32, ops: &[ScalingOp]) -> ScalingLog {
+    let mut log = ScalingLog::new(initial).unwrap();
+    for op in ops {
+        log.push(op).unwrap();
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compiled pipeline's fold is the reference fold, for arbitrary
+    /// op sequences and arbitrary `X_0` — including incremental
+    /// compilation via `extend_from` after every operation.
+    #[test]
+    fn pipeline_fold_equals_reference_fold(
+        (initial, ops) in schedules(10),
+        x0s in proptest::collection::vec(any::<u64>(), 16),
+    ) {
+        let mut log = ScalingLog::new(initial).unwrap();
+        let mut pipeline = RemapPipeline::compile(&log);
+        for op in &ops {
+            log.push(op).unwrap();
+            pipeline.extend_from(&log);
+            prop_assert_eq!(pipeline.epoch(), log.epoch());
+            prop_assert_eq!(pipeline.current_disks(), log.current_disks());
+            for &x0 in &x0s {
+                prop_assert_eq!(
+                    pipeline.fold(x0),
+                    x_at_current_epoch(x0, &log),
+                    "x0 {} at epoch {}", x0, log.epoch()
+                );
+                prop_assert_eq!(pipeline.locate(x0), locate(x0, &log));
+            }
+        }
+        // One-shot compilation of the full log agrees with incremental.
+        prop_assert_eq!(RemapPipeline::compile(&log), pipeline);
+    }
+
+    /// The parallel planner produces the *identical* `MovePlan` as the
+    /// serial planner — moves in the same order, same censuses — for any
+    /// history, any thread count.
+    #[test]
+    fn parallel_plan_equals_serial_plan(
+        (initial, ops) in schedules(6),
+        threads in 1usize..9,
+    ) {
+        prop_assume!(!ops.is_empty());
+        let mut catalog = Catalog::new(RngKind::SplitMix64, Bits::B32, 11);
+        catalog.add_object(1_500);
+        catalog.add_object(700);
+        let log = log_of(initial, &ops);
+        let serial = plan_last_op(&catalog, &log);
+        let parallel = plan_last_op_parallel(&catalog, &log, threads);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// The engine's cached-X lookups agree with the stateless O(j)
+    /// oracle at every epoch of a random history, through object churn.
+    #[test]
+    fn cached_locate_equals_oracle((initial, ops) in schedules(8)) {
+        let mut engine = Scaddar::new(
+            ScaddarConfig::new(initial).with_catalog_seed(13),
+        ).unwrap();
+        let first = engine.add_object(800);
+        let second = engine.add_object(300);
+        let mut removed_one = false;
+        for (i, op) in ops.iter().enumerate() {
+            engine.scale(op.clone()).unwrap();
+            if i == 1 {
+                // Mid-history churn: the cache must track both kinds.
+                engine.remove_object(second).unwrap();
+                removed_one = true;
+                engine.add_object(200);
+            }
+            for &(id, blocks) in &[(first, 800u64), (second, 300)] {
+                if id == second && removed_one {
+                    prop_assert!(engine.locate(id, 0).is_err());
+                    continue;
+                }
+                let obj = *engine.catalog().object(id).unwrap();
+                let bulk = engine.locate_all(id).unwrap();
+                for block in (0..blocks).step_by(53) {
+                    let x0 = engine.catalog().x0(&obj, block);
+                    let oracle = locate(x0, engine.log());
+                    prop_assert_eq!(
+                        engine.locate(id, block).unwrap(), oracle,
+                        "{} block {} after op {}", id, block, i
+                    );
+                    prop_assert_eq!(bulk[block as usize], oracle);
+                }
+            }
+        }
+    }
+
+    /// The X-cache advanced incrementally (one REMAP per epoch bump)
+    /// matches a from-scratch rebuild at every epoch.
+    #[test]
+    fn incremental_cache_equals_rebuild((initial, ops) in schedules(8)) {
+        let mut catalog = Catalog::new(RngKind::SplitMix64, Bits::B32, 5);
+        let id = catalog.add_object(600);
+        let mut log = ScalingLog::new(initial).unwrap();
+        let mut pipeline = RemapPipeline::compile(&log);
+        let mut cache = XCache::rebuild(&catalog, &pipeline);
+        for op in &ops {
+            log.push(op).unwrap();
+            pipeline.extend_from(&log);
+            cache.advance_to(&pipeline);
+            let rebuilt = XCache::rebuild(&catalog, &pipeline);
+            prop_assert_eq!(cache.epoch(), rebuilt.epoch());
+            prop_assert_eq!(cache.xs(id), rebuilt.xs(id));
+        }
+    }
+}

@@ -2,15 +2,18 @@
 //! the algorithm's invariants, spanning core + baselines + analysis.
 
 use proptest::prelude::*;
-use scaddar::baselines::{run_schedule, PhysicalMap, ScaddarStrategy, synthetic_population};
+use scaddar::baselines::{run_schedule, synthetic_population, PhysicalMap, ScaddarStrategy};
 use scaddar::prelude::*;
 
 /// Generates a random valid schedule of up to `max_ops` operations,
 /// tracking the disk count so removals are always legal and the array
 /// never shrinks below 2 or grows above 64.
 fn schedules(max_ops: usize) -> impl Strategy<Value = (u32, Vec<ScalingOp>)> {
-    (2u32..12, proptest::collection::vec((0u32..4, any::<u64>()), 1..=max_ops)).prop_map(
-        |(initial, raw)| {
+    (
+        2u32..12,
+        proptest::collection::vec((0u32..4, any::<u64>()), 1..=max_ops),
+    )
+        .prop_map(|(initial, raw)| {
             let mut disks = initial;
             let mut ops = Vec::new();
             for (kind, pick) in raw {
@@ -36,8 +39,7 @@ fn schedules(max_ops: usize) -> impl Strategy<Value = (u32, Vec<ScalingOp>)> {
                 }
             }
             (initial, ops)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -2,9 +2,7 @@
 //! (mirroring, declustered parity, failures, scrubbing, snapshots)
 //! working together over one server lifetime.
 
-use cmsim::{
-    availability_census, CmServer, DeclusteredParity, Scrubber, ServerConfig,
-};
+use cmsim::{availability_census, CmServer, DeclusteredParity, Scrubber, ServerConfig};
 use scaddar_core::{DiskIndex, ScalingOp};
 
 fn drained(server: &mut CmServer) {

@@ -41,8 +41,14 @@ fn restart_reconstructs_identical_placement() {
                 "object {i} block {blk} diverged across restart"
             );
             assert_eq!(
-                a.store().locate(BlockRef { object: id, block: blk }),
-                b.store().locate(BlockRef { object: id, block: blk }),
+                a.store().locate(BlockRef {
+                    object: id,
+                    block: blk
+                }),
+                b.store().locate(BlockRef {
+                    object: id,
+                    block: blk
+                }),
             );
         }
     }
