@@ -89,6 +89,14 @@ impl SharedServer {
         self.inner.read().backlog()
     }
 
+    /// The current `(epoch, disks)` pair read under one shared lock
+    /// acquisition — the reference point concurrent-read checkers
+    /// compare their [`EpochRead`]s against.
+    pub fn epoch_view(&self) -> (usize, u32) {
+        let guard = self.inner.read();
+        (guard.engine().epoch(), guard.disks().disks())
+    }
+
     /// Runs `f` with shared access to the server.
     pub fn with_read<R>(&self, f: impl FnOnce(&CmServer) -> R) -> R {
         f(&self.inner.read())

@@ -16,6 +16,26 @@ use scaddar_core::{DiskIndex, ObjectId, ScaddarError};
 /// The paper's example offset function: `f(N) = N/2`, floored, but never
 /// zero for `N >= 2` (for `N = 1` mirroring is impossible and the offset
 /// is 0).
+///
+/// # Scaling-epoch edge
+///
+/// The offset is a pure function of the **current** disk count `N_j`.
+/// It is *not* stable across scaling operations: after a removal both
+/// the offset value and the survivors' logical indices (the paper's
+/// `new()` renumbering) change, so the disk that mirrored a primary at
+/// epoch `j-1` is in general **not** the renumbering of that primary's
+/// mirror at epoch `j`. Concretely, removing disk 0 from `N = 6`:
+/// primary 1 renumbers to 0 and its old mirror 4 (offset 3) renumbers
+/// to 3, but the epoch-`j` mirror of 0 among 5 disks (offset 2) is
+/// disk 2.
+///
+/// Correct use is therefore: a mirror written before an operation must
+/// be **re-derived, never renumbered** — readers compute
+/// `mirror_of(AF(block), N_now)` per access, and the redistribution
+/// that moves primaries implicitly re-pairs every mirror. Callers that
+/// cache a partner disk across an epoch (or mix a write-epoch offset
+/// with read-epoch indices) silently lose single-failure tolerance;
+/// the regression tests below pin this invariant.
 pub fn mirror_offset(disks: u32) -> u32 {
     if disks < 2 {
         0
@@ -25,6 +45,11 @@ pub fn mirror_offset(disks: u32) -> u32 {
 }
 
 /// The mirror disk of logical `primary` among `disks` disks.
+///
+/// `disks` must be the disk count of the **same epoch** `primary` was
+/// resolved at (see the epoch edge on [`mirror_offset`]): both the
+/// offset and the logical numbering are per-epoch, so pairing an old
+/// primary with a new count (or vice versa) names the wrong disk.
 pub fn mirror_of(primary: DiskIndex, disks: u32) -> DiskIndex {
     DiskIndex((primary.0 + mirror_offset(disks)) % disks)
 }
@@ -173,5 +198,83 @@ mod tests {
     fn parity_beats_mirroring_on_overhead() {
         assert!(parity_group_overhead(5) < mirroring_overhead());
         assert!((parity_group_overhead(2) - 2.0).abs() < 1e-12);
+    }
+
+    /// Regression (removal-epoch edge): renumbering an old mirror is not
+    /// the same disk as re-deriving the mirror at the new epoch. Pins
+    /// the concrete example from the `mirror_offset` docs.
+    #[test]
+    fn renumbered_old_mirror_is_not_the_new_mirror() {
+        use scaddar_core::RemovedSet;
+        // Remove disk 0 from N=6. Survivor primary 1 renumbers to 0.
+        let removed = RemovedSet::new(&[0], 6).unwrap();
+        let old_primary = DiskIndex(1);
+        let old_mirror = mirror_of(old_primary, 6);
+        assert_eq!(old_mirror, DiskIndex(4), "offset 3 at N=6");
+        let new_primary = DiskIndex(removed.renumber(old_primary.0));
+        assert_eq!(new_primary, DiskIndex(0));
+        let renumbered_old_mirror = DiskIndex(removed.renumber(old_mirror.0));
+        let rederived_mirror = mirror_of(new_primary, 5);
+        assert_eq!(renumbered_old_mirror, DiskIndex(3));
+        assert_eq!(rederived_mirror, DiskIndex(2), "offset 2 at N=5");
+        assert_ne!(
+            renumbered_old_mirror, rederived_mirror,
+            "a cached mirror partner must not survive a removal epoch"
+        );
+    }
+
+    /// Regression (removal-epoch edge, end to end): across a removal,
+    /// single-disk failure tolerance holds at the *new* epoch exactly
+    /// when mirrors are re-derived from current `AF()` and current `N` —
+    /// i.e. `availability_census` (which re-derives per access) reports
+    /// zero loss for every single failure, before and after the op.
+    #[test]
+    fn single_failure_tolerance_survives_removal_epoch() {
+        let (mut s, _) = server(6, 2_000);
+        for d in 0..6 {
+            let (_, lost) = availability_census(&s, &[DiskIndex(d)]).unwrap();
+            assert_eq!(lost, 0, "pre-op: disk {d}");
+        }
+        s.scale_offline(ScalingOp::remove_one(0)).unwrap();
+        // 5 disks now; every logical index changed meaning, the offset
+        // changed from 3 to 2, and yet re-derived mirroring is whole.
+        for d in 0..5 {
+            let (readable, lost) = availability_census(&s, &[DiskIndex(d)]).unwrap();
+            assert_eq!(lost, 0, "post-op: disk {d}");
+            assert_eq!(readable, 2_000);
+        }
+        // The minimal fatal pair also moved: it is now (d, d+2) mod 5,
+        // not the old (d, d+3) mod 6.
+        let (_, lost) = availability_census(&s, &[DiskIndex(1), DiskIndex(3)]).unwrap();
+        assert!(lost > 0, "new-offset partners must be the fatal pair");
+    }
+
+    /// Regression (epoch mixing): pairing a pre-removal primary index
+    /// with the post-removal disk count (or vice versa) names a wrong
+    /// disk — the failure mode the `mirror_of` docs warn about.
+    #[test]
+    fn mixing_epochs_names_the_wrong_partner() {
+        let (mut s, id) = server(6, 500);
+        let pre: Vec<DiskIndex> = (0..500)
+            .map(|b| s.engine().locate(id, b).unwrap())
+            .collect();
+        s.scale_offline(ScalingOp::remove_one(2)).unwrap();
+        let n_now = s.disks().disks();
+        let mut mixed_diverges = false;
+        for (b, &old_primary) in pre.iter().enumerate() {
+            let current = s.engine().locate(id, b as u64).unwrap();
+            let correct = mirror_of(current, n_now);
+            // Write-epoch primary with read-epoch count: out of range or
+            // simply a different disk than the true partner.
+            let mixed = mirror_of(old_primary, n_now);
+            if mixed != correct {
+                mixed_diverges = true;
+            }
+            assert!(correct.0 < n_now);
+        }
+        assert!(
+            mixed_diverges,
+            "stale-primary mirror derivation must diverge somewhere"
+        );
     }
 }

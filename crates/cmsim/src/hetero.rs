@@ -163,6 +163,67 @@ mod tests {
         assert_eq!(h.detach(a), Err(ScalingError::WouldRemoveAllDisks));
     }
 
+    /// Detach renumbering agrees with SCADDAR's own `new()` rank map:
+    /// applying the detach op's [`RemovedSet`] renumbering to every
+    /// surviving pre-detach logical index reproduces the map's updated
+    /// backing table, through interleaved attach/detach churn.
+    #[test]
+    fn detach_renumbering_matches_removed_set_ranks() {
+        use scaddar_core::RemovedSet;
+        let mut h = HeteroMap::new();
+        let (_a, _) = h.attach(3).unwrap();
+        let (b, _) = h.attach(2).unwrap();
+        let (_c, _) = h.attach(4).unwrap();
+        let before = h.backing.clone();
+        let disks_before = h.logical_disks();
+        let op = h.detach(b).unwrap();
+        let removed = match &op {
+            ScalingOp::Remove { disks } => RemovedSet::new(disks, disks_before).unwrap(),
+            _ => unreachable!("detach emits removals"),
+        };
+        for (old_idx, &backer) in before.iter().enumerate() {
+            let old_idx = old_idx as u32;
+            if removed.contains(old_idx) {
+                assert_eq!(backer, b, "only b's logical disks are removed");
+            } else {
+                let new_idx = removed.renumber(old_idx);
+                assert_eq!(
+                    h.backing(DiskIndex(new_idx)),
+                    backer,
+                    "survivor {old_idx} -> {new_idx} changed backers"
+                );
+            }
+        }
+        assert_eq!(h.logical_disks(), disks_before - removed.len());
+    }
+
+    /// Weighting sanity under churn: shares always sum to 1, follow the
+    /// declared weights, and the census aggregation conserves blocks.
+    #[test]
+    fn weighting_sanity_through_churn() {
+        let mut h = HeteroMap::new();
+        let (a, _) = h.attach(1).unwrap();
+        h.attach(5).unwrap();
+        h.attach(2).unwrap();
+        let shares = h.expected_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] - 1.0 / 8.0).abs() < 1e-12);
+        assert!((shares[1] - 5.0 / 8.0).abs() < 1e-12);
+        h.detach(a).unwrap();
+        let shares = h.expected_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] - 5.0 / 7.0).abs() < 1e-12);
+
+        let logical_census: Vec<u64> = (0..h.logical_disks() as u64).map(|i| 10 + i).collect();
+        let phys = h.aggregate_census(&logical_census);
+        assert_eq!(
+            phys.iter().sum::<u64>(),
+            logical_census.iter().sum::<u64>(),
+            "aggregation conserves blocks"
+        );
+        assert_eq!(phys.len(), h.physical_disks());
+    }
+
     /// End to end with SCADDAR: a 1:3 weighted pair receives load in a
     /// 1:3 ratio, and detaching a physical disk moves only its share.
     #[test]

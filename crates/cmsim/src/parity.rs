@@ -300,4 +300,53 @@ mod tests {
         assert!(parity_disk(&s, ObjectId(99), 0, 4).is_err());
         assert!(parity_read(&s, ObjectId(99), 0, 4, &[]).is_err());
     }
+
+    /// Reconstruction after loss, spanning a scaling epoch: a disk dies
+    /// *after* the array has been scaled, and every block it held is
+    /// either rebuilt from live disks only, or lost for exactly the
+    /// co-location reason (a group sibling or the parity shared the
+    /// dead disk).
+    #[test]
+    fn reconstruction_after_loss_spans_scaling() {
+        let (mut s, id) = server(9, 2_500);
+        let g = 5u32;
+        s.scale_offline(ScalingOp::Add { count: 3 }).unwrap();
+        s.scale_offline(ScalingOp::remove_one(1)).unwrap();
+        let n = s.disks().disks();
+        let dead = DiskIndex(4);
+        let mut reconstructed = 0u64;
+        for b in 0..2_500u64 {
+            let own = s.engine().locate(id, b).unwrap();
+            if own != dead {
+                continue;
+            }
+            match parity_read(&s, id, b, g, &[dead]).unwrap() {
+                ParityRead::Reconstructed { from } => {
+                    reconstructed += 1;
+                    // 3 or fewer data siblings (tail group) + 1 parity,
+                    // all alive, all valid at the current epoch.
+                    let group = group_of(b, g);
+                    let members = group_members(group, g, 2_500);
+                    assert_eq!(from.len() as u64, members.end - members.start);
+                    for d in &from {
+                        assert_ne!(*d, dead, "block {b} read from the dead disk");
+                        assert!(d.0 < n);
+                    }
+                }
+                ParityRead::Lost => {
+                    let group = group_of(b, g);
+                    let sibling_down = group_members(group, g, 2_500)
+                        .filter(|&sib| sib != b)
+                        .any(|sib| s.engine().locate(id, sib).unwrap() == dead);
+                    let parity_down = parity_disk(&s, id, group, g).unwrap() == dead;
+                    assert!(
+                        sibling_down || parity_down,
+                        "block {b} lost without a co-located group member"
+                    );
+                }
+                ParityRead::Direct(_) => panic!("block {b}'s own disk is down"),
+            }
+        }
+        assert!(reconstructed > 0, "no block exercised reconstruction");
+    }
 }

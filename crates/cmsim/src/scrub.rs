@@ -196,6 +196,76 @@ mod tests {
         assert_eq!(scrubber.scrub(&s, 0), ScrubReport::default());
     }
 
+    /// Planted rot is detected, exactly and only: misplace a handful of
+    /// blocks behind the engine's back and the scrubber must flag
+    /// precisely those blocks as corrupt — nothing more, nothing less.
+    #[test]
+    fn detects_planted_rot_exactly() {
+        use scaddar_core::BlockRef;
+        let mut s = server(2_000);
+        let id = s.engine().catalog().objects()[0].id;
+        let mut planted = Vec::new();
+        for block in [17u64, 900, 1_999] {
+            let blockref = BlockRef { object: id, block };
+            let home = s.store().locate(blockref).unwrap();
+            let wrong = s
+                .disks()
+                .physical_ids()
+                .into_iter()
+                .find(|&p| p != home)
+                .expect("more than one disk");
+            assert!(s.inject_misplacement(blockref, wrong));
+            planted.push(blockref);
+        }
+        let mut scrubber = Scrubber::new();
+        let mut corrupt = Vec::new();
+        loop {
+            let r = scrubber.scrub(&s, 512);
+            assert_eq!(r.in_transit, 0, "no moves are pending");
+            corrupt.extend(r.corrupt);
+            if r.completed_pass {
+                break;
+            }
+        }
+        corrupt.sort();
+        planted.sort();
+        assert_eq!(corrupt, planted, "scrub must flag exactly the planted rot");
+    }
+
+    /// The inject hook itself is honest: it refuses no-op misplacement
+    /// and unknown blocks, and flips `residency_consistent`.
+    #[test]
+    fn inject_misplacement_contract() {
+        use scaddar_core::BlockRef;
+        let mut s = server(100);
+        let id = s.engine().catalog().objects()[0].id;
+        let blockref = BlockRef {
+            object: id,
+            block: 5,
+        };
+        let home = s.store().locate(blockref).unwrap();
+        assert!(
+            !s.inject_misplacement(blockref, home),
+            "same-disk is a no-op"
+        );
+        assert!(!s.inject_misplacement(
+            BlockRef {
+                object: scaddar_core::ObjectId(77),
+                block: 0
+            },
+            home
+        ));
+        assert!(s.residency_consistent());
+        let wrong = s
+            .disks()
+            .physical_ids()
+            .into_iter()
+            .find(|&p| p != home)
+            .unwrap();
+        assert!(s.inject_misplacement(blockref, wrong));
+        assert!(!s.residency_consistent(), "rot must break the invariant");
+    }
+
     #[test]
     fn survives_catalog_shrinking_between_increments() {
         let mut s = CmServer::new(ServerConfig::new(4).with_catalog_seed(1)).unwrap();

@@ -589,6 +589,22 @@ impl CmServer {
         self.store.census(&self.disks.physical_ids())
     }
 
+    /// **Test hook** — plants silent data rot: moves `block`'s residency
+    /// to physical disk `to` *without* telling the engine, so `AF()` and
+    /// the store now disagree about the block. This is precisely what a
+    /// scrubber exists to detect; it must never happen through the
+    /// public mutation API. Returns `false` (and changes nothing) if
+    /// the block is unknown or already on `to`.
+    pub fn inject_misplacement(&mut self, block: BlockRef, to: PhysicalDiskId) -> bool {
+        match self.store.locate(block) {
+            Some(from) if from != to => {
+                self.store.relocate(block, from, to);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Verifies that residency matches `AF()` for every block (only true
     /// when no redistribution is pending). The simulator's end-to-end
     /// invariant; exercised constantly by tests. Scans with the engine's

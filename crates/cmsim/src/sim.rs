@@ -43,6 +43,34 @@ impl Simulation {
         })
     }
 
+    /// Wraps an *existing* server in a simulation, deriving the workload
+    /// catalog from the server's current object catalog. This is the
+    /// entry point for drivers (like the deterministic harness) that
+    /// interleave object churn with workload phases: `WorkloadGen`'s
+    /// catalog is fixed at construction, so after adding or removing
+    /// objects a fresh wrap is required or [`Simulation::round`] would
+    /// open streams on stale objects.
+    pub fn from_server(server: CmServer, workload: WorkloadConfig, workload_seed: u64) -> Self {
+        let catalog: Vec<(ObjectId, u64)> = server
+            .engine()
+            .catalog()
+            .objects()
+            .iter()
+            .map(|o| (o.id, o.blocks))
+            .collect();
+        Simulation {
+            server,
+            workload: WorkloadGen::new(workload_seed, workload, catalog),
+            rejected: 0,
+        }
+    }
+
+    /// Unwraps the simulation, handing the server back to the caller
+    /// (the inverse of [`Simulation::from_server`]).
+    pub fn into_server(self) -> CmServer {
+        self.server
+    }
+
     /// The server (read-only).
     pub fn server(&self) -> &CmServer {
         &self.server

@@ -410,6 +410,64 @@ impl Scaddar {
         })
     }
 
+    /// Audits the engine's derived state (pipeline, X-cache, fairness
+    /// tracker) against a from-scratch re-derivation from the only
+    /// authoritative state, catalog + log. `Ok(())` when everything is
+    /// in lockstep; `Err` names the first divergence.
+    ///
+    /// O(B·j) — this is a *testing* hook (used by the simulation
+    /// harness after every step and by recovery checks), not a hot
+    /// path.
+    pub fn verify_derived_state(&self) -> Result<(), String> {
+        if self.pipeline.epoch() != self.log.epoch() {
+            return Err(format!(
+                "pipeline epoch {} != log epoch {}",
+                self.pipeline.epoch(),
+                self.log.epoch()
+            ));
+        }
+        if self.pipeline.current_disks() != self.log.current_disks() {
+            return Err(format!(
+                "pipeline disks {} != log disks {}",
+                self.pipeline.current_disks(),
+                self.log.current_disks()
+            ));
+        }
+        let fresh_pipeline = RemapPipeline::compile(&self.log);
+        if fresh_pipeline != self.pipeline {
+            return Err("incrementally extended pipeline != recompiled pipeline".into());
+        }
+        if self.cache.epoch() != self.log.epoch() {
+            return Err(format!(
+                "x-cache epoch {} != log epoch {}",
+                self.cache.epoch(),
+                self.log.epoch()
+            ));
+        }
+        let rebuilt = XCache::rebuild(&self.catalog, &self.pipeline);
+        if self.cache.objects() != self.catalog.objects().len() {
+            return Err(format!(
+                "x-cache holds {} objects, catalog has {}",
+                self.cache.objects(),
+                self.catalog.objects().len()
+            ));
+        }
+        for obj in self.catalog.objects() {
+            if self.cache.xs(obj.id) != rebuilt.xs(obj.id) {
+                return Err(format!("x-cache diverges from rebuild for {}", obj.id));
+            }
+        }
+        let replayed = FairnessTracker::from_log(self.catalog.bits(), &self.log);
+        if replayed != self.fairness {
+            return Err(format!(
+                "fairness tracker {:?} != log replay {:?}",
+                self.fairness.report(),
+                replayed.report()
+            ));
+        }
+        Ok(())
+    }
+
     /// Per-disk block counts across the whole catalog — the load census
     /// behind every balance experiment. O(B) over the cached `X_j`.
     pub fn load_distribution(&self) -> Vec<u64> {
@@ -580,6 +638,35 @@ mod tests {
         }
         // Fairness state is re-derived from the log.
         assert_eq!(restored.fairness(), s.fairness());
+    }
+
+    #[test]
+    fn derived_state_verifies_through_churn_and_recovery() {
+        let (mut s, id) = engine(5, 1_200);
+        s.verify_derived_state().unwrap();
+        s.scale(ScalingOp::Add { count: 2 }).unwrap();
+        s.add_object(400);
+        s.scale(ScalingOp::remove_one(1)).unwrap();
+        s.remove_object(id).unwrap();
+        s.verify_derived_state().unwrap();
+        let restored = Scaddar::from_snapshot(&s.snapshot(), 0.05).unwrap();
+        restored.verify_derived_state().unwrap();
+        s.full_redistribution();
+        s.verify_derived_state().unwrap();
+    }
+
+    #[test]
+    fn derived_state_detects_stale_cache() {
+        let (mut s, _) = engine(4, 500);
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        // Sabotage: regress the cache to epoch 0 as a stale-state stand-in.
+        s.cache = XCache::new();
+        s.cache = XCache::rebuild(
+            &s.catalog,
+            &RemapPipeline::compile(&ScalingLog::new(4).unwrap()),
+        );
+        let err = s.verify_derived_state().unwrap_err();
+        assert!(err.contains("epoch"), "unexpected diagnosis: {err}");
     }
 
     #[test]

@@ -65,6 +65,48 @@ impl ScalingOp {
             }
         }
     }
+
+    /// Structurally simpler variants of this operation, most aggressive
+    /// first: additions shrink their count toward 1, group removals
+    /// drop victims. Used by history minimizers (e.g. the simulation
+    /// harness) to reduce a failing schedule while keeping each
+    /// operation individually valid. Empty when already minimal.
+    pub fn shrink_candidates(&self) -> Vec<ScalingOp> {
+        match self {
+            ScalingOp::Add { count } => {
+                let mut out = Vec::new();
+                if *count > 1 {
+                    out.push(ScalingOp::Add { count: 1 });
+                    let mut delta = (count - 1) / 2;
+                    while delta > 0 {
+                        let c = count - delta;
+                        if c > 1 && !out.contains(&ScalingOp::Add { count: c }) {
+                            out.push(ScalingOp::Add { count: c });
+                        }
+                        delta /= 2;
+                    }
+                }
+                out
+            }
+            ScalingOp::Remove { disks } => {
+                if disks.len() <= 1 {
+                    return Vec::new();
+                }
+                let mut out = vec![ScalingOp::Remove {
+                    disks: disks[..disks.len() / 2].to_vec(),
+                }];
+                for i in 0..disks.len() {
+                    let mut fewer = disks.clone();
+                    fewer.remove(i);
+                    let cand = ScalingOp::Remove { disks: fewer };
+                    if !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                }
+                out
+            }
+        }
+    }
 }
 
 /// A validated, sorted set of removed logical disk indices, supporting
@@ -202,6 +244,38 @@ impl RemovedSet {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn shrink_candidates_are_simpler_and_valid() {
+        assert!(ScalingOp::add_one().shrink_candidates().is_empty());
+        assert!(ScalingOp::remove_one(3).shrink_candidates().is_empty());
+
+        let cands = ScalingOp::Add { count: 8 }.shrink_candidates();
+        assert_eq!(cands[0], ScalingOp::Add { count: 1 });
+        for c in &cands {
+            match c {
+                ScalingOp::Add { count } => assert!(*count < 8 && *count >= 1),
+                _ => panic!("addition shrinks to additions"),
+            }
+            assert!(c.disks_after(4).is_ok());
+        }
+
+        let op = ScalingOp::Remove {
+            disks: vec![0, 2, 5],
+        };
+        let cands = op.shrink_candidates();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            match c {
+                ScalingOp::Remove { disks } => {
+                    assert!(disks.len() < 3 && !disks.is_empty());
+                    assert!(disks.iter().all(|d| [0, 2, 5].contains(d)));
+                }
+                _ => panic!("removal shrinks to removals"),
+            }
+            assert!(c.disks_after(8).is_ok());
+        }
+    }
 
     #[test]
     fn add_validates_and_counts() {

@@ -286,6 +286,14 @@ pub fn decode(data: &[u8]) -> Result<Snapshot, PersistError> {
     Ok(Snapshot { log, catalog })
 }
 
+/// Decode-and-discard: `Ok(())` iff `data` is a byte-exact valid
+/// snapshot. The crash-recovery hook used to pick the latest valid
+/// snapshot (e.g. by the simulation harness) without keeping the
+/// decoded state.
+pub fn validate(data: &[u8]) -> Result<(), PersistError> {
+    decode(data).map(|_| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -149,7 +149,9 @@ pub fn plan_last_op_parallel(catalog: &Catalog, log: &ScalingLog, threads: usize
         let handles: Vec<_> = (0..threads as u64)
             .map(|t| {
                 let start = t * chunk;
-                let len = chunk.min(total - start);
+                // With few blocks, ceil-sized chunks can exhaust the
+                // catalog before the last thread: its span is empty.
+                let len = chunk.min(total.saturating_sub(start));
                 let prefix = &prefix;
                 scope.spawn(move |_| {
                     plan_from_x_prev(
@@ -305,6 +307,29 @@ mod tests {
             for threads in [1, 2, 3, 7, 64] {
                 let parallel = plan_last_op_parallel(&catalog, &log, threads);
                 assert_eq!(parallel, serial, "threads={threads} epoch={}", log.epoch());
+            }
+        }
+    }
+
+    /// Regression: with `total < chunk * (threads - 1)` (e.g. 5 blocks
+    /// over 4 ceil-sized chunks of 2) the last thread's span start lands
+    /// past the catalog and its length must clamp to zero, not
+    /// underflow. Found by the simulation harness shrinking catalogs
+    /// down to a handful of blocks.
+    #[test]
+    fn parallel_plan_handles_tiny_catalogs() {
+        for blocks in 1..=9u64 {
+            let mut catalog = Catalog::new(RngKind::SplitMix64, Bits::B32, 7);
+            catalog.add_object(blocks);
+            let mut log = ScalingLog::new(4).unwrap();
+            log.push(&ScalingOp::Add { count: 1 }).unwrap();
+            let serial = plan_last_op(&catalog, &log);
+            for threads in 2..=6 {
+                assert_eq!(
+                    plan_last_op_parallel(&catalog, &log, threads),
+                    serial,
+                    "blocks={blocks} threads={threads}"
+                );
             }
         }
     }

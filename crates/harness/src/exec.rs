@@ -1,0 +1,664 @@
+//! Scenario execution: drives a standalone [`Scaddar`] engine, a
+//! [`CmServer`], and the independent [`Model`] through one scenario,
+//! injecting the fault plan and running the invariant catalog after
+//! every step.
+//!
+//! Raw scenario values are normalized here against live state
+//! (loose-generate/strict-execute): removal picks are reduced modulo
+//! the disk count, sizes are clamped, steps that would be invalid are
+//! *skipped with a trace note* instead of failing — so the shrinker can
+//! drop or reduce any substructure and the scenario stays executable.
+//!
+//! Everything is deterministic: the same scenario and mutation produce
+//! a byte-identical trace.
+
+use crate::invariants::{self, Failure};
+use crate::model::Model;
+use crate::scenario::{Fault, Mutation, Scenario, Step};
+use cmsim::{
+    availability_census, CmServer, ServerConfig, SharedServer, Simulation, WorkloadConfig,
+};
+use scaddar_core::{
+    plan_last_op, plan_last_op_parallel, DiskIndex, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
+};
+use std::fmt::Write as _;
+
+/// Snapshot decode epsilon, shared by live config and every recovery.
+const EPSILON: f64 = 0.05;
+/// Disk-count band the normalizer enforces.
+const MIN_DISKS: u32 = 2;
+const MAX_DISKS: u32 = 64;
+/// Safety bound on drain loops (a tick makes progress or the executor
+/// reports a failure instead of spinning).
+const MAX_TICKS: u32 = 200_000;
+
+/// A durable event since the last persisted snapshot; crash recovery
+/// replays these on top of the snapshot.
+#[derive(Debug, Clone)]
+enum Event {
+    AddObject { blocks: u64 },
+    RemoveObject(ObjectId),
+    Scale(ScalingOp),
+}
+
+/// The result of executing one scenario.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Deterministic step-by-step trace (same seed → byte-identical).
+    pub trace: String,
+    /// First invariant violation, if any.
+    pub failure: Option<Failure>,
+    /// Index of the step the failure surfaced at.
+    pub failed_step: Option<usize>,
+}
+
+impl Outcome {
+    /// Whether the run passed every check.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Executes `scenario` with the model running `mutation`.
+pub fn execute(scenario: &Scenario, mutation: Mutation) -> Outcome {
+    Executor::new(scenario, mutation).run()
+}
+
+struct Executor<'a> {
+    scenario: &'a Scenario,
+    engine: Scaddar,
+    server: CmServer,
+    model: Model,
+    last_snapshot: Vec<u8>,
+    journal: Vec<Event>,
+    trace: String,
+}
+
+impl<'a> Executor<'a> {
+    fn new(scenario: &'a Scenario, mutation: Mutation) -> Self {
+        let disks = scenario.initial_disks;
+        let seed = scenario.seed;
+        let engine = Scaddar::new(
+            ScaddarConfig::new(disks)
+                .with_catalog_seed(seed)
+                .with_epsilon(EPSILON),
+        )
+        .expect("initial_disks >= 4 by generation");
+        let server = CmServer::new(ServerConfig::new(disks).with_catalog_seed(seed))
+            .expect("initial_disks >= 4 by generation");
+        let last_snapshot = engine.snapshot();
+        Executor {
+            scenario,
+            engine,
+            server,
+            model: Model::new(disks, mutation),
+            last_snapshot,
+            journal: Vec::new(),
+            trace: String::new(),
+        }
+    }
+
+    fn run(mut self) -> Outcome {
+        for &blocks in &self.scenario.objects {
+            if let Err(f) = self.add_object(blocks) {
+                return self.finish(Some(f), None);
+            }
+        }
+        if let Err(f) = self.check_invariants(None) {
+            return self.finish(Some(f), None);
+        }
+        for i in 0..self.scenario.steps.len() {
+            let step = self.scenario.steps[i].clone();
+            let result = self.run_step(i, &step);
+            if let Err(f) = result {
+                let _ = writeln!(
+                    self.trace,
+                    "  step {i}: FAILED [{}] {}",
+                    f.invariant, f.detail
+                );
+                return self.finish(Some(f), Some(i));
+            }
+        }
+        self.finish(None, None)
+    }
+
+    fn finish(mut self, failure: Option<Failure>, failed_step: Option<usize>) -> Outcome {
+        let verdict = match &failure {
+            None => "PASS".to_string(),
+            Some(f) => format!("FAIL [{}]", f.invariant),
+        };
+        let _ = writeln!(self.trace, "  verdict: {verdict}");
+        Outcome {
+            trace: self.trace,
+            failure,
+            failed_step,
+        }
+    }
+
+    fn run_step(&mut self, i: usize, step: &Step) -> Result<(), Failure> {
+        match step {
+            Step::Scale { op, faults } => self.run_scale(i, op, faults)?,
+            Step::AddObject { blocks } => {
+                let blocks = (*blocks).clamp(1, 5_000);
+                self.add_object(blocks)?;
+                let _ = writeln!(self.trace, "  step {i}: add-object {blocks}");
+            }
+            Step::RemoveObject { pick } => self.run_remove_object(i, *pick)?,
+            Step::Workload { rounds } => self.run_workload(i, *rounds)?,
+        }
+        self.check_invariants(if matches!(step, Step::Scale { .. }) {
+            None // already checked with the plan in run_scale
+        } else {
+            Some(i)
+        })
+    }
+
+    // ---- steps -----------------------------------------------------
+
+    fn add_object(&mut self, blocks: u64) -> Result<(), Failure> {
+        let sid = self
+            .server
+            .add_object(blocks)
+            .map_err(|e| exec_failure(format!("server.add_object({blocks}): {e:?}")))?;
+        let eid = self.engine.add_object(blocks);
+        if sid != eid {
+            return Err(exec_failure(format!(
+                "object id skew: server {sid:?} vs engine {eid:?}"
+            )));
+        }
+        let obj = *self.engine.catalog().object(eid).expect("just added");
+        let x0s = (0..blocks)
+            .map(|b| self.engine.catalog().x0(&obj, b))
+            .collect();
+        self.model.add_object(eid, x0s);
+        self.journal.push(Event::AddObject { blocks });
+        Ok(())
+    }
+
+    fn run_remove_object(&mut self, i: usize, pick: u64) -> Result<(), Failure> {
+        let live = self.engine.catalog().objects();
+        if live.len() <= 1 {
+            let _ = writeln!(
+                self.trace,
+                "  step {i}: remove-object skipped (catalog floor)"
+            );
+            return Ok(());
+        }
+        let id = live[(pick % live.len() as u64) as usize].id;
+        if self.server.remove_object(id).is_err() {
+            // Streams may pin the object; skip to keep all three in sync.
+            let _ = writeln!(
+                self.trace,
+                "  step {i}: remove-object {id:?} skipped (pinned)"
+            );
+            return Ok(());
+        }
+        self.engine
+            .remove_object(id)
+            .map_err(|e| exec_failure(format!("engine.remove_object({id:?}): {e:?}")))?;
+        self.model.remove_object(id);
+        self.journal.push(Event::RemoveObject(id));
+        let _ = writeln!(self.trace, "  step {i}: remove-object {id:?}");
+        Ok(())
+    }
+
+    fn run_workload(&mut self, i: usize, rounds: u32) -> Result<(), Failure> {
+        let rounds = 1 + rounds % 5;
+        let seed = self.scenario.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let dummy = CmServer::new(ServerConfig::new(MIN_DISKS)).expect("dummy server");
+        let server = std::mem::replace(&mut self.server, dummy);
+        let mut sim = Simulation::from_server(server, WorkloadConfig::interactive(2.0), seed);
+        sim.run(rounds);
+        self.server = sim.into_server();
+        let _ = writeln!(
+            self.trace,
+            "  step {i}: workload {rounds} rounds, {} active streams",
+            self.server.active_streams()
+        );
+        Ok(())
+    }
+
+    fn run_scale(&mut self, i: usize, raw: &ScalingOp, faults: &[Fault]) -> Result<(), Failure> {
+        let n_prev = self.engine.disks();
+        let Some(op) = normalize_op(raw, n_prev) else {
+            let _ = writeln!(
+                self.trace,
+                "  step {i}: scale {raw:?} skipped (normalization)"
+            );
+            return Ok(());
+        };
+        let disks_after = match &op {
+            ScalingOp::Add { count } => n_prev + count,
+            ScalingOp::Remove { disks } => n_prev - disks.len() as u32,
+        };
+        if !self.engine.next_op_is_safe(disks_after) || !self.server.next_op_is_safe(&op) {
+            let _ = writeln!(self.trace, "  step {i}: scale {op:?} skipped (unsafe)");
+            return Ok(());
+        }
+
+        // Faults that race the commit need a pre-op clone of the server.
+        let pre_clone = faults
+            .iter()
+            .any(|f| matches!(f, Fault::StaleEpochReads { .. }))
+            .then(|| self.server.clone());
+
+        let plan = self
+            .engine
+            .scale(op.clone())
+            .map_err(|e| exec_failure(format!("engine.scale({op:?}): {e:?}")))?;
+        self.server
+            .scale(op.clone())
+            .map_err(|e| exec_failure(format!("server.scale({op:?}): {e:?}")))?;
+        self.drain_server()?;
+        self.model.apply(&op);
+        self.journal.push(Event::Scale(op.clone()));
+
+        let labels: Vec<String> = faults.iter().map(Fault::label).collect();
+        let _ = writeln!(
+            self.trace,
+            "  step {i}: scale {op:?} n {n_prev}->{disks_after} moved {}/{} faults=[{}]",
+            plan.moves.len(),
+            plan.total_blocks,
+            labels.join(",")
+        );
+
+        // Plan-level invariants first (cheapest, sharpest).
+        invariants::check_ro1_exact(&plan, &op, n_prev)?;
+        invariants::check_ro1_fraction(&plan)?;
+        self.check_parallel_plan()?;
+        for fault in faults {
+            self.inject(i, fault, &op, n_prev, disks_after, &pre_clone)?;
+        }
+        self.check_invariants(Some(i))
+    }
+
+    // ---- faults ----------------------------------------------------
+
+    fn inject(
+        &mut self,
+        i: usize,
+        fault: &Fault,
+        op: &ScalingOp,
+        n_prev: u32,
+        disks_after: u32,
+        pre_clone: &Option<CmServer>,
+    ) -> Result<(), Failure> {
+        match fault {
+            Fault::CrashBeforePersist => {
+                // The post-op snapshot never made it to disk: recovery is
+                // last snapshot + journal replay.
+                let recovered = self.recover_from_journal()?;
+                self.require_identical_placement(&recovered, "crash-before-persist")?;
+            }
+            Fault::CrashAfterPersist => {
+                let snap = self.engine.snapshot();
+                let recovered = Scaddar::from_snapshot(&snap, EPSILON).map_err(|e| Failure {
+                    invariant: "recovery",
+                    detail: format!("fresh snapshot failed to decode: {e:?}"),
+                })?;
+                self.require_identical_placement(&recovered, "crash-after-persist")?;
+                self.last_snapshot = snap;
+                self.journal.clear();
+            }
+            Fault::TruncatedSnapshot { cut } => {
+                let snap = self.engine.snapshot();
+                let cut_at = (cut % snap.len() as u64) as usize;
+                if scaddar_core::persist::validate(&snap[..cut_at]).is_ok() {
+                    return Err(Failure {
+                        invariant: "persist-detect",
+                        detail: format!(
+                            "truncation to {cut_at}/{} bytes validated cleanly",
+                            snap.len()
+                        ),
+                    });
+                }
+                // The corrupt snapshot is discarded; recovery falls back.
+                let recovered = self.recover_from_journal()?;
+                self.require_identical_placement(&recovered, "truncated-snapshot")?;
+            }
+            Fault::BitFlippedSnapshot { bit } => {
+                let mut snap = self.engine.snapshot();
+                let pos = (bit % (snap.len() as u64 * 8)) as usize;
+                snap[pos / 8] ^= 1 << (pos % 8);
+                if let Ok(recovered) = Scaddar::from_snapshot(&snap, EPSILON) {
+                    // CRC32 catches every 1-bit error, so decoding at all
+                    // is suspicious — but only *wrong placement* is fatal.
+                    self.require_identical_placement(&recovered, "bit-flipped-snapshot")?;
+                }
+            }
+            Fault::DiskDeath { pick } => {
+                let victim = DiskIndex((pick % u64::from(disks_after)) as u32);
+                let (readable, lost) = availability_census(&self.server, &[victim])
+                    .map_err(|e| exec_failure(format!("availability_census: {e:?}")))?;
+                if lost != 0 {
+                    return Err(Failure {
+                        invariant: "mirror-availability",
+                        detail: format!(
+                            "disk {victim:?} death loses {lost}/{} blocks \
+                             ({readable} readable) on {disks_after} disks",
+                            readable + lost
+                        ),
+                    });
+                }
+                // Failover on a clone: the dead disk drains and the array
+                // ends residency-consistent (the real server is untouched).
+                let mut clone = self.server.clone();
+                clone.fail_disk(victim);
+                let mut ticks = 0u32;
+                while clone.backlog() > 0 {
+                    clone.tick();
+                    ticks += 1;
+                    if ticks > MAX_TICKS {
+                        return Err(Failure {
+                            invariant: "mirror-availability",
+                            detail: format!("failover drain stuck after {MAX_TICKS} ticks"),
+                        });
+                    }
+                }
+                if !clone.residency_consistent() {
+                    return Err(Failure {
+                        invariant: "mirror-availability",
+                        detail: "failover left residency inconsistent".into(),
+                    });
+                }
+                let _ = writeln!(self.trace, "    fault disk-death({victim:?}) ok");
+            }
+            Fault::StaleEpochReads { reads } => {
+                let clone = pre_clone.clone().expect("pre-op clone captured");
+                let reads = (*reads).clamp(1, 512);
+                stale_epoch_reads(clone, op.clone(), n_prev, disks_after, reads)?;
+                let _ = writeln!(self.trace, "    fault stale-reads({reads}) ok");
+            }
+        }
+        let _ = i; // step index only used in trace lines above
+        Ok(())
+    }
+
+    // ---- recovery helpers ------------------------------------------
+
+    /// Recovers from the last valid snapshot plus the journal, as a
+    /// restart after losing the latest snapshot would.
+    fn recover_from_journal(&self) -> Result<Scaddar, Failure> {
+        let mut engine =
+            Scaddar::from_snapshot(&self.last_snapshot, EPSILON).map_err(|e| Failure {
+                invariant: "recovery",
+                detail: format!("last valid snapshot failed to decode: {e:?}"),
+            })?;
+        for event in &self.journal {
+            match event {
+                Event::AddObject { blocks } => {
+                    engine.add_object(*blocks);
+                }
+                Event::RemoveObject(id) => {
+                    engine.remove_object(*id).map_err(|e| Failure {
+                        invariant: "recovery",
+                        detail: format!("journal replay remove_object({id:?}): {e:?}"),
+                    })?;
+                }
+                Event::Scale(op) => {
+                    engine.scale(op.clone()).map_err(|e| Failure {
+                        invariant: "recovery",
+                        detail: format!("journal replay scale({op:?}): {e:?}"),
+                    })?;
+                }
+            }
+        }
+        Ok(engine)
+    }
+
+    /// The recovered engine must place every block exactly where the
+    /// uncrashed one does.
+    fn require_identical_placement(
+        &self,
+        recovered: &Scaddar,
+        context: &str,
+    ) -> Result<(), Failure> {
+        if placement_of(recovered) != placement_of(&self.engine) {
+            return Err(Failure {
+                invariant: "recovery",
+                detail: format!("{context}: recovered placement diverges from live engine"),
+            });
+        }
+        Ok(())
+    }
+
+    // ---- invariants ------------------------------------------------
+
+    fn drain_server(&mut self) -> Result<(), Failure> {
+        let mut ticks = 0u32;
+        while self.server.backlog() > 0 {
+            self.server.tick();
+            ticks += 1;
+            if ticks > MAX_TICKS {
+                return Err(exec_failure(format!(
+                    "redistribution drain stuck after {MAX_TICKS} ticks"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parallel planning must agree with serial planning exactly.
+    fn check_parallel_plan(&self) -> Result<(), Failure> {
+        let serial = plan_last_op(self.engine.catalog(), self.engine.log());
+        let parallel = plan_last_op_parallel(self.engine.catalog(), self.engine.log(), 4);
+        if serial.moves != parallel.moves || serial.total_blocks != parallel.total_blocks {
+            return Err(Failure {
+                invariant: "oracle-plan",
+                detail: format!(
+                    "parallel plan diverges: {} vs {} moves over {} vs {} blocks",
+                    parallel.moves.len(),
+                    serial.moves.len(),
+                    parallel.total_blocks,
+                    serial.total_blocks
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The full post-step catalog: model equality, oracle agreement,
+    /// derived-state audit, uniformity, and server/engine agreement.
+    fn check_invariants(&self, after_scale_step: Option<usize>) -> Result<(), Failure> {
+        invariants::check_model(&self.engine, &self.model)?;
+        invariants::check_oracle(&self.engine)?;
+        invariants::check_derived(&self.engine)?;
+        invariants::check_ro2(&self.engine)?;
+        self.check_server_agrees()?;
+        let _ = after_scale_step;
+        Ok(())
+    }
+
+    /// The served placement (engine inside the CmServer, and the block
+    /// store once drained) agrees with the standalone engine.
+    fn check_server_agrees(&self) -> Result<(), Failure> {
+        if self.server.backlog() > 0 {
+            return Ok(()); // only comparable at rest
+        }
+        if !self.server.residency_consistent() {
+            return Err(Failure {
+                invariant: "server-agree",
+                detail: "block store residency inconsistent with AF() at rest".into(),
+            });
+        }
+        for obj in self.engine.catalog().objects() {
+            let stride = (obj.blocks / 32).max(1) as usize;
+            for blk in (0..obj.blocks).step_by(stride) {
+                let ours = self.engine.locate(obj.id, blk).map_err(|e| {
+                    exec_failure(format!("engine.locate({:?},{blk}): {e:?}", obj.id))
+                })?;
+                let theirs = self.server.engine().locate(obj.id, blk).map_err(|e| {
+                    exec_failure(format!("server locate({:?},{blk}): {e:?}", obj.id))
+                })?;
+                if ours != theirs {
+                    return Err(Failure {
+                        invariant: "server-agree",
+                        detail: format!(
+                            "object {:?} block {blk}: engine {ours:?} vs server {theirs:?}",
+                            obj.id
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Placement fingerprint: every block's disk, in catalog order.
+fn placement_of(engine: &Scaddar) -> Vec<(ObjectId, Vec<u32>)> {
+    engine
+        .catalog()
+        .objects()
+        .iter()
+        .map(|obj| {
+            let disks = engine
+                .locate_all(obj.id)
+                .expect("object in catalog")
+                .iter()
+                .map(|d| d.0)
+                .collect();
+            (obj.id, disks)
+        })
+        .collect()
+}
+
+/// Normalizes a raw operation against the current disk count. `None`
+/// means the step is a no-op at this state (e.g. array at the cap).
+fn normalize_op(raw: &ScalingOp, disks: u32) -> Option<ScalingOp> {
+    match raw {
+        ScalingOp::Add { count } => {
+            let count = (*count).min(MAX_DISKS.saturating_sub(disks));
+            (count > 0).then_some(ScalingOp::Add { count })
+        }
+        ScalingOp::Remove { disks: picks } => {
+            let mut victims: Vec<u32> = Vec::new();
+            for &p in picks {
+                let v = p % disks;
+                if !victims.contains(&v) {
+                    victims.push(v);
+                }
+                if disks - victims.len() as u32 == MIN_DISKS {
+                    break;
+                }
+            }
+            (!victims.is_empty() && disks > MIN_DISKS)
+                .then_some(ScalingOp::Remove { disks: victims })
+        }
+    }
+}
+
+fn exec_failure(detail: String) -> Failure {
+    Failure {
+        invariant: "exec",
+        detail,
+    }
+}
+
+/// Concurrent readers against a pre-op clone while the op commits: every
+/// read must observe one internally consistent epoch.
+fn stale_epoch_reads(
+    clone: CmServer,
+    op: ScalingOp,
+    n_prev: u32,
+    disks_after: u32,
+    reads: u32,
+) -> Result<(), Failure> {
+    let target = clone
+        .engine()
+        .catalog()
+        .objects()
+        .first()
+        .map(|o| (o.id, o.blocks));
+    let Some((id, blocks)) = target else {
+        return Ok(()); // nothing to read
+    };
+    let e_pre = clone.engine().epoch();
+    let shared = SharedServer::new(clone);
+    let reader = |salt: u64| -> Result<(), String> {
+        for k in 0..u64::from(reads) {
+            let blk = (k.wrapping_mul(31).wrapping_add(salt)) % blocks;
+            let read = shared
+                .locate(id, blk)
+                .map_err(|e| format!("locate({id:?},{blk}): {e:?}"))?;
+            if read.epoch != e_pre && read.epoch != e_pre + 1 {
+                return Err(format!(
+                    "read at epoch {} (commit was {e_pre}->{})",
+                    read.epoch,
+                    e_pre + 1
+                ));
+            }
+            let expected_disks = if read.epoch == e_pre {
+                n_prev
+            } else {
+                disks_after
+            };
+            if read.disks != expected_disks {
+                return Err(format!(
+                    "torn read: epoch {} with {} disks (expected {expected_disks})",
+                    read.epoch, read.disks
+                ));
+            }
+            if read.disk.0 >= read.disks {
+                return Err(format!(
+                    "read names disk {} outside its own epoch's {} disks",
+                    read.disk.0, read.disks
+                ));
+            }
+        }
+        Ok(())
+    };
+    let result = crossbeam::thread::scope(|s| {
+        let r1 = s.spawn(|_| reader(1));
+        let r2 = s.spawn(|_| reader(7));
+        shared
+            .scale(op)
+            .map_err(|e| format!("shared.scale: {e:?}"))?;
+        let mut ticks = 0u32;
+        while shared.backlog() > 0 {
+            shared.tick();
+            ticks += 1;
+            if ticks > MAX_TICKS {
+                return Err("shared drain stuck".to_string());
+            }
+        }
+        r1.join().expect("reader 1 panicked")?;
+        r2.join().expect("reader 2 panicked")
+    })
+    .expect("scope");
+    result.map_err(|detail| Failure {
+        invariant: "epoch-consistency",
+        detail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn clean_scenarios_pass_and_traces_are_bit_reproducible() {
+        for seed in [3u64, 17, 404] {
+            let scenario = Scenario::generate(seed);
+            let a = execute(&scenario, Mutation::None);
+            let b = execute(&scenario, Mutation::None);
+            assert!(a.passed(), "seed {seed} failed:\n{}", a.trace);
+            assert_eq!(a.trace, b.trace, "seed {seed} trace not reproducible");
+        }
+    }
+
+    #[test]
+    fn normalize_op_respects_band() {
+        assert_eq!(
+            normalize_op(&ScalingOp::Add { count: 3 }, 63),
+            Some(ScalingOp::Add { count: 1 })
+        );
+        assert_eq!(normalize_op(&ScalingOp::Add { count: 3 }, 64), None);
+        assert_eq!(
+            normalize_op(&ScalingOp::Remove { disks: vec![9, 14] }, 5),
+            Some(ScalingOp::Remove { disks: vec![4] })
+        );
+        assert_eq!(normalize_op(&ScalingOp::Remove { disks: vec![0] }, 2), None);
+    }
+}

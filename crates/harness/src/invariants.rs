@@ -1,0 +1,309 @@
+//! The invariant catalog: every check the harness runs after each step.
+//!
+//! Each checker is a pure function from observed state to
+//! `Result<(), Failure>`. A [`Failure`] names the invariant (stable
+//! identifiers, listed in `TESTING.md`) and carries a human-readable
+//! detail string; the executor turns the first failure into a trace
+//! entry and the shrinker minimizes the scenario that produced it.
+
+use crate::model::Model;
+use scaddar_analysis::uniformity::{chi_square_uniform, max_relative_deviation};
+use scaddar_core::{locate, MovePlan, Scaddar, ScalingOp};
+
+/// A named invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Stable invariant identifier (e.g. `"ro1-model"`).
+    pub invariant: &'static str,
+    /// What was observed vs expected.
+    pub detail: String,
+}
+
+impl Failure {
+    fn new(invariant: &'static str, detail: String) -> Failure {
+        Failure { invariant, detail }
+    }
+}
+
+/// Shorthand used by every checker.
+pub type Check = Result<(), Failure>;
+
+/// Threshold below which the chi-square RO2 check fires. Over the CI
+/// fleet (~32 seeds × ~10 checks each) the false-positive probability
+/// at `1e-9` is negligible, while genuine skew (e.g. a wrong remap)
+/// collapses the p-value to ~0 within a few thousand blocks.
+pub const CHI_SQUARE_P_FLOOR: f64 = 1e-9;
+
+/// **`ro1-exact`** — no extraneous movement (the exact half of RO1).
+///
+/// For a removal, every migrated block must come *from* a removed disk
+/// (survivors never move). For an addition, every migrated block must
+/// land *on* a fresh disk (`to >= N_{j-1}`); no block shuffles between
+/// old disks. These hold with probability 1, not just in expectation.
+pub fn check_ro1_exact(plan: &MovePlan, op: &ScalingOp, n_prev: u32) -> Check {
+    match op {
+        ScalingOp::Add { .. } => {
+            for m in &plan.moves {
+                if m.to.0 < n_prev {
+                    return Err(Failure::new(
+                        "ro1-exact",
+                        format!(
+                            "addition moved {:?} to old disk {} (< N_prev={n_prev})",
+                            m.block, m.to.0
+                        ),
+                    ));
+                }
+            }
+        }
+        ScalingOp::Remove { disks } => {
+            for m in &plan.moves {
+                if !disks.contains(&m.from.0) {
+                    return Err(Failure::new(
+                        "ro1-exact",
+                        format!(
+                            "removal moved survivor block {:?} off disk {}",
+                            m.block, m.from.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **`ro1-fraction`** — the moved fraction tracks the optimal `z_j`.
+///
+/// The realized fraction is a binomial sample around the optimum, so
+/// the check allows six standard deviations plus a small absolute
+/// epsilon — loose enough to never fire on honest randomness, tight
+/// enough to flag a remap that moves a constant factor too much.
+pub fn check_ro1_fraction(plan: &MovePlan) -> Check {
+    if plan.total_blocks == 0 {
+        return Ok(());
+    }
+    let p = plan.optimal_fraction;
+    let n = plan.total_blocks as f64;
+    let sigma = (p * (1.0 - p) / n).sqrt();
+    let slack = 6.0 * sigma + 0.005;
+    let observed = plan.moved_fraction();
+    if (observed - p).abs() > slack {
+        return Err(Failure::new(
+            "ro1-fraction",
+            format!(
+                "moved fraction {observed:.4} vs optimal {p:.4} \
+                 (slack {slack:.4}, {} blocks)",
+                plan.total_blocks
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// **`ro2-uniform`** — placement stays statistically uniform.
+///
+/// Primary: chi-square goodness of fit on the per-disk census with
+/// p-value floor [`CHI_SQUARE_P_FLOOR`]. Secondary: the max relative
+/// deviation must stay within the tracked `C_v` unfairness bound plus
+/// generous sampling slack (`10·sqrt(n/B)`), a belt-and-braces bound
+/// that only catastrophic skew can exceed.
+pub fn check_ro2(engine: &Scaddar) -> Check {
+    let census = engine.load_distribution();
+    let total: u64 = census.iter().sum();
+    if total < 200 || census.len() < 2 {
+        return Ok(()); // too few blocks for a meaningful test
+    }
+    let chi = chi_square_uniform(&census);
+    if chi.p_value < CHI_SQUARE_P_FLOOR {
+        return Err(Failure::new(
+            "ro2-uniform",
+            format!(
+                "chi-square p={:.3e} < {CHI_SQUARE_P_FLOOR:.0e} \
+                 (stat {:.2}, census {census:?})",
+                chi.p_value, chi.statistic
+            ),
+        ));
+    }
+    let bound = engine.fairness().unfairness_bound;
+    let sampling = 10.0 * (census.len() as f64 / total as f64).sqrt();
+    let dev = max_relative_deviation(&census);
+    if dev > bound + sampling + 0.01 {
+        return Err(Failure::new(
+            "ro2-uniform",
+            format!(
+                "max relative deviation {dev:.3} exceeds bound {bound:.3} \
+                 + sampling slack {sampling:.3}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// **`oracle-agree`** — every locate path agrees with the reference
+/// REMAP fold (AO1: no directory, one arithmetic answer).
+///
+/// Cross-checks, on a strided sample of blocks: the engine's cached
+/// `locate`, the stateless per-block fold over the scaling log, and the
+/// compiled pipeline fold (serial and batch).
+pub fn check_oracle(engine: &Scaddar) -> Check {
+    let log = engine.log();
+    let pipeline = engine.pipeline();
+    for obj in engine.catalog().objects() {
+        let stride = (obj.blocks / 64).max(1) as usize;
+        let sampled: Vec<u64> = (0..obj.blocks).step_by(stride).collect();
+        let x0s: Vec<u64> = sampled
+            .iter()
+            .map(|&b| engine.catalog().x0(obj, b))
+            .collect();
+        let batch = pipeline.locate_batch(&x0s);
+        for (i, (&blk, &x0)) in sampled.iter().zip(&x0s).enumerate() {
+            let cached = engine.locate(obj.id, blk).map_err(|e| {
+                Failure::new("oracle-agree", format!("locate({:?},{blk}): {e:?}", obj.id))
+            })?;
+            let reference = locate(x0, log);
+            let folded = pipeline.locate(x0);
+            if cached != reference || folded != reference || batch[i] != reference {
+                return Err(Failure::new(
+                    "oracle-agree",
+                    format!(
+                        "object {:?} block {blk}: cached={cached:?} \
+                         pipeline={folded:?} batch={:?} reference={reference:?}",
+                        obj.id, batch[i]
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **`ro1-model`** — engine placement equals the independent model.
+///
+/// This is the deterministic net for remap arithmetic bugs: the model
+/// evolves every `X_j` with its own copy of the paper's equations, so
+/// any divergence (including the plantable [`crate::scenario::Mutation`])
+/// is an exact, non-statistical failure on a specific block.
+pub fn check_model(engine: &Scaddar, model: &Model) -> Check {
+    if engine.disks() != model.disks() {
+        return Err(Failure::new(
+            "ro1-model",
+            format!(
+                "disk counts diverged: engine {} vs model {}",
+                engine.disks(),
+                model.disks()
+            ),
+        ));
+    }
+    for (id, expected) in model.placements() {
+        let got = engine
+            .locate_all(id)
+            .map_err(|e| Failure::new("ro1-model", format!("locate_all({id:?}): {e:?}")))?;
+        for (blk, (g, e)) in got.iter().zip(&expected).enumerate() {
+            if g.0 != *e {
+                return Err(Failure::new(
+                    "ro1-model",
+                    format!(
+                        "object {id:?} block {blk}: engine disk {} vs model disk {e}",
+                        g.0
+                    ),
+                ));
+            }
+        }
+        if got.len() != expected.len() {
+            return Err(Failure::new(
+                "ro1-model",
+                format!(
+                    "object {id:?}: engine has {} blocks, model {}",
+                    got.len(),
+                    expected.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **`derived-state`** — caches, pipeline, and fairness tracker are
+/// exactly re-derivable from the durable state (catalog + log).
+pub fn check_derived(engine: &Scaddar) -> Check {
+    engine
+        .verify_derived_state()
+        .map_err(|e| Failure::new("derived-state", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Mutation;
+    use scaddar_core::ScaddarConfig;
+
+    fn engine() -> Scaddar {
+        let mut e = Scaddar::new(ScaddarConfig::new(5).with_catalog_seed(11)).unwrap();
+        e.add_object(1_500);
+        e.add_object(800);
+        e
+    }
+
+    #[test]
+    fn clean_engine_passes_every_checker() {
+        let mut e = engine();
+        let mut model = Model::new(5, Mutation::None);
+        for obj in e.catalog().objects() {
+            let x0s = (0..obj.blocks).map(|b| e.catalog().x0(obj, b)).collect();
+            model.add_object(obj.id, x0s);
+        }
+        for op in [
+            ScalingOp::Add { count: 2 },
+            ScalingOp::remove_one(1),
+            ScalingOp::Add { count: 1 },
+        ] {
+            let n_prev = e.disks();
+            let plan = e.scale(op.clone()).unwrap();
+            model.apply(&op);
+            check_ro1_exact(&plan, &op, n_prev).unwrap();
+            check_ro1_fraction(&plan).unwrap();
+            check_ro2(&e).unwrap();
+            check_oracle(&e).unwrap();
+            check_model(&e, &model).unwrap();
+            check_derived(&e).unwrap();
+        }
+    }
+
+    #[test]
+    fn buggy_model_trips_the_model_check() {
+        let mut e = engine();
+        let mut model = Model::new(5, Mutation::Ro1AddOffByOne);
+        for obj in e.catalog().objects() {
+            let x0s = (0..obj.blocks).map(|b| e.catalog().x0(obj, b)).collect();
+            model.add_object(obj.id, x0s);
+        }
+        // A couple of additions make the t == N_{j-1} boundary draw all
+        // but certain to occur across 2300 blocks.
+        let mut tripped = false;
+        for op in [ScalingOp::Add { count: 1 }, ScalingOp::Add { count: 1 }] {
+            e.scale(op.clone()).unwrap();
+            model.apply(&op);
+            if let Err(f) = check_model(&e, &model) {
+                assert_eq!(f.invariant, "ro1-model");
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "planted off-by-one must be detected");
+    }
+
+    #[test]
+    fn ro1_exact_flags_a_fabricated_extra_move() {
+        let mut e = engine();
+        let op = ScalingOp::Add { count: 1 };
+        let n_prev = e.disks();
+        let mut plan = e.scale(op.clone()).unwrap();
+        check_ro1_exact(&plan, &op, n_prev).unwrap();
+        // Forge a move between two *old* disks: must be rejected.
+        if let Some(m) = plan.moves.first_mut() {
+            m.to = scaddar_core::DiskIndex(0);
+            m.from = scaddar_core::DiskIndex(1);
+        }
+        assert!(check_ro1_exact(&plan, &op, n_prev).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! CLI for the deterministic simulation harness.
+//!
+//! ```text
+//! scaddar-harness [--seed N] [--runs K] [--plant-bug ro1]
+//! ```
+//!
+//! - `--seed N` (or env `HARNESS_SEED=N`): first seed; default 1.
+//! - `--runs K`: run seeds `N, N+1, …, N+K-1`; default 1.
+//! - `--plant-bug ro1`: run the model with the planted RO1 off-by-one,
+//!   to demonstrate detection + shrinking end to end.
+//!
+//! Exit code 0 iff every seed passed. Same seed → byte-identical output.
+
+use scaddar_harness::scenario::Mutation;
+
+fn main() {
+    let mut seed: u64 = std::env::var("HARNESS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut runs: u64 = 1;
+    let mut mutation = Mutation::None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = expect_value(&args, i, "--seed");
+                i += 2;
+            }
+            "--runs" => {
+                runs = expect_value(&args, i, "--runs");
+                i += 2;
+            }
+            "--plant-bug" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("ro1") => mutation = Mutation::Ro1AddOffByOne,
+                    other => die(&format!("--plant-bug expects `ro1`, got {other:?}")),
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: scaddar-harness [--seed N] [--runs K] [--plant-bug ro1]\n\
+                     env: HARNESS_SEED=N sets the first seed"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let mut failures = 0u64;
+    for s in seed..seed.saturating_add(runs) {
+        let report = scaddar_harness::run_seed(s, mutation);
+        print!("{}", report.render());
+        if !report.passed() {
+            failures += 1;
+        }
+    }
+    if runs > 1 {
+        println!("{}/{runs} seeds passed", runs - failures);
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn expect_value(args: &[String], i: usize, flag: &str) -> u64 {
+    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => die(&format!("{flag} expects an integer value")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("scaddar-harness: {msg}");
+    std::process::exit(2)
+}

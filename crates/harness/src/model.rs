@@ -1,0 +1,240 @@
+//! An independent placement model: a from-the-paper re-implementation
+//! of the `REMAP` fold that evolves every block's `X_j` alongside the
+//! engine under test, sharing **no code** with the engine's remap,
+//! pipeline, or cache.
+//!
+//! The model is where the acceptance-criterion bug is planted
+//! ([`Mutation::Ro1AddOffByOne`]): with the bug active, model and
+//! engine disagree on some boundary block after an addition, and the
+//! placement-equality invariant fires deterministically.
+
+use crate::scenario::Mutation;
+use scaddar_core::{ObjectId, RemovedSet, ScalingOp};
+
+/// A normalized operation as the model stores it for replaying onto
+/// late-added objects.
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Add { n_prev: u64, n_new: u64 },
+    Remove { removed: RemovedSet, n_prev: u64 },
+}
+
+/// The model state: every object's current `X_j` vector plus the full
+/// normalized history (to fold late-added objects forward from `X_0`).
+#[derive(Debug, Clone)]
+pub struct Model {
+    mutation: Mutation,
+    disks: u32,
+    history: Vec<ModelOp>,
+    objects: Vec<(ObjectId, Vec<u64>)>,
+}
+
+impl Model {
+    /// An empty model over `initial_disks` disks.
+    pub fn new(initial_disks: u32, mutation: Mutation) -> Self {
+        Model {
+            mutation,
+            disks: initial_disks,
+            history: Vec::new(),
+            objects: Vec::new(),
+        }
+    }
+
+    /// Current disk count.
+    pub fn disks(&self) -> u32 {
+        self.disks
+    }
+
+    /// Registers an object from its `X_0` stream, folding it through the
+    /// history so far (the engine's cache does the same on insert).
+    pub fn add_object(&mut self, id: ObjectId, x0s: Vec<u64>) {
+        let xs = x0s
+            .into_iter()
+            .map(|mut x| {
+                for op in &self.history {
+                    x = self.step(x, op);
+                }
+                x
+            })
+            .collect();
+        self.objects.push((id, xs));
+    }
+
+    /// Drops an object.
+    pub fn remove_object(&mut self, id: ObjectId) {
+        self.objects.retain(|(o, _)| *o != id);
+    }
+
+    /// Applies a (pre-validated) scaling operation to every block.
+    pub fn apply(&mut self, op: &ScalingOp) {
+        let n_prev = u64::from(self.disks);
+        let model_op = match op {
+            ScalingOp::Add { count } => {
+                self.disks += count;
+                ModelOp::Add {
+                    n_prev,
+                    n_new: u64::from(self.disks),
+                }
+            }
+            ScalingOp::Remove { disks } => {
+                let removed = RemovedSet::new(disks, self.disks).expect("validated by caller");
+                self.disks -= removed.len();
+                ModelOp::Remove { removed, n_prev }
+            }
+        };
+        // Split borrow: step() needs &self.mutation only.
+        let mutation = self.mutation;
+        for (_, xs) in &mut self.objects {
+            for x in xs.iter_mut() {
+                *x = step_x(mutation, *x, &model_op);
+            }
+        }
+        self.history.push(model_op);
+    }
+
+    fn step(&self, x: u64, op: &ModelOp) -> u64 {
+        step_x(self.mutation, x, op)
+    }
+
+    /// The model's placement of every block of every object, in
+    /// insertion order: `(object, block_placements)`.
+    pub fn placements(&self) -> Vec<(ObjectId, Vec<u32>)> {
+        let n = u64::from(self.disks);
+        self.objects
+            .iter()
+            .map(|(id, xs)| (*id, xs.iter().map(|x| (x % n) as u32).collect()))
+            .collect()
+    }
+
+    /// The model's `X_j` vector for one object, if present.
+    pub fn xs(&self, id: ObjectId) -> Option<&[u64]> {
+        self.objects
+            .iter()
+            .find(|(o, _)| *o == id)
+            .map(|(_, xs)| xs.as_slice())
+    }
+}
+
+/// One `REMAP_j` application, straight from the paper.
+///
+/// Addition (Eq. 5): with `q = X_{j-1} div N_{j-1}`,
+/// `r = X_{j-1} mod N_{j-1}`, draw `t = q mod N_j`; if `t < N_{j-1}`
+/// the block stays (`X_j = (q div N_j)·N_j + r`, preserving its disk
+/// `r`), else it moves to a fresh disk (`X_j = q`, whose residue is in
+/// `N_{j-1}..N_j`).
+///
+/// Removal (Eq. 3): victims redraw (`X_j = q`), survivors keep their
+/// disk under rank renumbering (`X_j = q·N_j + new(r)`).
+fn step_x(mutation: Mutation, x: u64, op: &ModelOp) -> u64 {
+    match op {
+        ModelOp::Add { n_prev, n_new } => {
+            let q = x / n_prev;
+            let r = x % n_prev;
+            let t = q % n_new;
+            let keep = match mutation {
+                Mutation::None => t < *n_prev,
+                // The planted bug: boundary draw t == n_prev wrongly kept.
+                Mutation::Ro1AddOffByOne => t <= *n_prev,
+            };
+            if keep {
+                (q / n_new) * n_new + r
+            } else {
+                q
+            }
+        }
+        ModelOp::Remove { removed, n_prev } => {
+            let q = x / n_prev;
+            let r = (x % n_prev) as u32;
+            if removed.contains(r) {
+                q
+            } else {
+                let n_new = n_prev - u64::from(removed.len());
+                q * n_new + u64::from(removed.renumber(r))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaddar_core::{locate, ScalingLog};
+
+    /// The clean model agrees with the engine's reference fold on a
+    /// mixed history — the model is only useful if it is itself right.
+    #[test]
+    fn clean_model_matches_reference_fold() {
+        let ops = [
+            ScalingOp::Add { count: 2 },
+            ScalingOp::Remove { disks: vec![0, 3] },
+            ScalingOp::Add { count: 1 },
+            ScalingOp::remove_one(2),
+        ];
+        let mut log = ScalingLog::new(5).unwrap();
+        let mut model = Model::new(5, Mutation::None);
+        let x0s: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        model.add_object(ObjectId(0), x0s.clone());
+        for op in &ops {
+            log.push(op).unwrap();
+            model.apply(op);
+        }
+        let placements = model.placements();
+        for (i, &x0) in x0s.iter().enumerate() {
+            assert_eq!(
+                placements[0].1[i],
+                locate(x0, &log).0,
+                "block {i} diverged from the reference fold"
+            );
+        }
+    }
+
+    /// The planted bug actually bites: for some addition history and
+    /// some block, the buggy model diverges from the reference.
+    #[test]
+    fn planted_bug_diverges_somewhere() {
+        let mut log = ScalingLog::new(4).unwrap();
+        let mut model = Model::new(4, Mutation::Ro1AddOffByOne);
+        // Splitmix-style mixing: a raw multiplier can alias with the
+        // div/mod lattice and never produce the boundary draw at all.
+        let x0s: Vec<u64> = (0..2_000u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 30;
+                z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^ (z >> 27)
+            })
+            .collect();
+        model.add_object(ObjectId(0), x0s.clone());
+        let op = ScalingOp::Add { count: 1 };
+        log.push(&op).unwrap();
+        model.apply(&op);
+        let placements = model.placements();
+        let diverged = x0s
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x0)| placements[0].1[i] != locate(x0, &log).0)
+            .count();
+        assert!(diverged > 0, "the off-by-one must be observable");
+        // And it is *rare* (one t value in N_j), which is why a harness
+        // (not a lucky unit test) is the right net for it.
+        assert!(diverged < x0s.len() / 2);
+    }
+
+    /// Late-added objects fold through the stored history exactly like
+    /// objects present from the start.
+    #[test]
+    fn late_objects_fold_through_history() {
+        let ops = [ScalingOp::Add { count: 3 }, ScalingOp::remove_one(1)];
+        let x0s: Vec<u64> = (0..300u64).map(|i| i * 7 + 13).collect();
+
+        let mut early = Model::new(4, Mutation::None);
+        early.add_object(ObjectId(0), x0s.clone());
+        let mut late = Model::new(4, Mutation::None);
+        for op in &ops {
+            early.apply(op);
+            late.apply(op);
+        }
+        late.add_object(ObjectId(0), x0s);
+        assert_eq!(early.placements(), late.placements());
+    }
+}

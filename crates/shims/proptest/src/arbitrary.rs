@@ -10,6 +10,12 @@ use std::marker::PhantomData;
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
     fn arbitrary_value(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidates for `self` (toward the type's zero value);
+    /// empty when already minimal.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// The strategy returned by [`any`].
@@ -21,6 +27,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary_value(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
     }
 }
 
@@ -43,6 +53,13 @@ macro_rules! arbitrary_uint {
                     rng.next_u64() as $t
                 }
             }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                crate::shrink::int_candidates(0, *self as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -52,6 +69,14 @@ arbitrary_uint!(u8, u16, u32, u64, usize);
 impl Arbitrary for bool {
     fn arbitrary_value(rng: &mut TestRng) -> bool {
         rng.below(2) == 1
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -66,6 +91,17 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(u64::arbitrary_value(&mut a), u64::arbitrary_value(&mut b));
         }
+    }
+
+    #[test]
+    fn any_shrinks_toward_zero() {
+        let strat = any::<u64>();
+        let cands = strat.shrink(&1_000);
+        assert_eq!(cands[0], 0);
+        assert!(cands.iter().all(|&v| v < 1_000));
+        assert!(strat.shrink(&0).is_empty());
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
     }
 
     #[test]

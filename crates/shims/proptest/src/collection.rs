@@ -61,12 +61,38 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.pick(rng);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        // Structural candidates first (shorter vectors are strictly
+        // simpler), then element-wise shrinks at a bounded number of
+        // positions so wide vectors don't explode the candidate list.
+        let mut out = Vec::new();
+        for (start, end) in crate::shrink::removal_spans(value.len(), self.size.min, 16) {
+            let mut v = value.clone();
+            v.drain(start..end);
+            out.push(v);
+        }
+        let stride = (value.len() / 16).max(1);
+        let mut i = 0;
+        while i < value.len() {
+            for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+            i += stride;
+        }
+        out
     }
 }
 
@@ -94,7 +120,7 @@ pub struct BTreeSetStrategy<S> {
 impl<S> Strategy for BTreeSetStrategy<S>
 where
     S: Strategy,
-    S::Value: Ord,
+    S::Value: Ord + Clone,
 {
     type Value = BTreeSet<S::Value>;
 
@@ -107,6 +133,20 @@ where
             attempts += 1;
         }
         set
+    }
+
+    fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+        if value.len() <= self.size.min {
+            return Vec::new();
+        }
+        value
+            .iter()
+            .map(|e| {
+                let mut s = value.clone();
+                s.remove(e);
+                s
+            })
+            .collect()
     }
 }
 
@@ -147,5 +187,48 @@ mod tests {
         // Only 2 possible values but target up to 8: must not loop forever.
         let s = btree_set(0u32..2, 1..=8).generate(&mut rng);
         assert!(!s.is_empty() && s.len() <= 2);
+    }
+
+    #[test]
+    fn vec_shrink_never_violates_min_size() {
+        let mut rng = TestRng::new(19);
+        let strat = vec(0u64..100, 3..10);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            for cand in strat.shrink(&v) {
+                assert!(cand.len() >= 3, "shrunk below min: {cand:?}");
+                for &e in &cand {
+                    assert!(e < 100, "element left the domain");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vec_shrink_proposes_shorter_and_smaller() {
+        let strat = vec(0u64..100, 0..10);
+        let cands = strat.shrink(&vec![50u64, 60, 70, 80]);
+        assert!(cands.iter().any(|c| c.len() < 4), "no structural shrink");
+        assert!(
+            cands
+                .iter()
+                .any(|c| c.len() == 4 && c.iter().sum::<u64>() < 260),
+            "no element-wise shrink"
+        );
+        assert!(strat.shrink(&Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn btree_set_shrink_drops_single_elements() {
+        let strat = btree_set(0u32..1000, 1..=8);
+        let value: BTreeSet<u32> = [5, 9, 21].into_iter().collect();
+        let cands = strat.shrink(&value);
+        assert_eq!(cands.len(), 3);
+        for c in &cands {
+            assert_eq!(c.len(), 2);
+            assert!(c.is_subset(&value));
+        }
+        let single: BTreeSet<u32> = [5].into_iter().collect();
+        assert!(strat.shrink(&single).is_empty(), "min size respected");
     }
 }

@@ -4,10 +4,12 @@
 //! registry, so this shim provides the subset of proptest's API that the
 //! workspace's tests use, implemented on std alone. Semantics:
 //!
-//! * **Random sampling, no shrinking.** Each test case draws fresh
-//!   values from a deterministic per-test generator; a failing case
-//!   reports the case number and seed so it can be replayed, but no
-//!   minimization is attempted.
+//! * **Random sampling with greedy shrinking.** Each test case draws
+//!   fresh values from a deterministic per-test generator; a failing
+//!   case is minimized by greedily adopting the first still-failing
+//!   strategy-proposed candidate (smaller integers, shorter
+//!   collections/strings) to a fixpoint, then reported together with
+//!   the case number and replay seed.
 //! * **Deterministic by default.** The base seed is derived from the
 //!   test name, so runs are reproducible. Set `PROPTEST_RNG_SEED` to
 //!   explore a different sample, and `PROPTEST_CASES` to change the
@@ -24,6 +26,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
@@ -58,11 +61,13 @@ macro_rules! __proptest_fns {
             fn $name() {
                 let mut runner =
                     $crate::test_runner::TestRunner::new($config, stringify!($name));
-                runner.run(|__proptest_rng| {
-                    $(
-                        let $pat =
-                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
-                    )+
+                // All bindings generate through one tuple strategy so
+                // the runner can shrink the whole input jointly; the
+                // RNG stream is unchanged from per-binding generation
+                // (tuples draw components left to right).
+                let __proptest_strategy = ($(($strat),)+);
+                runner.run_shrink(&__proptest_strategy, |__proptest_value| {
+                    let ($($pat,)+) = __proptest_value;
                     $body
                     ::core::result::Result::Ok(())
                 });

@@ -1,0 +1,108 @@
+//! Shrinking primitives shared by every strategy (and by external
+//! shrinkers such as the `scaddar-harness` history minimizer).
+//!
+//! The scheme is upstream proptest's in spirit: a failing value is
+//! replaced by the first *simpler candidate* that still fails, repeated
+//! to a fixpoint. Candidates are ordered most-aggressive first (the
+//! lower bound itself, then binary-search midpoints, then `value - 1`),
+//! so greedy adoption converges in O(log range) steps for integers.
+
+/// Shrink candidates for an integer `value` toward the lower bound `lo`,
+/// most aggressive first: `lo`, then midpoints of `(lo, value)` by
+/// repeated halving, ending with `value - 1`. Empty when already minimal.
+pub fn int_candidates(lo: i128, value: i128) -> Vec<i128> {
+    if value <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut delta = (value - lo) / 2;
+    while delta > 0 {
+        let cand = value - delta;
+        if cand > lo && !out.contains(&cand) {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+/// [`int_candidates`] specialized to `u64` — the form external shrinkers
+/// (e.g. the simulation harness's disk-delta minimizer) consume.
+pub fn halvings(lo: u64, value: u64) -> Vec<u64> {
+    int_candidates(lo as i128, value as i128)
+        .into_iter()
+        .map(|v| v as u64)
+        .collect()
+}
+
+/// Index subsets to try when shrinking a sequence of `len` elements with
+/// at least `min` elements: drop the first half, drop the second half,
+/// then drop single elements (capped at `cap` positions, evenly spread).
+/// Returned as the list of *retained index ranges to delete* `(start,
+/// end)` half-open, most aggressive first.
+pub fn removal_spans(len: usize, min: usize, cap: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if len <= min {
+        return out;
+    }
+    let half = len / 2;
+    if half > 0 && len - half >= min {
+        out.push((0, half));
+        out.push((half, len));
+    }
+    let stride = (len / cap.max(1)).max(1);
+    let mut i = 0;
+    while i < len {
+        if len > min {
+            out.push((i, i + 1));
+        }
+        i += stride;
+    }
+    out.retain(|&(s, e)| len - (e - s) >= min);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_candidates_order_and_bounds() {
+        let c = int_candidates(0, 100);
+        assert_eq!(c[0], 0, "lower bound first");
+        assert_eq!(*c.last().unwrap(), 99, "value - 1 last");
+        assert!(c.iter().all(|&v| (0..100).contains(&v)));
+        assert!(int_candidates(5, 5).is_empty());
+        assert!(int_candidates(5, 4).is_empty());
+    }
+
+    #[test]
+    fn int_candidates_converge_logarithmically() {
+        // Greedy adoption of the first still-failing candidate reaches
+        // any target in O(log range) rounds; simulate failing iff >= 37.
+        let mut value = 1_000_000i128;
+        let mut rounds = 0;
+        while let Some(next) = int_candidates(0, value).into_iter().find(|&c| c >= 37) {
+            value = next;
+            rounds += 1;
+            assert!(rounds < 64, "no convergence");
+        }
+        assert_eq!(value, 37);
+    }
+
+    #[test]
+    fn halvings_is_u64_projection() {
+        assert_eq!(halvings(1, 8), vec![1, 5, 7]);
+        assert!(halvings(3, 3).is_empty());
+    }
+
+    #[test]
+    fn removal_spans_respect_min() {
+        for (s, e) in removal_spans(10, 8, 16) {
+            assert!(10 - (e - s) >= 8, "span ({s},{e}) drops below min");
+        }
+        assert!(removal_spans(3, 3, 16).is_empty());
+        let spans = removal_spans(8, 0, 16);
+        assert!(spans.contains(&(0, 4)) && spans.contains(&(4, 8)));
+    }
+}

@@ -6,14 +6,25 @@ use std::ops::{Range, RangeInclusive};
 
 /// Something that can generate values of one type from a [`TestRng`].
 ///
-/// Unlike upstream proptest there is no value tree or shrinking: a
-/// strategy is just a deterministic function of the RNG stream.
+/// Unlike upstream proptest there is no value tree: a strategy is a
+/// deterministic function of the RNG stream, plus an optional
+/// [`shrink`](Strategy::shrink) that proposes simpler variants of a
+/// failing value (greedy first-fit, see `TestRunner::run_shrink`).
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for `value`, most aggressive first.
+    ///
+    /// Every candidate must itself be a value this strategy could have
+    /// generated (stay in range / respect size bounds). The default is
+    /// no shrinking, which is always sound.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transforms generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -30,7 +41,7 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        BoxedStrategy(Box::new(self))
     }
 }
 
@@ -65,8 +76,25 @@ where
     }
 }
 
+/// Object-safe projection of [`Strategy`], so boxed strategies keep
+/// their shrinking behaviour through type erasure.
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    fn dyn_shrink(&self, value: &V) -> Vec<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
+}
+
 /// A type-erased strategy produced by [`Strategy::boxed`].
-pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
 
 impl<V> std::fmt::Debug for BoxedStrategy<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -78,7 +106,11 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
 
     fn generate(&self, rng: &mut TestRng) -> V {
-        (self.0)(rng)
+        self.0.dyn_generate(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.dyn_shrink(value)
     }
 }
 
@@ -104,6 +136,13 @@ impl<V> Strategy for Union<V> {
         let arm = rng.below(self.arms.len() as u64) as usize;
         self.arms[arm].generate(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // The generating arm is unknown after the fact; pool every
+        // arm's candidates. A candidate another arm could not have
+        // produced is still one *some* arm could, so the union could.
+        self.arms.iter().flat_map(|a| a.shrink(value)).collect()
+    }
 }
 
 macro_rules! int_range_strategies {
@@ -124,6 +163,13 @@ macro_rules! int_range_strategies {
                 };
                 (self.start as i128 + offset as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                crate::shrink::int_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -140,11 +186,33 @@ macro_rules! int_range_strategies {
                 };
                 (lo as i128 + offset as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                crate::shrink::int_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Float shrink candidates: the lower bound, then the midpoint toward
+/// it. Floats don't bisect to a fixpoint the way integers do, so two
+/// candidates per round keeps the greedy loop terminating.
+fn f64_candidates(lo: f64, value: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2.0;
+        if mid > lo && mid < value {
+            out.push(mid);
+        }
+    }
+    out
+}
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -152,6 +220,10 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        f64_candidates(self.start, *value)
     }
 }
 
@@ -162,6 +234,10 @@ impl Strategy for RangeInclusive<f64> {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "empty range strategy");
         lo + rng.unit_f64() * (hi - lo)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        f64_candidates(*self.start(), *value)
     }
 }
 
@@ -192,6 +268,19 @@ impl Strategy for &'static str {
             None => (*self).to_string(),
         }
     }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        // Shorter strings are simpler; truncate toward the pattern's
+        // minimum length. Literal patterns have nothing simpler.
+        let Some((min, _)) = parse_dot_repeat(self) else {
+            return Vec::new();
+        };
+        let len = value.chars().count();
+        crate::shrink::int_candidates(min as i128, len as i128)
+            .into_iter()
+            .map(|keep| value.chars().take(keep as usize).collect())
+            .collect()
+    }
 }
 
 /// Parses `.{min,max}` into `(min, max)`; `None` for any other string.
@@ -204,17 +293,35 @@ fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
 
 macro_rules! tuple_strategies {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, holding the rest
+                // fixed — the standard product-space walk.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategies! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
@@ -300,5 +407,71 @@ mod tests {
         assert!(a < 10);
         assert_eq!(b, "x");
         assert_eq!(c, 5);
+    }
+
+    #[test]
+    fn range_shrink_stays_in_range_and_simplifies() {
+        let strat = 3u32..17;
+        for cand in strat.shrink(&15) {
+            assert!((3..15).contains(&cand), "candidate {cand}");
+        }
+        assert_eq!(strat.shrink(&15)[0], 3, "lower bound tried first");
+        assert!(strat.shrink(&3).is_empty(), "minimum has no candidates");
+
+        let inc = 5u64..=90;
+        for cand in inc.shrink(&64) {
+            assert!((5..64).contains(&cand));
+        }
+    }
+
+    #[test]
+    fn f64_shrink_moves_toward_lower_bound() {
+        let strat = -2.0f64..2.0;
+        let cands = strat.shrink(&1.0);
+        assert_eq!(cands[0], -2.0);
+        assert!(cands[1] > -2.0 && cands[1] < 1.0);
+        assert!(strat.shrink(&-2.0).is_empty());
+    }
+
+    #[test]
+    fn str_shrink_truncates_respecting_min() {
+        let mut r = rng();
+        let strat = ".{2,60}";
+        let value = strat.generate(&mut r);
+        for cand in Strategy::shrink(&strat, &value) {
+            let n = cand.chars().count();
+            assert!(n >= 2 && n < value.chars().count());
+            assert!(value.starts_with(&cand), "candidates are prefixes");
+        }
+        assert!(Strategy::shrink(&"literal", &"literal".to_string()).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_walks_one_component_at_a_time() {
+        let strat = (0u32..10, 0u64..10);
+        let cands = strat.shrink(&(4, 6));
+        assert!(!cands.is_empty());
+        for (a, b) in cands {
+            let a_shrunk = a < 4 && b == 6;
+            let b_shrunk = b < 6 && a == 4;
+            assert!(a_shrunk || b_shrunk, "({a},{b}) changed both components");
+        }
+        assert!(strat.shrink(&(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn boxed_and_union_preserve_shrinking() {
+        let boxed = (1u8..100).boxed();
+        assert_eq!(boxed.shrink(&50)[0], 1);
+        let union = Union::new(vec![(1u8..100).boxed(), (10u8..100).boxed()]);
+        let cands = union.shrink(&50);
+        assert!(cands.contains(&1) && cands.contains(&10));
+    }
+
+    #[test]
+    fn map_and_just_do_not_shrink() {
+        assert!(Just(9u8).shrink(&9).is_empty());
+        let mapped = (0u32..8).prop_map(|v| v * 2);
+        assert!(mapped.shrink(&6).is_empty());
     }
 }

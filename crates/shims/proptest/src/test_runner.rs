@@ -1,5 +1,8 @@
-//! The case runner: deterministic RNG, config, and pass/reject/fail
-//! plumbing for the [`proptest!`](crate::proptest) macro.
+//! The case runner: deterministic RNG, config, shrinking, and
+//! pass/reject/fail plumbing for the [`proptest!`](crate::proptest)
+//! macro.
+
+use crate::strategy::Strategy;
 
 /// SplitMix64-based generator backing every strategy draw.
 ///
@@ -164,6 +167,93 @@ impl TestRunner {
             }
         }
     }
+
+    /// Like [`run`](Self::run), but generation goes through `strategy`
+    /// so a failing value can be *shrunk*: the runner greedily adopts
+    /// the first simpler candidate that still fails, to a fixpoint (or
+    /// a fixed candidate budget), and reports the minimal failing input.
+    ///
+    /// This is what the [`proptest!`](crate::proptest) macro calls; the
+    /// per-test RNG stream is identical to [`run`](Self::run) drawing
+    /// the same strategies in order, so existing replay seeds hold.
+    pub fn run_shrink<S, F>(&mut self, strategy: &S, mut case: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let base = self.base_seed();
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while accepted < self.config.cases {
+            case_index += 1;
+            let seed = base ^ case_index.wrapping_mul(0xA24B_AED4_963E_E407);
+            let mut rng = TestRng::new(seed);
+            let value = strategy.generate(&mut rng);
+            match case(value.clone()) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        if accepted == 0 {
+                            panic!(
+                                "[{}] every generated case was rejected \
+                                 (last assumption: {reason})",
+                                self.name
+                            );
+                        }
+                        return;
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (minimal, final_msg, steps) =
+                        Self::shrink_failure(strategy, &mut case, value, msg);
+                    panic!(
+                        "[{}] property failed at case {case_index} \
+                         (replay with PROPTEST_RNG_SEED={base}):\n{final_msg}\n\
+                         minimal failing input ({steps} shrink steps): {minimal:?}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy first-fit minimization: repeatedly replace the failing
+    /// value with the first strategy-proposed candidate that still
+    /// fails, until no candidate fails or the budget runs out. A
+    /// candidate that passes or is rejected is simply not adopted.
+    fn shrink_failure<S, F>(
+        strategy: &S,
+        case: &mut F,
+        mut value: S::Value,
+        mut msg: String,
+    ) -> (S::Value, String, usize)
+    where
+        S: Strategy,
+        S::Value: Clone,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut budget = 256usize;
+        let mut steps = 0usize;
+        'outer: while budget > 0 {
+            for cand in strategy.shrink(&value) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if let Err(TestCaseError::Fail(m)) = case(cand.clone()) {
+                    value = cand;
+                    msg = m;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (value, msg, steps)
+    }
 }
 
 #[cfg(test)]
@@ -221,5 +311,49 @@ mod tests {
     fn runner_panics_when_all_rejected() {
         let mut runner = TestRunner::new(Config::with_cases(10), "rejecter");
         runner.run(|_| Err(TestCaseError::reject("never")));
+    }
+
+    #[test]
+    fn shrink_failure_finds_boundary() {
+        // Property "value < 37" fails for >= 37; the minimal failing
+        // input is exactly 37, reachable by greedy bisection.
+        let strategy = (0u64..1_000_000,);
+        let mut case = |(v,): (u64,)| {
+            if v < 37 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{v} too big")))
+            }
+        };
+        let (minimal, msg, steps) =
+            TestRunner::shrink_failure(&strategy, &mut case, (999_999,), "seed".into());
+        assert_eq!(minimal, (37,));
+        assert!(msg.contains("37"));
+        assert!(steps > 0 && steps < 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn run_shrink_reports_minimal_input() {
+        let mut runner = TestRunner::new(Config::with_cases(10), "shrinker");
+        runner.run_shrink(&(0u64..1_000_000,), |(v,)| {
+            if v < 5 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("big"))
+            }
+        });
+    }
+
+    #[test]
+    fn run_shrink_passes_clean_properties() {
+        let mut runner = TestRunner::new(Config::with_cases(10), "clean");
+        let mut n = 0;
+        runner.run_shrink(&(0u64..100,), |(v,)| {
+            n += 1;
+            assert!(v < 100);
+            Ok(())
+        });
+        assert_eq!(n, 10);
     }
 }

@@ -73,6 +73,82 @@ fn restart_with_different_catalog_seed_diverges() {
     assert!(same < 1_000, "placements should diverge, {same} matched");
 }
 
+/// A golden snapshot with some history: the corruption-fuzz target.
+fn golden_engine() -> scaddar::core::Scaddar {
+    let config = scaddar::core::ScaddarConfig::new(5).with_catalog_seed(99);
+    let mut engine = scaddar::core::Scaddar::new(config).unwrap();
+    engine.add_object(700);
+    engine.add_object(300);
+    engine.scale(ScalingOp::Add { count: 2 }).unwrap();
+    engine
+        .scale(ScalingOp::Remove { disks: vec![1, 4] })
+        .unwrap();
+    engine.scale(ScalingOp::add_one()).unwrap();
+    engine
+}
+
+/// Placement fingerprint of an engine: every block's disk, in catalog
+/// order. Two engines with equal fingerprints serve identical reads.
+fn placement_of(engine: &scaddar::core::Scaddar) -> Vec<u32> {
+    let mut out = Vec::new();
+    for obj in engine.catalog().objects() {
+        out.extend(engine.locate_all(obj.id).unwrap().iter().map(|d| d.0));
+    }
+    out
+}
+
+/// Corruption fuzz, truncation sweep: *every* proper prefix of a golden
+/// snapshot must fail to decode. A truncation that decoded successfully
+/// could silently recover an older epoch and serve every block from the
+/// wrong disk — the worst failure a directory-free design admits.
+#[test]
+fn every_truncation_fails_to_decode() {
+    let bytes = golden_engine().snapshot();
+    for len in 0..bytes.len() {
+        let decoded = scaddar::core::persist::decode(&bytes[..len]);
+        assert!(
+            decoded.is_err(),
+            "truncation to {len}/{} bytes decoded successfully",
+            bytes.len()
+        );
+        assert_eq!(
+            scaddar::core::persist::validate(&bytes[..len]).is_err(),
+            decoded.is_err(),
+            "validate and decode disagree at {len}"
+        );
+    }
+}
+
+/// Corruption fuzz, bit-flip sweep: flipping any single bit anywhere in
+/// the snapshot must yield a decode error — never a *wrong placement*.
+/// The CRC32 trailer guarantees detection of all 1-bit errors, so a
+/// clean decode of a flipped snapshot would be a checksum-coverage bug;
+/// the placement comparison is belt and braces in case that guarantee
+/// is ever weakened to "decode but identical".
+#[test]
+fn every_single_bit_flip_is_detected_or_harmless() {
+    let engine = golden_engine();
+    let bytes = engine.snapshot();
+    let golden_placement = placement_of(&engine);
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            match scaddar::core::Scaddar::from_snapshot(&corrupt, 0.05) {
+                Err(_) => {}
+                Ok(recovered) => {
+                    assert_eq!(
+                        placement_of(&recovered),
+                        golden_placement,
+                        "bit {bit} of byte {byte}: flipped snapshot decoded \
+                         to a DIFFERENT placement"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn interrupted_redistribution_can_resume_after_replay() {
     // A crash mid-redistribution: on restart, the engine's AF() already
