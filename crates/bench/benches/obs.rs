@@ -1,0 +1,128 @@
+//! E9 — the price of watching: instrumented vs bare hot paths.
+//!
+//! The observability layer budgets one weak counter increment (a
+//! relaxed load + store pair, no locked read-modify-write) per
+//! `locate`; the counter doubles as the 1-in-1024 latency sampling
+//! basis. The instrumented engine must stay within a few percent of
+//! bare. `bench_report` condenses these groups into `BENCH_obs.json`;
+//! CI's obs-smoke job fails if the locate overhead ratio exceeds 1.10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scaddar_core::{
+    plan_last_op_parallel, plan_last_op_parallel_instrumented, EngineStats, Scaddar, ScaddarConfig,
+    ScalingOp,
+};
+use scaddar_obs::{Counter, Histogram, Registry, Tracer, VirtualClock};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A churned engine: 8 disks, one 10k-block object, `ops` scale ops.
+fn churned_engine(ops: usize) -> Scaddar {
+    let mut engine = Scaddar::new(ScaddarConfig::new(8).with_catalog_seed(42)).unwrap();
+    engine.add_object(10_000);
+    for i in 0..ops {
+        let op = if i % 2 == 0 {
+            ScalingOp::remove_one(0)
+        } else {
+            ScalingOp::Add { count: 1 }
+        };
+        engine.scale(op).expect("valid churn op");
+    }
+    engine
+}
+
+/// The headline comparison: the same cached lookup with and without
+/// metric handles attached. `bare` pays one predicted-not-taken branch;
+/// `instrumented` adds a weak counter increment (and, every 1024th
+/// call, two clock reads plus a histogram record).
+fn bench_locate_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_locate_overhead");
+    for (label, instrument) in [("bare", false), ("instrumented", true)] {
+        let mut engine = churned_engine(8);
+        if instrument {
+            let registry = Registry::new();
+            engine.attach_stats(EngineStats::register_monotonic(&registry));
+        }
+        let id = engine.catalog().objects()[0].id;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                black_box(engine.locate(id, black_box(i)).expect("valid block"))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Planning is a cold path, so it takes full timing (per-op and
+/// per-chunk histograms); the ratio should still be ~1.0 because the
+/// recording cost is amortized over thousands of blocks.
+fn bench_plan_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_plan_overhead");
+    let engine = churned_engine(4);
+    let threads = 2;
+    let registry = Registry::new();
+    let stats = EngineStats::register_monotonic(&registry);
+    group.bench_function(BenchmarkId::from_parameter("bare"), |b| {
+        b.iter(|| {
+            black_box(plan_last_op_parallel(
+                engine.catalog(),
+                engine.log(),
+                threads,
+            ))
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("instrumented"), |b| {
+        b.iter(|| {
+            black_box(plan_last_op_parallel_instrumented(
+                engine.catalog(),
+                engine.log(),
+                threads,
+                &stats,
+            ))
+        });
+    });
+    group.finish();
+}
+
+/// The raw primitives, for the overhead budget table in `DESIGN.md` §9:
+/// a relaxed counter increment, a histogram record (bucket index +
+/// three relaxed atomics), and a full span open/event/drop cycle
+/// against a virtual clock (two reads + one mutex push).
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let counter = Counter::new();
+    group.bench_function(BenchmarkId::from_parameter("counter_inc"), |b| {
+        b.iter(|| black_box(counter.inc_and_get()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("counter_inc_weak"), |b| {
+        b.iter(|| black_box(counter.inc_weak()));
+    });
+    let histogram = Histogram::new();
+    group.bench_function(BenchmarkId::from_parameter("histogram_record"), |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record(black_box(v >> 40));
+        });
+    });
+    let clock = Arc::new(VirtualClock::new());
+    let tracer = Tracer::new(clock.clone(), 64);
+    group.bench_function(BenchmarkId::from_parameter("span_cycle"), |b| {
+        b.iter(|| {
+            let mut span = tracer.span("bench");
+            clock.advance(1);
+            span.event("k", 1u64);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_locate_overhead,
+    bench_plan_overhead,
+    bench_primitives
+);
+criterion_main!(benches);

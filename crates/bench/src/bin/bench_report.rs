@@ -1,19 +1,26 @@
-//! Condenses the criterion JSON emitted by the `remap` and `access`
-//! benches into a machine-readable `BENCH_remap.json` at the repo root:
-//! raw ns-per-iteration plus the headline speedup ratios of the bulk
-//! location engine (pipeline fold vs record fold, parallel vs serial
-//! planning, cached vs oracle lookup).
+//! Condenses the criterion JSON emitted by the `remap`, `access`, and
+//! `obs` benches into machine-readable reports at the repo root:
+//!
+//! * `BENCH_remap.json` — raw ns-per-iteration plus the headline
+//!   speedup ratios of the bulk location engine (pipeline fold vs
+//!   record fold, parallel vs serial planning, cached vs oracle
+//!   lookup);
+//! * `BENCH_obs.json` (when the `obs` bench has run) — the telemetry
+//!   overhead ratios (instrumented / bare), with a `within_5pct`
+//!   verdict per hot path. CI's obs-smoke job gates on the locate
+//!   ratio.
 //!
 //! Run after the benches:
 //!
 //! ```text
-//! cargo bench -p scaddar-bench --bench remap --bench access
+//! cargo bench -p scaddar-bench --bench remap --bench access --bench obs
 //! cargo run -p scaddar-bench --bin bench_report
 //! ```
 //!
-//! Reads `target/criterion-json/{remap,access}.json` relative to the
-//! current directory (override with `BENCH_JSON_DIR`) and writes
-//! `BENCH_remap.json` (override with the first CLI argument).
+//! Reads `target/criterion-json/{remap,access,obs}.json` relative to
+//! the current directory (override with `BENCH_JSON_DIR`) and writes
+//! `BENCH_remap.json` (override with the first CLI argument) and
+//! `BENCH_obs.json` (override with `BENCH_OBS_PATH`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -58,7 +65,7 @@ fn parse_results(json: &str) -> Vec<(String, String, f64)> {
 
 fn load_measurements(dirs: &[std::path::PathBuf]) -> BTreeMap<String, Measurement> {
     let mut all = BTreeMap::new();
-    for stem in ["remap", "access"] {
+    for stem in ["remap", "access", "obs"] {
         // Cargo runs bench binaries with the package directory as cwd,
         // so the shim's reports land under `crates/bench/target/` when
         // benches run from the workspace root; accept either location.
@@ -83,6 +90,48 @@ fn speedup(all: &BTreeMap<String, Measurement>, baseline: &str, candidate: &str)
     let b = all.get(baseline)?.ns_per_iter;
     let c = all.get(candidate)?.ns_per_iter;
     (c > 0.0).then(|| b / c)
+}
+
+/// The `BENCH_obs.json` body: instrumented/bare overhead ratio per hot
+/// path (with the acceptance verdict), plus the raw `obs_*`
+/// measurements. `None` when the `obs` bench has not run.
+fn obs_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
+    let mut overheads = String::new();
+    for path in ["locate", "plan"] {
+        let bare = all.get(&format!("obs_{path}_overhead/bare"))?.ns_per_iter;
+        let inst = all
+            .get(&format!("obs_{path}_overhead/instrumented"))?
+            .ns_per_iter;
+        if bare <= 0.0 {
+            return None;
+        }
+        let ratio = inst / bare;
+        if !overheads.is_empty() {
+            overheads.push_str(",\n");
+        }
+        write!(
+            overheads,
+            "    {{\"name\": \"{path}\", \"bare_ns\": {bare:.3}, \"instrumented_ns\": {inst:.3}, \
+             \"ratio\": {ratio:.4}, \"within_5pct\": {}}}",
+            ratio <= 1.05
+        )
+        .expect("write to string");
+    }
+    let mut raw = String::new();
+    for (key, m) in all.iter().filter(|(k, _)| k.starts_with("obs_")) {
+        if !raw.is_empty() {
+            raw.push_str(",\n");
+        }
+        write!(
+            raw,
+            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
+            m.ns_per_iter
+        )
+        .expect("write to string");
+    }
+    Some(format!(
+        "{{\n  \"overheads\": [\n{overheads}\n  ],\n  \"raw\": [\n{raw}\n  ]\n}}\n"
+    ))
 }
 
 fn main() {
@@ -157,6 +206,13 @@ fn main() {
         "bench_report: wrote {out_path} ({} measurements)",
         all.len()
     );
+
+    if let Some(obs) = obs_report(&all) {
+        let obs_path =
+            std::env::var("BENCH_OBS_PATH").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+        std::fs::write(&obs_path, &obs).expect("write obs report");
+        println!("bench_report: wrote {obs_path}");
+    }
 }
 
 #[cfg(test)]
@@ -186,5 +242,30 @@ mod tests {
         let s = speedup(&all, "x_fold/records/8", "x_fold/pipeline/8").unwrap();
         assert!((s - 120.5 / 30.1).abs() < 1e-9);
         assert!(speedup(&all, "missing", "x_fold/pipeline/8").is_none());
+    }
+
+    #[test]
+    fn obs_report_carries_ratio_and_verdict() {
+        let mut all = BTreeMap::new();
+        for (key, ns) in [
+            ("obs_locate_overhead/bare", 50.0),
+            ("obs_locate_overhead/instrumented", 51.0),
+            ("obs_plan_overhead/bare", 10_000.0),
+            ("obs_plan_overhead/instrumented", 11_000.0),
+            ("obs_primitives/counter_inc", 2.0),
+        ] {
+            all.insert(key.to_string(), Measurement { ns_per_iter: ns });
+        }
+        let report = obs_report(&all).expect("obs measurements present");
+        assert!(report.contains("\"name\": \"locate\""));
+        assert!(report.contains("\"ratio\": 1.0200"));
+        assert!(report.contains("\"within_5pct\": true"));
+        // Plan at 1.10 is over the 5% line.
+        assert!(report.contains("\"ratio\": 1.1000"));
+        assert!(report.contains("\"within_5pct\": false"));
+        assert!(report.contains("obs_primitives/counter_inc"));
+
+        all.remove("obs_plan_overhead/bare");
+        assert!(obs_report(&all).is_none(), "partial obs run emits nothing");
     }
 }

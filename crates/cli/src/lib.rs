@@ -22,9 +22,13 @@
 #![warn(missing_docs)]
 
 use scaddar_analysis::{fmt_f64, fmt_pct, Summary};
-use scaddar_core::{audit_balance, audit_census, ObjectId, Scaddar, ScaddarConfig, ScalingOp};
+use scaddar_core::{
+    audit_balance, audit_census, EngineStats, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
+};
+use scaddar_obs::{MonotonicClock, Registry, Tracer};
 use scaddar_prng::Bits;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Errors surfaced to the operator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,11 +56,31 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// How many completed command spans the session's flight recorder
+/// retains for `spans`.
+const SPAN_CAPACITY: usize = 256;
+
+/// How many spans `spans` prints when no count is given.
+const SPAN_DEFAULT: usize = 16;
+
 /// One interactive session (at most one engine at a time).
-#[derive(Debug, Default)]
+///
+/// The session owns its own telemetry composition root: a
+/// [`Registry`] the engine's [`EngineStats`] record into, and a
+/// [`Tracer`] that wraps every executed command in a span. `metrics`
+/// and `spans` read them back out.
+#[derive(Debug)]
 pub struct Session {
     engine: Option<Scaddar>,
     epsilon: f64,
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
 }
 
 /// The help text, kept verbatim-testable.
@@ -75,15 +99,31 @@ commands:
   fairness                                             the §4.3 budget state
   audit                                                balance + census self-check
   save <path> / load <path>                            persist / restore metadata
+  metrics [--json]                                     telemetry (Prometheus text, or JSON)
+  spans [n]                                            last n command spans (default 16)
   help                                                 this text";
 
 impl Session {
     /// A fresh session with no server.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), SPAN_CAPACITY);
         Session {
             engine: None,
             epsilon: 0.05,
+            registry,
+            tracer,
         }
+    }
+
+    /// The session's metric registry (engine stats record into it).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Engine metric handles registered against the session registry.
+    fn engine_stats(&self) -> Arc<EngineStats> {
+        EngineStats::register(&self.registry, self.tracer.clock().clone())
     }
 
     /// Direct access to the engine (for embedding in tests/tools).
@@ -100,31 +140,79 @@ impl Session {
     }
 
     /// Executes one command line and returns its output text.
+    ///
+    /// Every command runs inside a `cmd.<name>` span on the session
+    /// tracer (errors are tagged `error=<kind>`), so `spans` doubles as
+    /// a command history with timing.
     pub fn execute(&mut self, line: &str) -> Result<String, CliError> {
         let mut parts = line.split_whitespace();
         let Some(command) = parts.next() else {
             return Ok(String::new());
         };
         let args: Vec<&str> = parts.collect();
+        let mut span = self.tracer.span(&format!("cmd.{command}"));
+        let result = self.dispatch(command, &args);
+        if let Err(e) = &result {
+            span.event(
+                "error",
+                match e {
+                    CliError::Usage(_) => "usage",
+                    CliError::NoServer => "no-server",
+                    CliError::Engine(_) => "engine",
+                    CliError::Io(_) => "io",
+                },
+            );
+        }
+        result
+    }
+
+    fn dispatch(&mut self, command: &str, args: &[&str]) -> Result<String, CliError> {
         match command {
             "help" => Ok(HELP.to_string()),
-            "init" => self.cmd_init(&args),
-            "add-object" => self.cmd_add_object(&args),
-            "remove-object" => self.cmd_remove_object(&args),
+            "init" => self.cmd_init(args),
+            "add-object" => self.cmd_add_object(args),
+            "remove-object" => self.cmd_remove_object(args),
             "objects" => self.cmd_objects(),
-            "locate" => self.cmd_locate(&args),
-            "trace" => self.cmd_trace(&args),
-            "scale" => self.cmd_scale(&args),
-            "plan" => self.cmd_plan(&args),
+            "locate" => self.cmd_locate(args),
+            "trace" => self.cmd_trace(args),
+            "scale" => self.cmd_scale(args),
+            "plan" => self.cmd_plan(args),
             "census" => self.cmd_census(),
             "fairness" => self.cmd_fairness(),
             "audit" => self.cmd_audit(),
-            "save" => self.cmd_save(&args),
-            "load" => self.cmd_load(&args),
+            "save" => self.cmd_save(args),
+            "load" => self.cmd_load(args),
+            "metrics" => self.cmd_metrics(args),
+            "spans" => self.cmd_spans(args),
             other => Err(CliError::Usage(format!(
                 "unknown command `{other}` — try `help`"
             ))),
         }
+    }
+
+    fn cmd_metrics(&self, args: &[&str]) -> Result<String, CliError> {
+        match args {
+            [] => Ok(self.registry.render_prometheus().trim_end().to_string()),
+            ["--json"] => Ok(self.registry.snapshot_json().trim_end().to_string()),
+            _ => Err(CliError::Usage("metrics [--json]".into())),
+        }
+    }
+
+    fn cmd_spans(&self, args: &[&str]) -> Result<String, CliError> {
+        let n = match args {
+            [] => SPAN_DEFAULT,
+            [n] => n
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| CliError::Usage("spans [n]".into()))?,
+            _ => return Err(CliError::Usage("spans [n]".into())),
+        };
+        let timeline = self.tracer.render_recent(n);
+        if timeline.is_empty() {
+            return Ok("no spans recorded".to_string());
+        }
+        Ok(timeline.trim_end().to_string())
     }
 
     fn cmd_init(&mut self, args: &[&str]) -> Result<String, CliError> {
@@ -155,7 +243,8 @@ impl Session {
             }
         }
         self.epsilon = config.epsilon;
-        let engine = Scaddar::new(config).map_err(|e| CliError::Engine(e.to_string()))?;
+        let mut engine = Scaddar::new(config).map_err(|e| CliError::Engine(e.to_string()))?;
+        engine.attach_stats(self.engine_stats());
         let summary = format!(
             "server: {} disks, {}-bit randomness, eps {}",
             engine.disks(),
@@ -292,8 +381,11 @@ impl Session {
     fn cmd_plan(&self, args: &[&str]) -> Result<String, CliError> {
         let op = Self::parse_op(args, "plan add <count> | plan remove <d1,d2,...>")?;
         let engine = self.engine_ref()?;
-        // Dry-run on a clone; the live engine is untouched.
+        // Dry-run on a clone; the live engine is untouched. Detach the
+        // shared stat handles so the preview doesn't show up as a real
+        // scale op in `metrics`.
         let mut probe = engine.clone();
+        probe.detach_stats();
         let disks_after = op
             .disks_after(engine.disks())
             .map_err(|e| CliError::Engine(e.to_string()))?;
@@ -383,8 +475,9 @@ impl Session {
             .first()
             .ok_or_else(|| CliError::Usage("load <path>".into()))?;
         let bytes = std::fs::read(path).map_err(|e| CliError::Io(e.to_string()))?;
-        let engine = Scaddar::from_snapshot(&bytes, self.epsilon)
-            .map_err(|e| CliError::Engine(e.to_string()))?;
+        let engine =
+            Scaddar::from_snapshot_with_stats(&bytes, self.epsilon, Some(self.engine_stats()))
+                .map_err(|e| CliError::Engine(e.to_string()))?;
         let summary = format!(
             "restored: {} disks, {} objects, epoch {}",
             engine.disks(),
@@ -504,6 +597,112 @@ mod tests {
         let mut s = Session::new();
         assert_eq!(s.execute("   ").unwrap(), "");
         assert!(s.execute("help").unwrap().contains("scale add <count>"));
+    }
+
+    #[test]
+    fn metrics_renders_valid_prometheus_exposition() {
+        let mut s = Session::new();
+        run(&mut s, "init 4 seed=3");
+        run(&mut s, "add-object 2000");
+        for b in 0..200 {
+            run(&mut s, &format!("locate 0 {b}"));
+        }
+        run(&mut s, "scale add 2");
+        let text = run(&mut s, "metrics");
+        assert!(text.contains("# TYPE scaddar_core_xcache_hits_total counter"));
+        assert!(text.contains("scaddar_core_xcache_hits_total 200"));
+        assert!(text.contains("scaddar_core_scale_ops_total 1"));
+        assert!(text.contains("# TYPE scaddar_core_locate_ns histogram"));
+        assert!(text.contains("scaddar_core_locate_ns_bucket{le=\"+Inf\"}"));
+        // Exposition shape: every line is a comment or `name value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_hand_parsing() {
+        let mut s = Session::new();
+        run(&mut s, "init 4 seed=3");
+        run(&mut s, "add-object 1000");
+        for b in 0..65 {
+            run(&mut s, &format!("locate 0 {b}"));
+        }
+        run(&mut s, "scale add 1");
+        let json = run(&mut s, "metrics --json");
+        let values = scaddar_obs::registry::parse_json_values(&json);
+        let get = |name: &str, field: &str| {
+            values
+                .iter()
+                .find(|(n, f, _)| n == name && f == field)
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(get("scaddar_core_xcache_hits_total", "value"), Some(65.0));
+        assert_eq!(get("scaddar_core_scale_ops_total", "value"), Some(1.0));
+        assert_eq!(get("scaddar_core_plan_blocks_total", "value"), Some(1000.0));
+        // Mask 1023 samples only call 0 out of these 65.
+        assert_eq!(get("scaddar_core_locate_ns", "count"), Some(1.0));
+        assert!(matches!(
+            s.execute("metrics --yaml"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn plan_preview_stays_out_of_the_metrics() {
+        let mut s = Session::new();
+        run(&mut s, "init 4 seed=3");
+        run(&mut s, "add-object 500");
+        run(&mut s, "plan add 2");
+        let text = run(&mut s, "metrics");
+        assert!(text.contains("scaddar_core_scale_ops_total 0"));
+    }
+
+    #[test]
+    fn spans_are_a_command_history_with_errors_tagged() {
+        let mut s = Session::new();
+        assert_eq!(run(&mut s, "spans"), "no spans recorded");
+        run(&mut s, "init 4 seed=1");
+        run(&mut s, "add-object 100");
+        let _ = s.execute("locate 99 0"); // engine error
+        let spans = run(&mut s, "spans");
+        assert!(spans.contains("cmd.init"));
+        assert!(spans.contains("cmd.add-object"));
+        assert!(spans.contains("cmd.locate error=engine"));
+        assert!(
+            spans.contains("cmd.spans"),
+            "the first `spans` call is itself recorded"
+        );
+        assert_eq!(run(&mut s, "spans 1").lines().count(), 1);
+        assert!(matches!(s.execute("spans 0"), Err(CliError::Usage(_))));
+        assert!(matches!(s.execute("spans x y"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn restore_is_counted_in_the_new_session_registry() {
+        let path = std::env::temp_dir().join("scaddar-cli-metrics-test.snap");
+        let path_s = path.to_str().unwrap();
+        let mut s = Session::new();
+        run(&mut s, "init 4 seed=11");
+        run(&mut s, "add-object 300");
+        run(&mut s, &format!("save {path_s}"));
+        let saved = run(&mut s, "metrics");
+        assert!(saved.contains("scaddar_core_persist_bytes_written_total"));
+
+        let mut fresh = Session::new();
+        run(&mut fresh, &format!("load {path_s}"));
+        let json = run(&mut fresh, "metrics --json");
+        let values = scaddar_obs::registry::parse_json_values(&json);
+        let bytes_read = values
+            .iter()
+            .find(|(n, f, _)| n == "scaddar_core_persist_bytes_read_total" && f == "value")
+            .map(|(_, _, v)| *v)
+            .unwrap();
+        assert!(bytes_read > 0.0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct ServerConfig {
     /// remainder serves streams first; redistribution may also consume
     /// leftover stream bandwidth.
     pub redistribution_bandwidth: u32,
+    /// How many per-round metric records the server retains in memory
+    /// (run totals are accumulators and outlive the window).
+    pub metrics_retention: usize,
 }
 
 impl ServerConfig {
@@ -46,7 +49,14 @@ impl ServerConfig {
             catalog_seed: 0,
             epsilon: 0.05,
             redistribution_bandwidth: 4,
+            metrics_retention: crate::metrics::DEFAULT_RETENTION,
         }
+    }
+
+    /// Overrides the per-round metrics retention window.
+    pub fn with_metrics_retention(mut self, rounds: usize) -> Self {
+        self.metrics_retention = rounds;
+        self
     }
 
     /// Overrides the per-disk stream bandwidth (blocks per round).

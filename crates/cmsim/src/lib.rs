@@ -58,6 +58,7 @@ pub mod redistribute;
 pub mod scrub;
 pub mod server;
 pub mod sim;
+pub mod stats;
 pub mod store;
 pub mod stream;
 pub mod workload;
@@ -70,12 +71,13 @@ pub use disk::{DiskArray, DiskSpec};
 pub use diskmodel::{provisioning_table, DiskModel};
 pub use faults::{availability_census, locate_with_failures, mirror_of, mirror_offset};
 pub use hetero::{HeteroDiskId, HeteroMap};
-pub use metrics::{Metrics, RoundRecord};
+pub use metrics::{Metrics, RoundRecord, DEFAULT_RETENTION};
 pub use parity::{parity_availability_census, parity_disk, parity_read, ParityRead};
 pub use redistribute::{PendingMove, RedistributionExecutor};
 pub use scrub::{ScrubReport, Scrubber};
 pub use server::{CmServer, ServerError};
 pub use sim::Simulation;
+pub use stats::ServerStats;
 pub use store::BlockStore;
 pub use stream::{PlayState, Stream, StreamId};
 pub use workload::{VcrAction, WorkloadConfig, WorkloadGen, Zipf};

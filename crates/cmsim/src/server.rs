@@ -17,11 +17,13 @@ use crate::config::ServerConfig;
 use crate::disk::{DiskArray, DiskSpec};
 use crate::metrics::{Metrics, RoundRecord};
 use crate::redistribute::{PendingMove, RedistributionExecutor};
+use crate::stats::ServerStats;
 use crate::store::BlockStore;
 use crate::stream::{PlayState, Stream, StreamId};
 use scaddar_baselines::PhysicalDiskId;
 use scaddar_core::{BlockRef, ObjectId, Scaddar, ScaddarConfig, ScaddarError, ScalingOp};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Errors from server operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +90,7 @@ pub struct CmServer {
     /// §6 mirror until the operator removes the disk, and removal moves
     /// reconstruct from mirrors.
     failed: HashSet<PhysicalDiskId>,
+    stats: Option<Arc<ServerStats>>,
 }
 
 impl CmServer {
@@ -113,12 +116,26 @@ impl CmServer {
             streams: Vec::new(),
             next_stream: 0,
             executor: RedistributionExecutor::new(),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_retention(config.metrics_retention),
             admission: AdmissionController::new(0.8),
             draining: HashMap::new(),
             failed: HashSet::new(),
+            stats: None,
             config,
         })
+    }
+
+    /// Attaches server metric handles: subsequent rounds, scaling
+    /// operations, and faults record into the shared registry (and
+    /// [`Metrics`] mirrors its per-round totals there too).
+    pub fn attach_stats(&mut self, stats: Arc<ServerStats>) {
+        self.metrics.attach_stats(stats.clone());
+        self.stats = Some(stats);
+    }
+
+    /// The attached server metric handles, if any.
+    pub fn stats(&self) -> Option<&Arc<ServerStats>> {
+        self.stats.as_ref()
     }
 
     /// The placement engine (read-only).
@@ -210,10 +227,11 @@ impl CmServer {
             streams: Vec::new(),
             next_stream: 0,
             executor: RedistributionExecutor::new(),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_retention(config.metrics_retention),
             admission: AdmissionController::new(0.8),
             draining: HashMap::new(),
             failed: HashSet::new(),
+            stats: None,
             config,
         })
     }
@@ -227,6 +245,9 @@ impl CmServer {
     pub fn fail_disk(&mut self, logical: scaddar_core::DiskIndex) -> PhysicalDiskId {
         let id = self.disks.physical(logical);
         self.failed.insert(id);
+        if let Some(stats) = &self.stats {
+            stats.disk_failures.inc();
+        }
         // Pending moves sourced from the dead disk must now read from
         // the mirror of the block's *current placement* (the data's
         // replica location).
@@ -307,7 +328,13 @@ impl CmServer {
             });
         }
         self.executor.cancel_blocks(|blk| blk.object == id);
+        let before = self.streams.len();
         self.streams.retain(|s| s.object != id);
+        if let Some(stats) = &self.stats {
+            stats
+                .streams_closed
+                .add((before - self.streams.len()) as u64);
+        }
         Ok(())
     }
 
@@ -329,6 +356,9 @@ impl CmServer {
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
         self.streams.push(Stream::new(id, object, blocks));
+        if let Some(stats) = &self.stats {
+            stats.streams_opened.inc();
+        }
         Ok(id)
     }
 
@@ -367,6 +397,7 @@ impl CmServer {
     /// *actual* current residency, so at most one pending move exists per
     /// block at any time.
     pub fn scale(&mut self, op: ScalingOp) -> Result<u64, ServerError> {
+        let scale_start = self.stats.as_ref().map(|s| s.clock.now_ns());
         let plan = self.engine.scale(op.clone())?;
         // A removed disk enters the *draining* state: it leaves the
         // logical array immediately (AF() no longer maps anything to it)
@@ -427,6 +458,16 @@ impl CmServer {
             .collect();
         let queued = moves.len() as u64;
         self.executor.enqueue(moves);
+        if let (Some(stats), Some(start)) = (&self.stats, scale_start) {
+            stats.scale_ops.inc();
+            stats.moves_queued.add(queued);
+            stats
+                .backlog
+                .set(self.executor.backlog().min(i64::MAX as u64) as i64);
+            stats
+                .scale_ns
+                .record(stats.clock.now_ns().saturating_sub(start));
+        }
         Ok(queued)
     }
 
@@ -474,6 +515,7 @@ impl CmServer {
 
     /// Advances one service round.
     pub fn tick(&mut self) {
+        let tick_start = self.stats.as_ref().map(|s| s.clock.now_ns());
         let ids = self.disks.physical_ids();
         let mut remaining: HashMap<PhysicalDiskId, u32> = ids
             .iter()
@@ -553,6 +595,7 @@ impl CmServer {
         self.purge_drained();
 
         // 3. Reap finished streams and record the round.
+        let before = self.streams.len();
         self.streams.retain(|s| s.state != PlayState::Done);
         self.metrics.push(RoundRecord {
             requested,
@@ -563,6 +606,37 @@ impl CmServer {
             backlog: self.executor.backlog(),
             active_streams: self.streams.len() as u64,
         });
+        if let (Some(stats), Some(start)) = (&self.stats, tick_start) {
+            stats
+                .streams_closed
+                .add((before - self.streams.len()) as u64);
+            self.refresh_disk_gauges(stats);
+            stats
+                .tick_ns
+                .record(stats.clock.now_ns().saturating_sub(start));
+        }
+    }
+
+    /// Refreshes the per-disk labeled gauges: outbound move queue depth
+    /// and the residency load census, over live and draining disks.
+    fn refresh_disk_gauges(&self, stats: &ServerStats) {
+        let mut queue: HashMap<PhysicalDiskId, i64> = HashMap::new();
+        for mv in self.executor.pending() {
+            *queue.entry(mv.from).or_insert(0) += 1;
+        }
+        for id in self
+            .disks
+            .physical_ids()
+            .into_iter()
+            .chain(self.draining.keys().copied())
+        {
+            stats
+                .disk_queue_depth(id)
+                .set(queue.get(&id).copied().unwrap_or(0));
+            stats
+                .disk_load(id)
+                .set(self.store.blocks_on(id).min(i64::MAX as u64) as i64);
+        }
     }
 
     /// Bulk lookup: the *physical* disks of the given blocks of one
@@ -857,6 +931,51 @@ mod tests {
             CmServer::restore(ServerConfig::new(4), b"not a snapshot"),
             Err(ServerError::Snapshot(_))
         ));
+    }
+
+    #[test]
+    fn attached_stats_observe_a_full_scaling_run() {
+        use crate::stats::ServerStats;
+        use scaddar_obs::Registry;
+        let registry = Registry::new();
+        let stats = ServerStats::register_monotonic(&registry);
+        let mut s = server(4);
+        s.attach_stats(stats.clone());
+        // Engine stats share the same registry.
+        let engine_stats = scaddar_core::EngineStats::register_monotonic(&registry);
+        s.engine.attach_stats(engine_stats.clone());
+
+        let obj = s.add_object(5_000).unwrap();
+        for _ in 0..5 {
+            s.open_stream(obj).unwrap();
+        }
+        assert_eq!(stats.streams_opened.get(), 5);
+        let queued = s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert_eq!(stats.scale_ops.get(), 1);
+        assert_eq!(stats.moves_queued.get(), queued);
+        assert_eq!(stats.backlog.get(), queued as i64);
+        assert_eq!(engine_stats.scale_ops.get(), 1);
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert_eq!(stats.backlog.get(), 0, "gauge follows the drain");
+        assert_eq!(stats.moves.get(), queued, "every queued move executed");
+        assert_eq!(stats.rounds.get(), s.metrics().len() as u64);
+        assert_eq!(stats.served.get(), s.metrics().total_served());
+        // Per-disk gauges exist for every live disk and sum to the
+        // catalog size.
+        let census_total: i64 = s
+            .disks()
+            .physical_ids()
+            .into_iter()
+            .map(|d| stats.disk_load(d).get())
+            .sum();
+        assert_eq!(census_total, 5_000);
+        assert!(registry
+            .render_prometheus()
+            .contains("cmsim_server_rounds_total"));
+        // Drain interval visible through the fixed drain accounting.
+        assert_eq!(s.metrics().drain_times().len(), 1);
     }
 
     #[test]

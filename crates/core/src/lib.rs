@@ -60,6 +60,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod plan;
 pub mod remap;
+pub mod stats;
 pub mod xcache;
 
 pub use address::{locate, locate_at_epoch, trace, DiskIndex, TraceStep};
@@ -74,10 +75,15 @@ pub use object::{BlockRef, Catalog, CmObject, ObjectId};
 pub use ops::{RemovedSet, ScalingOp};
 pub use persist::{PersistError, Snapshot};
 pub use pipeline::RemapPipeline;
-pub use plan::{plan_last_op, plan_last_op_parallel, plan_last_op_with_x, BlockMove, MovePlan};
+pub use plan::{
+    plan_last_op, plan_last_op_parallel, plan_last_op_parallel_instrumented, plan_last_op_with_x,
+    BlockMove, MovePlan,
+};
+pub use stats::EngineStats;
 pub use xcache::XCache;
 
 use scaddar_prng::{Bits, RngKind};
+use std::sync::Arc;
 
 /// Configuration of a SCADDAR placement engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,6 +209,7 @@ pub struct Scaddar {
     cache: XCache,
     fairness: FairnessTracker,
     epsilon: f64,
+    stats: Option<Arc<EngineStats>>,
 }
 
 impl Scaddar {
@@ -216,7 +223,26 @@ impl Scaddar {
             fairness: FairnessTracker::new(config.bits, config.initial_disks),
             log,
             epsilon: config.epsilon,
+            stats: None,
         })
+    }
+
+    /// Attaches metric handles; subsequent engine activity records into
+    /// them. Clones of the engine share the same handles.
+    pub fn attach_stats(&mut self, stats: Arc<EngineStats>) {
+        self.stats = Some(stats);
+    }
+
+    /// Detaches metric handles; subsequent activity is unobserved.
+    /// Used by dry-run probes cloned from a live engine so preview
+    /// work does not pollute the live registry.
+    pub fn detach_stats(&mut self) {
+        self.stats = None;
+    }
+
+    /// The attached metric handles, if any.
+    pub fn stats(&self) -> Option<&Arc<EngineStats>> {
+        self.stats.as_ref()
     }
 
     /// The object catalog (read-only).
@@ -250,6 +276,12 @@ impl Scaddar {
         let obj = *self.catalog.object(id).expect("object was just added");
         self.cache
             .insert_object(&self.catalog, &obj, &self.pipeline);
+        if let Some(stats) = &self.stats {
+            // Admission folds every new block X_0 → X_j.
+            stats
+                .pipeline_folds
+                .add(blocks.saturating_mul(self.log.epoch() as u64));
+        }
         id
     }
 
@@ -265,7 +297,28 @@ impl Scaddar {
 
     /// `AF()`: the disk of `block` of `object` at the current epoch.
     /// O(1): one lookup in the X-cache and one `mod` — no per-epoch fold.
+    ///
+    /// With stats attached the overhead is one relaxed atomic increment
+    /// per call (the X-cache hit counter, which doubles as the sampling
+    /// basis); 1 in [`stats::LOCATE_SAMPLE_MASK`]` + 1` calls also pay
+    /// two clock reads to feed the latency histogram.
     pub fn locate(&self, object: ObjectId, block: u64) -> Result<DiskIndex, ScaddarError> {
+        if let Some(stats) = &self.stats {
+            let calls = stats.xcache_hits.inc_weak();
+            if calls & stats.sample_mask == 0 {
+                let start = stats.clock.now_ns();
+                let out = self.locate_inner(object, block);
+                stats
+                    .locate_ns
+                    .record(stats.clock.now_ns().saturating_sub(start));
+                return out;
+            }
+        }
+        self.locate_inner(object, block)
+    }
+
+    #[inline]
+    fn locate_inner(&self, object: ObjectId, block: u64) -> Result<DiskIndex, ScaddarError> {
         let obj = self
             .catalog
             .object(object)
@@ -292,6 +345,9 @@ impl Scaddar {
             .xs(object)
             .ok_or(ScaddarError::UnknownObject(object))?;
         let disks = u64::from(self.disks());
+        if let Some(stats) = &self.stats {
+            stats.locate_bulk_blocks.add(xs.len() as u64);
+        }
         Ok(xs.iter().map(|&x| DiskIndex((x % disks) as u32)).collect())
     }
 
@@ -308,6 +364,9 @@ impl Scaddar {
             .xs(object)
             .ok_or(ScaddarError::UnknownObject(object))?;
         let disks = u64::from(self.disks());
+        if let Some(stats) = &self.stats {
+            stats.locate_bulk_blocks.add(blocks.len() as u64);
+        }
         blocks
             .iter()
             .map(|&block| {
@@ -329,6 +388,11 @@ impl Scaddar {
             .catalog
             .object(object)
             .ok_or(ScaddarError::UnknownObject(object))?;
+        if let Some(stats) = &self.stats {
+            // Tracing bypasses the cache: a stateless O(j) fold.
+            stats.xcache_misses.inc();
+            stats.pipeline_folds.add(self.log.epoch() as u64);
+        }
         Ok(trace(self.catalog.x0(obj, block), &self.log))
     }
 
@@ -339,12 +403,32 @@ impl Scaddar {
     /// the same single [`RemapPipeline::step`] per block. (The stateless
     /// O(B·j) [`plan_last_op`] computes the identical plan.)
     pub fn scale(&mut self, op: ScalingOp) -> Result<MovePlan, ScaddarError> {
+        let scale_start = self.stats.as_ref().map(|s| s.clock.now_ns());
         let record = self.log.push(&op)?;
         let disks_after = record.disks_after();
         self.fairness.record_op(disks_after);
         self.pipeline.extend_from(&self.log);
+        let plan_start = self.stats.as_ref().map(|s| s.clock.now_ns());
         let plan = plan_last_op_with_x(self.cache.blocks_with_x(&self.catalog), &self.log);
+        if let (Some(stats), Some(start)) = (&self.stats, plan_start) {
+            stats
+                .plan_ns
+                .record(stats.clock.now_ns().saturating_sub(start));
+            stats.plan_blocks.add(plan.total_blocks);
+        }
         self.cache.advance_to(&self.pipeline);
+        if let (Some(stats), Some(start)) = (&self.stats, scale_start) {
+            stats.scale_ops.inc();
+            stats.xcache_epoch_bumps.inc();
+            // Planning applied the new record once per block; advancing
+            // the cache applied it once more.
+            stats
+                .pipeline_folds
+                .add(plan.total_blocks.saturating_mul(2));
+            stats
+                .scale_ns
+                .record(stats.clock.now_ns().saturating_sub(start));
+        }
         Ok(plan)
     }
 
@@ -379,6 +463,9 @@ impl Scaddar {
         self.fairness.reset(disks as u32);
         self.pipeline = RemapPipeline::compile(&self.log);
         self.cache = XCache::rebuild(&self.catalog, &self.pipeline);
+        if let Some(stats) = &self.stats {
+            stats.xcache_rebuilds.inc();
+        }
         moved
     }
 
@@ -386,20 +473,54 @@ impl Scaddar {
     /// the compact [`persist`] format — everything a restarted server
     /// needs to relocate every block.
     pub fn snapshot(&self) -> Vec<u8> {
-        persist::encode(&Snapshot {
+        let bytes = persist::encode(&Snapshot {
             log: self.log.clone(),
             catalog: self.catalog.clone(),
-        })
+        });
+        if let Some(stats) = &self.stats {
+            stats.persist_bytes_written.add(bytes.len() as u64);
+        }
+        bytes
     }
 
     /// Rebuilds an engine from a [`Scaddar::snapshot`]. The fairness
     /// tolerance is configuration, not placement state, so it is passed
     /// fresh.
     pub fn from_snapshot(bytes: &[u8], epsilon: f64) -> Result<Self, PersistError> {
-        let snap = persist::decode(bytes)?;
+        Self::from_snapshot_with_stats(bytes, epsilon, None)
+    }
+
+    /// [`Scaddar::from_snapshot`] with metric handles attached from the
+    /// start, so the restore itself is counted: bytes read, validation
+    /// failures, and the X-cache rebuild.
+    pub fn from_snapshot_with_stats(
+        bytes: &[u8],
+        epsilon: f64,
+        stats: Option<Arc<EngineStats>>,
+    ) -> Result<Self, PersistError> {
+        if let Some(s) = &stats {
+            s.persist_bytes_read.add(bytes.len() as u64);
+        }
+        let snap = match persist::decode(bytes) {
+            Ok(snap) => snap,
+            Err(e) => {
+                if let Some(s) = &stats {
+                    s.persist_validation_failures.inc();
+                }
+                return Err(e);
+            }
+        };
         let fairness = FairnessTracker::from_log(snap.catalog.bits(), &snap.log);
         let pipeline = RemapPipeline::compile(&snap.log);
         let cache = XCache::rebuild(&snap.catalog, &pipeline);
+        if let Some(s) = &stats {
+            s.xcache_rebuilds.inc();
+            s.pipeline_folds.add(
+                snap.catalog
+                    .total_blocks()
+                    .saturating_mul(snap.log.epoch() as u64),
+            );
+        }
         Ok(Scaddar {
             catalog: snap.catalog,
             log: snap.log,
@@ -407,6 +528,7 @@ impl Scaddar {
             cache,
             fairness,
             epsilon,
+            stats,
         })
     }
 
@@ -667,6 +789,65 @@ mod tests {
         );
         let err = s.verify_derived_state().unwrap_err();
         assert!(err.contains("epoch"), "unexpected diagnosis: {err}");
+    }
+
+    #[test]
+    fn attached_stats_track_engine_activity() {
+        use scaddar_obs::{Registry, VirtualClock};
+        let registry = Registry::new();
+        let clock = Arc::new(VirtualClock::new());
+        let stats = EngineStats::register(&registry, clock);
+        let mut s = Scaddar::new(ScaddarConfig::new(4).with_catalog_seed(5)).unwrap();
+        s.attach_stats(stats.clone());
+        assert!(s.stats().is_some());
+
+        let id = s.add_object(1_000);
+        for call in 0..1_025u64 {
+            s.locate(id, call % 1_000).unwrap();
+        }
+        assert_eq!(stats.xcache_hits.get(), 1_025);
+        // Mask 1023 samples calls 0 and 1024.
+        assert_eq!(stats.locate_ns.snapshot().count, 2);
+
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert_eq!(stats.scale_ops.get(), 1);
+        assert_eq!(stats.xcache_epoch_bumps.get(), 1);
+        assert_eq!(stats.plan_blocks.get(), 1_000);
+        assert_eq!(stats.scale_ns.snapshot().count, 1);
+        assert_eq!(stats.plan_ns.snapshot().count, 1);
+
+        s.trace(id, 3).unwrap();
+        assert_eq!(stats.xcache_misses.get(), 1);
+        s.locate_all(id).unwrap();
+        s.locate_batch(id, &[1, 2, 3]).unwrap();
+        assert_eq!(stats.locate_bulk_blocks.get(), 1_003);
+
+        let bytes = s.snapshot();
+        assert_eq!(stats.persist_bytes_written.get(), bytes.len() as u64);
+        let restored =
+            Scaddar::from_snapshot_with_stats(&bytes, 0.05, Some(stats.clone())).unwrap();
+        assert!(restored.stats().is_some());
+        assert_eq!(stats.persist_bytes_read.get(), bytes.len() as u64);
+        assert_eq!(stats.xcache_rebuilds.get(), 1);
+
+        // A truncated snapshot counts as a validation failure.
+        assert!(Scaddar::from_snapshot_with_stats(&bytes[..4], 0.05, Some(stats.clone())).is_err());
+        assert_eq!(stats.persist_validation_failures.get(), 1);
+
+        s.full_redistribution();
+        assert_eq!(stats.xcache_rebuilds.get(), 2);
+    }
+
+    #[test]
+    fn bare_engine_records_nothing_and_stays_correct() {
+        let (mut s, id) = engine(4, 500);
+        assert!(s.stats().is_none());
+        let before = s.locate(id, 7).unwrap();
+        // Attaching stats must not change placement decisions.
+        let registry = scaddar_obs::Registry::new();
+        s.attach_stats(EngineStats::register_monotonic(&registry));
+        assert_eq!(s.locate(id, 7).unwrap(), before);
+        s.verify_derived_state().unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::log::{RecordAction, ScalingLog, ScalingRecord};
 use crate::object::{BlockRef, Catalog};
 use crate::pipeline::RemapPipeline;
 use crate::remap::{remap_add, remap_remove};
+use crate::stats::EngineStats;
 
 /// One block that must change disks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,50 +136,91 @@ pub fn plan_last_op(catalog: &Catalog, log: &ScalingLog) -> MovePlan {
 /// # Panics
 /// If the log has no operations.
 pub fn plan_last_op_parallel(catalog: &Catalog, log: &ScalingLog, threads: usize) -> MovePlan {
+    plan_parallel_inner(catalog, log, threads, None)
+}
+
+/// [`plan_last_op_parallel`] recording telemetry: overall planning
+/// latency and block count into `stats.plan_ns` / `stats.plan_blocks`,
+/// and each worker's span duration into `stats.plan_chunk_ns` — the
+/// chunk histogram's spread is the planner's load-imbalance signal.
+///
+/// # Panics
+/// If the log has no operations.
+pub fn plan_last_op_parallel_instrumented(
+    catalog: &Catalog,
+    log: &ScalingLog,
+    threads: usize,
+    stats: &EngineStats,
+) -> MovePlan {
+    plan_parallel_inner(catalog, log, threads, Some(stats))
+}
+
+fn plan_parallel_inner(
+    catalog: &Catalog,
+    log: &ScalingLog,
+    threads: usize,
+    stats: Option<&EngineStats>,
+) -> MovePlan {
     let j = log.epoch();
     assert!(j > 0, "log has no scaling operation to plan");
+    let plan_start = stats.map(|s| s.clock.now_ns());
     let total = catalog.total_blocks();
     let threads = threads.max(1).min(total.max(1) as usize);
-    if threads == 1 {
-        return plan_last_op(catalog, log);
-    }
-    let prefix = RemapPipeline::compile_prefix(log, j - 1);
-    let record = &log.records()[j - 1];
-    let chunk = total.div_ceil(threads as u64);
-    let partials: Vec<MovePlan> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|t| {
-                let start = t * chunk;
-                // With few blocks, ceil-sized chunks can exhaust the
-                // catalog before the last thread: its span is empty.
-                let len = chunk.min(total.saturating_sub(start));
-                let prefix = &prefix;
-                scope.spawn(move |_| {
-                    plan_from_x_prev(
-                        catalog
-                            .iter_x0_range(start, len)
-                            .map(|(blockref, x0)| (blockref, prefix.fold(x0))),
-                        record,
-                        j,
-                    )
+    let merged = if threads == 1 {
+        plan_last_op(catalog, log)
+    } else {
+        let prefix = RemapPipeline::compile_prefix(log, j - 1);
+        let record = &log.records()[j - 1];
+        let chunk = total.div_ceil(threads as u64);
+        let partials: Vec<MovePlan> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let start = t * chunk;
+                    // With few blocks, ceil-sized chunks can exhaust the
+                    // catalog before the last thread: its span is empty.
+                    let len = chunk.min(total.saturating_sub(start));
+                    let prefix = &prefix;
+                    scope.spawn(move |_| {
+                        let chunk_start = stats.map(|s| s.clock.now_ns());
+                        let partial = plan_from_x_prev(
+                            catalog
+                                .iter_x0_range(start, len)
+                                .map(|(blockref, x0)| (blockref, prefix.fold(x0))),
+                            record,
+                            j,
+                        );
+                        if let (Some(s), Some(t0)) = (stats, chunk_start) {
+                            s.plan_chunk_ns.record(s.clock.now_ns().saturating_sub(t0));
+                        }
+                        partial
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("planner worker panicked"))
-            .collect()
-    })
-    .expect("planner scope joins cleanly");
-    let mut merged = MovePlan {
-        target_epoch: j,
-        moves: Vec::with_capacity(partials.iter().map(|p| p.moves.len()).sum()),
-        total_blocks: 0,
-        optimal_fraction: record.optimal_move_fraction(),
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("planner worker panicked"))
+                .collect()
+        })
+        .expect("planner scope joins cleanly");
+        let mut merged = MovePlan {
+            target_epoch: j,
+            moves: Vec::with_capacity(partials.iter().map(|p| p.moves.len()).sum()),
+            total_blocks: 0,
+            optimal_fraction: record.optimal_move_fraction(),
+        };
+        for partial in partials {
+            merged.moves.extend(partial.moves);
+            merged.total_blocks += partial.total_blocks;
+        }
+        merged
     };
-    for partial in partials {
-        merged.moves.extend(partial.moves);
-        merged.total_blocks += partial.total_blocks;
+    if let (Some(s), Some(t0)) = (stats, plan_start) {
+        s.plan_ns.record(s.clock.now_ns().saturating_sub(t0));
+        s.plan_blocks.add(merged.total_blocks);
+        // Each worker folded its span X_0 → X_{j-1}, then applied the
+        // final record: j steps per block in total.
+        s.pipeline_folds
+            .add(merged.total_blocks.saturating_mul(j as u64));
     }
     merged
 }
@@ -332,6 +374,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn instrumented_parallel_plan_matches_and_records() {
+        use scaddar_obs::{Registry, VirtualClock};
+        use std::sync::Arc;
+        let (catalog, mut log) = setup(4_000);
+        log.push(&ScalingOp::Add { count: 1 }).unwrap();
+        let registry = Registry::new();
+        let stats = EngineStats::register(&registry, Arc::new(VirtualClock::new()));
+        let instrumented = plan_last_op_parallel_instrumented(&catalog, &log, 4, &stats);
+        assert_eq!(instrumented, plan_last_op_parallel(&catalog, &log, 4));
+        assert_eq!(stats.plan_blocks.get(), 4_000);
+        assert_eq!(stats.plan_ns.snapshot().count, 1);
+        assert_eq!(stats.plan_chunk_ns.snapshot().count, 4);
+        // j = 1: one fold per block.
+        assert_eq!(stats.pipeline_folds.get(), 4_000);
     }
 
     #[test]

@@ -21,7 +21,9 @@ use cmsim::{
 use scaddar_core::{
     plan_last_op, plan_last_op_parallel, DiskIndex, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
 };
+use scaddar_obs::{SpanGuard, Tracer, VirtualClock};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Snapshot decode epsilon, shared by live config and every recovery.
 const EPSILON: f64 = 0.05;
@@ -41,11 +43,19 @@ enum Event {
     Scale(ScalingOp),
 }
 
+/// Span-recorder capacity: generous for any generated scenario, bounded
+/// against pathological ones.
+const SPAN_CAPACITY: usize = 512;
+
 /// The result of executing one scenario.
 #[derive(Debug, Clone)]
 pub struct Outcome {
     /// Deterministic step-by-step trace (same seed → byte-identical).
     pub trace: String,
+    /// Structured span timeline of the run, one line per step span,
+    /// timed by a virtual clock the executor advances deterministically
+    /// — same seed → byte-identical (attached to failure reports).
+    pub spans: String,
     /// First invariant violation, if any.
     pub failure: Option<Failure>,
     /// Index of the step the failure surfaced at.
@@ -72,6 +82,8 @@ struct Executor<'a> {
     last_snapshot: Vec<u8>,
     journal: Vec<Event>,
     trace: String,
+    clock: Arc<VirtualClock>,
+    tracer: Tracer,
 }
 
 impl<'a> Executor<'a> {
@@ -87,6 +99,11 @@ impl<'a> Executor<'a> {
         let server = CmServer::new(ServerConfig::new(disks).with_catalog_seed(seed))
             .expect("initial_disks >= 4 by generation");
         let last_snapshot = engine.snapshot();
+        // A virtual clock only the executor advances: span timelines
+        // count *work units* (blocks, rounds, moves), not wall time, so
+        // the same seed always yields the same bytes.
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::new(clock.clone(), SPAN_CAPACITY);
         Executor {
             scenario,
             engine,
@@ -95,13 +112,22 @@ impl<'a> Executor<'a> {
             last_snapshot,
             journal: Vec::new(),
             trace: String::new(),
+            clock,
+            tracer,
         }
     }
 
     fn run(mut self) -> Outcome {
-        for &blocks in &self.scenario.objects {
-            if let Err(f) = self.add_object(blocks) {
-                return self.finish(Some(f), None);
+        {
+            let mut span = self.tracer.span("setup.ingest");
+            span.event("objects", self.scenario.objects.len());
+            for &blocks in &self.scenario.objects {
+                if let Err(f) = self.add_object(blocks) {
+                    span.event("failed", "exec");
+                    drop(span);
+                    return self.finish(Some(f), None);
+                }
+                self.clock.advance(blocks);
             }
         }
         if let Err(f) = self.check_invariants(None) {
@@ -109,8 +135,12 @@ impl<'a> Executor<'a> {
         }
         for i in 0..self.scenario.steps.len() {
             let step = self.scenario.steps[i].clone();
-            let result = self.run_step(i, &step);
+            let mut span = self.tracer.span(step_name(&step));
+            span.event("step", i);
+            let result = self.run_step(i, &step, &mut span);
             if let Err(f) = result {
+                span.event("failed", f.invariant);
+                drop(span);
                 let _ = writeln!(
                     self.trace,
                     "  step {i}: FAILED [{}] {}",
@@ -130,21 +160,24 @@ impl<'a> Executor<'a> {
         let _ = writeln!(self.trace, "  verdict: {verdict}");
         Outcome {
             trace: self.trace,
+            spans: self.tracer.render_recent(SPAN_CAPACITY),
             failure,
             failed_step,
         }
     }
 
-    fn run_step(&mut self, i: usize, step: &Step) -> Result<(), Failure> {
+    fn run_step(&mut self, i: usize, step: &Step, span: &mut SpanGuard) -> Result<(), Failure> {
         match step {
-            Step::Scale { op, faults } => self.run_scale(i, op, faults)?,
+            Step::Scale { op, faults } => self.run_scale(i, op, faults, span)?,
             Step::AddObject { blocks } => {
                 let blocks = (*blocks).clamp(1, 5_000);
                 self.add_object(blocks)?;
+                span.event("blocks", blocks);
+                self.clock.advance(blocks);
                 let _ = writeln!(self.trace, "  step {i}: add-object {blocks}");
             }
-            Step::RemoveObject { pick } => self.run_remove_object(i, *pick)?,
-            Step::Workload { rounds } => self.run_workload(i, *rounds)?,
+            Step::RemoveObject { pick } => self.run_remove_object(i, *pick, span)?,
+            Step::Workload { rounds } => self.run_workload(i, *rounds, span)?,
         }
         self.check_invariants(if matches!(step, Step::Scale { .. }) {
             None // already checked with the plan in run_scale
@@ -175,9 +208,15 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
-    fn run_remove_object(&mut self, i: usize, pick: u64) -> Result<(), Failure> {
+    fn run_remove_object(
+        &mut self,
+        i: usize,
+        pick: u64,
+        span: &mut SpanGuard,
+    ) -> Result<(), Failure> {
         let live = self.engine.catalog().objects();
         if live.len() <= 1 {
+            span.event("skipped", "catalog-floor");
             let _ = writeln!(
                 self.trace,
                 "  step {i}: remove-object skipped (catalog floor)"
@@ -187,6 +226,7 @@ impl<'a> Executor<'a> {
         let id = live[(pick % live.len() as u64) as usize].id;
         if self.server.remove_object(id).is_err() {
             // Streams may pin the object; skip to keep all three in sync.
+            span.event("skipped", "pinned");
             let _ = writeln!(
                 self.trace,
                 "  step {i}: remove-object {id:?} skipped (pinned)"
@@ -198,11 +238,13 @@ impl<'a> Executor<'a> {
             .map_err(|e| exec_failure(format!("engine.remove_object({id:?}): {e:?}")))?;
         self.model.remove_object(id);
         self.journal.push(Event::RemoveObject(id));
+        span.event("object", id.0);
+        self.clock.advance(1);
         let _ = writeln!(self.trace, "  step {i}: remove-object {id:?}");
         Ok(())
     }
 
-    fn run_workload(&mut self, i: usize, rounds: u32) -> Result<(), Failure> {
+    fn run_workload(&mut self, i: usize, rounds: u32, span: &mut SpanGuard) -> Result<(), Failure> {
         let rounds = 1 + rounds % 5;
         let seed = self.scenario.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let dummy = CmServer::new(ServerConfig::new(MIN_DISKS)).expect("dummy server");
@@ -210,6 +252,9 @@ impl<'a> Executor<'a> {
         let mut sim = Simulation::from_server(server, WorkloadConfig::interactive(2.0), seed);
         sim.run(rounds);
         self.server = sim.into_server();
+        span.event("rounds", rounds);
+        span.event("streams", self.server.active_streams());
+        self.clock.advance(u64::from(rounds));
         let _ = writeln!(
             self.trace,
             "  step {i}: workload {rounds} rounds, {} active streams",
@@ -218,9 +263,16 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
-    fn run_scale(&mut self, i: usize, raw: &ScalingOp, faults: &[Fault]) -> Result<(), Failure> {
+    fn run_scale(
+        &mut self,
+        i: usize,
+        raw: &ScalingOp,
+        faults: &[Fault],
+        span: &mut SpanGuard,
+    ) -> Result<(), Failure> {
         let n_prev = self.engine.disks();
         let Some(op) = normalize_op(raw, n_prev) else {
+            span.event("skipped", "normalization");
             let _ = writeln!(
                 self.trace,
                 "  step {i}: scale {raw:?} skipped (normalization)"
@@ -232,6 +284,7 @@ impl<'a> Executor<'a> {
             ScalingOp::Remove { disks } => n_prev - disks.len() as u32,
         };
         if !self.engine.next_op_is_safe(disks_after) || !self.server.next_op_is_safe(&op) {
+            span.event("skipped", "unsafe");
             let _ = writeln!(self.trace, "  step {i}: scale {op:?} skipped (unsafe)");
             return Ok(());
         }
@@ -254,6 +307,14 @@ impl<'a> Executor<'a> {
         self.journal.push(Event::Scale(op.clone()));
 
         let labels: Vec<String> = faults.iter().map(Fault::label).collect();
+        span.event("op", format!("{op:?}"));
+        span.event("disks", format!("{n_prev}->{disks_after}"));
+        span.event("moved", plan.moves.len());
+        span.event("blocks", plan.total_blocks);
+        for label in &labels {
+            span.event("fault", label);
+        }
+        self.clock.advance(plan.moves.len() as u64 + 1);
         let _ = writeln!(
             self.trace,
             "  step {i}: scale {op:?} n {n_prev}->{disks_after} moved {}/{} faults=[{}]",
@@ -505,6 +566,16 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Span label for a step: stable names keyed by step kind.
+fn step_name(step: &Step) -> &'static str {
+    match step {
+        Step::Scale { .. } => "step.scale",
+        Step::AddObject { .. } => "step.add-object",
+        Step::RemoveObject { .. } => "step.remove-object",
+        Step::Workload { .. } => "step.workload",
+    }
+}
+
 /// Placement fingerprint: every block's disk, in catalog order.
 fn placement_of(engine: &Scaddar) -> Vec<(ObjectId, Vec<u32>)> {
     engine
@@ -645,7 +716,45 @@ mod tests {
             let b = execute(&scenario, Mutation::None);
             assert!(a.passed(), "seed {seed} failed:\n{}", a.trace);
             assert_eq!(a.trace, b.trace, "seed {seed} trace not reproducible");
+            assert_eq!(a.spans, b.spans, "seed {seed} spans not byte-identical");
+            assert!(!a.spans.is_empty(), "seed {seed} recorded no spans");
         }
+    }
+
+    #[test]
+    fn span_timeline_names_every_step_kind_executed() {
+        let scenario = Scenario::generate(11);
+        let outcome = execute(&scenario, Mutation::None);
+        assert!(outcome.spans.contains("setup.ingest"));
+        for (line, step) in outcome
+            .spans
+            .lines()
+            .filter(|l| l.contains("step."))
+            .zip(&scenario.steps)
+        {
+            assert!(
+                line.contains(step_name(step)),
+                "span order must follow step order: {line} vs {step:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn failing_runs_attach_spans_with_the_failure_event() {
+        for seed in 0..64u64 {
+            let scenario = Scenario::generate(seed);
+            let outcome = execute(&scenario, Mutation::Ro1AddOffByOne);
+            if outcome.passed() {
+                continue;
+            }
+            assert!(
+                outcome.spans.contains("failed="),
+                "failure must be visible in the span timeline:\n{}",
+                outcome.spans
+            );
+            return;
+        }
+        panic!("no seed in 0..64 tripped the planted bug");
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl RunReport {
                     shrunk.scenario.describe()
                 );
                 let _ = writeln!(out, "minimal trace:\n{}", shrunk.outcome.trace);
+                let _ = writeln!(out, "minimal span timeline:\n{}", shrunk.outcome.spans);
             }
+            let _ = writeln!(out, "span timeline:\n{}", self.outcome.spans);
             let _ = writeln!(
                 out,
                 "replay: HARNESS_SEED={} cargo run --release -p scaddar-harness",

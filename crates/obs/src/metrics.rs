@@ -1,0 +1,393 @@
+//! Lock-free metric primitives: counters, gauges, and log-scale
+//! histograms.
+//!
+//! All recording paths are single relaxed atomic operations (a handful
+//! for histograms) — safe to call from any thread, never blocking, and
+//! cheap enough for hot paths. Handles are `Arc`-backed: cloning a
+//! [`Counter`] clones the handle, not the value, so a subsystem can
+//! cache its handles at construction and the registry still sees every
+//! increment.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets. Bucket `i` holds values whose bit
+/// length is `i` (i.e. `v == 0` → bucket 0, otherwise
+/// `2^(i-1) <= v < 2^i`); values at or beyond `2^(BUCKETS-1)` clamp
+/// into the top bucket. With 40 buckets the top boundary is
+/// `2^39` ns ≈ 9.2 minutes — far beyond any latency this stack records.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one and returns the *previous* value — the idiom behind
+    /// 1-in-N sampling (`if c.inc_and_get() & MASK == 0 { ... }`).
+    #[inline]
+    pub fn inc_and_get(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// [`Counter::inc_and_get`] without the atomic read-modify-write: a
+    /// plain relaxed load + store pair, several times cheaper than the
+    /// locked `fetch_add` on x86. Concurrent *writers* may lose
+    /// increments, so this is for statistical hot-path counters with an
+    /// effectively single writer (e.g. per-engine lookup counts);
+    /// readers are unaffected. Exact counters use [`Counter::inc`].
+    #[inline]
+    pub fn inc_weak(&self) -> u64 {
+        let prev = self.value.load(Ordering::Relaxed);
+        self.value.store(prev.wrapping_add(1), Ordering::Relaxed);
+        prev
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket, log-scale histogram of `u64` samples.
+///
+/// Recording is four relaxed atomic RMWs (bucket, count, sum, max) —
+/// no locks, no allocation. Quantiles are estimated from the bucket
+/// upper bounds; the top bucket reports the exact recorded maximum, so
+/// outliers beyond the bucket range are clamped but never lost.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// The bucket a value lands in: its bit length, clamped to the range.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the top bucket is unbounded).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the whole histogram (the unit quantile
+    /// math and renderers work over, so every field is from one pass).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed)),
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            max: self.inner.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimated p50; `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.snapshot().quantile(0.50)
+    }
+
+    /// Estimated p95; `None` when empty.
+    pub fn p95(&self) -> Option<u64> {
+        self.snapshot().quantile(0.95)
+    }
+
+    /// Estimated p99; `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.snapshot().quantile(0.99)
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        let snap = self.snapshot();
+        (snap.count > 0).then_some(snap.max)
+    }
+}
+
+/// An owned, consistent copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (non-cumulative).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping only past `u64::MAX` total).
+    pub sum: u64,
+    /// Largest sample (0 when empty — check `count`).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of
+    /// the bucket containing the rank-`ceil(q·count)` sample. The top
+    /// bucket reports the recorded maximum (its bound is infinite).
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i >= HISTOGRAM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_upper_bound(i).min(self.max)
+                });
+            }
+        }
+        Some(self.max) // unreachable unless counters raced; stay total
+    }
+
+    /// Mean sample; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs up to and including the
+    /// highest non-empty bucket — the Prometheus exposition shape (the
+    /// caller appends the `+Inf` bucket with the total count).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(i) => i.min(HISTOGRAM_BUCKETS - 2),
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cum = 0u64;
+        for i in 0..=last {
+            cum += self.buckets[i];
+            out.push((bucket_upper_bound(i), cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.inc_and_get(), 5);
+        assert_eq!(c.get(), 6);
+        assert_eq!(c.inc_weak(), 6, "weak increment still returns previous");
+        assert_eq!(c.get(), 7);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 8, "clones share the cell");
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-25);
+        assert_eq!(g.get(), -15);
+    }
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1 << 38), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.snapshot().mean(), None);
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(37);
+        assert_eq!(h.p50(), Some(37));
+        assert_eq!(h.p95(), Some(37));
+        assert_eq!(h.p99(), Some(37));
+        assert_eq!(h.max(), Some(37));
+        assert_eq!(h.snapshot().mean(), Some(37.0));
+    }
+
+    #[test]
+    fn values_beyond_top_bucket_clamp_to_max() {
+        let h = Histogram::new();
+        // Both land in the top bucket; quantiles there report the true
+        // recorded max, not a bucket bound.
+        h.record(1 << 39);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(h.p50(), Some(u64::MAX));
+        assert_eq!(h.p99(), Some(u64::MAX));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log buckets: answers are bucket upper bounds, so p50 of
+        // 1..=1000 (true 500) reports 511 (bucket [256, 511]).
+        assert_eq!(h.p50(), Some(511));
+        assert_eq!(h.p95(), Some(1000), "capped at the recorded max");
+        assert_eq!(h.max(), Some(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        // Cumulative buckets end at the last non-empty one and sum up.
+        let cum = snap.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 1000);
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn zero_samples_count_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().buckets[0], 2);
+        assert_eq!(h.p50(), Some(0));
+        assert_eq!(h.max(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        // Satellite: hammered from the crossbeam-shim scoped threads,
+        // every sample must land — relaxed atomics lose nothing.
+        let h = Histogram::new();
+        let c = Counter::new();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        crossbeam::scope(|s| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move |_| {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i);
+                        c.inc();
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        let snap = h.snapshot();
+        assert_eq!(snap.count, THREADS * PER_THREAD);
+        assert_eq!(c.get(), THREADS * PER_THREAD);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+        let total: u64 = (0..THREADS * PER_THREAD).sum();
+        assert_eq!(snap.sum, total);
+        assert_eq!(snap.max, THREADS * PER_THREAD - 1);
+    }
+}

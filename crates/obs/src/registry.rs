@@ -1,0 +1,372 @@
+//! The metric registry: names → live metric handles, rendered on
+//! demand.
+//!
+//! A [`Registry`] is a cheaply clonable handle to a shared name table.
+//! There is deliberately no global: each composition root (a CLI
+//! session, a simulated server, a bench fixture) creates its own and
+//! threads it to the subsystems it observes. Registration takes a short
+//! lock; *recording* through the returned handles never does.
+//!
+//! Naming scheme (documented in `DESIGN.md` §9): `snake_case`,
+//! `<crate>_<subsystem>_<what>[_<unit>]`, e.g.
+//! `scaddar_core_locate_ns`, `cmsim_server_backlog`. A name may carry a
+//! fixed Prometheus label set inline (`cmsim_disk_queue_depth{disk="3"}`);
+//! the text before `{` is the metric family.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A global-free registry of named metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T, F, G>(&self, name: &str, help: &str, extract: F, create: G) -> T
+    where
+        F: Fn(&Metric) -> Option<T>,
+        G: FnOnce() -> (T, Metric),
+    {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.get(name) {
+            return extract(&entry.metric).unwrap_or_else(|| {
+                panic!(
+                    "metric `{name}` already registered as a {}",
+                    entry.metric.kind()
+                )
+            });
+        }
+        let (handle, metric) = create();
+        entries.insert(
+            name.to_string(),
+            Entry {
+                help: help.to_string(),
+                metric,
+            },
+        );
+        handle
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::new();
+                (c.clone(), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::new();
+                (g.clone(), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Histogram::new();
+                (h.clone(), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.keys().cloned().collect()
+    }
+
+    /// Renders the Prometheus text exposition format (v0.0.4): `# HELP`
+    /// and `# TYPE` per family, one sample line per counter/gauge, and
+    /// the `_bucket`/`_sum`/`_count` triplet per histogram.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, entry) in entries.iter() {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                let _ = writeln!(out, "# HELP {family} {}", entry.help);
+                let _ = writeln!(out, "# TYPE {family} {}", entry.metric.kind());
+                last_family = family.to_string();
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (le, cum) in snap.cumulative_buckets() {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum);
+                    let _ = writeln!(out, "{name}_count {}", snap.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON snapshot: three sorted arrays (`counters`,
+    /// `gauges`, `histograms`), histograms with count/sum/max and
+    /// estimated p50/p95/p99 (`null` while empty). Hand-written, no
+    /// serde; [`parse_json_values`] is the matching hand parser.
+    pub fn snapshot_json(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut counters, mut gauges, mut histograms) =
+            (String::new(), String::new(), String::new());
+        for (name, entry) in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    append_item(
+                        &mut counters,
+                        format!("{{\"name\": \"{name}\", \"value\": {}}}", c.get()),
+                    );
+                }
+                Metric::Gauge(g) => {
+                    append_item(
+                        &mut gauges,
+                        format!("{{\"name\": \"{name}\", \"value\": {}}}", g.get()),
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let q = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+                    append_item(
+                        &mut histograms,
+                        format!(
+                            "{{\"name\": \"{name}\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+                             \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                            snap.count,
+                            snap.sum,
+                            q((snap.count > 0).then_some(snap.max)),
+                            q(snap.quantile(0.50)),
+                            q(snap.quantile(0.95)),
+                            q(snap.quantile(0.99)),
+                        ),
+                    );
+                }
+            }
+        }
+        format!(
+            "{{\n  \"counters\": [\n{counters}\n  ],\n  \"gauges\": [\n{gauges}\n  ],\n  \"histograms\": [\n{histograms}\n  ]\n}}\n"
+        )
+    }
+}
+
+fn append_item(list: &mut String, item: String) {
+    if !list.is_empty() {
+        list.push_str(",\n");
+    }
+    list.push_str("    ");
+    list.push_str(&item);
+}
+
+/// Hand parser for the [`Registry::snapshot_json`] format (and any flat
+/// JSON of objects with string `"name"`s and numeric/null fields):
+/// returns `(name, field, value)` triples in document order. `null`
+/// fields are skipped. Used by tests and tooling to round-trip the
+/// snapshot without serde.
+pub fn parse_json_values(json: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split('{').skip(1) {
+        let obj = chunk.split('}').next().unwrap_or("");
+        let mut name = None;
+        let mut fields = Vec::new();
+        for field in obj.split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            if key == "name" {
+                name = Some(value.trim_matches('"').to_string());
+            } else if let Ok(v) = value.parse::<f64>() {
+                fields.push((key.to_string(), v));
+            }
+        }
+        if let Some(name) = name {
+            for (field, v) in fields {
+                out.push((name.clone(), field, v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("alpha_total", "first").add(3);
+        r.gauge("beta", "second").set(-7);
+        let h = r.histogram("gamma_ns", "third");
+        h.record(5);
+        h.record(100);
+        r
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.names(), vec!["x_total".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x", "x");
+        r.gauge("x", "x");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_valid_exposition() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# HELP alpha_total first"));
+        assert!(text.contains("# TYPE alpha_total counter"));
+        assert!(text.contains("alpha_total 3"));
+        assert!(text.contains("# TYPE beta gauge"));
+        assert!(text.contains("beta -7"));
+        assert!(text.contains("# TYPE gamma_ns histogram"));
+        assert!(text.contains("gamma_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("gamma_ns_sum 105"));
+        assert!(text.contains("gamma_ns_count 2"));
+        // Cumulative buckets never decrease and end at the count.
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("gamma_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]));
+        // Every line is `# ...` or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_names_share_one_family_header() {
+        let r = Registry::new();
+        r.gauge("disk_depth{disk=\"0\"}", "queue depth").set(4);
+        r.gauge("disk_depth{disk=\"1\"}", "queue depth").set(9);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE disk_depth gauge").count(), 1);
+        assert!(text.contains("disk_depth{disk=\"0\"} 4"));
+        assert!(text.contains("disk_depth{disk=\"1\"} 9"));
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_through_hand_parsing() {
+        let r = sample_registry();
+        let json = r.snapshot_json();
+        let values = parse_json_values(&json);
+        let get = |name: &str, field: &str| {
+            values
+                .iter()
+                .find(|(n, f, _)| n == name && f == field)
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(get("alpha_total", "value"), Some(3.0));
+        assert_eq!(get("beta", "value"), Some(-7.0));
+        assert_eq!(get("gamma_ns", "count"), Some(2.0));
+        assert_eq!(get("gamma_ns", "sum"), Some(105.0));
+        assert_eq!(get("gamma_ns", "max"), Some(100.0));
+        assert_eq!(get("gamma_ns", "p50"), Some(7.0), "bucket bound of 5");
+        assert_eq!(get("gamma_ns", "p99"), Some(100.0));
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_as_nulls() {
+        let r = Registry::new();
+        r.histogram("empty_ns", "never recorded");
+        let json = r.snapshot_json();
+        assert!(json.contains("\"p50\": null"));
+        assert!(json.contains("\"max\": null"));
+        // Nulls are skipped by the parser, count survives.
+        let values = parse_json_values(&json);
+        assert!(values
+            .iter()
+            .any(|(n, f, v)| n == "empty_ns" && f == "count" && *v == 0.0));
+        assert!(!values.iter().any(|(n, f, _)| n == "empty_ns" && f == "p50"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Lightweight structured tracing: named spans with enter/exit
+//! timestamps and `key=value` events, recorded into a bounded ring
+//! buffer.
+//!
+//! This is the flight recorder, not a logging framework: the last N
+//! spans are always available for a post-mortem (`cli spans`, harness
+//! failure reports) at a fixed memory ceiling. Timestamps come from the
+//! tracer's [`Clock`], so a harness driving a
+//! [`VirtualClock`](crate::VirtualClock) gets byte-identical timelines
+//! for the same seed.
+
+use crate::clock::Clock;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static call-site label, e.g. `server.scale`).
+    pub name: String,
+    /// Clock reading at span entry, nanoseconds.
+    pub start_ns: u64,
+    /// Clock reading at span exit, nanoseconds.
+    pub end_ns: u64,
+    /// `key=value` events attached while the span was open, in order.
+    pub events: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// One deterministic timeline line:
+    /// `[start..end ns] name key=value ...`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "[{:>10} ..{:>10} ns] {}",
+            self.start_ns, self.end_ns, self.name
+        );
+        for (k, v) in &self.events {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Recorder {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The span recorder: hands out [`SpanGuard`]s and keeps the last
+/// `capacity` completed spans.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    recorder: Arc<Mutex<Recorder>>,
+}
+
+impl Tracer {
+    /// A tracer reading time from `clock`, retaining the last
+    /// `capacity` spans (at least 1).
+    pub fn new(clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        Tracer {
+            clock,
+            recorder: Arc::new(Mutex::new(Recorder {
+                spans: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// The tracer's clock (shared with sampled metrics and the driver).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Opens a span; it records itself when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            record: SpanRecord {
+                name: name.to_string(),
+                start_ns: self.clock.now_ns(),
+                end_ns: 0,
+                events: Vec::new(),
+            },
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        if rec.spans.len() == rec.capacity {
+            rec.spans.pop_front();
+            rec.dropped += 1;
+        }
+        rec.spans.push_back(record);
+    }
+
+    /// The last `n` completed spans, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<SpanRecord> {
+        let rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        rec.spans
+            .iter()
+            .skip(rec.spans.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Completed spans evicted by the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dropped
+    }
+
+    /// Deterministic multi-line timeline of the last `n` spans, oldest
+    /// first; empty string when nothing has been recorded.
+    pub fn render_recent(&self, n: usize) -> String {
+        let mut out = String::new();
+        for span in self.recent(n) {
+            let _ = writeln!(out, "{}", span.render());
+        }
+        out
+    }
+}
+
+/// An open span; completes (and records itself) on drop.
+#[must_use = "a span records itself when dropped; binding it to `_` closes it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    record: SpanRecord,
+}
+
+impl SpanGuard {
+    /// Attaches a `key=value` event to the span.
+    pub fn event(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.record
+            .events
+            .push((key.to_string(), value.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let mut record = std::mem::replace(
+            &mut self.record,
+            SpanRecord {
+                name: String::new(),
+                start_ns: 0,
+                end_ns: 0,
+                events: Vec::new(),
+            },
+        );
+        record.end_ns = self.tracer.clock.now_ns().max(record.start_ns);
+        self.tracer.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn fixture() -> (Arc<VirtualClock>, Tracer) {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::new(clock.clone(), 4);
+        (clock, tracer)
+    }
+
+    #[test]
+    fn spans_record_timing_and_events() {
+        let (clock, tracer) = fixture();
+        {
+            let mut span = tracer.span("scale");
+            clock.advance(120);
+            span.event("op", "Add{count: 2}");
+            span.event("moves", 42);
+        }
+        let spans = tracer.recent(10);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "scale");
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[0].end_ns, 120);
+        assert_eq!(spans[0].duration_ns(), 120);
+        assert_eq!(
+            spans[0].render(),
+            "[         0 ..       120 ns] scale op=Add{count: 2} moves=42"
+        );
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let (clock, tracer) = fixture();
+        for i in 0..6u64 {
+            let _span = tracer.span(&format!("s{i}"));
+            clock.advance(1);
+        }
+        let spans = tracer.recent(10);
+        assert_eq!(spans.len(), 4, "capacity bounds retention");
+        assert_eq!(spans[0].name, "s2");
+        assert_eq!(spans[3].name, "s5");
+        assert_eq!(tracer.dropped(), 2);
+        assert_eq!(tracer.recent(2).len(), 2);
+        assert_eq!(tracer.recent(2)[0].name, "s4");
+    }
+
+    #[test]
+    fn timelines_are_deterministic_under_a_virtual_clock() {
+        let run = || {
+            let (clock, tracer) = fixture();
+            for i in 0..3u64 {
+                let mut span = tracer.span("step");
+                clock.advance(10 + i);
+                span.event("i", i);
+            }
+            tracer.render_recent(8)
+        };
+        let a = run();
+        assert_eq!(a, run(), "virtual clock must make traces reproducible");
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn nested_spans_both_record() {
+        let (clock, tracer) = fixture();
+        {
+            let _outer = tracer.span("outer");
+            clock.advance(5);
+            {
+                let _inner = tracer.span("inner");
+                clock.advance(3);
+            }
+            clock.advance(2);
+        }
+        let spans = tracer.recent(10);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].duration_ns(), 3);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].duration_ns(), 10);
+    }
+}
