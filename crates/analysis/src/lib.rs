@@ -6,6 +6,8 @@
 //!   load-balance metric), percentiles, geometric mean;
 //! * [`uniformity`] — chi-square goodness-of-fit against uniform
 //!   placement (quantifying RO2) and max-relative-deviation;
+//! * [`streaming`] — sliding-window incremental chi-square/CoV over a
+//!   ring of recent censuses (the health monitor's RO2 feed);
 //! * [`randtests`] — Knuth-style empirical generator tests (runs, gaps,
 //!   serial correlation);
 //! * [`regression`] — OLS line/exponential fits for trend quantification;
@@ -22,6 +24,7 @@ pub mod randtests;
 pub mod regression;
 pub mod report;
 pub mod stats;
+pub mod streaming;
 pub mod uniformity;
 
 pub use csv::{experiment_dir, Csv};
@@ -30,6 +33,7 @@ pub use randtests::{gap_test, runs_test, serial_correlation, GapTest, RunsTest};
 pub use regression::{fit_exponential, fit_line, LineFit};
 pub use report::{fmt_f64, fmt_pct, Align, Table};
 pub use stats::{geometric_mean, mean, percentile, Summary};
+pub use streaming::CensusWindow;
 pub use uniformity::{chi_square_uniform, max_relative_deviation, ChiSquare};
 
 #[cfg(test)]

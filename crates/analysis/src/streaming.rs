@@ -1,0 +1,249 @@
+//! Streaming variants of the [`uniformity`](crate::uniformity) checks:
+//! a sliding window of per-disk load censuses with incrementally
+//! maintained aggregates, so a live monitor can re-evaluate chi-square
+//! and CoV after every sample without rescanning history.
+//!
+//! The window holds the last `capacity` census snapshots (e.g. one per
+//! simulator round, fed from the `cmsim_disk_load_blocks` gauges).
+//! Per-disk sums are updated in `O(disks)` on push/evict — never
+//! `O(window · disks)` — and the statistics are computed over the
+//! window *mean* census, so repeated snapshots of the same population
+//! smooth noise instead of inflating the chi-square statistic.
+//!
+//! A window is tied to one array shape: pushing a census with a
+//! different disk count (a scaling operation landed) resets the window,
+//! because the expected distribution changed underneath the samples.
+
+use crate::uniformity::{chi_square_uniform, ChiSquare};
+use std::collections::VecDeque;
+
+/// A bounded ring of per-disk censuses with O(disks) incremental
+/// aggregates.
+#[derive(Debug, Clone)]
+pub struct CensusWindow {
+    capacity: usize,
+    window: VecDeque<Vec<u64>>,
+    /// Per-disk sums over the retained window.
+    sums: Vec<u64>,
+    /// Total blocks across `sums`.
+    total: u64,
+}
+
+impl CensusWindow {
+    /// An empty window retaining at most `capacity` censuses (at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        CensusWindow {
+            capacity: capacity.max(1),
+            window: VecDeque::new(),
+            sums: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Number of censuses currently retained.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Disk count of the retained samples (0 while empty).
+    pub fn disks(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Per-disk sums over the window.
+    pub fn sums(&self) -> &[u64] {
+        &self.sums
+    }
+
+    /// Drops every sample (e.g. after a scaling operation).
+    pub fn clear(&mut self) {
+        self.window.clear();
+        self.sums.clear();
+        self.total = 0;
+    }
+
+    /// Pushes one census snapshot, evicting the oldest beyond capacity.
+    /// A census with a different disk count resets the window first
+    /// (the uniform hypothesis changed shape). Empty censuses are
+    /// ignored.
+    pub fn push(&mut self, census: &[u64]) {
+        if census.is_empty() {
+            return;
+        }
+        if census.len() != self.sums.len() && !self.window.is_empty() {
+            self.clear();
+        }
+        if self.sums.len() != census.len() {
+            self.sums = vec![0; census.len()];
+        }
+        if self.window.len() == self.capacity {
+            let evicted = self.window.pop_front().expect("non-empty at capacity");
+            for (s, v) in self.sums.iter_mut().zip(&evicted) {
+                *s -= v;
+                self.total -= v;
+            }
+        }
+        for (s, &v) in self.sums.iter_mut().zip(census) {
+            *s += v;
+            self.total += v;
+        }
+        self.window.push_back(census.to_vec());
+    }
+
+    /// The window-mean census (per-disk sums divided by the sample
+    /// count, rounded down). Empty while no samples are retained.
+    pub fn mean_census(&self) -> Vec<u64> {
+        let n = self.window.len() as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        self.sums.iter().map(|&s| s / n).collect()
+    }
+
+    /// Incremental chi-square uniformity test over the window-mean
+    /// census. `None` when the test is undefined or degenerate: no
+    /// samples, fewer than two disks (a single bin is trivially
+    /// uniform — see [`chi_square_uniform`]), or a zero block total.
+    pub fn chi_square(&self) -> Option<ChiSquare> {
+        let mean = self.mean_census();
+        if mean.len() < 2 || mean.iter().sum::<u64>() == 0 {
+            return None;
+        }
+        Some(chi_square_uniform(&mean))
+    }
+
+    /// Coefficient of variation of the per-disk sums (scale-invariant,
+    /// so identical over sums or the mean census). `None` when fewer
+    /// than two disks are represented or the window is empty.
+    pub fn cov(&self) -> Option<f64> {
+        if self.sums.len() < 2 || self.total == 0 {
+            return None;
+        }
+        let n = self.sums.len() as f64;
+        let mean = self.total as f64 / n;
+        let var = self
+            .sums
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Some(var.sqrt() / mean)
+    }
+
+    /// Max relative deviation of the per-disk sums from their mean —
+    /// the streaming companion of
+    /// [`max_relative_deviation`](crate::uniformity::max_relative_deviation).
+    pub fn max_relative_deviation(&self) -> f64 {
+        crate::uniformity::max_relative_deviation(&self.sums)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use crate::uniformity::max_relative_deviation;
+
+    #[test]
+    fn empty_window_is_defined_everywhere() {
+        let w = CensusWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.disks(), 0);
+        assert!(w.chi_square().is_none());
+        assert!(w.cov().is_none());
+        assert_eq!(w.mean_census(), Vec::<u64>::new());
+        assert_eq!(w.max_relative_deviation(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_match_batch_computation_under_eviction() {
+        let censuses: Vec<Vec<u64>> = (0..10)
+            .map(|i| (0..5).map(|d| 100 + (i * 7 + d * 13) % 40).collect())
+            .collect();
+        let mut w = CensusWindow::new(4);
+        for (i, c) in censuses.iter().enumerate() {
+            w.push(c);
+            // Batch recomputation over the retained tail.
+            let tail = &censuses[i.saturating_sub(3)..=i];
+            let mut sums = vec![0u64; 5];
+            for c in tail {
+                for (s, &v) in sums.iter_mut().zip(c) {
+                    *s += v;
+                }
+            }
+            assert_eq!(w.sums(), &sums[..], "after push {i}");
+            assert_eq!(w.len(), tail.len());
+            let cov = Summary::of_counts(&sums).cov;
+            assert!((w.cov().unwrap() - cov).abs() < 1e-12, "after push {i}");
+            assert!((w.max_relative_deviation() - max_relative_deviation(&sums)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chi_square_uses_the_mean_census_not_the_sum() {
+        // Pushing the same census W times must not inflate the
+        // statistic: the snapshots are not independent samples.
+        let census = vec![1_000u64, 1_030, 970, 1_005];
+        let batch = chi_square_uniform(&census);
+        let mut w = CensusWindow::new(8);
+        for _ in 0..8 {
+            w.push(&census);
+        }
+        let streamed = w.chi_square().unwrap();
+        assert!((streamed.statistic - batch.statistic).abs() < 1e-9);
+        assert_eq!(streamed.degrees, batch.degrees);
+    }
+
+    #[test]
+    fn disk_count_change_resets_the_window() {
+        let mut w = CensusWindow::new(4);
+        w.push(&[10, 10, 10]);
+        w.push(&[10, 10, 10]);
+        assert_eq!(w.len(), 2);
+        w.push(&[5, 5, 5, 5]);
+        assert_eq!(w.len(), 1, "scale op resets the window");
+        assert_eq!(w.disks(), 4);
+        assert_eq!(w.sums(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn single_disk_window_is_guarded_not_panicking() {
+        let mut w = CensusWindow::new(4);
+        w.push(&[42]);
+        assert_eq!(w.len(), 1);
+        assert!(w.chi_square().is_none(), "one bin: no meaningful test");
+        assert!(w.cov().is_none());
+    }
+
+    #[test]
+    fn empty_census_pushes_are_ignored() {
+        let mut w = CensusWindow::new(4);
+        w.push(&[]);
+        assert!(w.is_empty());
+        w.push(&[3, 3]);
+        w.push(&[]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn uniform_stream_passes_and_skew_fails() {
+        let mut w = CensusWindow::new(6);
+        for _ in 0..6 {
+            w.push(&[1_000, 990, 1_010, 1_000, 1_001, 999]);
+        }
+        assert!(w.chi_square().unwrap().is_uniform_at(0.05));
+        for _ in 0..6 {
+            w.push(&[3_000, 10, 1_000, 1_000, 1_000, 990]);
+        }
+        assert!(!w.chi_square().unwrap().is_uniform_at(0.05));
+    }
+}

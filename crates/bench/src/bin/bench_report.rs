@@ -8,19 +8,24 @@
 //! * `BENCH_obs.json` (when the `obs` bench has run) — the telemetry
 //!   overhead ratios (instrumented / bare), with a `within_5pct`
 //!   verdict per hot path. CI's obs-smoke job gates on the locate
-//!   ratio.
+//!   ratio;
+//! * `BENCH_monitor.json` (when the `monitor` bench has run) — the
+//!   health monitor's amortized overhead ratios (attached / detached),
+//!   with a `within_10pct` verdict per hot path. CI's health-smoke job
+//!   gates on the locate ratio.
 //!
 //! Run after the benches:
 //!
 //! ```text
-//! cargo bench -p scaddar-bench --bench remap --bench access --bench obs
+//! cargo bench -p scaddar-bench --bench remap --bench access --bench obs --bench monitor
 //! cargo run -p scaddar-bench --bin bench_report
 //! ```
 //!
-//! Reads `target/criterion-json/{remap,access,obs}.json` relative to
-//! the current directory (override with `BENCH_JSON_DIR`) and writes
-//! `BENCH_remap.json` (override with the first CLI argument) and
-//! `BENCH_obs.json` (override with `BENCH_OBS_PATH`).
+//! Reads `target/criterion-json/{remap,access,obs,monitor}.json`
+//! relative to the current directory (override with `BENCH_JSON_DIR`)
+//! and writes `BENCH_remap.json` (override with the first CLI
+//! argument), `BENCH_obs.json` (override with `BENCH_OBS_PATH`), and
+//! `BENCH_monitor.json` (override with `BENCH_MONITOR_PATH`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -65,7 +70,7 @@ fn parse_results(json: &str) -> Vec<(String, String, f64)> {
 
 fn load_measurements(dirs: &[std::path::PathBuf]) -> BTreeMap<String, Measurement> {
     let mut all = BTreeMap::new();
-    for stem in ["remap", "access", "obs"] {
+    for stem in ["remap", "access", "obs", "monitor"] {
         // Cargo runs bench binaries with the package directory as cwd,
         // so the shim's reports land under `crates/bench/target/` when
         // benches run from the workspace root; accept either location.
@@ -119,6 +124,51 @@ fn obs_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     }
     let mut raw = String::new();
     for (key, m) in all.iter().filter(|(k, _)| k.starts_with("obs_")) {
+        if !raw.is_empty() {
+            raw.push_str(",\n");
+        }
+        write!(
+            raw,
+            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
+            m.ns_per_iter
+        )
+        .expect("write to string");
+    }
+    Some(format!(
+        "{{\n  \"overheads\": [\n{overheads}\n  ],\n  \"raw\": [\n{raw}\n  ]\n}}\n"
+    ))
+}
+
+/// The `BENCH_monitor.json` body: health-monitor overhead ratio
+/// (attached / detached) per polled hot path, with the ≤1.10 acceptance
+/// verdict, plus the raw `monitor_*` measurements. `None` when the
+/// `monitor` bench has not run.
+fn monitor_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
+    let mut overheads = String::new();
+    for path in ["locate", "tick"] {
+        let detached = all
+            .get(&format!("monitor_{path}_overhead/detached"))?
+            .ns_per_iter;
+        let attached = all
+            .get(&format!("monitor_{path}_overhead/attached"))?
+            .ns_per_iter;
+        if detached <= 0.0 {
+            return None;
+        }
+        let ratio = attached / detached;
+        if !overheads.is_empty() {
+            overheads.push_str(",\n");
+        }
+        write!(
+            overheads,
+            "    {{\"name\": \"{path}\", \"detached_ns\": {detached:.3}, \"attached_ns\": {attached:.3}, \
+             \"ratio\": {ratio:.4}, \"within_10pct\": {}}}",
+            ratio <= 1.10
+        )
+        .expect("write to string");
+    }
+    let mut raw = String::new();
+    for (key, m) in all.iter().filter(|(k, _)| k.starts_with("monitor_")) {
         if !raw.is_empty() {
             raw.push_str(",\n");
         }
@@ -213,6 +263,13 @@ fn main() {
         std::fs::write(&obs_path, &obs).expect("write obs report");
         println!("bench_report: wrote {obs_path}");
     }
+
+    if let Some(monitor) = monitor_report(&all) {
+        let monitor_path = std::env::var("BENCH_MONITOR_PATH")
+            .unwrap_or_else(|_| "BENCH_monitor.json".to_string());
+        std::fs::write(&monitor_path, &monitor).expect("write monitor report");
+        println!("bench_report: wrote {monitor_path}");
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +324,33 @@ mod tests {
 
         all.remove("obs_plan_overhead/bare");
         assert!(obs_report(&all).is_none(), "partial obs run emits nothing");
+    }
+
+    #[test]
+    fn monitor_report_carries_ratio_and_verdict() {
+        let mut all = BTreeMap::new();
+        for (key, ns) in [
+            ("monitor_locate_overhead/detached", 50.0),
+            ("monitor_locate_overhead/attached", 52.0),
+            ("monitor_tick_overhead/detached", 1_000.0),
+            ("monitor_tick_overhead/attached", 1_200.0),
+            ("monitor_primitives/observe_census", 300.0),
+        ] {
+            all.insert(key.to_string(), Measurement { ns_per_iter: ns });
+        }
+        let report = monitor_report(&all).expect("monitor measurements present");
+        assert!(report.contains("\"name\": \"locate\""));
+        assert!(report.contains("\"ratio\": 1.0400"));
+        assert!(report.contains("\"within_10pct\": true"));
+        // Tick at 1.20 is over the 10% line.
+        assert!(report.contains("\"ratio\": 1.2000"));
+        assert!(report.contains("\"within_10pct\": false"));
+        assert!(report.contains("monitor_primitives/observe_census"));
+
+        all.remove("monitor_tick_overhead/attached");
+        assert!(
+            monitor_report(&all).is_none(),
+            "partial monitor run emits nothing"
+        );
     }
 }

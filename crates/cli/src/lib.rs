@@ -25,7 +25,8 @@ use scaddar_analysis::{fmt_f64, fmt_pct, Summary};
 use scaddar_core::{
     audit_balance, audit_census, EngineStats, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
 };
-use scaddar_obs::{MonotonicClock, Registry, Tracer};
+use scaddar_monitor::{HealthMonitor, MonitorConfig};
+use scaddar_obs::{MetricValue, MonotonicClock, Registry, Tracer};
 use scaddar_prng::Bits;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -66,15 +67,17 @@ const SPAN_DEFAULT: usize = 16;
 /// One interactive session (at most one engine at a time).
 ///
 /// The session owns its own telemetry composition root: a
-/// [`Registry`] the engine's [`EngineStats`] record into, and a
-/// [`Tracer`] that wraps every executed command in a span. `metrics`
-/// and `spans` read them back out.
+/// [`Registry`] the engine's [`EngineStats`] record into, a
+/// [`Tracer`] that wraps every executed command in a span, and a
+/// [`HealthMonitor`] fed after every scaling operation. `metrics`,
+/// `spans`, `health`, and `watch` read them back out.
 #[derive(Debug)]
 pub struct Session {
     engine: Option<Scaddar>,
     epsilon: f64,
     registry: Registry,
     tracer: Tracer,
+    monitor: Option<HealthMonitor>,
 }
 
 impl Default for Session {
@@ -101,6 +104,8 @@ commands:
   save <path> / load <path>                            persist / restore metadata
   metrics [--json]                                     telemetry (Prometheus text, or JSON)
   spans [n]                                            last n command spans (default 16)
+  health                                               one-shot RO1/RO2/§4.3 health report
+  watch [frames] [ms]                                  re-render health + key metrics periodically
   help                                                 this text";
 
 impl Session {
@@ -113,6 +118,7 @@ impl Session {
             epsilon: 0.05,
             registry,
             tracer,
+            monitor: None,
         }
     }
 
@@ -184,6 +190,8 @@ impl Session {
             "load" => self.cmd_load(args),
             "metrics" => self.cmd_metrics(args),
             "spans" => self.cmd_spans(args),
+            "health" => self.cmd_health(),
+            "watch" => self.cmd_watch(args),
             other => Err(CliError::Usage(format!(
                 "unknown command `{other}` — try `help`"
             ))),
@@ -213,6 +221,106 @@ impl Session {
             return Ok("no spans recorded".to_string());
         }
         Ok(timeline.trim_end().to_string())
+    }
+
+    /// A health monitor synced to `engine`, mirroring its state
+    /// (`monitor_*` metrics) into the session registry.
+    fn monitor_for(&self, engine: &Scaddar) -> HealthMonitor {
+        let mut monitor = HealthMonitor::for_engine(
+            MonitorConfig::default(),
+            self.tracer.clock().clone(),
+            engine,
+        );
+        monitor.attach_registry(&self.registry);
+        monitor.evaluate_budget();
+        monitor
+    }
+
+    /// Feeds the monitor everything new: fresh scale-op movements and
+    /// the current load census.
+    fn feed_monitor(&mut self) {
+        if let (Some(monitor), Some(engine)) = (self.monitor.as_mut(), self.engine.as_ref()) {
+            monitor.observe_engine(engine);
+            monitor.observe_census(&engine.load_distribution());
+        }
+    }
+
+    fn cmd_health(&mut self) -> Result<String, CliError> {
+        self.engine_ref()?;
+        self.feed_monitor();
+        let monitor = self.monitor.as_ref().expect("engine implies monitor");
+        let mut out = monitor.report().render().trim_end().to_string();
+        let events = monitor.events();
+        if !events.is_empty() {
+            let shown = events.len().min(5);
+            write!(out, "\nlast {shown} of {} event(s):", events.len()).expect("write to string");
+            for e in &events[events.len() - shown..] {
+                write!(
+                    out,
+                    "\n  [{:<4}] {} — {}",
+                    e.severity.label(),
+                    e.kind,
+                    e.detail
+                )
+                .expect("write to string");
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_watch(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let usage = || CliError::Usage("watch [frames] [ms]".into());
+        let frames: usize = match args.first() {
+            None => 3,
+            Some(n) => n
+                .parse()
+                .ok()
+                .filter(|n| (1..=100).contains(n))
+                .ok_or_else(usage)?,
+        };
+        let interval_ms: u64 = match args.get(1) {
+            None => 500,
+            Some(ms) => ms
+                .parse()
+                .ok()
+                .filter(|ms| *ms <= 10_000)
+                .ok_or_else(usage)?,
+        };
+        if args.len() > 2 {
+            return Err(usage());
+        }
+        self.engine_ref()?;
+        let mut out = String::new();
+        for frame in 0..frames {
+            if frame > 0 {
+                if interval_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                }
+                out.push('\n');
+            }
+            writeln!(out, "--- frame {}/{frames} ---", frame + 1).expect("write to string");
+            self.feed_monitor();
+            let monitor = self.monitor.as_ref().expect("engine implies monitor");
+            out.push_str(monitor.report().render().trim_end());
+            out.push_str("\nkey metrics:");
+            for name in [
+                "scaddar_core_scale_ops_total",
+                "scaddar_core_xcache_hits_total",
+                "cmsim_server_backlog",
+                "monitor_budget_remaining_ops",
+                "monitor_alerts_total",
+            ] {
+                let rendered = match self.registry.value(name) {
+                    Some(MetricValue::Counter(c)) => c.to_string(),
+                    Some(MetricValue::Gauge(g)) => g.to_string(),
+                    Some(MetricValue::Histogram(h)) => format!("count={}", h.count),
+                    None => continue,
+                };
+                write!(out, "\n  {name:<36} {rendered}").expect("write to string");
+            }
+            out.push('\n');
+        }
+        Ok(out.trim_end().to_string())
     }
 
     fn cmd_init(&mut self, args: &[&str]) -> Result<String, CliError> {
@@ -251,6 +359,7 @@ impl Session {
             config.bits.get(),
             fmt_pct(config.epsilon)
         );
+        self.monitor = Some(self.monitor_for(&engine));
         self.engine = Some(engine);
         Ok(summary)
     }
@@ -349,7 +458,7 @@ impl Session {
         let plan = engine
             .scale(op)
             .map_err(|e| CliError::Engine(e.to_string()))?;
-        Ok(format!(
+        let out = format!(
             "op {}: {} -> {} disks; moved {}/{} blocks ({}, optimal {}){warn}",
             engine.epoch(),
             before,
@@ -358,7 +467,9 @@ impl Session {
             plan.total_blocks,
             fmt_pct(plan.moved_fraction()),
             fmt_pct(plan.optimal_fraction),
-        ))
+        );
+        self.feed_monitor();
+        Ok(out)
     }
 
     /// Parses `add <count>` / `remove <list>` argument forms.
@@ -484,6 +595,7 @@ impl Session {
             engine.catalog().objects().len(),
             engine.epoch()
         );
+        self.monitor = Some(self.monitor_for(&engine));
         self.engine = Some(engine);
         Ok(summary)
     }
@@ -706,6 +818,65 @@ mod tests {
     }
 
     #[test]
+    fn health_reports_ok_for_a_clean_session() {
+        let mut s = Session::new();
+        assert_eq!(s.execute("health"), Err(CliError::NoServer));
+        run(&mut s, "init 6 seed=4");
+        run(&mut s, "add-object 12000");
+        run(&mut s, "scale add 2");
+        run(&mut s, "scale remove 3");
+        let health = run(&mut s, "health");
+        assert!(health.starts_with("health: OK"), "{health}");
+        assert!(health.contains("ro1/ro1-deviation"));
+        assert!(health.contains("ro2/ro2-chi-square"));
+        assert!(health.contains("budget/rehash-advised"));
+        assert!(!health.contains("[warn]"), "{health}");
+        assert!(!health.contains("[crit]"), "{health}");
+    }
+
+    #[test]
+    fn health_flags_an_exhausted_fairness_budget() {
+        let mut s = Session::new();
+        run(&mut s, "init 8 eps=0.05");
+        run(&mut s, "add-object 500");
+        // Burn the §4.3 budget with remove/add round-trips, ignoring
+        // the scale-time warnings like a careless operator.
+        for i in 0..24 {
+            let line = if i % 2 == 0 {
+                "scale remove 0"
+            } else {
+                "scale add 1"
+            };
+            run(&mut s, line);
+        }
+        let health = run(&mut s, "health");
+        assert!(health.starts_with("health: CRIT"), "{health}");
+        assert!(health.contains("rehash-advised"), "{health}");
+        assert!(health.contains("full redistribution advised"), "{health}");
+    }
+
+    #[test]
+    fn watch_renders_frames_with_key_metrics() {
+        let mut s = Session::new();
+        run(&mut s, "init 4 seed=2");
+        run(&mut s, "add-object 3000");
+        run(&mut s, "scale add 1");
+        let watch = run(&mut s, "watch 2 0");
+        assert_eq!(watch.matches("--- frame").count(), 2);
+        assert!(watch.contains("--- frame 1/2 ---"));
+        assert!(watch.contains("--- frame 2/2 ---"));
+        assert!(watch.contains("health: OK"));
+        assert!(watch.contains("scaddar_core_scale_ops_total"));
+        assert!(watch.contains("monitor_budget_remaining_ops"));
+        assert!(matches!(s.execute("watch 0"), Err(CliError::Usage(_))));
+        assert!(matches!(s.execute("watch 2 0 9"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            s.execute("watch 2 999999"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn object_listing_and_removal() {
         let mut s = Session::new();
         run(&mut s, "init 4");
@@ -755,6 +926,7 @@ mod fuzz {
                     Just("remove-object".to_string()),
                     Just("bits=64".to_string()),
                     Just("eps=0.05".to_string()),
+                    Just("health".to_string()),
                     (0u64..100).prop_map(|n| n.to_string()),
                     Just("0,1,2".to_string()),
                 ],

@@ -77,7 +77,7 @@ pub use persist::{PersistError, Snapshot};
 pub use pipeline::RemapPipeline;
 pub use plan::{
     plan_last_op, plan_last_op_parallel, plan_last_op_parallel_instrumented, plan_last_op_with_x,
-    BlockMove, MovePlan,
+    BlockMove, MovePlan, OpMovement,
 };
 pub use stats::EngineStats;
 pub use xcache::XCache;
@@ -209,6 +209,7 @@ pub struct Scaddar {
     cache: XCache,
     fairness: FairnessTracker,
     epsilon: f64,
+    movements: Vec<OpMovement>,
     stats: Option<Arc<EngineStats>>,
 }
 
@@ -223,6 +224,7 @@ impl Scaddar {
             fairness: FairnessTracker::new(config.bits, config.initial_disks),
             log,
             epsilon: config.epsilon,
+            movements: Vec::new(),
             stats: None,
         })
     }
@@ -404,6 +406,7 @@ impl Scaddar {
     /// O(B·j) [`plan_last_op`] computes the identical plan.)
     pub fn scale(&mut self, op: ScalingOp) -> Result<MovePlan, ScaddarError> {
         let scale_start = self.stats.as_ref().map(|s| s.clock.now_ns());
+        let disks_before = self.log.current_disks();
         let record = self.log.push(&op)?;
         let disks_after = record.disks_after();
         self.fairness.record_op(disks_after);
@@ -417,8 +420,11 @@ impl Scaddar {
             stats.plan_blocks.add(plan.total_blocks);
         }
         self.cache.advance_to(&self.pipeline);
+        self.movements
+            .push(OpMovement::from_plan(&plan, disks_before, disks_after));
         if let (Some(stats), Some(start)) = (&self.stats, scale_start) {
             stats.scale_ops.inc();
+            stats.scale_moved_blocks.add(plan.moves.len() as u64);
             stats.xcache_epoch_bumps.inc();
             // Planning applied the new record once per block; advancing
             // the cache applied it once more.
@@ -443,6 +449,21 @@ impl Scaddar {
         self.fairness.report()
     }
 
+    /// The configured fairness tolerance `eps` (§4.3).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Movement accounting for every scaling operation applied through
+    /// *this* engine value, oldest first — the RO1 audit trail a health
+    /// monitor replays ([`OpMovement::moved_fraction`] vs the recorded
+    /// optimal `z_j`). Cleared by [`Scaddar::full_redistribution`] (the
+    /// log restarts) and empty on snapshot restore (the log records
+    /// operations, not move counts).
+    pub fn op_movements(&self) -> &[OpMovement] {
+        &self.movements
+    }
+
     /// Performs the paper's recommended escape hatch once the §4.3
     /// precondition fails: a **full redistribution**. The scaling log
     /// restarts at the current disk count (placement becomes plain
@@ -461,6 +482,7 @@ impl Scaddar {
             .count() as u64;
         self.log = ScalingLog::new(disks as u32).expect("disks > 0 by invariant");
         self.fairness.reset(disks as u32);
+        self.movements.clear();
         self.pipeline = RemapPipeline::compile(&self.log);
         self.cache = XCache::rebuild(&self.catalog, &self.pipeline);
         if let Some(stats) = &self.stats {
@@ -528,6 +550,9 @@ impl Scaddar {
             cache,
             fairness,
             epsilon,
+            // The log records the operations but not their per-plan
+            // move counts, so restored engines restart RO1 accounting.
+            movements: Vec::new(),
             stats,
         })
     }
@@ -685,6 +710,27 @@ mod tests {
             ops += 1;
         }
         assert!((4..=10).contains(&ops), "guard tripped at {ops} ops");
+    }
+
+    #[test]
+    fn op_movements_record_the_ro1_audit_trail() {
+        let (mut s, _) = engine(4, 10_000);
+        assert!(s.op_movements().is_empty());
+        let p1 = s.scale(ScalingOp::Add { count: 2 }).unwrap();
+        let p2 = s.scale(ScalingOp::remove_one(1)).unwrap();
+        let trail = s.op_movements();
+        assert_eq!(trail.len(), 2);
+        assert_eq!(trail[0].epoch, 1);
+        assert_eq!((trail[0].disks_before, trail[0].disks_after), (4, 6));
+        assert_eq!(trail[0].moved, p1.moves.len() as u64);
+        assert_eq!(trail[0].total, p1.total_blocks);
+        assert_eq!(trail[0].optimal_fraction, p1.optimal_fraction);
+        assert!((trail[0].moved_fraction() - p1.moved_fraction()).abs() < 1e-15);
+        assert_eq!((trail[1].disks_before, trail[1].disks_after), (6, 5));
+        assert_eq!(trail[1].moved, p2.moves.len() as u64);
+        // A full redistribution restarts the log and the trail with it.
+        s.full_redistribution();
+        assert!(s.op_movements().is_empty());
     }
 
     #[test]

@@ -90,6 +90,53 @@ impl MovePlan {
     }
 }
 
+/// Movement accounting for one *applied* scaling operation: the RO1
+/// numbers of a [`MovePlan`] without the per-block move list. The
+/// engine retains one of these per `scale()` call
+/// ([`Scaddar::op_movements`](crate::Scaddar::op_movements)) so health
+/// monitors can audit the moved fraction against the optimal `z_j`
+/// (Def. 3.4) after the fact, at ~40 bytes per operation instead of
+/// `O(B)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMovement {
+    /// Epoch the operation transitioned into (the `j` of `REMAP_j`).
+    pub epoch: usize,
+    /// Disk count before the operation (`N_{j-1}`).
+    pub disks_before: u32,
+    /// Disk count after the operation (`N_j`).
+    pub disks_after: u32,
+    /// Blocks the plan moved.
+    pub moved: u64,
+    /// Total blocks examined (`B`).
+    pub total: u64,
+    /// Optimal fraction `z_j` for this operation (Def. 3.4).
+    pub optimal_fraction: f64,
+}
+
+impl OpMovement {
+    /// Summarizes a plan, recording the disk counts it transitioned
+    /// between.
+    pub fn from_plan(plan: &MovePlan, disks_before: u32, disks_after: u32) -> Self {
+        OpMovement {
+            epoch: plan.target_epoch,
+            disks_before,
+            disks_after,
+            moved: plan.moves.len() as u64,
+            total: plan.total_blocks,
+            optimal_fraction: plan.optimal_fraction,
+        }
+    }
+
+    /// Fraction of all blocks moved (cf. [`MovePlan::moved_fraction`]).
+    pub fn moved_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.moved as f64 / self.total as f64
+        }
+    }
+}
+
 /// Plans the moves for the *last* operation in `log`, given the catalog.
 ///
 /// The log must already contain the operation (push first, then plan);

@@ -51,6 +51,10 @@ pub struct EngineStats {
     pub pipeline_folds: Counter,
     /// Scaling operations applied.
     pub scale_ops: Counter,
+    /// Blocks moved by applied scaling operations (the RO1 numerator;
+    /// together with `plan_blocks` this yields the live moved
+    /// fraction).
+    pub scale_moved_blocks: Counter,
     /// End-to-end `scale()` latency (log push + plan + cache advance).
     pub scale_ns: Histogram,
     /// `RF()` planning latency per operation.
@@ -106,6 +110,10 @@ impl EngineStats {
             ),
             scale_ops: registry
                 .counter("scaddar_core_scale_ops_total", "Scaling operations applied"),
+            scale_moved_blocks: registry.counter(
+                "scaddar_core_scale_moved_blocks_total",
+                "Blocks moved by applied scaling operations",
+            ),
             scale_ns: registry
                 .histogram("scaddar_core_scale_ns", "End-to-end scale() latency (ns)"),
             plan_ns: registry.histogram("scaddar_core_plan_ns", "RF() planning latency (ns)"),

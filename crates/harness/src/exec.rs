@@ -16,12 +16,15 @@ use crate::invariants::{self, Failure};
 use crate::model::Model;
 use crate::scenario::{Fault, Mutation, Scenario, Step};
 use cmsim::{
-    availability_census, CmServer, ServerConfig, SharedServer, Simulation, WorkloadConfig,
+    availability_census, CmServer, ServerConfig, ServerStats, SharedServer, Simulation,
+    WorkloadConfig,
 };
 use scaddar_core::{
-    plan_last_op, plan_last_op_parallel, DiskIndex, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
+    plan_last_op, plan_last_op_parallel, BlockRef, DiskIndex, ObjectId, Scaddar, ScaddarConfig,
+    ScalingOp,
 };
-use scaddar_obs::{SpanGuard, Tracer, VirtualClock};
+use scaddar_monitor::{HealthMonitor, MonitorConfig};
+use scaddar_obs::{Clock, Registry, SpanGuard, Tracer, VirtualClock};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -60,6 +63,12 @@ pub struct Outcome {
     pub failure: Option<Failure>,
     /// Index of the step the failure surfaced at.
     pub failed_step: Option<usize>,
+    /// The health monitor's structured event log, rendered as JSONL.
+    /// Timestamps come from the executor's virtual clock, so the same
+    /// seed produces byte-identical bytes.
+    pub health_events: String,
+    /// Alert events (warn/crit) the monitor emitted during the run.
+    pub health_alerts: usize,
 }
 
 impl Outcome {
@@ -76,6 +85,7 @@ pub fn execute(scenario: &Scenario, mutation: Mutation) -> Outcome {
 
 struct Executor<'a> {
     scenario: &'a Scenario,
+    mutation: Mutation,
     engine: Scaddar,
     server: CmServer,
     model: Model,
@@ -84,6 +94,7 @@ struct Executor<'a> {
     trace: String,
     clock: Arc<VirtualClock>,
     tracer: Tracer,
+    monitor: HealthMonitor,
 }
 
 impl<'a> Executor<'a> {
@@ -96,7 +107,7 @@ impl<'a> Executor<'a> {
                 .with_epsilon(EPSILON),
         )
         .expect("initial_disks >= 4 by generation");
-        let server = CmServer::new(ServerConfig::new(disks).with_catalog_seed(seed))
+        let mut server = CmServer::new(ServerConfig::new(disks).with_catalog_seed(seed))
             .expect("initial_disks >= 4 by generation");
         let last_snapshot = engine.snapshot();
         // A virtual clock only the executor advances: span timelines
@@ -104,8 +115,19 @@ impl<'a> Executor<'a> {
         // the same seed always yields the same bytes.
         let clock = Arc::new(VirtualClock::new());
         let tracer = Tracer::new(clock.clone(), SPAN_CAPACITY);
+        // The health monitor rides along on the same virtual clock, so
+        // its JSONL event log is byte-identical run to run; the server's
+        // per-disk gauges land in the same registry the monitor exports
+        // its own gauges to.
+        let registry = Registry::new();
+        let stats = ServerStats::register(&registry, clock.clone() as Arc<dyn Clock>);
+        server.attach_stats(stats);
+        let mut monitor =
+            HealthMonitor::for_engine(MonitorConfig::default(), clock.clone(), &engine);
+        monitor.attach_registry(&registry);
         Executor {
             scenario,
+            mutation,
             engine,
             server,
             model: Model::new(disks, mutation),
@@ -114,6 +136,7 @@ impl<'a> Executor<'a> {
             trace: String::new(),
             clock,
             tracer,
+            monitor,
         }
     }
 
@@ -133,6 +156,7 @@ impl<'a> Executor<'a> {
         if let Err(f) = self.check_invariants(None) {
             return self.finish(Some(f), None);
         }
+        self.feed_monitor();
         for i in 0..self.scenario.steps.len() {
             let step = self.scenario.steps[i].clone();
             let mut span = self.tracer.span(step_name(&step));
@@ -149,6 +173,14 @@ impl<'a> Executor<'a> {
                 return self.finish(Some(f), Some(i));
             }
         }
+        if let Err(f) = self.check_health_outcome() {
+            let _ = writeln!(
+                self.trace,
+                "  health: FAILED [{}] {}",
+                f.invariant, f.detail
+            );
+            return self.finish(Some(f), None);
+        }
         self.finish(None, None)
     }
 
@@ -163,6 +195,8 @@ impl<'a> Executor<'a> {
             spans: self.tracer.render_recent(SPAN_CAPACITY),
             failure,
             failed_step,
+            health_events: self.monitor.events_jsonl(),
+            health_alerts: self.monitor.alerts_emitted(),
         }
     }
 
@@ -183,7 +217,74 @@ impl<'a> Executor<'a> {
             None // already checked with the plan in run_scale
         } else {
             Some(i)
-        })
+        })?;
+        self.feed_monitor();
+        Ok(())
+    }
+
+    /// Feeds the health monitor one observation round: new movement
+    /// records from the engine's RO1 audit trail, plus (when the server
+    /// is at rest, the only time residency is comparable) the per-disk
+    /// census for the streaming RO2 probes and the exact conformance
+    /// check of store residency against the engine's derivation.
+    fn feed_monitor(&mut self) {
+        self.monitor.observe_engine(&self.engine);
+        if self.server.backlog() == 0 {
+            let actual = self.server.load_census();
+            self.monitor.observe_census(&actual);
+            let expected = self.engine.load_distribution();
+            self.monitor.observe_conformance(&expected, &actual);
+        }
+    }
+
+    /// End-of-run health verdict. Clean runs must have raised no RO1/RO2
+    /// conformance alert; a [`Mutation::MisplaceBlock`] run plants silent
+    /// data rot *after* the last step (so every placement invariant along
+    /// the way stays meaningful) and then requires the monitor's exact
+    /// conformance probe to catch it.
+    fn check_health_outcome(&mut self) -> Result<(), Failure> {
+        match self.mutation {
+            Mutation::None => invariants::check_health_quiet(self.monitor.events()),
+            // The model-divergence bug is caught (and shrunk) by the
+            // placement invariants mid-run, not by the health phase.
+            Mutation::Ro1AddOffByOne => Ok(()),
+            Mutation::MisplaceBlock => {
+                self.drain_server()?;
+                let Some(id) = self.engine.catalog().objects().first().map(|o| o.id) else {
+                    return Err(exec_failure("misplace mutation found no object".into()));
+                };
+                let block = BlockRef {
+                    object: id,
+                    block: 0,
+                };
+                let Some(from) = self.server.store().locate(block) else {
+                    return Err(exec_failure(format!(
+                        "misplace target {block:?} not resident"
+                    )));
+                };
+                let Some(to) = self
+                    .server
+                    .disks()
+                    .physical_ids()
+                    .into_iter()
+                    .find(|&d| d != from)
+                else {
+                    return Err(exec_failure("no second disk to misplace onto".into()));
+                };
+                if !self.server.inject_misplacement(block, to) {
+                    return Err(exec_failure(format!(
+                        "inject_misplacement({block:?}, {to:?}) refused"
+                    )));
+                }
+                let _ = writeln!(
+                    self.trace,
+                    "  mutation: misplaced {block:?} {from:?} -> {to:?}"
+                );
+                self.clock.advance(1);
+                self.feed_monitor();
+                invariants::check_health_detects_misplacement(self.monitor.events())
+            }
+        }
     }
 
     // ---- steps -----------------------------------------------------
@@ -755,6 +856,74 @@ mod tests {
             return;
         }
         panic!("no seed in 0..64 tripped the planted bug");
+    }
+
+    #[test]
+    fn health_event_log_is_byte_identical_per_seed() {
+        for seed in [3u64, 17, 404] {
+            let scenario = Scenario::generate(seed);
+            let a = execute(&scenario, Mutation::None);
+            let b = execute(&scenario, Mutation::None);
+            assert!(a.passed(), "seed {seed} failed:\n{}", a.trace);
+            assert_eq!(
+                a.health_events, b.health_events,
+                "seed {seed} health events not byte-identical"
+            );
+            assert!(
+                !a.health_events.is_empty(),
+                "seed {seed} monitor recorded no events at all"
+            );
+            // Every line is valid JSON under the strict hand parser.
+            for line in a.health_events.lines() {
+                scaddar_obs::try_parse_json_values(line)
+                    .unwrap_or_else(|e| panic!("seed {seed} bad event line {line:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_runs_raise_no_conformance_alerts() {
+        for seed in [3u64, 17, 404] {
+            let scenario = Scenario::generate(seed);
+            let outcome = execute(&scenario, Mutation::None);
+            assert!(outcome.passed(), "seed {seed} failed:\n{}", outcome.trace);
+            for line in outcome.health_events.lines() {
+                let quiet = !line.contains("\"probe\": \"ro1\"")
+                    && !line.contains("\"probe\": \"ro2\"")
+                    || line.contains("\"severity\": \"ok\"");
+                assert!(quiet, "seed {seed} clean run alerted: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_misplacement_is_caught_by_the_monitor() {
+        let scenario = Scenario::generate(3);
+        let outcome = execute(&scenario, Mutation::MisplaceBlock);
+        // Detection means the health invariant *passes* (the monitor did
+        // its job) and the alert is in the event log.
+        assert!(
+            outcome.passed(),
+            "monitor missed the planted misplacement:\n{}",
+            outcome.trace
+        );
+        assert!(
+            outcome
+                .health_events
+                .lines()
+                .any(|l| l.contains("ro2-misplacement") && !l.contains("\"severity\": \"ok\"")),
+            "no ro2-misplacement alert in:\n{}",
+            outcome.health_events
+        );
+        assert!(outcome.health_alerts >= 1);
+        assert!(outcome.trace.contains("mutation: misplaced"));
+    }
+
+    #[test]
+    fn a_monitor_blind_to_the_rot_would_fail_the_run() {
+        // Companion negative check: the detection invariant itself.
+        let err = crate::invariants::check_health_detects_misplacement(&[]).unwrap_err();
+        assert_eq!(err.invariant, "health-detects-misplacement");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::model::Model;
 use scaddar_analysis::uniformity::{chi_square_uniform, max_relative_deviation};
 use scaddar_core::{locate, MovePlan, Scaddar, ScalingOp};
+use scaddar_monitor::HealthEvent;
 
 /// A named invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +230,54 @@ pub fn check_derived(engine: &Scaddar) -> Check {
     engine
         .verify_derived_state()
         .map_err(|e| Failure::new("derived-state", e))
+}
+
+/// **`health-quiet`** — on a fault-free clean run the health monitor
+/// must not raise any RO1 or RO2 conformance alert.
+///
+/// Budget (`§4.3`) alerts are *not* failures: a scenario with many
+/// scaling operations legitimately exhausts the unfairness budget, and
+/// the monitor advising a rehash is exactly the behavior the paper
+/// prescribes. Only the conformance probes — which assert the engine is
+/// *correct*, not merely aging — must stay silent.
+pub fn check_health_quiet(events: &[HealthEvent]) -> Check {
+    for e in events {
+        if e.severity.is_alert() && (e.probe == "ro1" || e.probe == "ro2") {
+            return Err(Failure::new(
+                "health-quiet",
+                format!(
+                    "clean run raised {}/{} {} (value {:.6} vs threshold {:.6}): {}",
+                    e.probe,
+                    e.kind,
+                    e.severity.label(),
+                    e.value,
+                    e.threshold,
+                    e.detail
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **`health-detects-misplacement`** — after silent data rot is planted
+/// ([`crate::scenario::Mutation::MisplaceBlock`]), the monitor's exact
+/// RO2 conformance probe must have raised an `ro2-misplacement` alert.
+pub fn check_health_detects_misplacement(events: &[HealthEvent]) -> Check {
+    if events
+        .iter()
+        .any(|e| e.kind == "ro2-misplacement" && e.severity.is_alert())
+    {
+        return Ok(());
+    }
+    Err(Failure::new(
+        "health-detects-misplacement",
+        format!(
+            "planted misplacement raised no ro2-misplacement alert \
+             ({} health events recorded)",
+            events.len()
+        ),
+    ))
 }
 
 #[cfg(test)]

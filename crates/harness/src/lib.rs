@@ -81,10 +81,12 @@ impl RunReport {
         } else {
             let _ = writeln!(
                 out,
-                "seed {}: PASS ({} steps, {} scale ops)",
+                "seed {}: PASS ({} steps, {} scale ops, {} health events, {} alerts)",
                 self.seed,
                 self.scenario.steps.len(),
-                self.scenario.scale_ops()
+                self.scenario.scale_ops(),
+                self.outcome.health_events.lines().count(),
+                self.outcome.health_alerts,
             );
         }
         out

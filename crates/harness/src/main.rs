@@ -1,13 +1,18 @@
 //! CLI for the deterministic simulation harness.
 //!
 //! ```text
-//! scaddar-harness [--seed N] [--runs K] [--plant-bug ro1]
+//! scaddar-harness [--seed N] [--runs K] [--plant-bug ro1|misplace]
+//!                 [--events-out PATH]
 //! ```
 //!
 //! - `--seed N` (or env `HARNESS_SEED=N`): first seed; default 1.
 //! - `--runs K`: run seeds `N, N+1, …, N+K-1`; default 1.
 //! - `--plant-bug ro1`: run the model with the planted RO1 off-by-one,
 //!   to demonstrate detection + shrinking end to end.
+//! - `--plant-bug misplace`: plant silent data rot in the server after
+//!   the last step; the health monitor must raise `ro2-misplacement`.
+//! - `--events-out PATH` (or env `HEALTH_EVENTS_PATH`): write every
+//!   run's health-monitor JSONL event log to `PATH`.
 //!
 //! Exit code 0 iff every seed passed. Same seed → byte-identical output.
 
@@ -20,6 +25,7 @@ fn main() {
         .unwrap_or(1);
     let mut runs: u64 = 1;
     let mut mutation = Mutation::None;
+    let mut events_out: Option<String> = std::env::var("HEALTH_EVENTS_PATH").ok();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -36,14 +42,26 @@ fn main() {
             "--plant-bug" => {
                 match args.get(i + 1).map(String::as_str) {
                     Some("ro1") => mutation = Mutation::Ro1AddOffByOne,
-                    other => die(&format!("--plant-bug expects `ro1`, got {other:?}")),
+                    Some("misplace") => mutation = Mutation::MisplaceBlock,
+                    other => die(&format!(
+                        "--plant-bug expects `ro1` or `misplace`, got {other:?}"
+                    )),
+                }
+                i += 2;
+            }
+            "--events-out" => {
+                match args.get(i + 1) {
+                    Some(path) => events_out = Some(path.clone()),
+                    None => die("--events-out expects a path"),
                 }
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: scaddar-harness [--seed N] [--runs K] [--plant-bug ro1]\n\
-                     env: HARNESS_SEED=N sets the first seed"
+                    "usage: scaddar-harness [--seed N] [--runs K] \
+                     [--plant-bug ro1|misplace] [--events-out PATH]\n\
+                     env: HARNESS_SEED=N sets the first seed; \
+                     HEALTH_EVENTS_PATH=PATH writes the health event log"
                 );
                 return;
             }
@@ -52,12 +70,23 @@ fn main() {
     }
 
     let mut failures = 0u64;
+    let mut events = String::new();
     for s in seed..seed.saturating_add(runs) {
         let report = scaddar_harness::run_seed(s, mutation);
         print!("{}", report.render());
+        events.push_str(&report.outcome.health_events);
         if !report.passed() {
             failures += 1;
         }
+    }
+    if let Some(path) = events_out {
+        if let Err(e) = std::fs::write(&path, &events) {
+            die(&format!("writing health events to {path}: {e}"));
+        }
+        eprintln!(
+            "scaddar-harness: wrote {} health event(s) to {path}",
+            events.lines().count()
+        );
     }
     if runs > 1 {
         println!("{}/{runs} seeds passed", runs - failures);

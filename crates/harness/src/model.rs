@@ -132,7 +132,9 @@ fn step_x(mutation: Mutation, x: u64, op: &ModelOp) -> u64 {
             let r = x % n_prev;
             let t = q % n_new;
             let keep = match mutation {
-                Mutation::None => t < *n_prev,
+                // MisplaceBlock corrupts the server, not the model: the
+                // model's arithmetic stays faithful.
+                Mutation::None | Mutation::MisplaceBlock => t < *n_prev,
                 // The planted bug: boundary draw t == n_prev wrongly kept.
                 Mutation::Ro1AddOffByOne => t <= *n_prev,
             };

@@ -21,6 +21,12 @@ pub enum Mutation {
     /// `t < N_{j-1}`, so the boundary draw `t == N_{j-1}` is wrongly
     /// treated as "keep" — an RO1 violation the invariants must flag.
     Ro1AddOffByOne,
+    /// Silent data rot planted in the *server*, not the model: after the
+    /// scenario completes, one resident block is relocated behind the
+    /// engine's back via `CmServer::inject_misplacement`. The model stays
+    /// faithful; the health monitor's exact RO2 conformance probe must
+    /// raise an `ro2-misplacement` alert or the run fails.
+    MisplaceBlock,
 }
 
 /// A fault injected around one scaling operation.

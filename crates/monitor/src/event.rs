@@ -1,0 +1,109 @@
+//! Typed health events: what a probe found, how bad, and when.
+
+use scaddar_obs::EventLog;
+
+/// Alert severity, ordered (`Ok < Warn < Crit`) so "worst of" is `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Within thresholds.
+    Ok,
+    /// Above the warning threshold.
+    Warn,
+    /// Above the critical threshold.
+    Crit,
+}
+
+impl Severity {
+    /// Lower-case label used in event logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Warn => "warn",
+            Severity::Crit => "crit",
+        }
+    }
+
+    /// Is this an alert (anything above [`Severity::Ok`])?
+    pub fn is_alert(&self) -> bool {
+        *self > Severity::Ok
+    }
+}
+
+/// One emitted health event. An *alert* is an event with severity
+/// `Warn` or `Crit`; `Ok` events mark recoveries (a probe dropping back
+/// below its thresholds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEvent {
+    /// Clock timestamp at emit time (virtual in harness runs).
+    pub ts_ns: u64,
+    /// Probe that raised the event (`ro1`, `ro2`, `budget`).
+    pub probe: &'static str,
+    /// Signal kind, e.g. `ro1-deviation`, `ro2-chi-square`,
+    /// `rehash-advised`.
+    pub kind: &'static str,
+    /// Severity after this evaluation.
+    pub severity: Severity,
+    /// The measured signal value the rule judged.
+    pub value: f64,
+    /// The threshold the value was judged against (the warn threshold
+    /// for `Warn`/`Ok`, the crit threshold for `Crit`).
+    pub threshold: f64,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl HealthEvent {
+    /// Mirrors the event into a structured [`EventLog`] (which stamps
+    /// `ts_ns` itself from its clock; the monitor emits synchronously,
+    /// so the stamps agree).
+    pub fn emit_into(&self, log: &EventLog) {
+        log.emit(
+            self.kind,
+            [
+                ("probe", self.probe.to_string()),
+                ("severity", self.severity.label().to_string()),
+                ("value", format!("{:.6}", self.value)),
+                ("threshold", format!("{:.6}", self.threshold)),
+                ("detail", self.detail.clone()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_ok_below_warn_below_crit() {
+        assert!(Severity::Ok < Severity::Warn);
+        assert!(Severity::Warn < Severity::Crit);
+        assert_eq!(Severity::Ok.max(Severity::Crit), Severity::Crit);
+        assert!(!Severity::Ok.is_alert());
+        assert!(Severity::Warn.is_alert());
+        assert!(Severity::Crit.is_alert());
+    }
+
+    #[test]
+    fn emit_into_renders_all_fields() {
+        use scaddar_obs::VirtualClock;
+        use std::sync::Arc;
+        let log = EventLog::new(Arc::new(VirtualClock::new()));
+        HealthEvent {
+            ts_ns: 0,
+            probe: "ro1",
+            kind: "ro1-deviation",
+            severity: Severity::Warn,
+            value: 0.0125,
+            threshold: 0.005,
+            detail: "op 3".to_string(),
+        }
+        .emit_into(&log);
+        let line = log.render_jsonl();
+        assert!(line.contains("\"kind\": \"ro1-deviation\""));
+        assert!(line.contains("\"probe\": \"ro1\""));
+        assert!(line.contains("\"severity\": \"warn\""));
+        assert!(line.contains("\"value\": \"0.012500\""));
+        assert!(line.contains("\"detail\": \"op 3\""));
+    }
+}

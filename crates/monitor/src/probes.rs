@@ -1,0 +1,159 @@
+//! The probe computations: turning raw observations into the scalar
+//! signals the rule engine judges.
+//!
+//! Each function here is pure (state, observation) → signal; the
+//! [`HealthMonitor`](crate::HealthMonitor) owns the rule states and
+//! event emission.
+
+use scaddar_core::{FairnessTracker, OpMovement};
+
+/// RO1 conformance signal for one applied scaling operation: the
+/// *excess* deviation of the measured moved fraction from the optimal
+/// `z_j` (Def. 3.4), after subtracting the binomial sampling slack.
+///
+/// Block moves are ~independent Bernoulli(`z_j`) trials, so the moved
+/// fraction has standard deviation `sqrt(z(1−z)/B)`; a healthy engine
+/// sits within a few σ of optimal. The signal subtracts a 6σ allowance
+/// (the same slack the harness `ro1-fraction` invariant grants) and
+/// reports only what remains — `0.0` for any conforming operation, a
+/// raw excess fraction for a buggy remap. Degenerate operations
+/// (`total == 0`) report `0.0`.
+pub fn ro1_excess_deviation(movement: &OpMovement) -> f64 {
+    if movement.total == 0 {
+        return 0.0;
+    }
+    let z = movement.optimal_fraction;
+    let sigma = (z * (1.0 - z) / movement.total as f64).sqrt();
+    let deviation = (movement.moved_fraction() - z).abs();
+    (deviation - 6.0 * sigma).max(0.0)
+}
+
+/// RO2 conformance: exact placement check. Compares the census the
+/// engine *derives* (where every block should be) against the census
+/// the store *reports* (where every block is) and returns the total
+/// block-count discrepancy. Zero for a conforming server; any silent
+/// misplacement (`cmsim`'s `inject_misplacement`, bit rot, a buggy
+/// move executor) shows up deterministically — unlike the statistical
+/// probes, which cannot see a single misplaced block.
+///
+/// Censuses must be in the same (logical) disk order. A length
+/// mismatch counts every block of the unmatched tail as discrepant.
+pub fn census_discrepancy(expected: &[u64], actual: &[u64]) -> u64 {
+    let common = expected.len().min(actual.len());
+    let mut diff: u64 = expected[..common]
+        .iter()
+        .zip(&actual[..common])
+        .map(|(&e, &a)| e.abs_diff(a))
+        .sum();
+    diff += expected[common..].iter().sum::<u64>();
+    diff += actual[common..].iter().sum::<u64>();
+    diff
+}
+
+/// How many more scaling operations (ending at `disks` disks each) the
+/// §4.3 budget admits before [`FairnessTracker::next_op_is_safe`]
+/// fails for `eps`, capped at `cap`. `0` means the *next* operation is
+/// already unsafe — the paper's cue for a full redistribution.
+///
+/// Holding the disk count fixed is the conservative steady-state
+/// question an operator asks ("how much longer can I keep scaling like
+/// this?"); removals at smaller `N` consume budget slower, additions at
+/// larger `N` faster, so the true remaining count varies with the
+/// actual op mix.
+pub fn remaining_safe_ops(tracker: &FairnessTracker, disks: u32, eps: f64, cap: u32) -> u32 {
+    let mut probe = tracker.clone();
+    let mut n = 0;
+    while n < cap && probe.next_op_is_safe(disks, eps) {
+        probe.record_op(disks);
+        n += 1;
+    }
+    n
+}
+
+/// Maps the remaining-ops count onto the rule engine's upward scale:
+/// `2.0` (crit) when the next op is unsafe, `1.0` (warn) when at most
+/// `warn_remaining` ops remain, else `0.0`.
+pub fn budget_pressure(remaining: u32, warn_remaining: u32) -> f64 {
+    if remaining == 0 {
+        2.0
+    } else if remaining <= warn_remaining {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaddar_prng::Bits;
+
+    fn movement(moved: u64, total: u64, optimal: f64) -> OpMovement {
+        OpMovement {
+            epoch: 1,
+            disks_before: 4,
+            disks_after: 5,
+            moved,
+            total,
+            optimal_fraction: optimal,
+        }
+    }
+
+    #[test]
+    fn conforming_moves_report_zero_excess() {
+        // 1/5 of 10_000 blocks, measured within 1σ of optimal.
+        let m = movement(2_010, 10_000, 0.2);
+        assert_eq!(ro1_excess_deviation(&m), 0.0);
+        // Exactly optimal.
+        assert_eq!(ro1_excess_deviation(&movement(2_000, 10_000, 0.2)), 0.0);
+        // Degenerate op.
+        assert_eq!(ro1_excess_deviation(&movement(0, 0, 0.2)), 0.0);
+    }
+
+    #[test]
+    fn excess_movement_reports_the_overshoot() {
+        // Moving 2× optimal: deviation 0.2, slack 6σ=0.024: excess > 0.15.
+        let m = movement(4_000, 10_000, 0.2);
+        let excess = ro1_excess_deviation(&m);
+        assert!(excess > 0.15, "excess={excess}");
+    }
+
+    #[test]
+    fn census_discrepancy_counts_misplaced_blocks() {
+        assert_eq!(census_discrepancy(&[10, 10, 10], &[10, 10, 10]), 0);
+        // One block resident on disk 2 instead of disk 0.
+        assert_eq!(census_discrepancy(&[10, 10, 10], &[9, 10, 11]), 2);
+        // Length mismatch: the tail counts in full.
+        assert_eq!(census_discrepancy(&[10, 10], &[10, 10, 5]), 5);
+        assert_eq!(census_discrepancy(&[10, 10, 5], &[10, 10]), 5);
+    }
+
+    #[test]
+    fn remaining_ops_match_direct_simulation() {
+        let bits = Bits::new(32).unwrap();
+        let tracker = FairnessTracker::new(bits, 8);
+        let remaining = remaining_safe_ops(&tracker, 8, 0.05, 64);
+        // b=32, N=8, eps=0.05: sigma limit ≈ 2^32·0.0476 ≈ 2.04e8;
+        // sigma after k ops is 8^k (sigma_0=8): 8^9≈1.3e8 safe,
+        // 8^10≈1.1e9 unsafe → 8 further ops beyond the implicit first.
+        assert!((7..=10).contains(&remaining), "remaining={remaining}");
+        // Consuming one op decrements the answer by one.
+        let mut t2 = tracker.clone();
+        t2.record_op(8);
+        assert_eq!(remaining_safe_ops(&t2, 8, 0.05, 64), remaining - 1);
+        // An exhausted history reports zero.
+        let mut burnt = tracker;
+        for _ in 0..remaining + 1 {
+            burnt.record_op(8);
+        }
+        assert_eq!(remaining_safe_ops(&burnt, 8, 0.05, 64), 0);
+    }
+
+    #[test]
+    fn budget_pressure_scale() {
+        assert_eq!(budget_pressure(0, 2), 2.0);
+        assert_eq!(budget_pressure(1, 2), 1.0);
+        assert_eq!(budget_pressure(2, 2), 1.0);
+        assert_eq!(budget_pressure(3, 2), 0.0);
+    }
+}

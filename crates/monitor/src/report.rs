@@ -1,0 +1,117 @@
+//! One-shot health reports: the current state of every probe, rendered
+//! for an operator.
+
+use crate::event::Severity;
+
+/// The current state of one monitored signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeStatus {
+    /// Probe family (`ro1`, `ro2`, `budget`).
+    pub probe: &'static str,
+    /// Signal kind (matches the event kind it would emit).
+    pub kind: &'static str,
+    /// Current severity under the hysteresis state machine.
+    pub severity: Severity,
+    /// Most recent signal value (`None` before the first observation).
+    pub value: Option<f64>,
+    /// Human-readable context from the last evaluation.
+    pub detail: String,
+}
+
+/// A point-in-time health report across every probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Per-signal statuses, in a fixed display order.
+    pub statuses: Vec<ProbeStatus>,
+    /// Alert events emitted so far (severity `Warn`/`Crit`).
+    pub alerts_emitted: usize,
+}
+
+impl HealthReport {
+    /// The overall verdict: the worst current severity.
+    pub fn verdict(&self) -> Severity {
+        self.statuses
+            .iter()
+            .map(|s| s.severity)
+            .max()
+            .unwrap_or(Severity::Ok)
+    }
+
+    /// Renders the operator-facing report:
+    ///
+    /// ```text
+    /// health: OK (0 alerts emitted)
+    ///   [ok]   ro1/ro1-deviation      excess 0.000000 — op 3: moved 333/1000 (optimal 0.333)
+    ///   ...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "health: {} ({} alert{} emitted)\n",
+            self.verdict().label().to_uppercase(),
+            self.alerts_emitted,
+            if self.alerts_emitted == 1 { "" } else { "s" },
+        );
+        for s in &self.statuses {
+            let value = s
+                .value
+                .map_or("never evaluated".to_string(), |v| format!("{v:.6}"));
+            let detail = if s.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", s.detail)
+            };
+            out.push_str(&format!(
+                "  [{:<4}] {:<24} {}{}\n",
+                s.severity.label(),
+                format!("{}/{}", s.probe, s.kind),
+                value,
+                detail,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_is_the_worst_severity() {
+        let report = HealthReport {
+            statuses: vec![
+                ProbeStatus {
+                    probe: "ro1",
+                    kind: "ro1-deviation",
+                    severity: Severity::Ok,
+                    value: Some(0.0),
+                    detail: String::new(),
+                },
+                ProbeStatus {
+                    probe: "budget",
+                    kind: "rehash-advised",
+                    severity: Severity::Warn,
+                    value: Some(1.0),
+                    detail: "2 ops remaining".to_string(),
+                },
+            ],
+            alerts_emitted: 1,
+        };
+        assert_eq!(report.verdict(), Severity::Warn);
+        let text = report.render();
+        assert!(text.starts_with("health: WARN (1 alert emitted)"));
+        assert!(text.contains("[ok  ] ro1/ro1-deviation"));
+        assert!(text.contains("[warn] budget/rehash-advised"));
+        assert!(text.contains("— 2 ops remaining"));
+    }
+
+    #[test]
+    fn empty_report_is_ok() {
+        let report = HealthReport {
+            statuses: Vec::new(),
+            alerts_emitted: 0,
+        };
+        assert_eq!(report.verdict(), Severity::Ok);
+        assert!(report.render().starts_with("health: OK (0 alerts emitted)"));
+    }
+}

@@ -7,8 +7,12 @@
 //! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and fixed-bucket
 //!   log-scale [`Histogram`]s (p50/p95/p99/max) built on relaxed
 //!   atomics; recording never takes a lock;
-//! * [`registry`] — a global-free [`Registry`] that names metrics and
-//!   renders both Prometheus text exposition and a JSON snapshot;
+//! * [`registry`] — a global-free [`Registry`] that names metrics,
+//!   renders both Prometheus text exposition and a JSON snapshot, and
+//!   exposes a generic read API ([`Registry::value`],
+//!   [`Registry::gauges_with_prefix`]) for monitors that poll by name;
+//! * [`events`] — an [`EventLog`]: append-only typed events rendered as
+//!   JSON Lines, clock-stamped for deterministic replay;
 //! * [`trace`] — structured spans with enter/exit timing and `key=value`
 //!   events, recorded into a bounded ring buffer by a [`Tracer`];
 //! * [`clock`] — the pluggable [`Clock`] trait: [`MonotonicClock`] for
@@ -45,11 +49,15 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod events;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use events::{Event, EventLog};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
-pub use registry::Registry;
+pub use registry::{
+    json_escape, parse_json_values, try_parse_json_values, MetricValue, ParseError, Registry,
+};
 pub use trace::{SpanGuard, SpanRecord, Tracer};

@@ -13,10 +13,24 @@
 //! fixed Prometheus label set inline (`cmsim_disk_queue_depth{disk="3"}`);
 //! the text before `{` is the metric family.
 
-use crate::metrics::{Counter, Gauge, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
+
+/// An owned sample of one registered metric, for read-side consumers
+/// (the health monitor, report tooling) that poll values generically
+/// instead of holding typed handles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Current counter total.
+    Counter(u64),
+    /// Current gauge level.
+    Gauge(i64),
+    /// Consistent histogram snapshot (boxed: the bucket array dwarfs
+    /// the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
 
 #[derive(Debug, Clone)]
 enum Metric {
@@ -141,6 +155,35 @@ impl Registry {
         entries.keys().cloned().collect()
     }
 
+    /// Reads the current value of the metric named `name`, if
+    /// registered. The registry's generic read API: recording goes
+    /// through typed handles, but monitors and report tooling can poll
+    /// any metric by name without knowing its kind up front.
+    pub fn value(&self, name: &str) -> Option<MetricValue> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.get(name).map(|entry| match &entry.metric {
+            Metric::Counter(c) => MetricValue::Counter(c.get()),
+            Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+            Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+        })
+    }
+
+    /// Current values of every *gauge* whose name starts with `prefix`,
+    /// in name order. The natural reader for inline-labeled families
+    /// (`cmsim_disk_load_blocks{disk="3"}`): pass the family name and
+    /// get every labeled series back.
+    pub fn gauges_with_prefix(&self, prefix: &str) -> Vec<(String, i64)> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(name, entry)| match &entry.metric {
+                Metric::Gauge(g) => Some((name.clone(), g.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Renders the Prometheus text exposition format (v0.0.4): `# HELP`
     /// and `# TYPE` per family, one sample line per counter/gauge, and
     /// the `_bucket`/`_sum`/`_count` triplet per histogram.
@@ -178,13 +221,16 @@ impl Registry {
 
     /// Renders a JSON snapshot: three sorted arrays (`counters`,
     /// `gauges`, `histograms`), histograms with count/sum/max and
-    /// estimated p50/p95/p99 (`null` while empty). Hand-written, no
-    /// serde; [`parse_json_values`] is the matching hand parser.
+    /// estimated p50/p95/p99 (`null` while empty). Metric names are
+    /// JSON-escaped (inline-labeled names carry `"` characters).
+    /// Hand-written, no serde; [`parse_json_values`] /
+    /// [`try_parse_json_values`] are the matching hand parsers.
     pub fn snapshot_json(&self) -> String {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let (mut counters, mut gauges, mut histograms) =
             (String::new(), String::new(), String::new());
         for (name, entry) in entries.iter() {
+            let name = json_escape(name);
             match &entry.metric {
                 Metric::Counter(c) => {
                     append_item(
@@ -223,6 +269,26 @@ impl Registry {
     }
 }
 
+/// Escapes a string for embedding inside a JSON string literal
+/// (backslash, quote, and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn append_item(list: &mut String, item: String) {
     if !list.is_empty() {
         list.push_str(",\n");
@@ -231,33 +297,220 @@ fn append_item(list: &mut String, item: String) {
     list.push_str(&item);
 }
 
-/// Hand parser for the [`Registry::snapshot_json`] format (and any flat
-/// JSON of objects with string `"name"`s and numeric/null fields):
-/// returns `(name, field, value)` triples in document order. `null`
-/// fields are skipped. Used by tests and tooling to round-trip the
-/// snapshot without serde.
-pub fn parse_json_values(json: &str) -> Vec<(String, String, f64)> {
-    let mut out = Vec::new();
-    for chunk in json.split('{').skip(1) {
-        let obj = chunk.split('}').next().unwrap_or("");
-        let mut name = None;
-        let mut fields = Vec::new();
-        for field in obj.split(',') {
-            let Some((key, value)) = field.split_once(':') else {
-                continue;
-            };
-            let key = key.trim().trim_matches('"');
-            let value = value.trim();
-            if key == "name" {
-                name = Some(value.trim_matches('"').to_string());
-            } else if let Ok(v) = value.parse::<f64>() {
-                fields.push((key.to_string(), v));
+/// Why [`try_parse_json_values`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The document ended inside an object or string literal — the
+    /// classic truncated-snapshot-line failure a crashed writer leaves
+    /// behind.
+    Truncated {
+        /// Byte offset of the unterminated object/string opener.
+        offset: usize,
+    },
+    /// A field carried a bare token that is neither a number, `null`,
+    /// `true`/`false`, nor a string.
+    MalformedValue {
+        /// The `"name"` of the enclosing object, if one was seen.
+        name: String,
+        /// The field key.
+        field: String,
+        /// The offending raw token.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { offset } => {
+                write!(
+                    f,
+                    "truncated JSON: unterminated object/string at byte {offset}"
+                )
+            }
+            ParseError::MalformedValue { name, field, value } => {
+                write!(f, "malformed value for `{name}.{field}`: `{value}`")
             }
         }
-        if let Some(name) = name {
-            for (field, v) in fields {
-                out.push((name.clone(), field, v));
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Hand parser for the [`Registry::snapshot_json`] format (and any flat
+/// JSON of objects with string `"name"`s and numeric/null fields):
+/// returns `(name, field, value)` triples in document order. `null` and
+/// string-valued fields are skipped. Used by tests and tooling to
+/// round-trip the snapshot without serde.
+///
+/// This is the *lenient* entry point: malformed fields are dropped and
+/// a truncated document yields whatever parsed cleanly before the cut.
+/// Use [`try_parse_json_values`] when corruption must surface as an
+/// error instead of silently missing data.
+pub fn parse_json_values(json: &str) -> Vec<(String, String, f64)> {
+    scan_json_values(json, false).expect("lenient scan never errors")
+}
+
+/// Strict variant of [`parse_json_values`]: returns
+/// [`ParseError::Truncated`] when the document ends mid-object or
+/// mid-string (e.g. a snapshot line cut by a crashed writer) and
+/// [`ParseError::MalformedValue`] for an unparsable field token.
+pub fn try_parse_json_values(json: &str) -> Result<Vec<(String, String, f64)>, ParseError> {
+    scan_json_values(json, true)
+}
+
+/// Quote-aware scan shared by the lenient and strict parsers. Collects
+/// every *innermost* `{...}` object (the metric items; enclosing
+/// containers are skipped because they still contain brace characters
+/// after their children are excised — detected via `child_spans`).
+fn scan_json_values(json: &str, strict: bool) -> Result<Vec<(String, String, f64)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = json.as_bytes();
+    let mut open_stack: Vec<(usize, bool)> = Vec::new(); // (offset, saw_child)
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut string_start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
             }
+        } else {
+            match b {
+                b'"' => {
+                    in_string = true;
+                    string_start = i;
+                }
+                b'{' => {
+                    if let Some(top) = open_stack.last_mut() {
+                        top.1 = true; // the enclosing object has children
+                    }
+                    open_stack.push((i, false));
+                }
+                b'}' => {
+                    if let Some((start, saw_child)) = open_stack.pop() {
+                        if !saw_child {
+                            parse_flat_object(&json[start + 1..i], strict, &mut out)?;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if strict {
+        if in_string {
+            return Err(ParseError::Truncated {
+                offset: string_start,
+            });
+        }
+        if let Some(&(offset, _)) = open_stack.first() {
+            return Err(ParseError::Truncated { offset });
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one brace-free object body: fields split on unquoted commas,
+/// key/value on the first unquoted colon.
+fn parse_flat_object(
+    obj: &str,
+    strict: bool,
+    out: &mut Vec<(String, String, f64)>,
+) -> Result<(), ParseError> {
+    let mut name: Option<String> = None;
+    let mut fields: Vec<(String, f64)> = Vec::new();
+    for field in split_unquoted(obj, b',') {
+        let mut kv = split_unquoted(field, b':');
+        let (Some(key), Some(value)) = (kv.next(), kv.next()) else {
+            continue;
+        };
+        let key = unquote(key.trim());
+        let value = value.trim();
+        if key == "name" {
+            name = Some(unquote(value));
+        } else if value.starts_with('"') {
+            // String-valued field: not a metric sample; skipped.
+        } else if value.starts_with('[') || value.starts_with(']') {
+            // Structural array tokens (an objectless container, e.g. the
+            // top level of an empty snapshot): not samples; skipped.
+        } else if value == "null" || value == "true" || value == "false" {
+            // Defined non-numeric tokens are skipped by contract.
+        } else if let Ok(v) = value.parse::<f64>() {
+            fields.push((key, v));
+        } else if strict {
+            return Err(ParseError::MalformedValue {
+                name: name.clone().unwrap_or_default(),
+                field: key,
+                value: value.to_string(),
+            });
+        }
+    }
+    if let Some(name) = name {
+        for (field, v) in fields {
+            out.push((name.clone(), field, v));
+        }
+    }
+    Ok(())
+}
+
+/// Splits `s` on `delim` occurring outside string literals.
+fn split_unquoted(s: &str, delim: u8) -> impl Iterator<Item = &str> {
+    let bytes = s.as_bytes();
+    let mut pieces = Vec::new();
+    let (mut start, mut in_string, mut escaped) = (0usize, false, false);
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else if b == b'"' {
+            in_string = true;
+        } else if b == delim {
+            pieces.push(&s[start..i]);
+            start = i + 1;
+        }
+    }
+    pieces.push(&s[start..]);
+    pieces.into_iter()
+}
+
+/// Strips one layer of quotes and undoes [`json_escape`].
+fn unquote(s: &str) -> String {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s);
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let code: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&code, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
         }
     }
     out
@@ -353,6 +606,108 @@ mod tests {
         assert_eq!(get("gamma_ns", "max"), Some(100.0));
         assert_eq!(get("gamma_ns", "p50"), Some(7.0), "bucket bound of 5");
         assert_eq!(get("gamma_ns", "p99"), Some(100.0));
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_valid_and_parses_to_nothing() {
+        let r = Registry::new();
+        let json = r.snapshot_json();
+        assert!(json.contains("\"counters\": ["));
+        assert!(json.contains("\"gauges\": ["));
+        assert!(json.contains("\"histograms\": ["));
+        assert!(parse_json_values(&json).is_empty());
+        assert_eq!(try_parse_json_values(&json), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn labeled_names_survive_the_json_round_trip() {
+        // Inline-labeled names carry `"` and `{`/`}` characters: the
+        // snapshot must escape them and the parser must unescape,
+        // without mistaking the embedded braces for object delimiters.
+        let r = Registry::new();
+        r.gauge("disk_load{disk=\"3\"}", "labeled").set(41);
+        r.gauge("disk_load{disk=\"7\"}", "labeled").set(59);
+        r.counter("weird\\name\ttabbed", "escapes").add(5);
+        let json = r.snapshot_json();
+        let values = try_parse_json_values(&json).expect("escaped snapshot parses");
+        let get = |name: &str| {
+            values
+                .iter()
+                .find(|(n, f, _)| n == name && f == "value")
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(get("disk_load{disk=\"3\"}"), Some(41.0));
+        assert_eq!(get("disk_load{disk=\"7\"}"), Some(59.0));
+        assert_eq!(get("weird\\name\ttabbed"), Some(5.0));
+        assert_eq!(values.len(), 3, "no phantom objects from label braces");
+    }
+
+    #[test]
+    fn truncated_snapshot_line_is_a_parse_error_not_a_panic() {
+        let json = sample_registry().snapshot_json();
+        // Cut the document mid-way, as a crashed writer would.
+        for cut in [json.len() / 3, json.len() / 2, json.len() - 4] {
+            let truncated = &json[..cut];
+            // Lenient mode never panics; strict mode reports truncation.
+            let _ = parse_json_values(truncated);
+            assert!(
+                matches!(
+                    try_parse_json_values(truncated),
+                    Err(ParseError::Truncated { .. })
+                ),
+                "cut at {cut} should be detected"
+            );
+        }
+        // The full document still parses strictly.
+        assert!(try_parse_json_values(&json).is_ok());
+    }
+
+    #[test]
+    fn malformed_field_values_error_strictly_and_skip_leniently() {
+        let json = r#"{"items": [{"name": "a", "value": 3}, {"name": "b", "value": bogus}]}"#;
+        let lenient = parse_json_values(json);
+        assert_eq!(
+            lenient,
+            vec![("a".to_string(), "value".to_string(), 3.0)],
+            "lenient mode drops the bad field"
+        );
+        assert_eq!(
+            try_parse_json_values(json),
+            Err(ParseError::MalformedValue {
+                name: "b".to_string(),
+                field: "value".to_string(),
+                value: "bogus".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn read_api_reports_current_values_by_name() {
+        let r = sample_registry();
+        assert_eq!(r.value("alpha_total"), Some(MetricValue::Counter(3)));
+        assert_eq!(r.value("beta"), Some(MetricValue::Gauge(-7)));
+        assert!(matches!(
+            r.value("gamma_ns"),
+            Some(MetricValue::Histogram(snap)) if snap.count == 2 && snap.sum == 105
+        ));
+        assert_eq!(r.value("missing"), None);
+    }
+
+    #[test]
+    fn gauges_with_prefix_returns_labeled_series_in_order() {
+        let r = Registry::new();
+        r.gauge("disk_load{disk=\"0\"}", "load").set(10);
+        r.gauge("disk_load{disk=\"1\"}", "load").set(20);
+        r.gauge("disk_queue{disk=\"0\"}", "queue").set(99);
+        r.counter("disk_load_total", "not a gauge").inc();
+        let series = r.gauges_with_prefix("disk_load{disk=");
+        assert_eq!(
+            series,
+            vec![
+                ("disk_load{disk=\"0\"}".to_string(), 10),
+                ("disk_load{disk=\"1\"}".to_string(), 20),
+            ]
+        );
     }
 
     #[test]
