@@ -12,20 +12,27 @@
 //! * `BENCH_monitor.json` (when the `monitor` bench has run) — the
 //!   health monitor's amortized overhead ratios (attached / detached),
 //!   with a `within_10pct` verdict per hot path. CI's health-smoke job
-//!   gates on the locate ratio.
+//!   gates on the locate ratio;
+//! * `BENCH_net.json` (when the `scaddard-load` loopback harness has
+//!   run) — end-to-end locate latency percentiles (p50/p95/p99/p999),
+//!   throughput, error/violation counts, and the instrumented/bare
+//!   serving overhead ratio with a `within_10pct` verdict. CI's
+//!   net-smoke job gates on protocol errors and that ratio.
 //!
 //! Run after the benches:
 //!
 //! ```text
 //! cargo bench -p scaddar-bench --bench remap --bench access --bench obs --bench monitor
+//! cargo run --release -p scaddar-net --bin scaddard-load
 //! cargo run -p scaddar-bench --bin bench_report
 //! ```
 //!
-//! Reads `target/criterion-json/{remap,access,obs,monitor}.json`
+//! Reads `target/criterion-json/{remap,access,obs,monitor,net,net_load}.json`
 //! relative to the current directory (override with `BENCH_JSON_DIR`)
 //! and writes `BENCH_remap.json` (override with the first CLI
-//! argument), `BENCH_obs.json` (override with `BENCH_OBS_PATH`), and
-//! `BENCH_monitor.json` (override with `BENCH_MONITOR_PATH`).
+//! argument), `BENCH_obs.json` (override with `BENCH_OBS_PATH`),
+//! `BENCH_monitor.json` (override with `BENCH_MONITOR_PATH`), and
+//! `BENCH_net.json` (override with `BENCH_NET_PATH`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -70,7 +77,7 @@ fn parse_results(json: &str) -> Vec<(String, String, f64)> {
 
 fn load_measurements(dirs: &[std::path::PathBuf]) -> BTreeMap<String, Measurement> {
     let mut all = BTreeMap::new();
-    for stem in ["remap", "access", "obs", "monitor"] {
+    for stem in ["remap", "access", "obs", "monitor", "net", "net_load"] {
         // Cargo runs bench binaries with the package directory as cwd,
         // so the shim's reports land under `crates/bench/target/` when
         // benches run from the workspace root; accept either location.
@@ -184,6 +191,62 @@ fn monitor_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     ))
 }
 
+/// The `BENCH_net.json` body: end-to-end locate latency percentiles
+/// from the seeded loopback load run, throughput and error/violation
+/// counts, and the instrumented/bare serving overhead ratio with the
+/// ≤1.10 acceptance verdict, plus the raw `net_*` measurements (the
+/// `net` codec/request-path bench rows ride along when present).
+/// `None` when `scaddard-load` has not run.
+fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
+    let get = |key: &str| Some(all.get(key)?.ns_per_iter);
+    let (p50, p95, p99, p999) = (
+        get("net_load/locate_p50")?,
+        get("net_load/locate_p95")?,
+        get("net_load/locate_p99")?,
+        get("net_load/locate_p999")?,
+    );
+    let bare = get("net_locate_overhead/bare")?;
+    let inst = get("net_locate_overhead/instrumented")?;
+    if bare <= 0.0 {
+        return None;
+    }
+    let ratio = inst / bare;
+    let count = |key: &str| get(key).unwrap_or(0.0);
+    let mut raw = String::new();
+    for (key, m) in all.iter().filter(|(k, _)| k.starts_with("net_")) {
+        if !raw.is_empty() {
+            raw.push_str(",\n");
+        }
+        write!(
+            raw,
+            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
+            m.ns_per_iter
+        )
+        .expect("write to string");
+    }
+    Some(format!(
+        "{{\n  \"locate_latency_ns\": {{\"p50\": {p50:.0}, \"p95\": {p95:.0}, \"p99\": {p99:.0}, \"p999\": {p999:.0}}},\n\
+         \x20 \"batch_p99_ns\": {:.0},\n\
+         \x20 \"throughput_rps\": {:.1},\n\
+         \x20 \"requests\": {:.0},\n\
+         \x20 \"errors\": {:.0},\n\
+         \x20 \"protocol_errors\": {:.0},\n\
+         \x20 \"consistency_violations\": {:.0},\n\
+         \x20 \"epochs_observed\": {:.0},\n\
+         \x20 \"overheads\": [\n    {{\"name\": \"locate\", \"bare_ns\": {bare:.3}, \"instrumented_ns\": {inst:.3}, \
+         \"ratio\": {ratio:.4}, \"within_10pct\": {}}}\n  ],\n\
+         \x20 \"raw\": [\n{raw}\n  ]\n}}\n",
+        count("net_load/batch_p99"),
+        count("net_load/throughput_rps"),
+        count("net_load/requests"),
+        count("net_load/errors"),
+        count("net_load/protocol_errors"),
+        count("net_load/consistency_violations"),
+        count("net_load/epochs_observed"),
+        ratio <= 1.10,
+    ))
+}
+
 fn main() {
     let json_dirs: Vec<std::path::PathBuf> = match std::env::var("BENCH_JSON_DIR") {
         Ok(dir) => vec![dir.into()],
@@ -270,6 +333,13 @@ fn main() {
         std::fs::write(&monitor_path, &monitor).expect("write monitor report");
         println!("bench_report: wrote {monitor_path}");
     }
+
+    if let Some(net) = net_report(&all) {
+        let net_path =
+            std::env::var("BENCH_NET_PATH").unwrap_or_else(|_| "BENCH_net.json".to_string());
+        std::fs::write(&net_path, &net).expect("write net report");
+        println!("bench_report: wrote {net_path}");
+    }
 }
 
 #[cfg(test)]
@@ -352,5 +422,39 @@ mod tests {
             monitor_report(&all).is_none(),
             "partial monitor run emits nothing"
         );
+    }
+
+    #[test]
+    fn net_report_carries_percentiles_and_gate_fields() {
+        let mut all = BTreeMap::new();
+        for (key, ns) in [
+            ("net_load/locate_p50", 21_000.0),
+            ("net_load/locate_p95", 48_000.0),
+            ("net_load/locate_p99", 90_000.0),
+            ("net_load/locate_p999", 180_000.0),
+            ("net_load/batch_p99", 120_000.0),
+            ("net_load/throughput_rps", 41_000.0),
+            ("net_load/requests", 4_800.0),
+            ("net_load/errors", 0.0),
+            ("net_load/protocol_errors", 0.0),
+            ("net_load/consistency_violations", 0.0),
+            ("net_load/epochs_observed", 3.0),
+            ("net_locate_overhead/bare", 20_000.0),
+            ("net_locate_overhead/instrumented", 21_000.0),
+            ("net_codec/decode_locate", 18.0),
+        ] {
+            all.insert(key.to_string(), Measurement { ns_per_iter: ns });
+        }
+        let report = net_report(&all).expect("net measurements present");
+        assert!(report.contains("\"p50\": 21000"));
+        assert!(report.contains("\"p999\": 180000"));
+        assert!(report.contains("\"protocol_errors\": 0"));
+        assert!(report.contains("\"consistency_violations\": 0"));
+        assert!(report.contains("\"ratio\": 1.0500"));
+        assert!(report.contains("\"within_10pct\": true"));
+        assert!(report.contains("net_codec/decode_locate"));
+
+        all.remove("net_locate_overhead/bare");
+        assert!(net_report(&all).is_none(), "no load run, nothing written");
     }
 }

@@ -25,11 +25,13 @@ use scaddar_analysis::{fmt_f64, fmt_pct, Summary};
 use scaddar_core::{
     audit_balance, audit_census, EngineStats, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
 };
-use scaddar_monitor::{HealthMonitor, MonitorConfig};
+use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
 use scaddar_obs::{MetricValue, MonotonicClock, Registry, Tracer};
 use scaddar_prng::Bits;
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+pub mod remote;
 
 /// Errors surfaced to the operator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,6 +245,17 @@ impl Session {
             monitor.observe_engine(engine);
             monitor.observe_census(&engine.load_distribution());
         }
+    }
+
+    /// The current health verdict (`None` without a server), after
+    /// feeding the monitor the engine's latest state — the process
+    /// exit-code hook behind `health` (nonzero on WARN/CRIT, so
+    /// operators and CI can gate on it).
+    pub fn health_verdict(&mut self) -> Option<Severity> {
+        self.engine.as_ref()?;
+        self.feed_monitor();
+        let monitor = self.monitor.as_ref().expect("engine implies monitor");
+        Some(monitor.report().verdict())
     }
 
     fn cmd_health(&mut self) -> Result<String, CliError> {

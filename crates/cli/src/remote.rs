@@ -1,0 +1,462 @@
+//! The console's networked face: `serve` boots a `scaddard` daemon
+//! around a fresh CM server, `connect` drives a running daemon over the
+//! wire with the same line-oriented command style as the local session.
+//!
+//! ```text
+//! scaddar-console serve --disks 4 --blocks 100000 --addr 127.0.0.1:7411
+//! scaddar-console serve --check              # boot, health-check, exit 0/1/2
+//! scaddar-console connect 127.0.0.1:7411 locate 0 31337
+//! scaddar-console connect 127.0.0.1:7411 health   # exit 0/1/2 by verdict
+//! ```
+//!
+//! Both entry points return the process exit code instead of calling
+//! `std::process::exit`, so the whole surface is unit-testable; `health`
+//! (remote) and `serve --check` map the monitor verdict to the exit
+//! status (`OK`=0, `WARN`=1, `CRIT`=2) so CI and operators can gate on
+//! them.
+
+use cmsim::{CmServer, ServerConfig, SharedServer};
+use scaddar_core::ScalingOp;
+use scaddar_monitor::Severity;
+use scaddar_net::{NetClient, NetServerConfig, Scaddard, StatsFormat};
+use scaddar_obs::{MonotonicClock, Registry, Tracer};
+use std::fmt::Write as _;
+use std::io::BufRead;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Exit code for a health verdict: `OK`=0, `WARN`=1, `CRIT`=2.
+pub fn verdict_exit_code(verdict: Severity) -> i32 {
+    match verdict {
+        Severity::Ok => 0,
+        Severity::Warn => 1,
+        Severity::Crit => 2,
+    }
+}
+
+/// Parsed `serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Initial disk count for the fresh CM server.
+    pub disks: u32,
+    /// Block count of the single pre-registered object.
+    pub blocks: u64,
+    /// Catalog seed (deterministic placement across restarts).
+    pub seed: u64,
+    /// Connection cap handed to the daemon.
+    pub max_connections: usize,
+    /// Boot, evaluate health, exit with the verdict instead of serving.
+    pub check: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7411".into(),
+            disks: 4,
+            blocks: 100_000,
+            seed: 0,
+            max_connections: NetServerConfig::default().max_connections,
+            check: false,
+        }
+    }
+}
+
+const SERVE_USAGE: &str = "serve [--addr HOST:PORT] [--disks N] [--blocks N] [--seed N] \
+                           [--max-conns N] [--check]";
+
+/// Parses `serve` argv (everything after the subcommand word).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut parsed = ServeArgs::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\nusage: {SERVE_USAGE}"))
+        };
+        let bad = |name: &str| format!("{name} needs a numeric value\nusage: {SERVE_USAGE}");
+        match arg.as_str() {
+            "--addr" => parsed.addr = value("--addr")?,
+            "--disks" => {
+                parsed.disks = value("--disks")?.parse().map_err(|_| bad("--disks"))?;
+            }
+            "--blocks" => {
+                parsed.blocks = value("--blocks")?.parse().map_err(|_| bad("--blocks"))?;
+            }
+            "--seed" => parsed.seed = value("--seed")?.parse().map_err(|_| bad("--seed"))?,
+            "--max-conns" => {
+                parsed.max_connections = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| bad("--max-conns"))?;
+            }
+            "--check" => parsed.check = true,
+            other => return Err(format!("unknown argument `{other}`\nusage: {SERVE_USAGE}")),
+        }
+    }
+    if parsed.disks == 0 || parsed.blocks == 0 {
+        return Err(format!(
+            "--disks and --blocks must be > 0\nusage: {SERVE_USAGE}"
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Boots a `scaddard` daemon per `args`. Returns the running daemon —
+/// callers decide whether to block (`serve`) or health-check and drop
+/// (`serve --check`).
+pub fn boot_daemon(args: &ServeArgs) -> Result<Scaddard, String> {
+    let mut server = CmServer::new(ServerConfig::new(args.disks).with_catalog_seed(args.seed))
+        .map_err(|e| format!("engine: {e}"))?;
+    server
+        .add_object(args.blocks)
+        .map_err(|e| format!("engine: {e}"))?;
+    let registry = Registry::new();
+    let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 256);
+    Scaddard::bind(
+        args.addr.as_str(),
+        Arc::new(SharedServer::new(server)),
+        NetServerConfig {
+            max_connections: args.max_connections,
+            ..NetServerConfig::default()
+        },
+        &registry,
+        tracer,
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))
+}
+
+/// The `serve` subcommand: boot, then either health-check (`--check`)
+/// or serve until stdin closes. Returns the process exit code.
+pub fn run_serve(args: &[String]) -> i32 {
+    let parsed = match parse_serve_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let daemon = match boot_daemon(&parsed) {
+        Ok(daemon) => daemon,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            return 1;
+        }
+    };
+    if parsed.check {
+        let verdict = daemon.health_verdict();
+        println!(
+            "serve --check: {} disks on {} — health {}",
+            parsed.disks,
+            daemon.local_addr(),
+            verdict.label().to_uppercase(),
+        );
+        daemon.shutdown();
+        return verdict_exit_code(verdict);
+    }
+    println!(
+        "scaddard serving {} blocks on {} disks at {} — ctrl-d to stop",
+        parsed.blocks,
+        parsed.disks,
+        daemon.local_addr()
+    );
+    // Block until stdin closes (EOF / ctrl-d), then drain gracefully.
+    let mut sink = String::new();
+    let stdin = std::io::stdin();
+    while matches!(stdin.lock().read_line(&mut sink), Ok(n) if n > 0) {
+        sink.clear();
+    }
+    daemon.shutdown();
+    println!("scaddard: drained and stopped");
+    0
+}
+
+/// The remote command help, kept verbatim-testable like [`crate::HELP`].
+pub const REMOTE_HELP: &str = "\
+remote commands:
+  locate <object> <block>          AF(): block -> disk (with serving epoch)
+  batch <object> <b1,b2,...>       one-epoch batch lookup
+  scale add <count>                add a disk group
+  scale remove <d1,d2,...>         remove disks (current indices)
+  tick [rounds]                    advance service rounds (default 1)
+  health                           remote health report (exit 0/1/2 one-shot)
+  stats [--json]                   server telemetry (Prometheus text, or JSON)
+  ping                             liveness probe (returns current epoch)
+  help                             this text";
+
+/// One remote console session over a pooled [`NetClient`].
+#[derive(Debug)]
+pub struct RemoteSession {
+    client: NetClient,
+}
+
+impl RemoteSession {
+    /// Connects (lazily — sockets open per request) to `addr`.
+    pub fn connect(addr: SocketAddr) -> RemoteSession {
+        RemoteSession {
+            client: NetClient::connect(addr),
+        }
+    }
+
+    /// Executes one remote command line: `(output, exit_code)` on
+    /// success — the exit code is nonzero only for WARN/CRIT `health`.
+    pub fn execute(&self, line: &str) -> Result<(String, i32), String> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some((&command, args)) = parts.split_first() else {
+            return Ok((String::new(), 0));
+        };
+        let usage = |text: &str| format!("usage: {text}");
+        match command {
+            "help" => Ok((REMOTE_HELP.to_string(), 0)),
+            "locate" => {
+                let (object, block) = match args {
+                    [o, b] => (
+                        o.parse().map_err(|_| usage("locate <object> <block>"))?,
+                        b.parse().map_err(|_| usage("locate <object> <block>"))?,
+                    ),
+                    _ => return Err(usage("locate <object> <block>")),
+                };
+                let (epoch, disks, disk) = self
+                    .client
+                    .locate(object, block)
+                    .map_err(|e| e.to_string())?;
+                Ok((
+                    format!("object {object} block {block} -> disk {disk} (epoch {epoch}, {disks} disks)"),
+                    0,
+                ))
+            }
+            "batch" => {
+                let (object, blocks) = match args {
+                    [o, list] => {
+                        let object = o.parse().map_err(|_| usage("batch <object> <b1,b2,...>"))?;
+                        let blocks: Vec<u64> = list
+                            .split(',')
+                            .map(str::parse)
+                            .collect::<Result<_, _>>()
+                            .map_err(|_| usage("batch <object> <b1,b2,...>"))?;
+                        (object, blocks)
+                    }
+                    _ => return Err(usage("batch <object> <b1,b2,...>")),
+                };
+                let (epoch, disks, locations) = self
+                    .client
+                    .locate_batch(object, &blocks)
+                    .map_err(|e| e.to_string())?;
+                let mut out = format!(
+                    "object {object}: {} blocks at epoch {epoch} ({disks} disks)",
+                    locations.len()
+                );
+                for (block, disk) in blocks.iter().zip(&locations) {
+                    write!(out, "\n  block {block} -> disk {disk}").expect("write to string");
+                }
+                Ok((out, 0))
+            }
+            "scale" => {
+                let op = match args {
+                    ["add", count] => ScalingOp::Add {
+                        count: count
+                            .parse()
+                            .map_err(|_| usage("scale add <count> | scale remove <d1,d2,...>"))?,
+                    },
+                    ["remove", list] => ScalingOp::Remove {
+                        disks: list
+                            .split(',')
+                            .map(str::parse)
+                            .collect::<Result<_, _>>()
+                            .map_err(|_| usage("scale add <count> | scale remove <d1,d2,...>"))?,
+                    },
+                    _ => return Err(usage("scale add <count> | scale remove <d1,d2,...>")),
+                };
+                let (epoch, disks, queued) = self.client.scale(op).map_err(|e| e.to_string())?;
+                Ok((
+                    format!("op {epoch}: now {disks} disks; {queued} moves queued"),
+                    0,
+                ))
+            }
+            "tick" => {
+                let rounds = match args {
+                    [] => 1,
+                    [n] => n.parse().map_err(|_| usage("tick [rounds]"))?,
+                    _ => return Err(usage("tick [rounds]")),
+                };
+                let backlog = self.client.tick(rounds).map_err(|e| e.to_string())?;
+                Ok((format!("backlog: {backlog} moves remaining"), 0))
+            }
+            "health" => {
+                let (verdict, alerts, report) = self.client.health().map_err(|e| e.to_string())?;
+                Ok((
+                    format!("{} ({alerts} alert(s) emitted)", report.trim_end()),
+                    i32::from(verdict),
+                ))
+            }
+            "stats" => {
+                let format = match args {
+                    [] => StatsFormat::Prometheus,
+                    ["--json"] => StatsFormat::Json,
+                    _ => return Err(usage("stats [--json]")),
+                };
+                let text = self.client.stats(format).map_err(|e| e.to_string())?;
+                Ok((text.trim_end().to_string(), 0))
+            }
+            "ping" => {
+                let epoch = self.client.ping().map_err(|e| e.to_string())?;
+                Ok((format!("pong (epoch {epoch})"), 0))
+            }
+            other => Err(format!("unknown command `{other}` — try `help`")),
+        }
+    }
+}
+
+/// The `connect` subcommand: `connect <addr> [command...]`. With a
+/// trailing command it runs one-shot and returns its exit code (so
+/// `connect HOST health` gates CI); without, it drops into an
+/// interactive remote loop. Returns the process exit code.
+pub fn run_connect(args: &[String]) -> i32 {
+    let Some((addr_arg, command)) = args.split_first() else {
+        eprintln!("usage: connect <addr> [command...]");
+        return 2;
+    };
+    let addr = match addr_arg.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("connect: cannot resolve `{addr_arg}`");
+            return 2;
+        }
+    };
+    let session = RemoteSession::connect(addr);
+    if !command.is_empty() {
+        return match session.execute(&command.join(" ")) {
+            Ok((out, code)) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+                code
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                1
+            }
+        };
+    }
+    println!("connected to {addr} — `help` for commands, ctrl-d to exit");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut last_health_code = 0;
+    loop {
+        use std::io::Write as _;
+        print!("scaddar@{addr}> ");
+        stdout.flush().expect("stdout flush");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "exit" || line == "quit" {
+            break;
+        }
+        match session.execute(line) {
+            Ok((out, code)) => {
+                if line.split_whitespace().next() == Some("health") {
+                    last_health_code = code;
+                }
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    last_health_code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        assert_eq!(parse_serve_args(&[]).unwrap(), ServeArgs::default());
+        let parsed = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--disks",
+            "6",
+            "--blocks",
+            "5000",
+            "--seed",
+            "9",
+            "--max-conns",
+            "32",
+            "--check",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "127.0.0.1:0");
+        assert_eq!((parsed.disks, parsed.blocks, parsed.seed), (6, 5000, 9));
+        assert_eq!(parsed.max_connections, 32);
+        assert!(parsed.check);
+        assert!(parse_serve_args(&args(&["--disks", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--disks"])).is_err());
+        assert!(parse_serve_args(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn check_maps_health_verdicts_to_exit_codes() {
+        assert_eq!(verdict_exit_code(Severity::Ok), 0);
+        assert_eq!(verdict_exit_code(Severity::Warn), 1);
+        assert_eq!(verdict_exit_code(Severity::Crit), 2);
+    }
+
+    #[test]
+    fn remote_session_drives_a_live_daemon() {
+        let parsed = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--blocks",
+            "4000",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let daemon = boot_daemon(&parsed).unwrap();
+        let session = RemoteSession::connect(daemon.local_addr());
+
+        let (out, code) = session.execute("ping").unwrap();
+        assert!(out.contains("epoch 0"));
+        assert_eq!(code, 0);
+        let (out, _) = session.execute("locate 0 1234").unwrap();
+        assert!(out.contains("-> disk"));
+        let (out, _) = session.execute("batch 0 1,2,3").unwrap();
+        assert!(out.contains("3 blocks at epoch 0"));
+        let (out, _) = session.execute("scale add 2").unwrap();
+        assert!(out.contains("now 6 disks"));
+        let (out, _) = session.execute("tick 10000").unwrap();
+        assert!(out.contains("backlog: 0"));
+        let (out, code) = session.execute("health").unwrap();
+        assert!(out.starts_with("health: OK"), "{out}");
+        assert_eq!(code, 0, "OK health exits 0");
+        let (out, _) = session.execute("stats").unwrap();
+        assert!(out.contains("net_server_requests_total"));
+        assert!(session.execute("locate nope").is_err());
+        assert!(session.execute("frobnicate").is_err());
+        assert_eq!(session.execute("").unwrap(), (String::new(), 0));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn serve_check_exits_zero_on_a_healthy_boot() {
+        let code = run_serve(&args(&["--addr", "127.0.0.1:0", "--check"]));
+        assert_eq!(code, 0);
+        assert_eq!(run_serve(&args(&["--bogus"])), 2);
+    }
+}

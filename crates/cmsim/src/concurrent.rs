@@ -28,6 +28,22 @@ pub struct EpochRead {
     pub disk: DiskIndex,
 }
 
+/// A snapshot of one **bulk** lookup with the epoch it was served at:
+/// the owned analogue of [`EpochRead`] for whole playback windows. The
+/// network layer serializes this as one `BatchLocated` frame, so the
+/// epoch-consistency invariant survives the socket boundary — a remote
+/// client gets the same "whole batch at one epoch" guarantee an
+/// in-process session thread gets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRead {
+    /// Scaling epoch `j` at the time of the read.
+    pub epoch: usize,
+    /// Number of disks at that epoch.
+    pub disks: u32,
+    /// Physical location per requested block, in request order.
+    pub locations: Vec<PhysicalDiskId>,
+}
+
 /// Thread-safe wrapper over a [`CmServer`].
 ///
 /// Reads take the shared lock; scaling takes the exclusive lock for the
@@ -74,9 +90,37 @@ impl SharedServer {
         Ok((guard.engine().epoch(), disks))
     }
 
+    /// [`locate_batch`](Self::locate_batch) with the disk count read
+    /// under the *same* shared lock acquisition: the full epoch-tagged
+    /// triple a serving layer needs to answer a batch request without a
+    /// second (potentially torn) `epoch_view` round-trip.
+    pub fn locate_batch_read(
+        &self,
+        object: ObjectId,
+        blocks: &[u64],
+    ) -> Result<BatchRead, ServerError> {
+        let guard = self.inner.read();
+        let locations = guard.locate_batch(object, blocks)?;
+        Ok(BatchRead {
+            epoch: guard.engine().epoch(),
+            disks: guard.disks().disks(),
+            locations,
+        })
+    }
+
     /// Applies a scaling operation under the exclusive lock.
     pub fn scale(&self, op: ScalingOp) -> Result<u64, ServerError> {
         self.inner.write().scale(op)
+    }
+
+    /// Applies a scaling operation and reads the post-commit
+    /// `(epoch, disks)` under the *same* exclusive lock acquisition, so
+    /// a serving layer can answer "scaled to epoch j with N disks,
+    /// queued M moves" without racing a concurrent operator.
+    pub fn scale_read(&self, op: ScalingOp) -> Result<(usize, u32, u64), ServerError> {
+        let mut guard = self.inner.write();
+        let queued = guard.scale(op)?;
+        Ok((guard.engine().epoch(), guard.disks().disks(), queued))
     }
 
     /// Advances one service round under the exclusive lock.

@@ -64,7 +64,7 @@ pub mod stream;
 pub mod workload;
 
 pub use admission::AdmissionController;
-pub use concurrent::{EpochRead, SharedServer};
+pub use concurrent::{BatchRead, EpochRead, SharedServer};
 pub use config::ServerConfig;
 pub use decluster::{DeclusteredParity, RepairStats};
 pub use disk::{DiskArray, DiskSpec};

@@ -1,0 +1,230 @@
+//! Loopback load harness: boots `scaddard` in-process and measures the
+//! serving layer end-to-end, emitting criterion-shim-compatible JSON
+//! that `bench_report` condenses into `BENCH_net.json`.
+//!
+//! Two passes:
+//!
+//! 1. **Instrumented** — the full configuration (per-endpoint
+//!    histograms, spans) under the seeded locate/batch/scale mixture;
+//!    this pass supplies the latency percentiles, throughput, and error
+//!    counts.
+//! 2. **Bare** — the same server with `instrument: false` under a
+//!    locate-only closed loop, paired with an instrumented locate-only
+//!    pass; the mean ns-per-request pair feeds the instrumented/bare
+//!    overhead ratio gated at ≤ 1.10 (same discipline as BENCH_obs and
+//!    BENCH_monitor).
+//!
+//! ```text
+//! cargo run --release -p scaddar-net --bin scaddard-load -- \
+//!     [--seed N] [--clients N] [--requests N] [--scale-ops N] [--out PATH]
+//! cargo run -p scaddar-bench --bin bench_report
+//! ```
+//!
+//! Exits nonzero on any protocol error or epoch-consistency violation,
+//! so CI's net-smoke job can gate directly on the run.
+
+use scaddar_net::{LoadConfig, LoadReport, NetServerConfig, Scaddard};
+use scaddar_obs::{MonotonicClock, Registry, Tracer};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Blocks in the served object for every pass.
+const OBJECT_BLOCKS: u64 = 50_000;
+
+fn boot(instrument: bool) -> Scaddard {
+    let mut server = cmsim::CmServer::new(cmsim::ServerConfig::new(4).with_catalog_seed(0xBEEF))
+        .expect("server");
+    server.add_object(OBJECT_BLOCKS).expect("object");
+    let registry = Registry::new();
+    let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 256);
+    Scaddard::bind(
+        "127.0.0.1:0",
+        Arc::new(cmsim::SharedServer::new(server)),
+        NetServerConfig {
+            instrument,
+            ..NetServerConfig::default()
+        },
+        &registry,
+        tracer,
+    )
+    .expect("bind loopback")
+}
+
+/// Mean service nanoseconds per completed locate request.
+fn mean_locate_ns(report: &LoadReport) -> f64 {
+    if report.locate.count == 0 {
+        return 0.0;
+    }
+    report.locate.mean as f64
+}
+
+fn push_result(out: &mut String, group: &str, bench: &str, ns: f64, iterations: u64) {
+    if !out.is_empty() {
+        out.push_str(",\n");
+    }
+    write!(
+        out,
+        "    {{\"group\": \"{group}\", \"bench\": \"{bench}\", \"ns_per_iter\": {ns:.3}, \"iterations\": {iterations}}}"
+    )
+    .expect("write to string");
+}
+
+fn main() {
+    let mut seed = 0xC0FFEEu64;
+    let mut clients = 8usize;
+    let mut requests = 600u64;
+    let mut scale_ops = 2u32;
+    // Its own stem (not `net.json`, which the codec bench owns):
+    // `bench_report` reads one file per stem.
+    let mut out_path = "target/criterion-json/net_load.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("numeric --seed"),
+            "--clients" => clients = value("--clients").parse().expect("numeric --clients"),
+            "--requests" => requests = value("--requests").parse().expect("numeric --requests"),
+            "--scale-ops" => scale_ops = value("--scale-ops").parse().expect("numeric --scale-ops"),
+            "--out" => out_path = value("--out"),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\nusage: scaddard-load [--seed N] [--clients N] \
+                     [--requests N] [--scale-ops N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Pass 1: the full mixture against the instrumented server.
+    let daemon = boot(true);
+    let mixed = scaddar_net::run_load(
+        daemon.local_addr(),
+        &LoadConfig {
+            seed,
+            clients,
+            requests_per_client: requests,
+            object_blocks: OBJECT_BLOCKS,
+            scale_ops,
+            ..LoadConfig::default()
+        },
+    );
+    daemon.shutdown();
+    println!(
+        "mixed: {} requests in {:?} ({:.0} rps), locate p50/p95/p99/p999 = {}/{}/{}/{} ns, \
+         epochs {}, errors {}, protocol errors {}, torn reads {}",
+        mixed.requests,
+        mixed.elapsed,
+        mixed.throughput_rps,
+        mixed.locate.p50,
+        mixed.locate.p95,
+        mixed.locate.p99,
+        mixed.locate.p999,
+        mixed.epochs_observed,
+        mixed.errors,
+        mixed.protocol_errors,
+        mixed.consistency_violations,
+    );
+
+    // Pass 2: locate-only closed loop, instrumented vs bare, for the
+    // overhead ratio. Same seed, same shape, only `instrument` differs.
+    // Loopback round-trips are scheduler-noisy, so each configuration
+    // runs three alternating passes and keeps its *minimum* mean —
+    // the min is the least-disturbed run, and both sides get the same
+    // treatment.
+    let overhead_config = LoadConfig {
+        seed,
+        clients: clients.min(4),
+        requests_per_client: requests,
+        object_blocks: OBJECT_BLOCKS,
+        scale_ops: 0,
+        batch_every: 0,
+        ..LoadConfig::default()
+    };
+    let mut bare_runs = Vec::new();
+    let mut inst_runs = Vec::new();
+    for _ in 0..3 {
+        let daemon = boot(false);
+        bare_runs.push(scaddar_net::run_load(daemon.local_addr(), &overhead_config));
+        daemon.shutdown();
+        let daemon = boot(true);
+        inst_runs.push(scaddar_net::run_load(daemon.local_addr(), &overhead_config));
+        daemon.shutdown();
+    }
+    let best = |runs: &[LoadReport]| {
+        runs.iter()
+            .map(mean_locate_ns)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let (bare_ns, inst_ns) = (best(&bare_runs), best(&inst_runs));
+    let bare = bare_runs.remove(0);
+    let instrumented = inst_runs.remove(0);
+    let clean_overhead = bare_runs
+        .iter()
+        .chain(inst_runs.iter())
+        .chain([&bare, &instrumented])
+        .all(|r| r.protocol_errors == 0);
+    println!(
+        "overhead: bare {bare_ns:.0} ns/locate, instrumented {inst_ns:.0} ns/locate (ratio {:.4})",
+        if bare_ns > 0.0 {
+            inst_ns / bare_ns
+        } else {
+            0.0
+        },
+    );
+
+    let mut results = String::new();
+    for (bench, ns) in [
+        ("locate_p50", mixed.locate.p50 as f64),
+        ("locate_p95", mixed.locate.p95 as f64),
+        ("locate_p99", mixed.locate.p99 as f64),
+        ("locate_p999", mixed.locate.p999 as f64),
+        ("batch_p99", mixed.locate_batch.p99 as f64),
+    ] {
+        push_result(&mut results, "net_load", bench, ns, mixed.requests);
+    }
+    // Non-latency facts ride in `ns_per_iter` too: the shim format has
+    // one numeric field, and bench_report copies it through verbatim.
+    for (bench, v) in [
+        ("throughput_rps", mixed.throughput_rps),
+        ("requests", mixed.requests as f64),
+        ("errors", mixed.errors as f64),
+        ("protocol_errors", mixed.protocol_errors as f64),
+        (
+            "consistency_violations",
+            mixed.consistency_violations as f64,
+        ),
+        ("epochs_observed", mixed.epochs_observed as f64),
+    ] {
+        push_result(&mut results, "net_load", bench, v, 1);
+    }
+    push_result(
+        &mut results,
+        "net_locate_overhead",
+        "bare",
+        bare_ns,
+        bare.locate.count,
+    );
+    push_result(
+        &mut results,
+        "net_locate_overhead",
+        "instrumented",
+        inst_ns,
+        instrumented.locate.count,
+    );
+    let json = format!("{{\"bench\": \"net_load\", \"results\": [\n{results}\n]}}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("scaddard-load: wrote {out_path}");
+
+    let clean = mixed.protocol_errors == 0 && mixed.consistency_violations == 0 && clean_overhead;
+    if !clean {
+        eprintln!("scaddard-load: FAILED (protocol errors or torn epochs observed)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # scaddar-net — the networked serving layer
+//!
+//! The paper's deployment target is a continuous-media *server*
+//! answering block-location queries for many concurrent clients while
+//! scaling operations commit online (§1, AO1). Everything below this
+//! crate — [`cmsim::SharedServer`], the CLI, the harness — is
+//! in-process; this crate puts the lookup path behind a real socket
+//! with real backpressure, deadlines, and per-endpoint telemetry:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary protocol
+//!   ([`Frame`], [`FrameError`]): a zero-copy encoder and a hardened
+//!   decoder that answers truncated/oversized/garbage input with typed
+//!   errors, never a panic.
+//! * [`server`] — `scaddard` ([`Scaddard`]): a thread-per-connection
+//!   TCP server over a [`cmsim::SharedServer`] with a bounded accept
+//!   policy (max connections, per-request read/write deadlines,
+//!   graceful drain on shutdown) and per-endpoint `obs`
+//!   counters/latency histograms plus `net.*` spans.
+//! * [`client`] — [`NetClient`]: connection pooling, request
+//!   pipelining, and deadline-aware retry-on-reconnect.
+//! * [`load`] — a deterministic loopback load generator (seeded
+//!   open/closed-loop workloads) whose measurements feed
+//!   `BENCH_net.json` via `bench_report`.
+//!
+//! The crate is std-only (`std::net` + threads), consistent with the
+//! workspace's vendored-shim policy: no async runtime, no serde.
+//!
+//! ## The invariant that crosses the wire
+//!
+//! Every response that depends on placement carries the scaling epoch
+//! it was served at (`Located`, `BatchLocated`, `Scaled`, even `Pong`),
+//! and every batch is served under **one** lock acquisition
+//! ([`cmsim::SharedServer::locate_batch_read`]) — so a remote client
+//! observes the same "entirely pre-op or entirely post-op, never torn"
+//! guarantee that `cmsim`'s in-process tests pin down, now across the
+//! socket boundary (`tests/loopback_concurrent.rs` holds the line with
+//! 64 concurrent clients through mid-run `Scale` commits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientError, NetClient};
+pub use load::{run_load, LatencySummary, LoadConfig, LoadReport, LoopMode};
+pub use server::{NetServerConfig, Scaddard};
+pub use wire::{decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat};

@@ -1,0 +1,906 @@
+//! `scaddard`: the thread-per-connection TCP server.
+//!
+//! One accept thread, one handler thread per connection, all sharing a
+//! [`cmsim::SharedServer`] — reads take its shared lock, `Scale`/`Tick`
+//! its exclusive lock, so the epoch-consistency guarantee the in-process
+//! tests pin down holds unchanged for remote clients.
+//!
+//! Backpressure and robustness policy:
+//!
+//! * **Bounded accept**: at most
+//!   [`max_connections`](NetServerConfig::max_connections) handler
+//!   threads; a connection over the limit receives one
+//!   `Error{Busy}` frame and is closed (counted in
+//!   `net_server_connections_rejected_total`).
+//! * **Per-request deadlines**: once the first byte of a request
+//!   arrives, the rest must arrive within
+//!   [`read_timeout`](NetServerConfig::read_timeout); responses must
+//!   flush within [`write_timeout`](NetServerConfig::write_timeout).
+//!   Idle connections may sit forever (they poll the shutdown flag).
+//! * **Graceful drain**: [`Scaddard::shutdown`] stops the accept loop,
+//!   lets in-flight requests finish, and joins every handler; idle
+//!   handlers notice the flag within one poll tick.
+//! * **Hostile input**: an undecodable frame earns a typed
+//!   `Error{Protocol}` reply (best effort) and a close — the decoder
+//!   never panics, so neither does the server.
+
+use crate::wire::{
+    decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat, FRAME_HEADER_LEN,
+};
+use cmsim::SharedServer;
+use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
+use scaddar_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake to poll the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`Scaddard`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Handler-thread ceiling; connections beyond it are rejected with
+    /// `Error{Busy}`.
+    pub max_connections: usize,
+    /// Deadline for the remainder of a request once its first byte has
+    /// arrived.
+    pub read_timeout: Duration,
+    /// Deadline for flushing a response.
+    pub write_timeout: Duration,
+    /// Largest accepted frame (both directions).
+    pub max_frame_len: u32,
+    /// When false, per-request histograms/spans are skipped — the bare
+    /// baseline the `BENCH_net.json` overhead ratio divides by.
+    pub instrument: bool,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame_len: 1 << 20,
+            instrument: true,
+        }
+    }
+}
+
+/// Per-endpoint request counters/latency histograms plus the
+/// connection- and byte-level counters, all registered against the
+/// composition root's [`Registry`] (`net_server_*` namespace).
+#[derive(Debug)]
+pub struct NetStats {
+    requests: BTreeMap<&'static str, Counter>,
+    request_ns: BTreeMap<&'static str, Histogram>,
+    /// Requests answered with an `Error` frame.
+    pub errors: Counter,
+    /// Frames that failed to decode (connection then closed).
+    pub protocol_errors: Counter,
+    /// Connections accepted into a handler thread.
+    pub conns_opened: Counter,
+    /// Connections turned away by the backpressure limit.
+    pub conns_rejected: Counter,
+    /// Handler threads exited (peer close, error, or drain).
+    pub conns_closed: Counter,
+    /// Live handler threads.
+    pub connections: Gauge,
+    /// Request bytes read off sockets.
+    pub bytes_rx: Counter,
+    /// Response bytes written to sockets.
+    pub bytes_tx: Counter,
+}
+
+/// The endpoints with dedicated request counters/histograms.
+pub const ENDPOINTS: [&str; 7] = [
+    "locate",
+    "locate-batch",
+    "scale",
+    "tick",
+    "health",
+    "stats",
+    "ping",
+];
+
+impl NetStats {
+    /// Registers every `net_server_*` metric against `registry`.
+    pub fn register(registry: &Registry) -> Arc<NetStats> {
+        let mut requests = BTreeMap::new();
+        let mut request_ns = BTreeMap::new();
+        for ep in ENDPOINTS {
+            requests.insert(
+                ep,
+                registry.counter(
+                    &format!("net_server_requests_total{{endpoint=\"{ep}\"}}"),
+                    "Requests served, by endpoint",
+                ),
+            );
+            request_ns.insert(
+                ep,
+                registry.histogram(
+                    &format!("net_server_request_ns{{endpoint=\"{ep}\"}}"),
+                    "Server-side request handling latency, by endpoint",
+                ),
+            );
+        }
+        Arc::new(NetStats {
+            requests,
+            request_ns,
+            errors: registry.counter(
+                "net_server_errors_total",
+                "Requests answered with an Error frame",
+            ),
+            protocol_errors: registry.counter(
+                "net_server_protocol_errors_total",
+                "Frames that failed to decode",
+            ),
+            conns_opened: registry.counter(
+                "net_server_connections_opened_total",
+                "Connections accepted into a handler thread",
+            ),
+            conns_rejected: registry.counter(
+                "net_server_connections_rejected_total",
+                "Connections rejected by the backpressure limit",
+            ),
+            conns_closed: registry.counter(
+                "net_server_connections_closed_total",
+                "Handler threads exited",
+            ),
+            connections: registry.gauge("net_server_connections", "Live handler threads"),
+            bytes_rx: registry.counter("net_server_bytes_rx_total", "Request bytes read"),
+            bytes_tx: registry.counter("net_server_bytes_tx_total", "Response bytes written"),
+        })
+    }
+
+    fn record(&self, endpoint: &str, ns: u64, instrument: bool) {
+        if let Some(c) = self.requests.get(endpoint) {
+            c.inc();
+        }
+        if instrument {
+            if let Some(h) = self.request_ns.get(endpoint) {
+                h.record(ns);
+            }
+        }
+    }
+}
+
+/// Everything the handler threads share.
+struct Shared {
+    server: Arc<SharedServer>,
+    config: NetServerConfig,
+    stats: Arc<NetStats>,
+    tracer: Tracer,
+    monitor: Mutex<HealthMonitor>,
+    registry: Registry,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// The `scaddard` daemon: a bound listener plus its accept thread.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use cmsim::{CmServer, ServerConfig, SharedServer};
+/// use scaddar_net::{NetServerConfig, Scaddard};
+/// use scaddar_obs::{MonotonicClock, Registry, Tracer};
+///
+/// let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(7)).unwrap();
+/// server.add_object(100_000).unwrap();
+/// let registry = Registry::new();
+/// let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 256);
+/// let daemon = Scaddard::bind(
+///     "127.0.0.1:0",
+///     Arc::new(SharedServer::new(server)),
+///     NetServerConfig::default(),
+///     &registry,
+///     tracer,
+/// )
+/// .unwrap();
+/// println!("serving on {}", daemon.local_addr());
+/// daemon.shutdown();
+/// ```
+pub struct Scaddard {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Scaddard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scaddard")
+            .field("local_addr", &self.local_addr)
+            .field("active", &self.shared.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Scaddard {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and
+    /// starts the accept loop. The health monitor is seeded from the
+    /// engine's current state and mirrored into `registry` alongside
+    /// the `net_server_*` metrics.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        server: Arc<SharedServer>,
+        config: NetServerConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> std::io::Result<Scaddard> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let monitor = server.with_read(|s| {
+            let mut m = HealthMonitor::for_engine(
+                MonitorConfig::default(),
+                tracer.clock().clone(),
+                s.engine(),
+            );
+            m.attach_registry(registry);
+            m.evaluate_budget();
+            m
+        });
+        let stats = NetStats::register(registry);
+        let shared = Arc::new(Shared {
+            server,
+            config,
+            stats,
+            tracer,
+            monitor: Mutex::new(monitor),
+            registry: registry.clone(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        });
+        let conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_handles);
+        let accept_handle = std::thread::Builder::new()
+            .name("scaddard-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+            .expect("spawn accept thread");
+        Ok(Scaddard {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            conn_handles,
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live handler threads right now.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// The server's metric handles (benches read these directly).
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.shared.stats
+    }
+
+    /// Severity of the server's current health report — what
+    /// `serve --check` maps to an exit code.
+    pub fn health_verdict(&self) -> Severity {
+        let mut monitor = self
+            .shared
+            .monitor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        self.shared.server.with_read(|s| {
+            monitor.observe_engine(s.engine());
+            monitor.observe_census(&s.load_census());
+        });
+        monitor.report().verdict()
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish,
+    /// join every thread. Idempotent-by-construction (consumes self).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.conn_handles.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scaddard {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late arrival during drain).
+            let _ = reply(
+                &stream,
+                &shared,
+                &Frame::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "draining".into(),
+                },
+            );
+            return;
+        }
+        if shared.active.load(Ordering::Relaxed) >= shared.config.max_connections {
+            shared.stats.conns_rejected.inc();
+            let _ = reply(
+                &stream,
+                &shared,
+                &Frame::Error {
+                    code: ErrorCode::Busy,
+                    message: format!("{} connections", shared.config.max_connections),
+                },
+            );
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        shared.stats.conns_opened.inc();
+        shared.stats.connections.add(1);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("scaddard-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                conn_shared.stats.conns_closed.inc();
+                conn_shared.stats.connections.add(-1);
+            })
+            .expect("spawn handler thread");
+        conn_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        // Opportunistically reap finished handlers so a long-lived
+        // daemon doesn't accumulate unbounded JoinHandles.
+        let mut guard = conn_handles.lock().unwrap_or_else(|e| e.into_inner());
+        guard.retain(|h| !h.is_finished());
+    }
+}
+
+/// Encodes and writes one frame, counting the bytes.
+fn reply(mut stream: &TcpStream, shared: &Shared, frame: &Frame) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let bytes = frame.to_bytes();
+    stream.write_all(&bytes)?;
+    shared.stats.bytes_tx.add(bytes.len() as u64);
+    Ok(())
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_nodelay(true);
+    let instrument = shared.config.instrument;
+    let mut span = instrument.then(|| shared.tracer.span("net.conn"));
+    let mut served = 0u64;
+    let mut buf: Vec<u8> = Vec::with_capacity(FRAME_HEADER_LEN + 64);
+    let mut chunk = [0u8; 4096];
+    // Deadline for completing the frame currently being read; armed by
+    // its first byte, disarmed when the buffer empties.
+    let mut frame_deadline: Option<Instant> = None;
+    let mut out = Vec::with_capacity(256);
+    loop {
+        // Drain every complete frame already buffered (pipelining:
+        // responses for all of them go out in one write).
+        out.clear();
+        loop {
+            match decode_frame_limited(&buf, shared.config.max_frame_len) {
+                Ok((frame, used)) => {
+                    buf.drain(..used);
+                    if !handle_request(frame, shared, &mut out, instrument) {
+                        flush(&stream, shared, &out);
+                        return;
+                    }
+                    served += 1;
+                }
+                Err(FrameError::Incomplete { .. }) => break,
+                Err(err) => {
+                    shared.stats.protocol_errors.inc();
+                    Frame::Error {
+                        code: ErrorCode::Protocol,
+                        message: err.to_string(),
+                    }
+                    .encode(&mut out);
+                    flush(&stream, shared, &out);
+                    if let Some(span) = span.as_mut() {
+                        span.event("protocol-error", err);
+                    }
+                    return;
+                }
+            }
+        }
+        if !out.is_empty() && !flush(&stream, shared, &out) {
+            return;
+        }
+        frame_deadline = if buf.is_empty() {
+            None
+        } else {
+            // A partial frame is pending; (re-)arm the deadline when it
+            // first appears.
+            Some(frame_deadline.unwrap_or_else(|| Instant::now() + shared.config.read_timeout))
+        };
+        // Read more, waking every POLL_TICK to check shutdown/deadline.
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                shared.stats.bytes_rx.add(n as u64);
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+                    break; // idle connection during drain
+                }
+                if let Some(deadline) = frame_deadline {
+                    if Instant::now() >= deadline {
+                        let mut err = Vec::new();
+                        Frame::Error {
+                            code: ErrorCode::BadRequest,
+                            message: "request read deadline exceeded".into(),
+                        }
+                        .encode(&mut err);
+                        flush(&stream, shared, &err);
+                        break;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    if let Some(span) = span.as_mut() {
+        span.event("requests", served);
+    }
+}
+
+/// Writes the buffered responses; false on failure (connection dead).
+fn flush(mut stream: &TcpStream, shared: &Shared, out: &[u8]) -> bool {
+    if out.is_empty() {
+        return true;
+    }
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    if stream.write_all(out).is_err() {
+        return false;
+    }
+    shared.stats.bytes_tx.add(out.len() as u64);
+    true
+}
+
+/// Dispatches one request, appending the response to `out`. Returns
+/// false when the connection must close (a response frame arrived where
+/// a request belongs — direction violation).
+fn handle_request(frame: Frame, shared: &Shared, out: &mut Vec<u8>, instrument: bool) -> bool {
+    if !frame.is_request() {
+        shared.stats.protocol_errors.inc();
+        Frame::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("{} is a response frame", frame.endpoint()),
+        }
+        .encode(out);
+        return false;
+    }
+    let endpoint = frame.endpoint();
+    let start = instrument.then(|| shared.tracer.clock().now_ns());
+    let response = dispatch(frame, shared, instrument);
+    let ns = start.map_or(0, |s| shared.tracer.clock().now_ns().saturating_sub(s));
+    shared.stats.record(endpoint, ns, instrument);
+    if matches!(response, Frame::Error { .. }) {
+        shared.stats.errors.inc();
+    }
+    response.encode(out);
+    true
+}
+
+fn engine_error(e: impl std::fmt::Display) -> Frame {
+    Frame::Error {
+        code: ErrorCode::Engine,
+        message: e.to_string(),
+    }
+}
+
+fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
+    match frame {
+        Frame::Locate { object, block } => {
+            match shared.server.locate(scaddar_core::ObjectId(object), block) {
+                Ok(read) => Frame::Located {
+                    epoch: read.epoch as u64,
+                    disks: read.disks,
+                    disk: read.disk.0 as u64,
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Frame::LocateBatch { object, blocks } => {
+            if blocks.is_empty() {
+                return Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "empty batch".into(),
+                };
+            }
+            match shared
+                .server
+                .locate_batch_read(scaddar_core::ObjectId(object), &blocks)
+            {
+                Ok(read) => Frame::BatchLocated {
+                    epoch: read.epoch as u64,
+                    disks: read.disks,
+                    locations: read.locations.into_iter().map(|d| d.0).collect(),
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Frame::Scale { op } => {
+            let mut span = instrument.then(|| shared.tracer.span("net.scale"));
+            let result = shared.server.scale_read(op);
+            match result {
+                Ok((epoch, disks, queued)) => {
+                    if let Some(span) = span.as_mut() {
+                        span.event("epoch", epoch);
+                        span.event("queued", queued);
+                    }
+                    // Feed the monitor the op's movement data (RO1 +
+                    // budget probes). The census is deliberately NOT
+                    // observed here: redistribution is asynchronous, so
+                    // the post-commit census is transiently unbalanced
+                    // by design — it is sampled when an operator asks
+                    // for `Health`, where it reflects current reality.
+                    let mut monitor = shared.monitor.lock().unwrap_or_else(|e| e.into_inner());
+                    shared
+                        .server
+                        .with_read(|s| monitor.observe_engine(s.engine()));
+                    Frame::Scaled {
+                        epoch: epoch as u64,
+                        disks,
+                        queued,
+                    }
+                }
+                Err(e) => engine_error(e),
+            }
+        }
+        Frame::Tick { rounds } => {
+            for _ in 0..rounds {
+                shared.server.tick();
+            }
+            Frame::Ticked {
+                rounds,
+                backlog: shared.server.backlog(),
+            }
+        }
+        Frame::Health => {
+            let mut monitor = shared.monitor.lock().unwrap_or_else(|e| e.into_inner());
+            shared.server.with_read(|s| {
+                monitor.observe_engine(s.engine());
+                monitor.observe_census(&s.load_census());
+            });
+            let report = monitor.report();
+            Frame::HealthStatus {
+                verdict: match report.verdict() {
+                    Severity::Ok => 0,
+                    Severity::Warn => 1,
+                    Severity::Crit => 2,
+                },
+                alerts: monitor.alerts_emitted() as u64,
+                report: report.render(),
+            }
+        }
+        Frame::Stats { format } => Frame::StatsText {
+            format,
+            text: match format {
+                StatsFormat::Prometheus => shared.registry.render_prometheus(),
+                StatsFormat::Json => shared.registry.snapshot_json(),
+            },
+        },
+        Frame::Ping => Frame::Pong {
+            epoch: shared.server.epoch_view().0 as u64,
+        },
+        // is_request() filtered responses out before dispatch.
+        _ => unreachable!("dispatch only sees request frames"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmsim::{CmServer, ServerConfig};
+    use scaddar_core::ScalingOp;
+    use scaddar_obs::MonotonicClock;
+
+    fn boot(blocks: u64) -> (Scaddard, Registry) {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(11)).unwrap();
+        server.add_object(blocks).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 64);
+        let daemon = Scaddard::bind(
+            "127.0.0.1:0",
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig::default(),
+            &registry,
+            tracer,
+        )
+        .unwrap();
+        (daemon, registry)
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &Frame) -> Frame {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&request.to_bytes()).unwrap();
+        read_one(&mut stream)
+    }
+
+    fn read_one(stream: &mut TcpStream) -> Frame {
+        read_buffered(stream, &mut Vec::new())
+    }
+
+    /// Reads one frame, keeping bytes past it in `buf` — pipelined
+    /// responses can land in a single `read`, so the buffer must
+    /// persist across calls.
+    fn read_buffered(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Frame {
+        let mut chunk = [0u8; 1024];
+        loop {
+            match crate::wire::decode_frame(buf) {
+                Ok((frame, used)) => {
+                    buf.drain(..used);
+                    return frame;
+                }
+                Err(FrameError::Incomplete { .. }) => {
+                    let n = stream.read(&mut chunk).unwrap();
+                    assert!(n > 0, "server closed mid-frame");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => panic!("bad response: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn locate_scale_tick_health_roundtrip() {
+        let (daemon, _registry) = boot(5_000);
+        let addr = daemon.local_addr();
+
+        let located = roundtrip(
+            addr,
+            &Frame::Locate {
+                object: 0,
+                block: 7,
+            },
+        );
+        let Frame::Located { epoch, disks, disk } = located else {
+            panic!("expected Located, got {located:?}");
+        };
+        assert_eq!((epoch, disks), (0, 4));
+        assert!(disk < 4);
+
+        let scaled = roundtrip(
+            addr,
+            &Frame::Scale {
+                op: ScalingOp::Add { count: 2 },
+            },
+        );
+        let Frame::Scaled { epoch, disks, .. } = scaled else {
+            panic!("expected Scaled, got {scaled:?}");
+        };
+        assert_eq!((epoch, disks), (1, 6));
+
+        let ticked = roundtrip(addr, &Frame::Tick { rounds: 1_000 });
+        assert!(matches!(ticked, Frame::Ticked { backlog: 0, .. }));
+
+        let health = roundtrip(addr, &Frame::Health);
+        let Frame::HealthStatus {
+            verdict, report, ..
+        } = health
+        else {
+            panic!("expected HealthStatus, got {health:?}");
+        };
+        assert_eq!(verdict, 0, "{report}");
+        assert!(report.starts_with("health: OK"), "{report}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn batches_are_served_at_one_epoch_and_stats_render() {
+        let (daemon, _registry) = boot(2_000);
+        let addr = daemon.local_addr();
+        let batch = roundtrip(
+            addr,
+            &Frame::LocateBatch {
+                object: 0,
+                blocks: (0..64).collect(),
+            },
+        );
+        let Frame::BatchLocated {
+            epoch,
+            disks,
+            locations,
+        } = batch
+        else {
+            panic!("expected BatchLocated, got {batch:?}");
+        };
+        assert_eq!(epoch, 0);
+        assert_eq!(locations.len(), 64);
+        assert!(locations.iter().all(|d| *d < disks as u64));
+
+        let stats = roundtrip(
+            addr,
+            &Frame::Stats {
+                format: StatsFormat::Prometheus,
+            },
+        );
+        let Frame::StatsText { text, .. } = stats else {
+            panic!("expected StatsText, got {stats:?}");
+        };
+        assert!(text.contains("net_server_requests_total{endpoint=\"locate-batch\"} 1"));
+        assert!(text.contains("# TYPE net_server_connections gauge"));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn garbage_earns_a_protocol_error_and_a_close() {
+        let (daemon, registry) = boot(100);
+        let mut stream = TcpStream::connect(daemon.local_addr()).unwrap();
+        // A valid header claiming an unknown tag.
+        stream.write_all(&[4, 0, 0, 0, 1, 0x42, 0, 0]).unwrap();
+        let response = read_one(&mut stream);
+        assert!(
+            matches!(
+                &response,
+                Frame::Error { code: ErrorCode::Protocol, message } if message.contains("0x42")
+            ),
+            "{response:?}"
+        );
+        // Connection is closed afterwards.
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        assert!(rest.is_empty());
+        daemon.shutdown();
+        assert!(matches!(
+            registry.value("net_server_protocol_errors_total"),
+            Some(scaddar_obs::MetricValue::Counter(1))
+        ));
+    }
+
+    #[test]
+    fn empty_batches_and_bad_objects_are_typed_errors() {
+        let (daemon, _registry) = boot(100);
+        let addr = daemon.local_addr();
+        let empty = roundtrip(
+            addr,
+            &Frame::LocateBatch {
+                object: 0,
+                blocks: vec![],
+            },
+        );
+        assert!(matches!(
+            empty,
+            Frame::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        let missing = roundtrip(
+            addr,
+            &Frame::Locate {
+                object: 99,
+                block: 0,
+            },
+        );
+        assert!(matches!(
+            missing,
+            Frame::Error {
+                code: ErrorCode::Engine,
+                ..
+            }
+        ));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_rejects_with_busy() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(3)).unwrap();
+        server.add_object(100).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 16);
+        let daemon = Scaddard::bind(
+            "127.0.0.1:0",
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig {
+                max_connections: 1,
+                ..NetServerConfig::default()
+            },
+            &registry,
+            tracer,
+        )
+        .unwrap();
+        let addr = daemon.local_addr();
+        // First connection occupies the only slot...
+        let mut first = TcpStream::connect(addr).unwrap();
+        first.write_all(&Frame::Ping.to_bytes()).unwrap();
+        assert!(matches!(read_one(&mut first), Frame::Pong { .. }));
+        // ...so the second is turned away with Busy.
+        let mut second = TcpStream::connect(addr).unwrap();
+        let rejection = read_one(&mut second);
+        assert!(
+            matches!(
+                rejection,
+                Frame::Error {
+                    code: ErrorCode::Busy,
+                    ..
+                }
+            ),
+            "{rejection:?}"
+        );
+        drop(first);
+        drop(second);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_get_ordered_responses() {
+        let (daemon, _registry) = boot(1_000);
+        let mut stream = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut batch = Vec::new();
+        for block in [1u64, 2, 3] {
+            Frame::Locate { object: 0, block }.encode(&mut batch);
+        }
+        Frame::Ping.encode(&mut batch);
+        stream.write_all(&batch).unwrap();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            assert!(matches!(
+                read_buffered(&mut stream, &mut buf),
+                Frame::Located { .. }
+            ));
+        }
+        assert!(matches!(
+            read_buffered(&mut stream, &mut buf),
+            Frame::Pong { epoch: 0 }
+        ));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_idle_connections() {
+        let (daemon, registry) = boot(100);
+        let stream = TcpStream::connect(daemon.local_addr()).unwrap();
+        // Give the accept loop a moment to hand the connection off.
+        while daemon.active_connections() == 0 {
+            std::thread::yield_now();
+        }
+        daemon.shutdown(); // joins the idle handler within a poll tick
+        drop(stream);
+        assert!(matches!(
+            registry.value("net_server_connections"),
+            Some(scaddar_obs::MetricValue::Gauge(0))
+        ));
+    }
+}

@@ -1,0 +1,955 @@
+//! The `scaddard` wire protocol: versioned, length-prefixed binary
+//! frames.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [tag: u8] [payload: len-2 bytes]
+//! ```
+//!
+//! where `len` counts everything after itself (version + tag +
+//! payload). Integers are little-endian; strings and sequences are
+//! length-prefixed (`u32` count, then elements). The version byte rides
+//! in *every* frame rather than a handshake so a mixed-version pool is
+//! rejected per-request with a typed error instead of a stream
+//! desync.
+//!
+//! Two properties are contractual:
+//!
+//! * **The encoder is zero-copy**: [`Frame::encode`] appends straight
+//!   into the caller's output buffer — no intermediate frame allocation,
+//!   so a pipelining client can pack many requests into one write.
+//! * **The decoder never panics**: [`decode_frame`] answers truncated,
+//!   oversized, version-skewed, unknown-tag, and bit-flipped input with
+//!   a typed [`FrameError`]. Garbage from the network is an error value,
+//!   never a crash — the corruption sweep in `tests/wire_corruption.rs`
+//!   holds this line for every cut point and every flipped byte.
+
+use scaddar_core::ScalingOp;
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling a decoder enforces on `len` regardless of configuration
+/// (16 MiB). Servers and clients usually configure a much smaller
+/// [`max_frame_len`](crate::server::NetServerConfig::max_frame_len).
+pub const HARD_MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Bytes of framing before the payload: length prefix + version + tag.
+pub const FRAME_HEADER_LEN: usize = 6;
+
+/// Why a byte sequence failed to decode as a frame.
+///
+/// [`FrameError::Incomplete`] is the only *retryable* variant: a
+/// streaming reader that has not yet received the whole frame keeps
+/// reading. Every other variant is a protocol violation and poisons the
+/// connection (the stream offset can no longer be trusted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does; `needed` total bytes
+    /// would complete it (lower bound when the header itself is cut).
+    Incomplete {
+        /// Total buffer length that would allow another decode attempt.
+        needed: usize,
+    },
+    /// The length prefix exceeds the decoder's limit — either the
+    /// configured cap or [`HARD_MAX_FRAME_LEN`]. Catches both hostile
+    /// lengths and desynced streams reading garbage as a prefix.
+    Oversized {
+        /// The claimed frame length.
+        len: u32,
+        /// The limit in force.
+        max: u32,
+    },
+    /// The length prefix is shorter than version + tag — no frame this
+    /// small exists.
+    Undersized {
+        /// The claimed frame length.
+        len: u32,
+    },
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    VersionMismatch {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The tag byte names no known frame type.
+    UnknownTag {
+        /// The tag byte received.
+        tag: u8,
+    },
+    /// The payload ended before a field did (a truncation *inside* a
+    /// frame whose length prefix survived).
+    Truncated {
+        /// The frame type being decoded.
+        frame: &'static str,
+        /// The field that ran out of bytes.
+        field: &'static str,
+    },
+    /// The payload continues past the last field of the frame.
+    TrailingBytes {
+        /// The frame type decoded.
+        frame: &'static str,
+        /// Surplus byte count.
+        extra: usize,
+    },
+    /// A field held an impossible value (bad enum discriminant, a
+    /// count that cannot fit in the payload, invalid UTF-8, ...).
+    Malformed {
+        /// The frame type being decoded.
+        frame: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Incomplete { needed } => {
+                write!(f, "incomplete frame: need {needed} bytes")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes (limit {max})")
+            }
+            FrameError::Undersized { len } => {
+                write!(f, "undersized frame: length prefix {len} < 2")
+            }
+            FrameError::VersionMismatch { got } => {
+                write!(f, "protocol version {got} (expected {PROTOCOL_VERSION})")
+            }
+            FrameError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
+            FrameError::Truncated { frame, field } => {
+                write!(f, "truncated {frame} frame: payload ends inside `{field}`")
+            }
+            FrameError::TrailingBytes { frame, extra } => {
+                write!(f, "{frame} frame carries {extra} trailing bytes")
+            }
+            FrameError::Malformed { frame, detail } => {
+                write!(f, "malformed {frame} frame: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Error codes carried by [`Frame::Error`] responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The server's placement engine rejected the request.
+    Engine = 0,
+    /// The server is at its connection/backpressure limit.
+    Busy = 1,
+    /// The request decoded but made no sense (e.g. empty batch).
+    BadRequest = 2,
+    /// The server is draining for shutdown.
+    ShuttingDown = 3,
+    /// The client sent a frame the server could not decode; the reply
+    /// echoes the [`FrameError`] text before the connection closes.
+    Protocol = 4,
+    /// Anything else.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            0 => ErrorCode::Engine,
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::Protocol,
+            5 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase label (metric/endpoint friendly).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::Engine => "engine",
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Output format selector for [`Frame::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatsFormat {
+    /// Prometheus text exposition.
+    Prometheus = 0,
+    /// The registry's JSON snapshot.
+    Json = 1,
+}
+
+/// One protocol frame — requests (client → server) and responses
+/// (server → client) share the enum because both directions share the
+/// codec (and the corruption sweep covers both in one pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    // ---- requests ----
+    /// Locate one block of one object.
+    Locate {
+        /// Object id.
+        object: u64,
+        /// Block number within the object.
+        block: u64,
+    },
+    /// Locate many blocks of one object under one epoch.
+    LocateBatch {
+        /// Object id.
+        object: u64,
+        /// Block numbers, answered in order.
+        blocks: Vec<u64>,
+    },
+    /// Commit a scaling operation.
+    Scale {
+        /// The operation.
+        op: ScalingOp,
+    },
+    /// Advance `rounds` service rounds (drains redistribution).
+    Tick {
+        /// Rounds to advance (0 is allowed and answers the backlog).
+        rounds: u32,
+    },
+    /// One-shot health report request.
+    Health,
+    /// Telemetry snapshot request.
+    Stats {
+        /// Rendering to return.
+        format: StatsFormat,
+    },
+    /// Liveness probe (also the pool's stale-connection check).
+    Ping,
+
+    // ---- responses ----
+    /// Answer to [`Frame::Locate`]. Epoch-tagged: `disk` is valid for
+    /// exactly this `(epoch, disks)` pair.
+    Located {
+        /// Scaling epoch the lookup was served at.
+        epoch: u64,
+        /// Disk count at that epoch.
+        disks: u32,
+        /// The block's physical disk.
+        disk: u64,
+    },
+    /// Answer to [`Frame::LocateBatch`] — the whole batch served at one
+    /// epoch (no torn reads across a concurrent `Scale`).
+    BatchLocated {
+        /// Scaling epoch the whole batch was served at.
+        epoch: u64,
+        /// Disk count at that epoch.
+        disks: u32,
+        /// Physical disk per requested block, in request order.
+        locations: Vec<u64>,
+    },
+    /// Answer to [`Frame::Scale`].
+    Scaled {
+        /// Epoch after the commit.
+        epoch: u64,
+        /// Disk count after the commit.
+        disks: u32,
+        /// Redistribution moves queued by the op.
+        queued: u64,
+    },
+    /// Answer to [`Frame::Tick`].
+    Ticked {
+        /// Rounds actually advanced.
+        rounds: u32,
+        /// Redistribution backlog after the last round.
+        backlog: u64,
+    },
+    /// Answer to [`Frame::Health`].
+    HealthStatus {
+        /// Worst probe severity: 0 ok, 1 warn, 2 crit.
+        verdict: u8,
+        /// Alerts emitted so far by the server's monitor.
+        alerts: u64,
+        /// The rendered operator report.
+        report: String,
+    },
+    /// Answer to [`Frame::Stats`].
+    StatsText {
+        /// The format that was rendered.
+        format: StatsFormat,
+        /// Rendered registry contents.
+        text: String,
+    },
+    /// Answer to [`Frame::Ping`]; echoes the server's current epoch so
+    /// even liveness checks are epoch-tagged.
+    Pong {
+        /// Current scaling epoch.
+        epoch: u64,
+    },
+    /// Typed failure response.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+// Tag bytes. Requests are 0x01.., responses 0x81.. — the high bit marks
+// direction, which makes stream desyncs fail fast (a client reading a
+// request tag knows immediately something is wrong).
+const TAG_LOCATE: u8 = 0x01;
+const TAG_LOCATE_BATCH: u8 = 0x02;
+const TAG_SCALE: u8 = 0x03;
+const TAG_TICK: u8 = 0x04;
+const TAG_HEALTH: u8 = 0x05;
+const TAG_STATS: u8 = 0x06;
+const TAG_PING: u8 = 0x07;
+const TAG_LOCATED: u8 = 0x81;
+const TAG_BATCH_LOCATED: u8 = 0x82;
+const TAG_SCALED: u8 = 0x83;
+const TAG_TICKED: u8 = 0x84;
+const TAG_HEALTH_STATUS: u8 = 0x85;
+const TAG_STATS_TEXT: u8 = 0x86;
+const TAG_PONG: u8 = 0x87;
+const TAG_ERROR: u8 = 0xFF;
+
+impl Frame {
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Locate { .. } => TAG_LOCATE,
+            Frame::LocateBatch { .. } => TAG_LOCATE_BATCH,
+            Frame::Scale { .. } => TAG_SCALE,
+            Frame::Tick { .. } => TAG_TICK,
+            Frame::Health => TAG_HEALTH,
+            Frame::Stats { .. } => TAG_STATS,
+            Frame::Ping => TAG_PING,
+            Frame::Located { .. } => TAG_LOCATED,
+            Frame::BatchLocated { .. } => TAG_BATCH_LOCATED,
+            Frame::Scaled { .. } => TAG_SCALED,
+            Frame::Ticked { .. } => TAG_TICKED,
+            Frame::HealthStatus { .. } => TAG_HEALTH_STATUS,
+            Frame::StatsText { .. } => TAG_STATS_TEXT,
+            Frame::Pong { .. } => TAG_PONG,
+            Frame::Error { .. } => TAG_ERROR,
+        }
+    }
+
+    /// Stable name for telemetry (`net_server_requests_total{endpoint=...}`).
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Frame::Locate { .. } | Frame::Located { .. } => "locate",
+            Frame::LocateBatch { .. } | Frame::BatchLocated { .. } => "locate-batch",
+            Frame::Scale { .. } | Frame::Scaled { .. } => "scale",
+            Frame::Tick { .. } | Frame::Ticked { .. } => "tick",
+            Frame::Health | Frame::HealthStatus { .. } => "health",
+            Frame::Stats { .. } | Frame::StatsText { .. } => "stats",
+            Frame::Ping | Frame::Pong { .. } => "ping",
+            Frame::Error { .. } => "error",
+        }
+    }
+
+    /// True for client → server frames.
+    pub fn is_request(&self) -> bool {
+        self.tag() & 0x80 == 0
+    }
+
+    /// Appends the encoded frame to `buf` (header + payload in place —
+    /// no intermediate allocation). Returns the encoded length.
+    pub fn encode(&self, buf: &mut Vec<u8>) -> usize {
+        let start = buf.len();
+        buf.extend_from_slice(&[0, 0, 0, 0]); // length slot, patched below
+        buf.push(PROTOCOL_VERSION);
+        buf.push(self.tag());
+        match self {
+            Frame::Locate { object, block } => {
+                put_u64(buf, *object);
+                put_u64(buf, *block);
+            }
+            Frame::LocateBatch { object, blocks } => {
+                put_u64(buf, *object);
+                put_u32(buf, blocks.len() as u32);
+                for b in blocks {
+                    put_u64(buf, *b);
+                }
+            }
+            Frame::Scale { op } => match op {
+                ScalingOp::Add { count } => {
+                    buf.push(0);
+                    put_u32(buf, *count);
+                }
+                ScalingOp::Remove { disks } => {
+                    buf.push(1);
+                    put_u32(buf, disks.len() as u32);
+                    for d in disks {
+                        put_u32(buf, *d);
+                    }
+                }
+            },
+            Frame::Tick { rounds } => put_u32(buf, *rounds),
+            Frame::Health | Frame::Ping => {}
+            Frame::Stats { format } => buf.push(*format as u8),
+            Frame::Located { epoch, disks, disk } => {
+                put_u64(buf, *epoch);
+                put_u32(buf, *disks);
+                put_u64(buf, *disk);
+            }
+            Frame::BatchLocated {
+                epoch,
+                disks,
+                locations,
+            } => {
+                put_u64(buf, *epoch);
+                put_u32(buf, *disks);
+                put_u32(buf, locations.len() as u32);
+                for d in locations {
+                    put_u64(buf, *d);
+                }
+            }
+            Frame::Scaled {
+                epoch,
+                disks,
+                queued,
+            } => {
+                put_u64(buf, *epoch);
+                put_u32(buf, *disks);
+                put_u64(buf, *queued);
+            }
+            Frame::Ticked { rounds, backlog } => {
+                put_u32(buf, *rounds);
+                put_u64(buf, *backlog);
+            }
+            Frame::HealthStatus {
+                verdict,
+                alerts,
+                report,
+            } => {
+                buf.push(*verdict);
+                put_u64(buf, *alerts);
+                put_str(buf, report);
+            }
+            Frame::StatsText { format, text } => {
+                buf.push(*format as u8);
+                put_str(buf, text);
+            }
+            Frame::Pong { epoch } => put_u64(buf, *epoch),
+            Frame::Error { code, message } => {
+                buf.push(*code as u8);
+                put_str(buf, message);
+            }
+        }
+        let len = (buf.len() - start - 4) as u32;
+        buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        buf.len() - start
+    }
+
+    /// Convenience: the frame encoded into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + 16);
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+#[inline]
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over one frame's payload; every read is bounds-checked and
+/// answers truncation with a typed error.
+struct Payload<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    frame: &'static str,
+}
+
+impl<'a> Payload<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], FrameError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(FrameError::Truncated {
+                frame: self.frame,
+                field,
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, FrameError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, field)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A `u32` count whose elements occupy `elem_len` bytes each; the
+    /// count is validated against the *remaining payload* before any
+    /// allocation, so a hostile count cannot balloon memory.
+    fn count(&mut self, elem_len: usize, field: &'static str) -> Result<usize, FrameError> {
+        let n = self.u32(field)? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        match n.checked_mul(elem_len) {
+            Some(need) if need <= remaining => Ok(n),
+            _ => Err(FrameError::Malformed {
+                frame: self.frame,
+                detail: format!("count {n} x {elem_len}B exceeds {remaining}B of payload"),
+            }),
+        }
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, FrameError> {
+        let n = self.count(1, field)?;
+        let bytes = self.take(n, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed {
+            frame: self.frame,
+            detail: format!("`{field}` is not UTF-8"),
+        })
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::TrailingBytes {
+                frame: self.frame,
+                extra: self.bytes.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes the first frame in `buf` with the default
+/// [`HARD_MAX_FRAME_LEN`] cap. See [`decode_frame_limited`].
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    decode_frame_limited(buf, HARD_MAX_FRAME_LEN)
+}
+
+/// Decodes the first frame in `buf`, returning the frame and the bytes
+/// consumed. `max_len` caps the accepted length prefix (clamped to
+/// [`HARD_MAX_FRAME_LEN`]).
+///
+/// Never panics: any malformed input maps to a [`FrameError`].
+/// [`FrameError::Incomplete`] means "read more and retry".
+pub fn decode_frame_limited(buf: &[u8], max_len: u32) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Incomplete { needed: 4 });
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    let max = max_len.min(HARD_MAX_FRAME_LEN);
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    if len < 2 {
+        return Err(FrameError::Undersized { len });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Err(FrameError::Incomplete { needed: total });
+    }
+    let version = buf[4];
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::VersionMismatch { got: version });
+    }
+    let tag = buf[5];
+    let payload = &buf[6..total];
+    let frame = decode_payload(tag, payload)?;
+    Ok((frame, total))
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    let name = match tag {
+        TAG_LOCATE => "Locate",
+        TAG_LOCATE_BATCH => "LocateBatch",
+        TAG_SCALE => "Scale",
+        TAG_TICK => "Tick",
+        TAG_HEALTH => "Health",
+        TAG_STATS => "Stats",
+        TAG_PING => "Ping",
+        TAG_LOCATED => "Located",
+        TAG_BATCH_LOCATED => "BatchLocated",
+        TAG_SCALED => "Scaled",
+        TAG_TICKED => "Ticked",
+        TAG_HEALTH_STATUS => "HealthStatus",
+        TAG_STATS_TEXT => "StatsText",
+        TAG_PONG => "Pong",
+        TAG_ERROR => "Error",
+        other => return Err(FrameError::UnknownTag { tag: other }),
+    };
+    let mut p = Payload {
+        bytes: payload,
+        pos: 0,
+        frame: name,
+    };
+    let frame = match tag {
+        TAG_LOCATE => Frame::Locate {
+            object: p.u64("object")?,
+            block: p.u64("block")?,
+        },
+        TAG_LOCATE_BATCH => {
+            let object = p.u64("object")?;
+            let n = p.count(8, "blocks.len")?;
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                blocks.push(p.u64("blocks[]")?);
+            }
+            Frame::LocateBatch { object, blocks }
+        }
+        TAG_SCALE => {
+            let kind = p.u8("op.kind")?;
+            let op = match kind {
+                0 => ScalingOp::Add {
+                    count: p.u32("op.count")?,
+                },
+                1 => {
+                    let n = p.count(4, "op.disks.len")?;
+                    let mut disks = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        disks.push(p.u32("op.disks[]")?);
+                    }
+                    ScalingOp::Remove { disks }
+                }
+                other => {
+                    return Err(FrameError::Malformed {
+                        frame: name,
+                        detail: format!("unknown scaling-op kind {other}"),
+                    })
+                }
+            };
+            Frame::Scale { op }
+        }
+        TAG_TICK => Frame::Tick {
+            rounds: p.u32("rounds")?,
+        },
+        TAG_HEALTH => Frame::Health,
+        TAG_STATS => {
+            let b = p.u8("format")?;
+            let format = match b {
+                0 => StatsFormat::Prometheus,
+                1 => StatsFormat::Json,
+                other => {
+                    return Err(FrameError::Malformed {
+                        frame: name,
+                        detail: format!("unknown stats format {other}"),
+                    })
+                }
+            };
+            Frame::Stats { format }
+        }
+        TAG_PING => Frame::Ping,
+        TAG_LOCATED => Frame::Located {
+            epoch: p.u64("epoch")?,
+            disks: p.u32("disks")?,
+            disk: p.u64("disk")?,
+        },
+        TAG_BATCH_LOCATED => {
+            let epoch = p.u64("epoch")?;
+            let disks = p.u32("disks")?;
+            let n = p.count(8, "locations.len")?;
+            let mut locations = Vec::with_capacity(n);
+            for _ in 0..n {
+                locations.push(p.u64("locations[]")?);
+            }
+            Frame::BatchLocated {
+                epoch,
+                disks,
+                locations,
+            }
+        }
+        TAG_SCALED => Frame::Scaled {
+            epoch: p.u64("epoch")?,
+            disks: p.u32("disks")?,
+            queued: p.u64("queued")?,
+        },
+        TAG_TICKED => Frame::Ticked {
+            rounds: p.u32("rounds")?,
+            backlog: p.u64("backlog")?,
+        },
+        TAG_HEALTH_STATUS => {
+            let verdict = p.u8("verdict")?;
+            if verdict > 2 {
+                return Err(FrameError::Malformed {
+                    frame: name,
+                    detail: format!("verdict {verdict} out of range"),
+                });
+            }
+            Frame::HealthStatus {
+                verdict,
+                alerts: p.u64("alerts")?,
+                report: p.string("report")?,
+            }
+        }
+        TAG_STATS_TEXT => {
+            let b = p.u8("format")?;
+            let format = match b {
+                0 => StatsFormat::Prometheus,
+                1 => StatsFormat::Json,
+                other => {
+                    return Err(FrameError::Malformed {
+                        frame: name,
+                        detail: format!("unknown stats format {other}"),
+                    })
+                }
+            };
+            Frame::StatsText {
+                format,
+                text: p.string("text")?,
+            }
+        }
+        TAG_PONG => Frame::Pong {
+            epoch: p.u64("epoch")?,
+        },
+        TAG_ERROR => {
+            let code_byte = p.u8("code")?;
+            let code = ErrorCode::from_u8(code_byte).ok_or_else(|| FrameError::Malformed {
+                frame: name,
+                detail: format!("unknown error code {code_byte}"),
+            })?;
+            Frame::Error {
+                code,
+                message: p.string("message")?,
+            }
+        }
+        _ => unreachable!("tag validated above"),
+    };
+    p.finish()?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One exemplar of every frame type (shared with the corruption
+    /// sweep in `tests/wire_corruption.rs`).
+    pub(crate) fn exemplars() -> Vec<Frame> {
+        vec![
+            Frame::Locate {
+                object: 7,
+                block: 31_337,
+            },
+            Frame::LocateBatch {
+                object: 1,
+                blocks: vec![0, 5, 999, u64::MAX],
+            },
+            Frame::Scale {
+                op: ScalingOp::Add { count: 2 },
+            },
+            Frame::Scale {
+                op: ScalingOp::Remove {
+                    disks: vec![0, 3, 7],
+                },
+            },
+            Frame::Tick { rounds: 4 },
+            Frame::Health,
+            Frame::Stats {
+                format: StatsFormat::Prometheus,
+            },
+            Frame::Stats {
+                format: StatsFormat::Json,
+            },
+            Frame::Ping,
+            Frame::Located {
+                epoch: 3,
+                disks: 8,
+                disk: 5,
+            },
+            Frame::BatchLocated {
+                epoch: 2,
+                disks: 6,
+                locations: vec![0, 1, 5],
+            },
+            Frame::Scaled {
+                epoch: 4,
+                disks: 9,
+                queued: 12_345,
+            },
+            Frame::Ticked {
+                rounds: 3,
+                backlog: 17,
+            },
+            Frame::HealthStatus {
+                verdict: 1,
+                alerts: 2,
+                report: "health: WARN (2 alerts emitted)\n".to_string(),
+            },
+            Frame::StatsText {
+                format: StatsFormat::Json,
+                text: "{\"counters\": []}".to_string(),
+            },
+            Frame::Pong { epoch: 11 },
+            Frame::Error {
+                code: ErrorCode::Busy,
+                message: "128 connections".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in exemplars() {
+            let bytes = frame.to_bytes();
+            let (decoded, consumed) = decode_frame(&bytes).expect("round trip");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_and_decode_in_sequence() {
+        let frames = exemplars();
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.encode(&mut buf);
+        }
+        let mut offset = 0;
+        for expect in &frames {
+            let (got, used) = decode_frame(&buf[offset..]).expect("stream decode");
+            assert_eq!(&got, expect);
+            offset += used;
+        }
+        assert_eq!(offset, buf.len());
+    }
+
+    #[test]
+    fn incomplete_prefix_reports_needed_bytes() {
+        let bytes = Frame::Ping.to_bytes();
+        assert_eq!(
+            decode_frame(&bytes[..3]),
+            Err(FrameError::Incomplete { needed: 4 })
+        );
+        assert_eq!(
+            decode_frame(&bytes[..5]),
+            Err(FrameError::Incomplete {
+                needed: bytes.len()
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_rejected() {
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes[..4].copy_from_slice(&(HARD_MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Oversized { .. })
+        ));
+        bytes[..4].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes[..5]),
+            Err(FrameError::Undersized { len: 1 })
+        );
+        // A configured cap below the frame length also rejects.
+        let big = Frame::LocateBatch {
+            object: 0,
+            blocks: vec![0; 100],
+        }
+        .to_bytes();
+        assert!(matches!(
+            decode_frame_limited(&big, 64),
+            Err(FrameError::Oversized { max: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_and_unknown_tags_are_typed_errors() {
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes[4] = 9;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::VersionMismatch { got: 9 })
+        );
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes[5] = 0x60;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::UnknownTag { tag: 0x60 })
+        );
+    }
+
+    #[test]
+    fn hostile_counts_cannot_balloon_memory() {
+        // A LocateBatch claiming u32::MAX blocks in a 12-byte payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        buf.push(PROTOCOL_VERSION);
+        buf.push(TAG_LOCATE_BATCH);
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let len = (buf.len() - 4) as u32;
+        buf[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(FrameError::Malformed {
+                frame: "LocateBatch",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::Tick { rounds: 1 }.to_bytes();
+        bytes.push(0xAB);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::TrailingBytes {
+                frame: "Tick",
+                extra: 1
+            })
+        );
+    }
+
+    #[test]
+    fn request_response_direction_bit() {
+        for f in exemplars() {
+            assert_eq!(f.is_request(), f.tag() & 0x80 == 0, "{f:?}");
+        }
+        assert!(Frame::Locate {
+            object: 0,
+            block: 0
+        }
+        .is_request());
+        assert!(!Frame::Pong { epoch: 0 }.is_request());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Engine,
+            ErrorCode::Busy,
+            ErrorCode::BadRequest,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Protocol,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+            assert!(!code.label().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u8(200), None);
+    }
+}

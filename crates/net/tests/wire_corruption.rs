@@ -1,0 +1,304 @@
+//! Corruption sweep for the wire decoder, mirroring the snapshot
+//! sweep idiom in `scaddar-core`'s `persist` tests
+//! (`rejects_corruption_everywhere` / `rejects_truncation_everywhere`):
+//! every truncation point, every length-prefix class, every unknown
+//! tag, and a bit-flip at every byte of every frame type must come back
+//! as a typed [`FrameError`] (or a well-formed decode) — never a panic,
+//! never an out-of-bounds read, never a silent desync.
+
+use proptest::prelude::*;
+use scaddar_core::ScalingOp;
+use scaddar_net::wire::{
+    decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat,
+    FRAME_HEADER_LEN, HARD_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// One frame of every variant, with variable-length fields populated
+/// (the in-crate unit tests have their own copy; integration tests
+/// cannot see `#[cfg(test)]` items).
+fn exemplars() -> Vec<Frame> {
+    vec![
+        Frame::Locate {
+            object: 3,
+            block: 77,
+        },
+        Frame::LocateBatch {
+            object: 1,
+            blocks: vec![0, 9, 1 << 40],
+        },
+        Frame::Scale {
+            op: ScalingOp::Add { count: 2 },
+        },
+        Frame::Scale {
+            op: ScalingOp::Remove {
+                disks: vec![0, 3, 5],
+            },
+        },
+        Frame::Tick { rounds: 16 },
+        Frame::Health,
+        Frame::Stats {
+            format: StatsFormat::Prometheus,
+        },
+        Frame::Stats {
+            format: StatsFormat::Json,
+        },
+        Frame::Ping,
+        Frame::Located {
+            epoch: 4,
+            disks: 6,
+            disk: 5,
+        },
+        Frame::BatchLocated {
+            epoch: 2,
+            disks: 8,
+            locations: vec![1, 2, 3],
+        },
+        Frame::Scaled {
+            epoch: 9,
+            disks: 12,
+            queued: 4242,
+        },
+        Frame::Ticked {
+            rounds: 3,
+            backlog: 17,
+        },
+        Frame::HealthStatus {
+            verdict: 1,
+            alerts: 2,
+            report: "health: WARN — ro2 drift".into(),
+        },
+        Frame::StatsText {
+            format: StatsFormat::Json,
+            text: "{\"counters\": []}".into(),
+        },
+        Frame::Pong { epoch: 5 },
+        Frame::Error {
+            code: ErrorCode::Busy,
+            message: "server at connection limit".into(),
+        },
+    ]
+}
+
+#[test]
+fn every_truncation_point_is_retryable_incomplete() {
+    for frame in exemplars() {
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(FrameError::Incomplete { needed }) => {
+                    assert!(
+                        needed > cut && needed <= bytes.len(),
+                        "{frame:?} cut at {cut}: needed {needed} out of range"
+                    );
+                }
+                other => panic!("{frame:?} cut at {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+        // The uncut frame still round-trips.
+        let (decoded, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(used, bytes.len());
+    }
+}
+
+/// Shrinks the length prefix so the frame *claims* to end mid-payload:
+/// a complete-by-prefix frame whose payload runs out inside a field
+/// must be a typed in-frame error, never `Incomplete` (the stream
+/// offset is already decided) and never a panic.
+#[test]
+fn every_in_frame_truncation_is_a_typed_error() {
+    for frame in exemplars() {
+        let bytes = frame.to_bytes();
+        let payload_len = bytes.len() - FRAME_HEADER_LEN;
+        for keep in 0..payload_len {
+            let mut cut = Vec::with_capacity(FRAME_HEADER_LEN + keep);
+            cut.extend_from_slice(&(2 + keep as u32).to_le_bytes());
+            cut.extend_from_slice(&bytes[4..FRAME_HEADER_LEN + keep]);
+            match decode_frame(&cut) {
+                Err(FrameError::Truncated { .. } | FrameError::Malformed { .. }) => {}
+                other => panic!(
+                    "{frame:?} with payload shrunk to {keep}/{payload_len}: \
+                     expected Truncated/Malformed, got {other:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// Grows the length prefix past the real payload (zero padding): the
+/// decoder must notice the surplus, not mis-parse it into the next
+/// frame's bytes.
+#[test]
+fn padded_frames_are_trailing_bytes_errors() {
+    for frame in exemplars() {
+        let mut bytes = frame.to_bytes();
+        let padded_len = (bytes.len() - 4 + 3) as u32;
+        bytes[..4].copy_from_slice(&padded_len.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0]);
+        match decode_frame(&bytes) {
+            // Fixed-layout frames report the surplus; variable-length
+            // frames may instead read the pad as part of a count/string
+            // and fail that field — both are typed, neither is a desync.
+            Err(
+                FrameError::TrailingBytes { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::Malformed { .. },
+            ) => {}
+            other => panic!("{frame:?} padded: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn length_prefix_overflow_classes() {
+    let header = |len: u32| {
+        let mut b = len.to_le_bytes().to_vec();
+        b.extend_from_slice(&[PROTOCOL_VERSION, 0x01]);
+        b
+    };
+    // Over the hard ceiling, and over a configured cap.
+    for len in [HARD_MAX_FRAME_LEN + 1, u32::MAX] {
+        assert_eq!(
+            decode_frame(&header(len)),
+            Err(FrameError::Oversized {
+                len,
+                max: HARD_MAX_FRAME_LEN
+            })
+        );
+    }
+    assert_eq!(
+        decode_frame_limited(&header(1024), 64),
+        Err(FrameError::Oversized { len: 1024, max: 64 })
+    );
+    // Too short to hold version + tag.
+    for len in [0u32, 1] {
+        assert_eq!(
+            decode_frame(&header(len)),
+            Err(FrameError::Undersized { len })
+        );
+    }
+}
+
+#[test]
+fn every_unknown_tag_and_version_byte_is_typed() {
+    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+    let known_responses = [0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0xFF];
+    for tag in 0u8..=255 {
+        let buf = [2u8, 0, 0, 0, PROTOCOL_VERSION, tag];
+        match decode_frame(&buf) {
+            Err(FrameError::UnknownTag { tag: got }) => {
+                assert_eq!(got, tag);
+                assert!(
+                    !known_requests.contains(&tag) && !known_responses.contains(&tag),
+                    "known tag {tag:#04x} rejected as unknown"
+                );
+            }
+            // Known empty-payload frames (Health, Ping) decode; known
+            // tags with payloads report truncation — never a panic.
+            Ok(_) | Err(FrameError::Truncated { .. } | FrameError::Malformed { .. }) => {
+                assert!(
+                    known_requests.contains(&tag) || known_responses.contains(&tag),
+                    "unknown tag {tag:#04x} was not rejected"
+                );
+            }
+            other => panic!("tag {tag:#04x}: unexpected {other:?}"),
+        }
+    }
+    for version in (0u8..=255).filter(|v| *v != PROTOCOL_VERSION) {
+        assert_eq!(
+            decode_frame(&[2, 0, 0, 0, version, 0x01]),
+            Err(FrameError::VersionMismatch { got: version })
+        );
+    }
+}
+
+/// Flips one bit in every byte of every frame: the decoder must answer
+/// with a typed error or a clean decode of the *whole* mutated frame —
+/// never a panic, and never a decode that leaves the stream offset
+/// inconsistent with the bytes consumed.
+#[test]
+fn single_bit_flips_never_panic_or_desync() {
+    for frame in exemplars() {
+        let bytes = frame.to_bytes();
+        for i in 0..bytes.len() {
+            for mask in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= mask;
+                match decode_frame(&bad) {
+                    Ok((_, used)) => {
+                        assert!(
+                            used <= bad.len(),
+                            "{frame:?} flip {mask:#04x}@{i}: consumed {used} of {}",
+                            bad.len()
+                        );
+                    }
+                    Err(FrameError::Incomplete { needed }) => {
+                        // Only a grown length prefix can make the frame
+                        // incomplete — the flip must be in the prefix.
+                        assert!(
+                            i < 4,
+                            "{frame:?} flip {mask:#04x}@{i}: Incomplete off-prefix"
+                        );
+                        assert!(needed > bad.len());
+                    }
+                    Err(_) => {} // typed rejection: the contract
+                }
+            }
+        }
+    }
+}
+
+/// A frame claiming a batch of `u32::MAX` elements must be rejected by
+/// arithmetic, not by attempting the allocation.
+#[test]
+fn hostile_counts_are_rejected_without_allocation() {
+    for tag in [0x02u8, 0x82] {
+        let mut buf = Vec::new();
+        // payload: object/epoch u64 + (disks u32 for 0x82) + count u32
+        let payload_len = if tag == 0x82 { 8 + 4 + 4 } else { 8 + 4 };
+        buf.extend_from_slice(&(2 + payload_len as u32).to_le_bytes());
+        buf.push(PROTOCOL_VERSION);
+        buf.push(tag);
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        if tag == 0x82 {
+            buf.extend_from_slice(&4u32.to_le_bytes());
+        }
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            matches!(decode_frame(&buf), Err(FrameError::Malformed { .. })),
+            "hostile count behind tag {tag:#04x} was not rejected"
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary byte soup: decode returns, never panics, and any
+    /// successful decode consumes no more than the buffer.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok((_, used)) = decode_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Byte soup stamped with a valid header prefix reaches the payload
+    /// parsers; they too must never panic.
+    #[test]
+    fn framed_byte_soup_never_panics(
+        tag in 0u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        buf.extend_from_slice(&(2 + payload.len() as u32).to_le_bytes());
+        buf.push(PROTOCOL_VERSION);
+        buf.push(tag);
+        buf.extend_from_slice(&payload);
+        match decode_frame(&buf) {
+            Ok((_, used)) => prop_assert_eq!(used, buf.len()),
+            Err(FrameError::Incomplete { .. }) => {
+                prop_assert!(false, "complete frame reported Incomplete");
+            }
+            Err(_) => {}
+        }
+    }
+}

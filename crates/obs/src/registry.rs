@@ -221,7 +221,7 @@ impl Registry {
 
     /// Renders a JSON snapshot: three sorted arrays (`counters`,
     /// `gauges`, `histograms`), histograms with count/sum/max and
-    /// estimated p50/p95/p99 (`null` while empty). Metric names are
+    /// estimated p50/p95/p99/p999 (`null` while empty). Metric names are
     /// JSON-escaped (inline-labeled names carry `"` characters).
     /// Hand-written, no serde; [`parse_json_values`] /
     /// [`try_parse_json_values`] are the matching hand parsers.
@@ -251,13 +251,14 @@ impl Registry {
                         &mut histograms,
                         format!(
                             "{{\"name\": \"{name}\", \"count\": {}, \"sum\": {}, \"max\": {}, \
-                             \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}}}",
                             snap.count,
                             snap.sum,
                             q((snap.count > 0).then_some(snap.max)),
                             q(snap.quantile(0.50)),
                             q(snap.quantile(0.95)),
                             q(snap.quantile(0.99)),
+                            q(snap.quantile(0.999)),
                         ),
                     );
                 }
@@ -606,6 +607,7 @@ mod tests {
         assert_eq!(get("gamma_ns", "max"), Some(100.0));
         assert_eq!(get("gamma_ns", "p50"), Some(7.0), "bucket bound of 5");
         assert_eq!(get("gamma_ns", "p99"), Some(100.0));
+        assert_eq!(get("gamma_ns", "p999"), Some(100.0));
     }
 
     #[test]
@@ -716,6 +718,7 @@ mod tests {
         r.histogram("empty_ns", "never recorded");
         let json = r.snapshot_json();
         assert!(json.contains("\"p50\": null"));
+        assert!(json.contains("\"p999\": null"));
         assert!(json.contains("\"max\": null"));
         // Nulls are skipped by the parser, count survives.
         let values = parse_json_values(&json);
