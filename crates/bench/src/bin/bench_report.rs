@@ -195,7 +195,9 @@ fn monitor_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
 /// from the seeded loopback load run, throughput and error/violation
 /// counts, and the instrumented/bare serving overhead ratio with the
 /// ≤1.10 acceptance verdict, plus the raw `net_*` measurements (the
-/// `net` codec/request-path bench rows ride along when present).
+/// `net` codec/request-path bench rows ride along when present). When
+/// the load run included the threaded reference (`--mode both`), the
+/// event-loop/threaded A/B throughput pair and speedup are included.
 /// `None` when `scaddard-load` has not run.
 fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     let get = |key: &str| Some(all.get(key)?.ns_per_iter);
@@ -212,6 +214,18 @@ fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     }
     let ratio = inst / bare;
     let count = |key: &str| get(key).unwrap_or(0.0);
+    // A/B block: present only when the load run included the threaded
+    // reference (`--mode both`), so event-loop-only runs still report.
+    let ab = get("net_load_threaded/throughput_rps")
+        .filter(|&t| t > 0.0)
+        .map(|threaded| {
+            format!(
+                "  \"threaded_throughput_rps\": {threaded:.1},\n\
+                 \x20 \"event_loop_speedup\": {:.3},\n",
+                count("net_load/throughput_rps") / threaded
+            )
+        })
+        .unwrap_or_default();
     let mut raw = String::new();
     for (key, m) in all.iter().filter(|(k, _)| k.starts_with("net_")) {
         if !raw.is_empty() {
@@ -227,7 +241,9 @@ fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     Some(format!(
         "{{\n  \"locate_latency_ns\": {{\"p50\": {p50:.0}, \"p95\": {p95:.0}, \"p99\": {p99:.0}, \"p999\": {p999:.0}}},\n\
          \x20 \"batch_p99_ns\": {:.0},\n\
+         \x20 \"pipelined_p999_ns\": {:.0},\n\
          \x20 \"throughput_rps\": {:.1},\n\
+         {ab}\
          \x20 \"requests\": {:.0},\n\
          \x20 \"errors\": {:.0},\n\
          \x20 \"protocol_errors\": {:.0},\n\
@@ -237,6 +253,7 @@ fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
          \"ratio\": {ratio:.4}, \"within_10pct\": {}}}\n  ],\n\
          \x20 \"raw\": [\n{raw}\n  ]\n}}\n",
         count("net_load/batch_p99"),
+        count("net_load/pipelined_p999"),
         count("net_load/throughput_rps"),
         count("net_load/requests"),
         count("net_load/errors"),
@@ -433,7 +450,9 @@ mod tests {
             ("net_load/locate_p99", 90_000.0),
             ("net_load/locate_p999", 180_000.0),
             ("net_load/batch_p99", 120_000.0),
-            ("net_load/throughput_rps", 41_000.0),
+            ("net_load/pipelined_p999", 95_000.0),
+            ("net_load/throughput_rps", 410_000.0),
+            ("net_load_threaded/throughput_rps", 205_000.0),
             ("net_load/requests", 4_800.0),
             ("net_load/errors", 0.0),
             ("net_load/protocol_errors", 0.0),
@@ -452,7 +471,15 @@ mod tests {
         assert!(report.contains("\"consistency_violations\": 0"));
         assert!(report.contains("\"ratio\": 1.0500"));
         assert!(report.contains("\"within_10pct\": true"));
+        assert!(report.contains("\"pipelined_p999_ns\": 95000"));
+        assert!(report.contains("\"threaded_throughput_rps\": 205000.0"));
+        assert!(report.contains("\"event_loop_speedup\": 2.000"));
         assert!(report.contains("net_codec/decode_locate"));
+
+        // The A/B block is optional: an event-loop-only run still reports.
+        all.remove("net_load_threaded/throughput_rps");
+        let solo = net_report(&all).expect("event-loop-only run still reports");
+        assert!(!solo.contains("event_loop_speedup"));
 
         all.remove("net_locate_overhead/bare");
         assert!(net_report(&all).is_none(), "no load run, nothing written");

@@ -18,7 +18,7 @@
 use cmsim::{CmServer, ServerConfig, SharedServer};
 use scaddar_core::ScalingOp;
 use scaddar_monitor::Severity;
-use scaddar_net::{NetClient, NetServerConfig, Scaddard, StatsFormat};
+use scaddar_net::{NetClient, NetServerConfig, Scaddard, ServerMode, StatsFormat};
 use scaddar_obs::{MonotonicClock, Registry, Tracer};
 use std::fmt::Write as _;
 use std::io::BufRead;
@@ -47,6 +47,12 @@ pub struct ServeArgs {
     pub seed: u64,
     /// Connection cap handed to the daemon.
     pub max_connections: usize,
+    /// Serving core: the epoll/poll reactor (default) or the
+    /// thread-per-connection reference implementation.
+    pub mode: ServerMode,
+    /// Reactor worker threads; 0 = one per core. Ignored by
+    /// `--threaded`.
+    pub workers: usize,
     /// Boot, evaluate health, exit with the verdict instead of serving.
     pub check: bool,
 }
@@ -59,13 +65,15 @@ impl Default for ServeArgs {
             blocks: 100_000,
             seed: 0,
             max_connections: NetServerConfig::default().max_connections,
+            mode: ServerMode::EventLoop,
+            workers: 0,
             check: false,
         }
     }
 }
 
 const SERVE_USAGE: &str = "serve [--addr HOST:PORT] [--disks N] [--blocks N] [--seed N] \
-                           [--max-conns N] [--check]";
+                           [--max-conns N] [--event-loop | --threaded] [--workers N] [--check]";
 
 /// Parses `serve` argv (everything after the subcommand word).
 pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -91,6 +99,11 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 parsed.max_connections = value("--max-conns")?
                     .parse()
                     .map_err(|_| bad("--max-conns"))?;
+            }
+            "--event-loop" => parsed.mode = ServerMode::EventLoop,
+            "--threaded" => parsed.mode = ServerMode::Threaded,
+            "--workers" => {
+                parsed.workers = value("--workers")?.parse().map_err(|_| bad("--workers"))?;
             }
             "--check" => parsed.check = true,
             other => return Err(format!("unknown argument `{other}`\nusage: {SERVE_USAGE}")),
@@ -120,8 +133,10 @@ pub fn boot_daemon(args: &ServeArgs) -> Result<Scaddard, String> {
         Arc::new(SharedServer::new(server)),
         NetServerConfig {
             max_connections: args.max_connections,
+            workers: args.workers,
             ..NetServerConfig::default()
-        },
+        }
+        .with_mode(args.mode),
         &registry,
         tracer,
     )
@@ -398,13 +413,22 @@ mod tests {
             "9",
             "--max-conns",
             "32",
+            "--threaded",
+            "--workers",
+            "3",
             "--check",
         ]))
         .unwrap();
         assert_eq!(parsed.addr, "127.0.0.1:0");
         assert_eq!((parsed.disks, parsed.blocks, parsed.seed), (6, 5000, 9));
         assert_eq!(parsed.max_connections, 32);
+        assert_eq!(parsed.mode, ServerMode::Threaded);
+        assert_eq!(parsed.workers, 3);
         assert!(parsed.check);
+        assert_eq!(
+            parse_serve_args(&args(&["--event-loop"])).unwrap().mode,
+            ServerMode::EventLoop
+        );
         assert!(parse_serve_args(&args(&["--disks", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--disks"])).is_err());
         assert!(parse_serve_args(&args(&["--frobnicate"])).is_err());

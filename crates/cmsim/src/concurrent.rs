@@ -44,6 +44,58 @@ pub struct BatchRead {
     pub locations: Vec<PhysicalDiskId>,
 }
 
+/// One pending lookup frame in a coalesced read: either a single-block
+/// `Locate` or a whole-window `LocateBatch`. Block lists are borrowed
+/// from the caller (typically straight out of a decoded wire frame) so
+/// coalescing adds no copies on the request path.
+#[derive(Debug, Clone, Copy)]
+pub enum LocateQuery<'a> {
+    /// A single-block lookup (answers with the *logical* disk index,
+    /// mirroring [`SharedServer::locate`]).
+    One {
+        /// Object to locate in.
+        object: ObjectId,
+        /// Block number within the object.
+        block: u64,
+    },
+    /// A bulk lookup (answers with *physical* disk ids, mirroring
+    /// [`SharedServer::locate_batch_read`]).
+    Many {
+        /// Object to locate in.
+        object: ObjectId,
+        /// Block numbers within the object.
+        blocks: &'a [u64],
+    },
+}
+
+/// Per-query payload of a coalesced read, shaped like the query that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocateAnswer {
+    /// Answer to [`LocateQuery::One`].
+    One(DiskIndex),
+    /// Answer to [`LocateQuery::Many`], in request order.
+    Many(Vec<PhysicalDiskId>),
+}
+
+/// The result of answering *many* lookup frames under **one** shared
+/// lock acquisition: a single `(epoch, disks)` snapshot that every
+/// answer in `answers` was served at. This is the invariant an
+/// event-loop server needs for cross-connection batching — frames from
+/// different sockets coalesced into one read must still each be
+/// "entirely pre-op or entirely post-op", and sharing one guard makes
+/// that true by construction.
+#[derive(Debug, Clone)]
+pub struct CoalescedRead {
+    /// Scaling epoch `j` every answer was served at.
+    pub epoch: usize,
+    /// Number of disks at that epoch.
+    pub disks: u32,
+    /// One result per query, in submission order. Per-query failures
+    /// (unknown object, block out of range) do not poison the batch.
+    pub answers: Vec<Result<LocateAnswer, ServerError>>,
+}
+
 /// Thread-safe wrapper over a [`CmServer`].
 ///
 /// Reads take the shared lock; scaling takes the exclusive lock for the
@@ -106,6 +158,36 @@ impl SharedServer {
             disks: guard.disks().disks(),
             locations,
         })
+    }
+
+    /// Answers a whole slate of lookup frames under **one** shared lock
+    /// acquisition. All answers share a single `(epoch, disks)`
+    /// snapshot, so a serving layer may interleave frames from many
+    /// connections into one call and still hand every client the
+    /// epoch-consistency guarantee of [`locate`](Self::locate) /
+    /// [`locate_batch_read`](Self::locate_batch_read). Compared to one
+    /// lock round-trip per frame this is the difference between `n`
+    /// atomic RMWs on the lock word per wakeup and two.
+    pub fn locate_coalesced(&self, queries: &[LocateQuery<'_>]) -> CoalescedRead {
+        let guard = self.inner.read();
+        let answers = queries
+            .iter()
+            .map(|query| match *query {
+                LocateQuery::One { object, block } => guard
+                    .engine()
+                    .locate(object, block)
+                    .map(LocateAnswer::One)
+                    .map_err(ServerError::from),
+                LocateQuery::Many { object, blocks } => {
+                    guard.locate_batch(object, blocks).map(LocateAnswer::Many)
+                }
+            })
+            .collect();
+        CoalescedRead {
+            epoch: guard.engine().epoch(),
+            disks: guard.disks().disks(),
+            answers,
+        }
     }
 
     /// Applies a scaling operation under the exclusive lock.
@@ -253,6 +335,107 @@ mod tests {
                     shared.tick();
                 }
                 while total_batches.load(Ordering::Relaxed) < seen + 20 {
+                    std::thread::yield_now();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .expect("threads join cleanly");
+        assert_eq!(shared.with_read(|s| s.disks().disks()), 7);
+    }
+
+    #[test]
+    fn coalesced_read_agrees_with_individual_lookups() {
+        let mut server = CmServer::new(ServerConfig::new(5).with_catalog_seed(23)).unwrap();
+        let object = server.add_object(2_000).unwrap();
+        let shared = SharedServer::new(server);
+        shared.scale(ScalingOp::Add { count: 2 }).unwrap();
+        while shared.backlog() > 0 {
+            shared.tick();
+        }
+
+        let window: Vec<u64> = (100..140).collect();
+        let queries = [
+            LocateQuery::One { object, block: 7 },
+            LocateQuery::Many {
+                object,
+                blocks: &window,
+            },
+            LocateQuery::One {
+                object,
+                block: 1_999,
+            },
+            // Out-of-range block: fails alone, must not poison the rest.
+            LocateQuery::One {
+                object,
+                block: 2_000,
+            },
+        ];
+        let read = shared.locate_coalesced(&queries);
+        assert_eq!((read.epoch, read.disks), shared.epoch_view());
+        assert_eq!(read.answers.len(), queries.len());
+
+        let single = shared.locate(object, 7).unwrap();
+        assert_eq!(read.answers[0], Ok(LocateAnswer::One(single.disk)));
+        let batch = shared.locate_batch_read(object, &window).unwrap();
+        assert_eq!(read.answers[1], Ok(LocateAnswer::Many(batch.locations)));
+        let last = shared.locate(object, 1_999).unwrap();
+        assert_eq!(read.answers[2], Ok(LocateAnswer::One(last.disk)));
+        assert!(read.answers[3].is_err(), "out-of-range block must fail");
+    }
+
+    #[test]
+    fn coalesced_reads_are_epoch_consistent_during_scaling() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(41)).unwrap();
+        let object = server.add_object(3_000).unwrap();
+        let shared = SharedServer::new(server);
+        let stop = AtomicBool::new(false);
+        let total = AtomicU64::new(0);
+        let window: Vec<u64> = (0..32).collect();
+
+        crossbeam::scope(|scope| {
+            for t in 0..3u64 {
+                let shared = &shared;
+                let stop = &stop;
+                let total = &total;
+                let window = &window;
+                scope.spawn(move |_| {
+                    let mut block = t * 977;
+                    while !stop.load(Ordering::Relaxed) {
+                        block = (block + 13) % 3_000;
+                        let queries = [
+                            LocateQuery::One { object, block },
+                            LocateQuery::Many {
+                                object,
+                                blocks: window,
+                            },
+                        ];
+                        let read = shared.locate_coalesced(&queries);
+                        // Epochs imply disk counts 4..=7 in this test;
+                        // a torn coalesced read would break the pairing
+                        // or place a block outside the epoch's array.
+                        assert_eq!(read.disks, 4 + read.epoch as u32);
+                        match &read.answers[0] {
+                            Ok(LocateAnswer::One(disk)) => assert!(disk.0 < read.disks),
+                            other => panic!("unexpected answer {other:?}"),
+                        }
+                        match &read.answers[1] {
+                            Ok(LocateAnswer::Many(locs)) => {
+                                assert_eq!(locs.len(), window.len());
+                            }
+                            other => panic!("unexpected answer {other:?}"),
+                        }
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let seen = total.load(Ordering::Relaxed);
+                shared.scale(ScalingOp::Add { count: 1 }).expect("scale");
+                while shared.backlog() > 0 {
+                    shared.tick();
+                }
+                while total.load(Ordering::Relaxed) < seen + 30 {
                     std::thread::yield_now();
                 }
             }

@@ -64,7 +64,9 @@ pub mod stream;
 pub mod workload;
 
 pub use admission::AdmissionController;
-pub use concurrent::{BatchRead, EpochRead, SharedServer};
+pub use concurrent::{
+    BatchRead, CoalescedRead, EpochRead, LocateAnswer, LocateQuery, SharedServer,
+};
 pub use config::ServerConfig;
 pub use decluster::{DeclusteredParity, RepairStats};
 pub use disk::{DiskArray, DiskSpec};

@@ -169,16 +169,24 @@ pub fn plan_last_op(catalog: &Catalog, log: &ScalingLog) -> MovePlan {
     )
 }
 
-/// Parallel `RF()`: the same plan as [`plan_last_op`], computed by
-/// `threads` scoped worker threads.
+/// Parallel `RF()`: the same plan as [`plan_last_op`], computed by up
+/// to `threads` scoped worker threads.
 ///
 /// The catalog's flattened block index space is split into one
 /// contiguous span per thread; each worker seeks into the random
 /// streams with [`Catalog::iter_x0_range`], folds `X_0 → X_{j-1}`
-/// through a compiled prefix [`RemapPipeline`], applies the final
-/// record, and emits a partial plan. Partial move lists are
+/// through a compiled prefix [`RemapPipeline`] in cache-sized batches
+/// ([`RemapPipeline::fold_batch`], step-outer/block-inner), applies the
+/// final record, and emits a partial plan. Partial move lists are
 /// concatenated in span order — which *is* catalog order — so the
 /// result is equal to the serial plan, moves and censuses included.
+///
+/// Spans shorter than [`MIN_SPAN_PER_THREAD`] blocks are not worth a
+/// thread: the requested thread count is clamped so no span falls below
+/// it, and the single-thread case runs the same compiled batch-fold
+/// inline with no spawn/join at all — `threads == 1` is the *fast*
+/// serial path, beating [`plan_last_op`]'s record-by-record reference
+/// fold rather than delegating to it.
 ///
 /// # Panics
 /// If the log has no operations.
@@ -202,6 +210,75 @@ pub fn plan_last_op_parallel_instrumented(
     plan_parallel_inner(catalog, log, threads, Some(stats))
 }
 
+/// Smallest span worth a planner thread. Below this the batch fold
+/// finishes in tens of microseconds and spawn/join overhead plus the
+/// partial-plan merge cost more than the parallelism buys; the clamp
+/// in [`plan_parallel_inner`] also sends small catalogs down the
+/// inline single-thread path.
+pub const MIN_SPAN_PER_THREAD: u64 = 8_192;
+
+/// Blocks batch-folded per [`RemapPipeline::fold_batch`] call on the
+/// planning path: 4096 × 8 B = 32 KiB of `X` values — comfortably L1
+/// resident alongside the step constants, big enough to amortize the
+/// step-outer loop.
+const PLAN_FOLD_CHUNK: usize = 4_096;
+
+/// Iterator adapter that folds `X_0 → X_{j-1}` through a compiled
+/// prefix pipeline in [`PLAN_FOLD_CHUNK`]-sized batches while yielding
+/// `(BlockRef, X_{j-1})` pairs one at a time — the glue that lets the
+/// streaming [`plan_from_x_prev`] consume the step-outer/block-inner
+/// bulk fold without materializing a whole span.
+struct BatchFolded<'a, I> {
+    inner: I,
+    prefix: &'a RemapPipeline,
+    buf: Vec<(BlockRef, u64)>,
+    xs: Vec<u64>,
+    pos: usize,
+}
+
+impl<'a, I: Iterator<Item = (BlockRef, u64)>> BatchFolded<'a, I> {
+    fn new(inner: I, prefix: &'a RemapPipeline) -> Self {
+        BatchFolded {
+            inner,
+            prefix,
+            buf: Vec::with_capacity(PLAN_FOLD_CHUNK),
+            xs: Vec::with_capacity(PLAN_FOLD_CHUNK),
+            pos: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = (BlockRef, u64)>> Iterator for BatchFolded<'_, I> {
+    type Item = (BlockRef, u64);
+
+    fn next(&mut self) -> Option<(BlockRef, u64)> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.xs.clear();
+            self.pos = 0;
+            while self.buf.len() < PLAN_FOLD_CHUNK {
+                match self.inner.next() {
+                    Some((blockref, x0)) => {
+                        self.buf.push((blockref, 0));
+                        self.xs.push(x0);
+                    }
+                    None => break,
+                }
+            }
+            if self.buf.is_empty() {
+                return None;
+            }
+            self.prefix.fold_batch(&mut self.xs);
+            for (slot, &x) in self.buf.iter_mut().zip(&self.xs) {
+                slot.1 = x;
+            }
+        }
+        let item = self.buf[self.pos];
+        self.pos += 1;
+        Some(item)
+    }
+}
+
 fn plan_parallel_inner(
     catalog: &Catalog,
     log: &ScalingLog,
@@ -212,12 +289,20 @@ fn plan_parallel_inner(
     assert!(j > 0, "log has no scaling operation to plan");
     let plan_start = stats.map(|s| s.clock.now_ns());
     let total = catalog.total_blocks();
-    let threads = threads.max(1).min(total.max(1) as usize);
+    let threads = threads
+        .max(1)
+        .min(total.div_ceil(MIN_SPAN_PER_THREAD).max(1) as usize);
+    let prefix = RemapPipeline::compile_prefix(log, j - 1);
+    let record = &log.records()[j - 1];
     let merged = if threads == 1 {
-        plan_last_op(catalog, log)
+        // Inline fast path: same compiled batch fold, no spawn/join.
+        let chunk_start = stats.map(|s| s.clock.now_ns());
+        let merged = plan_from_x_prev(BatchFolded::new(catalog.iter_x0(), &prefix), record, j);
+        if let (Some(s), Some(t0)) = (stats, chunk_start) {
+            s.plan_chunk_ns.record(s.clock.now_ns().saturating_sub(t0));
+        }
+        merged
     } else {
-        let prefix = RemapPipeline::compile_prefix(log, j - 1);
-        let record = &log.records()[j - 1];
         let chunk = total.div_ceil(threads as u64);
         let partials: Vec<MovePlan> = crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads as u64)
@@ -230,9 +315,7 @@ fn plan_parallel_inner(
                     scope.spawn(move |_| {
                         let chunk_start = stats.map(|s| s.clock.now_ns());
                         let partial = plan_from_x_prev(
-                            catalog
-                                .iter_x0_range(start, len)
-                                .map(|(blockref, x0)| (blockref, prefix.fold(x0))),
+                            BatchFolded::new(catalog.iter_x0_range(start, len), prefix),
                             record,
                             j,
                         );
@@ -381,10 +464,12 @@ mod tests {
 
     #[test]
     fn parallel_plan_equals_serial_plan() {
+        // Total is comfortably past MIN_SPAN_PER_THREAD so the span
+        // split (not just the inline single-thread path) is exercised.
         let mut catalog = Catalog::new(RngKind::SplitMix64, Bits::B32, 7);
-        catalog.add_object(5_000);
+        catalog.add_object(15_000);
         catalog.add_object(1);
-        catalog.add_object(3_000);
+        catalog.add_object(9_000);
         let mut log = ScalingLog::new(4).unwrap();
         for op in [
             ScalingOp::Add { count: 2 },
@@ -435,9 +520,27 @@ mod tests {
         assert_eq!(instrumented, plan_last_op_parallel(&catalog, &log, 4));
         assert_eq!(stats.plan_blocks.get(), 4_000);
         assert_eq!(stats.plan_ns.snapshot().count, 1);
-        assert_eq!(stats.plan_chunk_ns.snapshot().count, 4);
+        // 4 000 blocks is below MIN_SPAN_PER_THREAD: the clamp sends
+        // the whole catalog down the inline path as one chunk.
+        assert_eq!(stats.plan_chunk_ns.snapshot().count, 1);
         // j = 1: one fold per block.
         assert_eq!(stats.pipeline_folds.get(), 4_000);
+    }
+
+    #[test]
+    fn instrumented_parallel_plan_splits_large_catalogs() {
+        use scaddar_obs::{Registry, VirtualClock};
+        use std::sync::Arc;
+        let (catalog, mut log) = setup(40_000);
+        log.push(&ScalingOp::Add { count: 1 }).unwrap();
+        let registry = Registry::new();
+        let stats = EngineStats::register(&registry, Arc::new(VirtualClock::new()));
+        let instrumented = plan_last_op_parallel_instrumented(&catalog, &log, 4, &stats);
+        assert_eq!(instrumented, plan_last_op(&catalog, &log));
+        // 40 000 / 8 192 rounds up to 5 ≥ 4: all four workers spin up,
+        // each recording its span.
+        assert_eq!(stats.plan_chunk_ns.snapshot().count, 4);
+        assert_eq!(stats.plan_blocks.get(), 40_000);
     }
 
     #[test]

@@ -4,16 +4,17 @@
 //! protocol errors, zero epoch-consistency violations, scaling observed
 //! mid-traffic — and that the engine behind the socket still satisfies
 //! the in-process invariants the harness pins down (residency
-//! consistent, zero stream hiccups). CI's `net-smoke` job runs the
-//! release-mode cousin of this via `scaddard-load`.
+//! consistent, zero stream hiccups). Runs once per serving core: the
+//! event-loop reactor (the default) and the thread-per-connection
+//! reference. CI's `net-smoke` job runs the release-mode cousin of this
+//! via `scaddard-load --mode both`.
 
 use cmsim::{CmServer, ServerConfig, SharedServer};
-use scaddar_net::{LoadConfig, NetServerConfig, Scaddard};
+use scaddar_net::{LoadConfig, NetServerConfig, Scaddard, ServerMode};
 use scaddar_obs::{MonotonicClock, Registry, Tracer};
 use std::sync::Arc;
 
-#[test]
-fn seeded_loopback_load_is_clean_and_preserves_engine_invariants() {
+fn smoke(mode: ServerMode) {
     let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(0x5E6E)).unwrap();
     server.add_object(10_000).unwrap();
     let shared = Arc::new(SharedServer::new(server));
@@ -22,7 +23,7 @@ fn seeded_loopback_load_is_clean_and_preserves_engine_invariants() {
     let daemon = Scaddard::bind(
         "127.0.0.1:0",
         Arc::clone(&shared),
-        NetServerConfig::default(),
+        NetServerConfig::default().with_mode(mode),
         &registry,
         tracer,
     )
@@ -75,4 +76,14 @@ fn seeded_loopback_load_is_clean_and_preserves_engine_invariants() {
         );
         assert_eq!(s.metrics().total_hiccups(), 0, "streams hiccuped");
     });
+}
+
+#[test]
+fn seeded_loopback_load_is_clean_and_preserves_engine_invariants() {
+    smoke(ServerMode::EventLoop);
+}
+
+#[test]
+fn seeded_loopback_load_is_clean_on_the_threaded_reference() {
+    smoke(ServerMode::Threaded);
 }

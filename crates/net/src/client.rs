@@ -3,7 +3,14 @@
 //!
 //! A [`NetClient`] owns a small pool of TCP connections to one server.
 //! Each request checks a connection out, uses it, and returns it on
-//! success; failed connections are dropped, never pooled. Retry policy:
+//! success; failed connections are dropped, never pooled. A pooled
+//! connection that has sat idle past
+//! [`idle_probe_after`](ClientConfig::idle_probe_after) is
+//! **keepalive-probed** (one `Ping`/`Pong` round-trip) at checkout;
+//! probe failures silently discard the stale connection and fall
+//! through to the next pooled one or a fresh dial — so even
+//! *non-retryable* mutations never land on a connection the server
+//! already closed. Retry policy:
 //!
 //! * **Read-only requests** (`Locate`, `LocateBatch`, `Health`,
 //!   `Stats`, `Ping`) are idempotent and retry on any I/O failure on a
@@ -39,6 +46,10 @@ pub struct ClientConfig {
     pub retries: u32,
     /// Largest accepted response frame.
     pub max_frame_len: u32,
+    /// Pooled connections idle for at least this long are `Ping`-probed
+    /// before reuse (dead ones are discarded, not handed to requests).
+    /// `None` disables keepalive probing.
+    pub idle_probe_after: Option<Duration>,
 }
 
 impl Default for ClientConfig {
@@ -49,6 +60,7 @@ impl Default for ClientConfig {
             max_pool: 4,
             retries: 2,
             max_frame_len: HARD_MAX_FRAME_LEN,
+            idle_probe_after: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -112,6 +124,8 @@ struct Conn {
     stream: TcpStream,
     /// Bytes read past the last decoded frame (response pipelining).
     buf: Vec<u8>,
+    /// When the connection went back into the pool (or was dialed).
+    idle_since: Instant,
 }
 
 /// A pooled, pipelining client for one `scaddard` server.
@@ -143,8 +157,18 @@ impl NetClient {
     }
 
     fn checkout(&self, deadline: Instant) -> Result<Conn, ClientError> {
-        if let Some(conn) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
-            return Ok(conn);
+        loop {
+            let Some(mut conn) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() else {
+                break;
+            };
+            let needs_probe = self
+                .config
+                .idle_probe_after
+                .is_some_and(|after| conn.idle_since.elapsed() >= after);
+            if !needs_probe || self.probe(&mut conn, deadline) {
+                return Ok(conn);
+            }
+            // Stale pooled connection: drop it and try the next.
         }
         let remaining = deadline
             .checked_duration_since(Instant::now())
@@ -155,10 +179,21 @@ impl NetClient {
         Ok(Conn {
             stream,
             buf: Vec::new(),
+            idle_since: Instant::now(),
         })
     }
 
-    fn checkin(&self, conn: Conn) {
+    /// Keepalive probe: one `Ping` round-trip. `false` means the
+    /// connection is dead (server closed it, half-open, or desynced)
+    /// and must be discarded.
+    fn probe(&self, conn: &mut Conn, deadline: Instant) -> bool {
+        conn.buf.is_empty()
+            && conn.stream.write_all(&Frame::Ping.to_bytes()).is_ok()
+            && matches!(self.read_frame(conn, deadline), Ok(Frame::Pong { .. }))
+    }
+
+    fn checkin(&self, mut conn: Conn) {
+        conn.idle_since = Instant::now();
         let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
         if pool.len() < self.config.max_pool {
             pool.push(conn);
@@ -488,6 +523,90 @@ mod tests {
         // reconnect transparently.
         assert_eq!(client.ping().unwrap(), 0);
         daemon2.shutdown();
+    }
+
+    #[test]
+    fn idle_probe_lets_mutations_survive_a_stale_pool() {
+        // Mutations never retry once bytes hit the wire — without the
+        // keepalive probe, a `scale` after a server bounce would fail
+        // on the dead pooled connection. With `idle_probe_after` at
+        // zero, checkout probes first and dials fresh instead.
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(5)).unwrap();
+        server.add_object(10_000).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 64);
+        let daemon = Scaddard::bind(
+            "127.0.0.1:0",
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig::default(),
+            &registry,
+            tracer,
+        )
+        .unwrap();
+        let addr = daemon.local_addr();
+        let client = NetClient::with_config(
+            addr,
+            ClientConfig {
+                idle_probe_after: Some(Duration::ZERO),
+                retries: 0,
+                ..ClientConfig::default()
+            },
+        );
+        assert_eq!(client.ping().unwrap(), 0); // pools one connection
+        daemon.shutdown(); // kills it server-side
+
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(5)).unwrap();
+        server.add_object(10_000).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 64);
+        let daemon2 = Scaddard::bind(
+            addr,
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig::default(),
+            &registry,
+            tracer,
+        )
+        .expect("rebind the same port");
+        let (epoch, disks, _) = client
+            .scale(ScalingOp::Add { count: 1 })
+            .expect("probe must discard the dead connection before the mutation");
+        assert_eq!((epoch, disks), (1, 5));
+        daemon2.shutdown();
+    }
+
+    #[test]
+    fn idle_probe_keeps_live_connections_pooled() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(5)).unwrap();
+        server.add_object(10_000).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 64);
+        let daemon = Scaddard::bind(
+            "127.0.0.1:0",
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig::default(),
+            &registry,
+            tracer,
+        )
+        .unwrap();
+        let client = NetClient::with_config(
+            daemon.local_addr(),
+            ClientConfig {
+                idle_probe_after: Some(Duration::ZERO),
+                ..ClientConfig::default()
+            },
+        );
+        // Every request after the first probes the pooled connection;
+        // a healthy one passes the probe and is reused, not re-dialed.
+        for _ in 0..4 {
+            assert_eq!(client.ping().unwrap(), 0);
+        }
+        let stats = client.stats(StatsFormat::Json).unwrap();
+        // One client connection (+ this stats request may reuse it too).
+        assert!(
+            !stats.is_empty(),
+            "stats endpoint must answer on a probed connection"
+        );
+        daemon.shutdown();
     }
 
     #[test]

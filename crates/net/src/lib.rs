@@ -11,11 +11,19 @@
 //!   ([`Frame`], [`FrameError`]): a zero-copy encoder and a hardened
 //!   decoder that answers truncated/oversized/garbage input with typed
 //!   errors, never a panic.
-//! * [`server`] — `scaddard` ([`Scaddard`]): a thread-per-connection
-//!   TCP server over a [`cmsim::SharedServer`] with a bounded accept
-//!   policy (max connections, per-request read/write deadlines,
-//!   graceful drain on shutdown) and per-endpoint `obs`
-//!   counters/latency histograms plus `net.*` spans.
+//! * [`server`] — `scaddard` ([`Scaddard`]): the serving daemon over a
+//!   [`cmsim::SharedServer`] with a bounded accept policy (max
+//!   connections, per-request read/write deadlines, graceful drain on
+//!   shutdown) and per-endpoint `obs` counters/latency histograms plus
+//!   `net.*` spans. Two cores behind one bind call ([`ServerMode`]):
+//!   the default readiness-based event loop and the thread-per-
+//!   connection reference kept for A/B runs.
+//! * [`reactor`] — the event-loop core: nonblocking sockets driven by
+//!   epoll/poll(2) (via the vendored `polling` shim), a slab of
+//!   per-connection states with reusable buffers, cross-connection
+//!   request coalescing into single [`cmsim::SharedServer`] read-lock
+//!   acquisitions, batched writes with graceful EAGAIN handling, and
+//!   the PR 5 deadline/backpressure policy preserved.
 //! * [`client`] — [`NetClient`]: connection pooling, request
 //!   pipelining, and deadline-aware retry-on-reconnect.
 //! * [`load`] — a deterministic loopback load generator (seeded
@@ -41,10 +49,11 @@
 
 pub mod client;
 pub mod load;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, NetClient};
 pub use load::{run_load, LatencySummary, LoadConfig, LoadReport, LoopMode};
-pub use server::{NetServerConfig, Scaddard};
+pub use server::{NetServerConfig, Scaddard, ServerMode};
 pub use wire::{decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat};

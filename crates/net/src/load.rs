@@ -7,7 +7,7 @@
 //! is fully determined by [`LoadConfig::seed`] (SplitMix64 per client);
 //! wall-clock timings obviously are not.
 //!
-//! Two loop disciplines:
+//! Three loop disciplines:
 //!
 //! * [`LoopMode::Closed`] — each client fires its next request the
 //!   moment the previous response lands; measures service latency under
@@ -17,6 +17,13 @@
 //!   time**, so queueing delay from a slow server is charged to the
 //!   percentiles instead of silently vanishing (the coordinated-
 //!   omission correction).
+//! * [`LoopMode::Pipelined`] — each client keeps a whole window of
+//!   requests on the wire at once (one connection, responses read back
+//!   in order). This is the discipline that exercises the event loop's
+//!   cross-connection coalescing — a round-trip per request never
+//!   gives the reactor more than one frame per wakeup — and it
+//!   measures *amortized* per-request latency (window wall time /
+//!   window size), the throughput-side number.
 //!
 //! Every locate response is additionally checked for epoch consistency
 //! (`disk < disks` under the epoch it carries); violations are counted
@@ -24,6 +31,7 @@
 //! job at zero.
 
 use crate::client::{ClientConfig, ClientError, NetClient};
+use crate::wire::Frame;
 use scaddar_core::ScalingOp;
 use scaddar_obs::Histogram;
 use scaddar_prng::{SeededRng, SplitMix64};
@@ -41,6 +49,13 @@ pub enum LoopMode {
     Open {
         /// Target request rate per client thread.
         rps: f64,
+    },
+    /// Keep `window` requests in flight per client on one pipelined
+    /// connection; latency is recorded as window wall time / window
+    /// size (amortized service time).
+    Pipelined {
+        /// Requests written before the first response is read.
+        window: usize,
     },
 }
 
@@ -157,6 +172,26 @@ fn classify(err: &ClientError) -> (u64, u64) {
     }
 }
 
+/// The seeded request mixture, one request at a time: `(is_batch,
+/// request frame)` for global request index `i` of one client.
+fn next_request(config: &LoadConfig, rng: &mut SplitMix64, i: u64) -> (bool, Frame) {
+    let is_batch = config.batch_every > 0 && i % config.batch_every == config.batch_every - 1;
+    let frame = if is_batch {
+        let span = config.batch_len.min(config.object_blocks).max(1);
+        let first = rng.next_u64() % config.object_blocks.saturating_sub(span - 1).max(1);
+        Frame::LocateBatch {
+            object: 0,
+            blocks: (first..first + span).collect(),
+        }
+    } else {
+        Frame::Locate {
+            object: 0,
+            block: rng.next_u64() % config.object_blocks,
+        }
+    };
+    (is_batch, frame)
+}
+
 fn run_client(
     addr: SocketAddr,
     config: &LoadConfig,
@@ -183,9 +218,21 @@ fn run_client(
         consistency_violations: 0,
         epoch_mask: 0,
     };
+    if let LoopMode::Pipelined { window } = config.mode {
+        run_client_pipelined(
+            &client,
+            config,
+            window.max(1),
+            &mut rng,
+            &mut outcome,
+            progress,
+            histograms,
+        );
+        return outcome;
+    }
     let start = Instant::now();
     let interval = match config.mode {
-        LoopMode::Closed => None,
+        LoopMode::Closed | LoopMode::Pipelined { .. } => None,
         LoopMode::Open { rps } => (rps > 0.0).then(|| Duration::from_secs_f64(1.0 / rps)),
     };
     for i in 0..config.requests_per_client {
@@ -231,6 +278,71 @@ fn run_client(
         progress.fetch_add(1, Ordering::Relaxed);
     }
     outcome
+}
+
+/// The pipelined discipline: windows of requests written back-to-back
+/// on one connection, responses validated in order. Per-request latency
+/// is amortized (window wall / window size); server `Error` frames
+/// count as request errors in-band, a failed pipeline write/read
+/// condemns the rest of its window.
+fn run_client_pipelined(
+    client: &NetClient,
+    config: &LoadConfig,
+    window: usize,
+    rng: &mut SplitMix64,
+    outcome: &mut ClientOutcome,
+    progress: &AtomicU64,
+    histograms: &[Histogram; 2],
+) {
+    let mut issued = 0u64;
+    while issued < config.requests_per_client {
+        let n = (config.requests_per_client - issued).min(window as u64) as usize;
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (_is_batch, frame) = next_request(config, rng, issued);
+            frames.push(frame);
+            issued += 1;
+        }
+        let t0 = Instant::now();
+        match client.pipeline(&frames) {
+            Ok(responses) => {
+                let per_request_ns =
+                    (t0.elapsed().as_nanos() / n as u128).min(u64::MAX as u128) as u64;
+                for response in &responses {
+                    match response {
+                        Frame::Located { epoch, disks, disk } => {
+                            outcome.requests += 1;
+                            outcome.consistency_violations += u64::from(*disk >= u64::from(*disks));
+                            outcome.epoch_mask |= 1u64 << (epoch % 64);
+                            histograms[LOCATE_LAT].record(per_request_ns);
+                        }
+                        Frame::BatchLocated {
+                            epoch,
+                            disks,
+                            locations,
+                        } => {
+                            outcome.requests += 1;
+                            outcome.consistency_violations += locations
+                                .iter()
+                                .filter(|d| **d >= u64::from(*disks))
+                                .count()
+                                as u64;
+                            outcome.epoch_mask |= 1u64 << (epoch % 64);
+                            histograms[BATCH_LAT].record(per_request_ns);
+                        }
+                        Frame::Error { .. } => outcome.errors += 1,
+                        _ => outcome.protocol_errors += 1,
+                    }
+                }
+            }
+            Err(e) => {
+                let (errs, proto) = classify(&e);
+                outcome.errors += errs * n as u64;
+                outcome.protocol_errors += proto * n as u64;
+            }
+        }
+        progress.fetch_add(n as u64, Ordering::Relaxed);
+    }
 }
 
 const LOCATE_LAT: usize = 0;
@@ -374,6 +486,28 @@ mod tests {
         assert_eq!(report.errors + report.protocol_errors, 0);
         // 20 requests at 200/s per client is ≥ ~95ms of pacing.
         assert!(report.elapsed >= Duration::from_millis(90), "{report:?}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn pipelined_run_is_clean_and_fills_the_window() {
+        let daemon = boot(10_000);
+        let config = LoadConfig {
+            clients: 4,
+            requests_per_client: 250,
+            object_blocks: 10_000,
+            scale_ops: 1,
+            mode: LoopMode::Pipelined { window: 32 },
+            ..LoadConfig::default()
+        };
+        let report = run_load(daemon.local_addr(), &config);
+        assert_eq!(report.requests, 1_000);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.consistency_violations, 0);
+        assert!(report.locate.count > 0);
+        assert!(report.locate_batch.count > 0);
+        assert!(report.throughput_rps > 0.0);
         daemon.shutdown();
     }
 

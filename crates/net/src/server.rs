@@ -1,9 +1,13 @@
-//! `scaddard`: the thread-per-connection TCP server.
+//! `scaddard`: the serving daemon, in either of two cores.
 //!
-//! One accept thread, one handler thread per connection, all sharing a
-//! [`cmsim::SharedServer`] — reads take its shared lock, `Scale`/`Tick`
-//! its exclusive lock, so the epoch-consistency guarantee the in-process
-//! tests pin down holds unchanged for remote clients.
+//! [`ServerMode::EventLoop`] (the default) drives nonblocking sockets
+//! from a few readiness-polled worker threads — see [`crate::reactor`].
+//! [`ServerMode::Threaded`] is the PR 5 reference core kept for A/B
+//! benchmarking and differential testing: one accept thread, one
+//! handler thread per connection. Both share a [`cmsim::SharedServer`]
+//! — reads take its shared lock, `Scale`/`Tick` its exclusive lock, so
+//! the epoch-consistency guarantee the in-process tests pin down holds
+//! unchanged for remote clients in either mode.
 //!
 //! Backpressure and robustness policy:
 //!
@@ -40,11 +44,34 @@ use std::time::{Duration, Instant};
 /// How often blocked reads wake to poll the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(100);
 
+/// Which serving core drives accepted connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// Readiness-based event loop: a sharded acceptor feeding a few
+    /// poller-driven worker threads (epoll on Linux, poll(2) elsewhere)
+    /// with cross-connection request coalescing. The default.
+    #[default]
+    EventLoop,
+    /// One handler thread per connection — the PR 5 reference core,
+    /// kept for A/B benchmarking and differential testing.
+    Threaded,
+}
+
 /// Tuning knobs for [`Scaddard`].
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
-    /// Handler-thread ceiling; connections beyond it are rejected with
-    /// `Error{Busy}`.
+    /// Serving core; see [`ServerMode`].
+    pub mode: ServerMode,
+    /// Event-loop worker threads; `0` means one per available core.
+    /// Ignored in [`ServerMode::Threaded`].
+    pub workers: usize,
+    /// Pin event-loop worker `i` to CPU `i mod cores` (Linux only,
+    /// best effort) so a worker's connection states stay cache-local.
+    /// Ignored in [`ServerMode::Threaded`].
+    pub pin_workers: bool,
+    /// Connection ceiling (handler threads in [`ServerMode::Threaded`],
+    /// registered sockets in [`ServerMode::EventLoop`]); connections
+    /// beyond it are rejected with `Error{Busy}`.
     pub max_connections: usize,
     /// Deadline for the remainder of a request once its first byte has
     /// arrived.
@@ -61,12 +88,23 @@ pub struct NetServerConfig {
 impl Default for NetServerConfig {
     fn default() -> Self {
         NetServerConfig {
+            mode: ServerMode::default(),
+            workers: 0,
+            pin_workers: true,
             max_connections: 128,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_frame_len: 1 << 20,
             instrument: true,
         }
+    }
+}
+
+impl NetServerConfig {
+    /// This config with the given serving core.
+    pub fn with_mode(mut self, mode: ServerMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -156,7 +194,7 @@ impl NetStats {
         })
     }
 
-    fn record(&self, endpoint: &str, ns: u64, instrument: bool) {
+    pub(crate) fn record(&self, endpoint: &str, ns: u64, instrument: bool) {
         if let Some(c) = self.requests.get(endpoint) {
             c.inc();
         }
@@ -168,16 +206,16 @@ impl NetStats {
     }
 }
 
-/// Everything the handler threads share.
-struct Shared {
-    server: Arc<SharedServer>,
-    config: NetServerConfig,
-    stats: Arc<NetStats>,
-    tracer: Tracer,
-    monitor: Mutex<HealthMonitor>,
-    registry: Registry,
-    shutdown: AtomicBool,
-    active: AtomicUsize,
+/// Everything the serving threads share, in either mode.
+pub(crate) struct Shared {
+    pub(crate) server: Arc<SharedServer>,
+    pub(crate) config: NetServerConfig,
+    pub(crate) stats: Arc<NetStats>,
+    pub(crate) tracer: Tracer,
+    pub(crate) monitor: Mutex<HealthMonitor>,
+    pub(crate) registry: Registry,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
 }
 
 /// The `scaddard` daemon: a bound listener plus its accept thread.
@@ -206,8 +244,16 @@ struct Shared {
 pub struct Scaddard {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_handle: Option<std::thread::JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    core: Core,
+}
+
+/// Mode-specific serving machinery behind a bound [`Scaddard`].
+enum Core {
+    Threaded {
+        accept_handle: Option<std::thread::JoinHandle<()>>,
+        conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    },
+    EventLoop(crate::reactor::Reactor),
 }
 
 impl std::fmt::Debug for Scaddard {
@@ -254,19 +300,30 @@ impl Scaddard {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
         });
-        let conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conn_handles);
-        let accept_handle = std::thread::Builder::new()
-            .name("scaddard-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
-            .expect("spawn accept thread");
+        let core = match shared.config.mode {
+            ServerMode::Threaded => {
+                let conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+                    Arc::new(Mutex::new(Vec::new()));
+                let accept_shared = Arc::clone(&shared);
+                let accept_conns = Arc::clone(&conn_handles);
+                let accept_handle = std::thread::Builder::new()
+                    .name("scaddard-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+                    .expect("spawn accept thread");
+                Core::Threaded {
+                    accept_handle: Some(accept_handle),
+                    conn_handles,
+                }
+            }
+            ServerMode::EventLoop => Core::EventLoop(crate::reactor::Reactor::start(
+                listener,
+                Arc::clone(&shared),
+            )?),
+        };
         Ok(Scaddard {
             local_addr,
             shared,
-            accept_handle: Some(accept_handle),
-            conn_handles,
+            core,
         })
     }
 
@@ -310,22 +367,37 @@ impl Scaddard {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+        match &mut self.core {
+            Core::Threaded {
+                accept_handle,
+                conn_handles,
+            } => {
+                if let Some(handle) = accept_handle.take() {
+                    let _ = handle.join();
+                }
+                let handles: Vec<_> = {
+                    let mut guard = conn_handles.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.drain(..).collect()
+                };
+                for handle in handles {
+                    let _ = handle.join();
+                }
+            }
+            Core::EventLoop(reactor) => reactor.shutdown(),
         }
-        let handles: Vec<_> = {
-            let mut guard = self.conn_handles.lock().unwrap_or_else(|e| e.into_inner());
-            guard.drain(..).collect()
-        };
-        for handle in handles {
-            let _ = handle.join();
+    }
+
+    fn is_shut_down(&self) -> bool {
+        match &self.core {
+            Core::Threaded { accept_handle, .. } => accept_handle.is_none(),
+            Core::EventLoop(reactor) => reactor.is_shut_down(),
         }
     }
 }
 
 impl Drop for Scaddard {
     fn drop(&mut self) {
-        if self.accept_handle.is_some() {
+        if !self.is_shut_down() {
             self.shutdown_inner();
         }
     }
@@ -391,7 +463,7 @@ fn accept_loop(
 }
 
 /// Encodes and writes one frame, counting the bytes.
-fn reply(mut stream: &TcpStream, shared: &Shared, frame: &Frame) -> std::io::Result<()> {
+pub(crate) fn reply(mut stream: &TcpStream, shared: &Shared, frame: &Frame) -> std::io::Result<()> {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let bytes = frame.to_bytes();
     stream.write_all(&bytes)?;
@@ -500,7 +572,12 @@ fn flush(mut stream: &TcpStream, shared: &Shared, out: &[u8]) -> bool {
 /// Dispatches one request, appending the response to `out`. Returns
 /// false when the connection must close (a response frame arrived where
 /// a request belongs — direction violation).
-fn handle_request(frame: Frame, shared: &Shared, out: &mut Vec<u8>, instrument: bool) -> bool {
+pub(crate) fn handle_request(
+    frame: Frame,
+    shared: &Shared,
+    out: &mut Vec<u8>,
+    instrument: bool,
+) -> bool {
     if !frame.is_request() {
         shared.stats.protocol_errors.inc();
         Frame::Error {
@@ -522,7 +599,7 @@ fn handle_request(frame: Frame, shared: &Shared, out: &mut Vec<u8>, instrument: 
     true
 }
 
-fn engine_error(e: impl std::fmt::Display) -> Frame {
+pub(crate) fn engine_error(e: impl std::fmt::Display) -> Frame {
     Frame::Error {
         code: ErrorCode::Engine,
         message: e.to_string(),

@@ -2,15 +2,21 @@
 //! socket boundary: 64 client threads hammer `LocateBatch` over
 //! loopback while an operator thread commits `Scale` ops mid-run, and
 //! every response must be epoch-consistent — each batch served entirely
-//! at one epoch, each epoch mapping to exactly one disk count, no
-//! location outside that epoch's array, and per-connection epochs never
-//! running backwards.
+//! at one epoch, each epoch mapping to exactly one disk count, every
+//! location a member of that epoch's *physical* disk set (ids are
+//! stable across removals, so the set is not `0..disks`), and
+//! per-connection epochs never running backwards.
+//!
+//! Runs against **both** serving cores: the thread-per-connection
+//! reference and the event-loop reactor (whose cross-connection
+//! coalescing must not reorder a connection's responses around a
+//! `Scale` barrier).
 
 use cmsim::{CmServer, ServerConfig, SharedServer};
 use scaddar_core::ScalingOp;
-use scaddar_net::{NetClient, NetServerConfig, Scaddard};
+use scaddar_net::{NetClient, NetServerConfig, Scaddard, ServerMode};
 use scaddar_obs::{MonotonicClock, Registry, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -20,8 +26,20 @@ const BATCH_LEN: u64 = 16;
 const OBJECT_BLOCKS: u64 = 20_000;
 const SCALE_OPS: u64 = 2;
 
-#[test]
-fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
+/// Physical disk ids live at each epoch of the fixed schedule: 4
+/// initial disks, then `Add {count: 2}`, then `Remove {disks: [1]}`.
+/// Additions mint fresh ids; removals drop the victim's *stable* id,
+/// so epoch 2 is `{0, 2, 3, 4, 5}` — five disks whose max id is 5.
+fn physical_set_at(epoch: u64) -> HashSet<u64> {
+    match epoch {
+        0 => (0..4).collect(),
+        1 => (0..6).collect(),
+        2 => [0, 2, 3, 4, 5].into_iter().collect(),
+        _ => panic!("schedule has only {SCALE_OPS} ops, saw epoch {epoch}"),
+    }
+}
+
+fn no_torn_epochs_through_scale_commits(mode: ServerMode) {
     let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(0xD15C)).unwrap();
     server.add_object(OBJECT_BLOCKS).unwrap();
     let registry = Registry::new();
@@ -29,7 +47,7 @@ fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
     let daemon = Scaddard::bind(
         "127.0.0.1:0",
         Arc::new(SharedServer::new(server)),
-        NetServerConfig::default(),
+        NetServerConfig::default().with_mode(mode),
         &registry,
         tracer,
     )
@@ -38,8 +56,8 @@ fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
 
     let progress = AtomicU64::new(0);
     let total = CLIENTS as u64 * BATCHES_PER_CLIENT;
-    // (epoch, disks, max location) per response, gathered per thread.
-    let observations: Vec<Vec<(u64, u32, u64)>> = std::thread::scope(|scope| {
+    // (epoch, disks, locations) per response, gathered per thread.
+    let observations: Vec<Vec<(u64, u32, Vec<u64>)>> = std::thread::scope(|scope| {
         let progress = &progress;
         let operator = scope.spawn(move || {
             // Commit each op once a slice of the run has completed, so
@@ -70,8 +88,7 @@ fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
                         let (epoch, disks, locations) =
                             client.locate_batch(0, &blocks).expect("batch");
                         assert_eq!(locations.len(), blocks.len());
-                        let max = locations.iter().copied().max().unwrap();
-                        seen.push((epoch, disks, max));
+                        seen.push((epoch, disks, locations));
                         progress.fetch_add(1, Ordering::Relaxed);
                     }
                     seen
@@ -83,17 +100,27 @@ fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
         result
     });
 
-    // Every location fits the disk count of the epoch it was served at.
-    for (epoch, disks, max) in observations.iter().flatten() {
-        assert!(
-            max < &u64::from(*disks),
-            "epoch {epoch}: location {max} outside {disks}-disk array"
-        );
+    // Every location is a live physical disk of the epoch it was
+    // served at — a torn batch would leak a location from the wrong
+    // epoch's array (e.g. the removed disk, or an id past the old max).
+    for (epoch, _, locations) in observations.iter().flatten() {
+        let live = physical_set_at(*epoch);
+        for loc in locations {
+            assert!(
+                live.contains(loc),
+                "epoch {epoch}: location {loc} outside live set {live:?}"
+            );
+        }
     }
     // One epoch, one array shape — a torn batch would pair an epoch
     // with the wrong disk count.
     let mut shape: HashMap<u64, u32> = HashMap::new();
     for (epoch, disks, _) in observations.iter().flatten() {
+        assert_eq!(
+            *disks,
+            physical_set_at(*epoch).len() as u32,
+            "epoch {epoch} served with {disks} disks"
+        );
         let entry = shape.entry(*epoch).or_insert(*disks);
         assert_eq!(
             entry, disks,
@@ -101,12 +128,15 @@ fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
         );
     }
     // Per connection, the serving epoch never runs backwards (requests
-    // on one connection are handled in order under the shared lock).
+    // on one connection are answered in order, even when the event loop
+    // coalesces lookups across connections).
     for per_client in &observations {
         for pair in per_client.windows(2) {
             assert!(
                 pair[0].0 <= pair[1].0,
-                "epoch ran backwards on one connection: {pair:?}"
+                "epoch ran backwards on one connection: {:?} then {:?}",
+                (pair[0].0, pair[0].1),
+                (pair[1].0, pair[1].1),
             );
         }
     }
@@ -117,4 +147,14 @@ fn sixty_four_clients_see_no_torn_epochs_through_scale_commits() {
         shape.keys().collect::<Vec<_>>()
     );
     daemon.shutdown();
+}
+
+#[test]
+fn sixty_four_clients_see_no_torn_epochs_event_loop() {
+    no_torn_epochs_through_scale_commits(ServerMode::EventLoop);
+}
+
+#[test]
+fn sixty_four_clients_see_no_torn_epochs_threaded() {
+    no_torn_epochs_through_scale_commits(ServerMode::Threaded);
 }

@@ -5,7 +5,7 @@
 //! with:
 //!
 //! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and fixed-bucket
-//!   log-scale [`Histogram`]s (p50/p95/p99/max) built on relaxed
+//!   log-linear [`Histogram`]s (p50/p95/p99/max) built on relaxed
 //!   atomics; recording never takes a lock;
 //! * [`registry`] — a global-free [`Registry`] that names metrics,
 //!   renders both Prometheus text exposition and a JSON snapshot, and
@@ -56,7 +56,9 @@ pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use events::{Event, EventLog};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS, SUB_BITS, SUB_BUCKETS,
+};
 pub use registry::{
     json_escape, parse_json_values, try_parse_json_values, MetricValue, ParseError, Registry,
 };

@@ -1,4 +1,4 @@
-//! Lock-free metric primitives: counters, gauges, and log-scale
+//! Lock-free metric primitives: counters, gauges, and log-linear
 //! histograms.
 //!
 //! All recording paths are single relaxed atomic operations (a handful
@@ -11,12 +11,25 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Number of histogram buckets. Bucket `i` holds values whose bit
-/// length is `i` (i.e. `v == 0` → bucket 0, otherwise
-/// `2^(i-1) <= v < 2^i`); values at or beyond `2^(BUCKETS-1)` clamp
-/// into the top bucket. With 40 buckets the top boundary is
+/// Sub-bucket resolution exponent: each power-of-two octave is split
+/// into `2^SUB_BITS` equal-width linear sub-buckets (HdrHistogram's
+/// scheme), bounding quantile overshoot at `2^-SUB_BITS` ≈ 6.25%
+/// relative error instead of the 2× a pure log2 histogram gives.
+pub const SUB_BITS: usize = 4;
+
+/// Linear sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Exponent of the histogram range's upper boundary: values at or
+/// beyond `2^MAX_EXP` clamp into the top (unbounded) bucket.
 /// `2^39` ns ≈ 9.2 minutes — far beyond any latency this stack records.
-pub const HISTOGRAM_BUCKETS: usize = 40;
+const MAX_EXP: usize = 39;
+
+/// Number of histogram buckets: values `0..SUB_BUCKETS` get exact
+/// unit-width buckets, each octave `[2^e, 2^(e+1))` for
+/// `e in SUB_BITS..MAX_EXP` gets `SUB_BUCKETS` linear sub-buckets, and
+/// one top bucket catches everything at or beyond `2^MAX_EXP`.
+pub const HISTOGRAM_BUCKETS: usize = SUB_BUCKETS + (MAX_EXP - SUB_BITS) * SUB_BUCKETS + 1;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Clone, Default)]
@@ -98,12 +111,17 @@ impl Gauge {
     }
 }
 
-/// A fixed-bucket, log-scale histogram of `u64` samples.
+/// A fixed-bucket, log-linear histogram of `u64` samples
+/// (HdrHistogram-style: log2 octaves, each split into
+/// [`SUB_BUCKETS`] equal-width sub-buckets).
 ///
 /// Recording is four relaxed atomic RMWs (bucket, count, sum, max) —
 /// no locks, no allocation. Quantiles are estimated from the bucket
-/// upper bounds; the top bucket reports the exact recorded maximum, so
-/// outliers beyond the bucket range are clamped but never lost.
+/// upper bounds and overshoot by at most `2^-SUB_BITS` ≈ 6.25% of the
+/// true value — fine enough to certify a sub-100 µs tail, where a pure
+/// log2 histogram could only answer "somewhere below 131072 ns". The
+/// top bucket reports the exact recorded maximum, so outliers beyond
+/// the bucket range are clamped but never lost.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     inner: Arc<HistogramInner>,
@@ -130,20 +148,35 @@ impl Default for Histogram {
     }
 }
 
-/// The bucket a value lands in: its bit length, clamped to the range.
+/// The bucket a value lands in. Values below [`SUB_BUCKETS`] index
+/// exact unit buckets; larger values index octave `e = floor(log2 v)`
+/// at the sub-bucket given by the [`SUB_BITS`] bits right below the
+/// leading one; values at or past `2^MAX_EXP` clamp to the top bucket.
 #[inline]
 fn bucket_of(v: u64) -> usize {
-    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let e = (63 - v.leading_zeros()) as usize;
+    if e >= MAX_EXP {
+        return HISTOGRAM_BUCKETS - 1;
+    }
+    let sub = ((v >> (e - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + (e - SUB_BITS) * SUB_BUCKETS + sub
 }
 
 /// Inclusive upper bound of bucket `i` (the top bucket is unbounded).
 fn bucket_upper_bound(i: usize) -> u64 {
-    if i == 0 {
-        0
+    if i < SUB_BUCKETS {
+        i as u64
     } else if i >= HISTOGRAM_BUCKETS - 1 {
         u64::MAX
     } else {
-        (1u64 << i) - 1
+        let j = i - SUB_BUCKETS;
+        let e = SUB_BITS + j / SUB_BUCKETS;
+        let sub = (j % SUB_BUCKETS) as u64;
+        let width = 1u64 << (e - SUB_BITS);
+        (1u64 << e) + (sub + 1) * width - 1
     }
 }
 
@@ -284,14 +317,66 @@ mod tests {
     }
 
     #[test]
-    fn bucket_of_is_bit_length() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(1 << 38), HISTOGRAM_BUCKETS - 1);
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+        // The first octave's sub-buckets are still unit width, so
+        // exactness actually extends to 2·SUB_BUCKETS − 1.
+        for v in SUB_BUCKETS as u64..(2 * SUB_BUCKETS) as u64 {
+            assert_eq!(bucket_upper_bound(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        // Every finite bucket's upper bound maps back to that bucket,
+        // and the next value starts the next bucket — no gaps, no
+        // overlaps, strictly monotone bounds.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_of(ub), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_of(ub + 1), i + 1, "first value past bucket {i}");
+            if i > 0 {
+                assert!(bucket_upper_bound(i - 1) < ub);
+            }
+        }
+        // Range cap: the last finite bucket ends at 2^39 − 1.
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 2), (1 << 39) - 1);
+        assert_eq!(bucket_of(1 << 39), HISTOGRAM_BUCKETS - 1);
         assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_overshoot_is_bounded_by_sub_bucket_width() {
+        // Log-linear contract: the reported bound never undershoots and
+        // overshoots by less than one sub-bucket (1/16 of the value).
+        let mut v: u64 = 1;
+        while v < (1 << 39) {
+            for sample in [v, v + v / 3, v + v / 2] {
+                let ub = bucket_upper_bound(bucket_of(sample));
+                assert!(ub >= sample, "undershoot at {sample}");
+                assert!(
+                    ub - sample <= sample / SUB_BUCKETS as u64 + 1,
+                    "overshoot {ub} at {sample}"
+                );
+            }
+            v = v.wrapping_mul(5).wrapping_add(13) % (1 << 39) + v; // irregular sweep
+        }
+    }
+
+    #[test]
+    fn sub_bucket_resolution_certifies_a_sub_100us_tail() {
+        // A pure log2 histogram reports any 66..131 µs tail as
+        // "131071 ns"; log-linear sub-buckets must keep a 95 µs tail
+        // visibly below the 100 µs budget.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(95_000);
+        }
+        let p999 = h.snapshot().quantile(0.999).unwrap();
+        assert!((95_000..100_000).contains(&p999), "p999 = {p999}");
     }
 
     #[test]
@@ -337,10 +422,12 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        // Log buckets: answers are bucket upper bounds, so p50 of
-        // 1..=1000 (true 500) reports 511 (bucket [256, 511]).
+        // Log-linear buckets: answers are sub-bucket upper bounds, so
+        // p50 of 1..=1000 (true 500) reports 511 (sub-bucket
+        // [496, 511]) and p95 (true 950) reports 959 (sub-bucket
+        // [928, 959]) — within 1/16, not within 2×.
         assert_eq!(h.p50(), Some(511));
-        assert_eq!(h.p95(), Some(1000), "capped at the recorded max");
+        assert_eq!(h.p95(), Some(959));
         assert_eq!(h.max(), Some(1000));
         let snap = h.snapshot();
         assert_eq!(snap.count, 1000);

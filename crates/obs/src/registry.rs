@@ -605,7 +605,7 @@ mod tests {
         assert_eq!(get("gamma_ns", "count"), Some(2.0));
         assert_eq!(get("gamma_ns", "sum"), Some(105.0));
         assert_eq!(get("gamma_ns", "max"), Some(100.0));
-        assert_eq!(get("gamma_ns", "p50"), Some(7.0), "bucket bound of 5");
+        assert_eq!(get("gamma_ns", "p50"), Some(5.0), "exact sub-16 bucket");
         assert_eq!(get("gamma_ns", "p99"), Some(100.0));
         assert_eq!(get("gamma_ns", "p999"), Some(100.0));
     }
