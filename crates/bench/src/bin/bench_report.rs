@@ -13,11 +13,15 @@
 //!   health monitor's amortized overhead ratios (attached / detached),
 //!   with a `within_10pct` verdict per hot path. CI's health-smoke job
 //!   gates on the locate ratio;
-//! * `BENCH_net.json` (when the `scaddard-load` loopback harness has
-//!   run) — end-to-end locate latency percentiles (p50/p95/p99/p999),
-//!   throughput, error/violation counts, and the instrumented/bare
-//!   serving overhead ratio with a `within_10pct` verdict. CI's
-//!   net-smoke job gates on protocol errors and that ratio.
+//! * `BENCH_net.json` (when the `scaddard-load` loopback harness or
+//!   the `cluster_smoke` 3-shard harness has run) — end-to-end locate
+//!   latency percentiles (p50/p95/p99/p999), throughput,
+//!   error/violation counts, and the instrumented/bare serving
+//!   overhead ratio with a `within_10pct` verdict; cluster runs add a
+//!   `"cluster"` object with the routing/torn-epoch gates and the
+//!   scale-out migration delta vs its 6σ bound. CI's net-smoke job
+//!   gates on protocol errors and that ratio; cluster-smoke gates on
+//!   the cluster object.
 //!
 //! Run after the benches:
 //!
@@ -77,7 +81,9 @@ fn parse_results(json: &str) -> Vec<(String, String, f64)> {
 
 fn load_measurements(dirs: &[std::path::PathBuf]) -> BTreeMap<String, Measurement> {
     let mut all = BTreeMap::new();
-    for stem in ["remap", "access", "obs", "monitor", "net", "net_load"] {
+    for stem in [
+        "remap", "access", "obs", "monitor", "net", "net_load", "cluster",
+    ] {
         // Cargo runs bench binaries with the package directory as cwd,
         // so the shim's reports land under `crates/bench/target/` when
         // benches run from the workspace root; accept either location.
@@ -191,24 +197,97 @@ fn monitor_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     ))
 }
 
+/// The `"cluster"` object for `BENCH_net.json`: the cluster-smoke
+/// gates (routing errors, torn epochs), the scale-out migration delta
+/// against its analytic expectation and 6σ bound, and the stale-map
+/// client traffic counters. `None` when `cluster_smoke` has not run.
+fn cluster_block(all: &BTreeMap<String, Measurement>) -> Option<String> {
+    let get = |key: &str| Some(all.get(&format!("cluster/{key}"))?.ns_per_iter);
+    let migrated = get("migrated_fraction")?;
+    let expected = get("expected_fraction")?;
+    let bound = get("bound_6sigma")?;
+    let routing_errors = get("routing_errors")?;
+    let torn_epochs = get("torn_epochs")?;
+    let count = |key: &str| get(key).unwrap_or(0.0);
+    Some(format!(
+        "  \"cluster\": {{\n\
+         \x20   \"routing_errors\": {routing_errors:.0},\n\
+         \x20   \"torn_epochs\": {torn_epochs:.0},\n\
+         \x20   \"moved_objects\": {:.0},\n\
+         \x20   \"population\": {:.0},\n\
+         \x20   \"migrated_fraction\": {migrated:.4},\n\
+         \x20   \"expected_fraction\": {expected:.4},\n\
+         \x20   \"bound_6sigma\": {bound:.4},\n\
+         \x20   \"within_bound\": {},\n\
+         \x20   \"served\": {:.0},\n\
+         \x20   \"wrong_shard_bounces\": {:.0},\n\
+         \x20   \"stale_map_hits\": {:.0},\n\
+         \x20   \"map_refreshes\": {:.0},\n\
+         \x20   \"client_errors\": {:.0},\n\
+         \x20   \"map_version\": {:.0}\n\
+         \x20 }},\n",
+        count("moved_objects"),
+        count("population"),
+        migrated <= bound,
+        count("served"),
+        count("wrong_shard_bounces"),
+        count("stale_map_hits"),
+        count("map_refreshes"),
+        count("client_errors"),
+        count("map_version"),
+    ))
+}
+
 /// The `BENCH_net.json` body: end-to-end locate latency percentiles
 /// from the seeded loopback load run, throughput and error/violation
 /// counts, and the instrumented/bare serving overhead ratio with the
 /// ≤1.10 acceptance verdict, plus the raw `net_*` measurements (the
 /// `net` codec/request-path bench rows ride along when present). When
 /// the load run included the threaded reference (`--mode both`), the
-/// event-loop/threaded A/B throughput pair and speedup are included.
-/// `None` when `scaddard-load` has not run.
+/// event-loop/threaded A/B throughput pair and speedup are included;
+/// when `cluster_smoke` has run, its gates and migration delta ride
+/// along as a `"cluster"` object (alone, if the single-node load
+/// harness did not run). `None` when neither has run.
 fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     let get = |key: &str| Some(all.get(key)?.ns_per_iter);
-    let (p50, p95, p99, p999) = (
-        get("net_load/locate_p50")?,
-        get("net_load/locate_p95")?,
-        get("net_load/locate_p99")?,
-        get("net_load/locate_p999")?,
-    );
-    let bare = get("net_locate_overhead/bare")?;
-    let inst = get("net_locate_overhead/instrumented")?;
+    let cluster = cluster_block(all);
+    let mut raw = String::new();
+    for (key, m) in all
+        .iter()
+        .filter(|(k, _)| k.starts_with("net_") || k.starts_with("cluster/"))
+    {
+        if !raw.is_empty() {
+            raw.push_str(",\n");
+        }
+        write!(
+            raw,
+            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
+            m.ns_per_iter
+        )
+        .expect("write to string");
+    }
+    let load = get("net_load/locate_p50")
+        .and_then(|p50| {
+            Some((
+                p50,
+                get("net_load/locate_p95")?,
+                get("net_load/locate_p99")?,
+                get("net_load/locate_p999")?,
+            ))
+        })
+        .and_then(|p| {
+            Some((
+                p,
+                get("net_locate_overhead/bare")?,
+                get("net_locate_overhead/instrumented")?,
+            ))
+        });
+    let Some(((p50, p95, p99, p999), bare, inst)) = load else {
+        // Cluster-only run (CI's cluster-smoke job): the migration
+        // delta still lands in BENCH_net.json.
+        let cluster = cluster?;
+        return Some(format!("{{\n{cluster}  \"raw\": [\n{raw}\n  ]\n}}\n"));
+    };
     if bare <= 0.0 {
         return None;
     }
@@ -226,24 +305,14 @@ fn net_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
             )
         })
         .unwrap_or_default();
-    let mut raw = String::new();
-    for (key, m) in all.iter().filter(|(k, _)| k.starts_with("net_")) {
-        if !raw.is_empty() {
-            raw.push_str(",\n");
-        }
-        write!(
-            raw,
-            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
-            m.ns_per_iter
-        )
-        .expect("write to string");
-    }
+    let cluster = cluster.unwrap_or_default();
     Some(format!(
         "{{\n  \"locate_latency_ns\": {{\"p50\": {p50:.0}, \"p95\": {p95:.0}, \"p99\": {p99:.0}, \"p999\": {p999:.0}}},\n\
          \x20 \"batch_p99_ns\": {:.0},\n\
          \x20 \"pipelined_p999_ns\": {:.0},\n\
          \x20 \"throughput_rps\": {:.1},\n\
          {ab}\
+         {cluster}\
          \x20 \"requests\": {:.0},\n\
          \x20 \"errors\": {:.0},\n\
          \x20 \"protocol_errors\": {:.0},\n\
@@ -483,5 +552,62 @@ mod tests {
 
         all.remove("net_locate_overhead/bare");
         assert!(net_report(&all).is_none(), "no load run, nothing written");
+    }
+
+    #[test]
+    fn cluster_rows_ride_into_the_net_report() {
+        let mut all = BTreeMap::new();
+        for (key, ns) in [
+            ("cluster/routing_errors", 0.0),
+            ("cluster/torn_epochs", 0.0),
+            ("cluster/moved_objects", 26.0),
+            ("cluster/population", 96.0),
+            ("cluster/migrated_fraction", 0.2708),
+            ("cluster/expected_fraction", 0.25),
+            ("cluster/bound_6sigma", 0.5152),
+            ("cluster/wrong_shard_bounces", 31.0),
+            ("cluster/map_refreshes", 2.0),
+            ("cluster/map_version", 4.0),
+        ] {
+            all.insert(key.to_string(), Measurement { ns_per_iter: ns });
+        }
+        // Cluster-only run (the CI cluster-smoke job).
+        let report = net_report(&all).expect("cluster rows alone still report");
+        assert!(report.contains("\"cluster\": {"));
+        assert!(report.contains("\"migrated_fraction\": 0.2708"));
+        assert!(report.contains("\"within_bound\": true"));
+        assert!(report.contains("\"wrong_shard_bounces\": 31"));
+        assert!(!report.contains("locate_latency_ns"));
+        assert!(report.contains("cluster/map_version"), "raw rows present");
+
+        // Over the 6σ bound, the verdict flips.
+        all.insert(
+            "cluster/migrated_fraction".to_string(),
+            Measurement { ns_per_iter: 0.60 },
+        );
+        let over = net_report(&all).expect("report");
+        assert!(over.contains("\"within_bound\": false"));
+
+        // Combined with a load run, both blocks appear.
+        for (key, ns) in [
+            ("net_load/locate_p50", 21_000.0),
+            ("net_load/locate_p95", 48_000.0),
+            ("net_load/locate_p99", 90_000.0),
+            ("net_load/locate_p999", 180_000.0),
+            ("net_load/throughput_rps", 410_000.0),
+            ("net_locate_overhead/bare", 20_000.0),
+            ("net_locate_overhead/instrumented", 21_000.0),
+        ] {
+            all.insert(key.to_string(), Measurement { ns_per_iter: ns });
+        }
+        let combined = net_report(&all).expect("combined report");
+        assert!(combined.contains("locate_latency_ns"));
+        assert!(combined.contains("\"cluster\": {"));
+        assert!(combined.contains("\"torn_epochs\": 0"));
+
+        // An incomplete cluster emission is dropped, not half-written.
+        all.remove("cluster/bound_6sigma");
+        let partial = net_report(&all).expect("load rows still report");
+        assert!(!partial.contains("\"cluster\": {"));
     }
 }

@@ -15,8 +15,10 @@ const USAGE: &str = "\
 usage: scaddar-console [subcommand]
   (none)                      interactive local console
   serve [options]             boot a scaddard network daemon
+  serve --shard ID [options]  boot one cluster shard (jump-hash routed)
   serve --check               boot, health-check, exit 0/1/2 by verdict
-  connect <addr> [command]    drive a remote daemon (one-shot or interactive)";
+  connect <addr> [command]    drive a remote daemon (one-shot or interactive)
+  cluster-status <addr>       fetch the cluster map, probe every shard";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +27,7 @@ fn main() {
         Some((cmd, rest)) => match cmd.as_str() {
             "serve" => remote::run_serve(rest),
             "connect" => remote::run_connect(rest),
+            "cluster-status" => remote::run_cluster_status(rest),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 0

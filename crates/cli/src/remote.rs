@@ -18,7 +18,10 @@
 use cmsim::{CmServer, ServerConfig, SharedServer};
 use scaddar_core::ScalingOp;
 use scaddar_monitor::Severity;
-use scaddar_net::{NetClient, NetServerConfig, Scaddard, ServerMode, StatsFormat};
+use scaddar_net::{
+    fetch_map, ClusterMap, NetClient, NetServerConfig, Scaddard, ServerMode, ShardRuntime,
+    StatsFormat,
+};
 use scaddar_obs::{MonotonicClock, Registry, Tracer};
 use std::fmt::Write as _;
 use std::io::BufRead;
@@ -55,6 +58,12 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Boot, evaluate health, exit with the verdict instead of serving.
     pub check: bool,
+    /// Boot as cluster shard `id`: the daemon answers `FetchMap` and
+    /// redirects non-resident objects with `WrongShard`/`StaleMap`.
+    pub shard: Option<u32>,
+    /// Peer shards for the boot map, as `(id, "host:port")`. Only
+    /// meaningful with `--shard`.
+    pub peers: Vec<(u32, String)>,
 }
 
 impl Default for ServeArgs {
@@ -68,12 +77,15 @@ impl Default for ServeArgs {
             mode: ServerMode::EventLoop,
             workers: 0,
             check: false,
+            shard: None,
+            peers: Vec::new(),
         }
     }
 }
 
 const SERVE_USAGE: &str = "serve [--addr HOST:PORT] [--disks N] [--blocks N] [--seed N] \
-                           [--max-conns N] [--event-loop | --threaded] [--workers N] [--check]";
+                           [--max-conns N] [--event-loop | --threaded] [--workers N] [--check] \
+                           [--shard ID [--peers ID=HOST:PORT,...]]";
 
 /// Parses `serve` argv (everything after the subcommand word).
 pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -106,6 +118,23 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 parsed.workers = value("--workers")?.parse().map_err(|_| bad("--workers"))?;
             }
             "--check" => parsed.check = true,
+            "--shard" => {
+                parsed.shard = Some(value("--shard")?.parse().map_err(|_| bad("--shard"))?);
+            }
+            "--peers" => {
+                let list = value("--peers")?;
+                parsed.peers = list
+                    .split(',')
+                    .map(|entry| {
+                        let (id, addr) = entry.split_once('=').ok_or_else(|| peers_usage(entry))?;
+                        let id = id.parse().map_err(|_| peers_usage(entry))?;
+                        if addr.is_empty() {
+                            return Err(peers_usage(entry));
+                        }
+                        Ok((id, addr.to_string()))
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
             other => return Err(format!("unknown argument `{other}`\nusage: {SERVE_USAGE}")),
         }
     }
@@ -114,13 +143,33 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--disks and --blocks must be > 0\nusage: {SERVE_USAGE}"
         ));
     }
+    if parsed.shard.is_none() && !parsed.peers.is_empty() {
+        return Err(format!("--peers requires --shard\nusage: {SERVE_USAGE}"));
+    }
+    if let Some(id) = parsed.shard {
+        if parsed.peers.iter().any(|(peer, _)| *peer == id) {
+            return Err(format!(
+                "--peers must not repeat the --shard id {id}\nusage: {SERVE_USAGE}"
+            ));
+        }
+    }
     Ok(parsed)
 }
 
-/// Boots a `scaddard` daemon per `args`. Returns the running daemon —
-/// callers decide whether to block (`serve`) or health-check and drop
-/// (`serve --check`).
-pub fn boot_daemon(args: &ServeArgs) -> Result<Scaddard, String> {
+fn peers_usage(entry: &str) -> String {
+    format!("--peers entry `{entry}` must be ID=HOST:PORT\nusage: {SERVE_USAGE}")
+}
+
+/// Boots a `scaddard` daemon per `args`. Returns the running daemon
+/// and, in `--shard` mode, its [`ShardRuntime`] — callers decide
+/// whether to block (`serve`) or health-check and drop (`serve
+/// --check`).
+///
+/// A shard boots with a map of itself plus `--peers`, then re-addresses
+/// its own entry to the actually-bound socket (ephemeral ports), and
+/// registers the pre-loaded object as global id 0 so single-shard
+/// quick-starts serve it immediately.
+pub fn boot_daemon(args: &ServeArgs) -> Result<(Scaddard, Option<Arc<ShardRuntime>>), String> {
     let mut server = CmServer::new(ServerConfig::new(args.disks).with_catalog_seed(args.seed))
         .map_err(|e| format!("engine: {e}"))?;
     server
@@ -128,19 +177,36 @@ pub fn boot_daemon(args: &ServeArgs) -> Result<Scaddard, String> {
         .map_err(|e| format!("engine: {e}"))?;
     let registry = Registry::new();
     let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 256);
-    Scaddard::bind(
+    let config = NetServerConfig {
+        max_connections: args.max_connections,
+        workers: args.workers,
+        ..NetServerConfig::default()
+    }
+    .with_mode(args.mode);
+    let shared = Arc::new(SharedServer::new(server));
+    let Some(id) = args.shard else {
+        let daemon = Scaddard::bind(args.addr.as_str(), shared, config, &registry, tracer)
+            .map_err(|e| format!("bind {}: {e}", args.addr))?;
+        return Ok((daemon, None));
+    };
+    let mut shards = args.peers.clone();
+    shards.push((id, args.addr.clone()));
+    let runtime = Arc::new(ShardRuntime::new(id, ClusterMap::new(shards)));
+    runtime.register_object(0, 0);
+    let daemon = Scaddard::bind_sharded(
         args.addr.as_str(),
-        Arc::new(SharedServer::new(server)),
-        NetServerConfig {
-            max_connections: args.max_connections,
-            workers: args.workers,
-            ..NetServerConfig::default()
-        }
-        .with_mode(args.mode),
+        shared,
+        config,
         &registry,
         tracer,
+        Arc::clone(&runtime),
     )
-    .map_err(|e| format!("bind {}: {e}", args.addr))
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let bound = daemon.local_addr().to_string();
+    if runtime.map().addr_of(id) != Some(bound.as_str()) {
+        runtime.install_map(runtime.map().readdress(id, bound));
+    }
+    Ok((daemon, Some(runtime)))
 }
 
 /// The `serve` subcommand: boot, then either health-check (`--check`)
@@ -153,8 +219,8 @@ pub fn run_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let daemon = match boot_daemon(&parsed) {
-        Ok(daemon) => daemon,
+    let (daemon, runtime) = match boot_daemon(&parsed) {
+        Ok(booted) => booted,
         Err(msg) => {
             eprintln!("serve: {msg}");
             return 1;
@@ -171,12 +237,27 @@ pub fn run_serve(args: &[String]) -> i32 {
         daemon.shutdown();
         return verdict_exit_code(verdict);
     }
-    println!(
-        "scaddard serving {} blocks on {} disks at {} — ctrl-d to stop",
-        parsed.blocks,
-        parsed.disks,
-        daemon.local_addr()
-    );
+    match &runtime {
+        Some(runtime) => {
+            let map = runtime.map();
+            println!(
+                "scaddard shard {} serving {} blocks on {} disks at {} \
+                 (cluster map v{}, {} shard(s)) — ctrl-d to stop",
+                runtime.self_id(),
+                parsed.blocks,
+                parsed.disks,
+                daemon.local_addr(),
+                map.version,
+                map.len(),
+            );
+        }
+        None => println!(
+            "scaddard serving {} blocks on {} disks at {} — ctrl-d to stop",
+            parsed.blocks,
+            parsed.disks,
+            daemon.local_addr()
+        ),
+    }
     // Block until stdin closes (EOF / ctrl-d), then drain gracefully.
     let mut sink = String::new();
     let stdin = std::io::stdin();
@@ -186,6 +267,79 @@ pub fn run_serve(args: &[String]) -> i32 {
     daemon.shutdown();
     println!("scaddard: drained and stopped");
     0
+}
+
+/// The `cluster-status` subcommand: `cluster-status <seed-addr>`.
+/// Fetches the cluster map from any shard, then probes every shard in
+/// it (ping for the serving epoch, health for the verdict). Returns
+/// the worst exit code observed: 0/1/2 by health verdict, 2 when any
+/// shard is unreachable.
+pub fn run_cluster_status(args: &[String]) -> i32 {
+    let [addr_arg] = args else {
+        eprintln!("usage: cluster-status <addr>");
+        return 2;
+    };
+    let addr = match addr_arg.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("cluster-status: cannot resolve `{addr_arg}`");
+            return 2;
+        }
+    };
+    match cluster_status_report(addr) {
+        Ok((out, code)) => {
+            println!("{out}");
+            code
+        }
+        Err(msg) => {
+            eprintln!("cluster-status: {msg}");
+            2
+        }
+    }
+}
+
+/// The `cluster-status` body, unit-testable: `(report text, exit
+/// code)`. Errors only when the seed itself won't yield a map.
+pub fn cluster_status_report(seed: SocketAddr) -> Result<(String, i32), String> {
+    let map = fetch_map(&NetClient::connect(seed), 0)
+        .map_err(|e| format!("fetch map from {seed}: {e}"))?;
+    let mut out = format!(
+        "cluster map v{} — {} shard(s), seed {seed}",
+        map.version,
+        map.len()
+    );
+    let mut code = 0;
+    for (shard, addr) in &map.shards {
+        let resolved = addr.to_socket_addrs().ok().and_then(|mut a| a.next());
+        let Some(resolved) = resolved else {
+            write!(out, "\n  shard {shard} at {addr} — unresolvable address").expect("write");
+            code = code.max(2);
+            continue;
+        };
+        let client = NetClient::connect(resolved);
+        match client.ping() {
+            Ok(epoch) => {
+                let (verdict, alerts, _) = client.health().map_err(|e| e.to_string())?;
+                let label = match i32::from(verdict) {
+                    0 => "OK",
+                    1 => "WARN",
+                    _ => "CRIT",
+                };
+                write!(
+                    out,
+                    "\n  shard {shard} at {addr} — epoch {epoch}, health {label} \
+                     ({alerts} alert(s))"
+                )
+                .expect("write");
+                code = code.max(i32::from(verdict));
+            }
+            Err(e) => {
+                write!(out, "\n  shard {shard} at {addr} — unreachable: {e}").expect("write");
+                code = code.max(2);
+            }
+        }
+    }
+    Ok((out, code))
 }
 
 /// The remote command help, kept verbatim-testable like [`crate::HELP`].
@@ -435,6 +589,31 @@ mod tests {
     }
 
     #[test]
+    fn shard_args_parse_and_validate() {
+        let parsed = parse_serve_args(&args(&[
+            "--shard",
+            "2",
+            "--peers",
+            "0=127.0.0.1:7411,1=127.0.0.1:7412",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.shard, Some(2));
+        assert_eq!(
+            parsed.peers,
+            vec![
+                (0, "127.0.0.1:7411".to_string()),
+                (1, "127.0.0.1:7412".to_string())
+            ]
+        );
+        // --peers needs --shard, well-formed entries, and no self-id.
+        assert!(parse_serve_args(&args(&["--peers", "0=127.0.0.1:7411"])).is_err());
+        assert!(parse_serve_args(&args(&["--shard", "1", "--peers", "junk"])).is_err());
+        assert!(parse_serve_args(&args(&["--shard", "1", "--peers", "2="])).is_err());
+        assert!(parse_serve_args(&args(&["--shard", "1", "--peers", "1=127.0.0.1:1"])).is_err());
+        assert!(parse_serve_args(&args(&["--shard", "x"])).is_err());
+    }
+
+    #[test]
     fn check_maps_health_verdicts_to_exit_codes() {
         assert_eq!(verdict_exit_code(Severity::Ok), 0);
         assert_eq!(verdict_exit_code(Severity::Warn), 1);
@@ -452,7 +631,8 @@ mod tests {
             "7",
         ]))
         .unwrap();
-        let daemon = boot_daemon(&parsed).unwrap();
+        let (daemon, runtime) = boot_daemon(&parsed).unwrap();
+        assert!(runtime.is_none(), "plain serve has no shard runtime");
         let session = RemoteSession::connect(daemon.local_addr());
 
         let (out, code) = session.execute("ping").unwrap();
@@ -482,5 +662,70 @@ mod tests {
         let code = run_serve(&args(&["--addr", "127.0.0.1:0", "--check"]));
         assert_eq!(code, 0);
         assert_eq!(run_serve(&args(&["--bogus"])), 2);
+    }
+
+    /// `serve --shard` + `cluster-status` end to end: boot shard 1
+    /// standalone, then shard 0 peered with it; the status probe of
+    /// shard 0's map must reach both shards and report them healthy.
+    #[test]
+    fn shard_serve_and_cluster_status_probe_a_live_cluster() {
+        let one = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--blocks",
+            "2000",
+            "--shard",
+            "1",
+        ]))
+        .unwrap();
+        let (shard1, runtime1) = boot_daemon(&one).unwrap();
+        let runtime1 = runtime1.expect("shard runtime");
+        assert_eq!(runtime1.self_id(), 1);
+        // The boot map re-addressed shard 1 to its real ephemeral port.
+        assert_eq!(
+            runtime1.map().addr_of(1),
+            Some(shard1.local_addr().to_string().as_str())
+        );
+
+        let zero = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--blocks",
+            "2000",
+            "--shard",
+            "0",
+            "--peers",
+            &format!("1={}", shard1.local_addr()),
+        ]))
+        .unwrap();
+        let (shard0, runtime0) = boot_daemon(&zero).unwrap();
+        assert_eq!(runtime0.expect("shard runtime").map().len(), 2);
+
+        let (out, code) = cluster_status_report(shard0.local_addr()).unwrap();
+        assert_eq!(code, 0, "both shards healthy:\n{out}");
+        assert!(out.contains("2 shard(s)"), "{out}");
+        assert!(out.contains("shard 0 at"), "{out}");
+        assert!(out.contains("shard 1 at"), "{out}");
+        assert_eq!(out.matches("health OK").count(), 2, "{out}");
+
+        // Kill shard 1: the probe now reports it unreachable, exit 2.
+        let shard1_addr = shard1.local_addr();
+        shard1.shutdown();
+        let (out, code) = cluster_status_report(shard0.local_addr()).unwrap();
+        assert_eq!(code, 2, "{out}");
+        assert!(
+            out.contains(&format!("shard 1 at {shard1_addr} — unreachable")),
+            "{out}"
+        );
+        shard0.shutdown();
+    }
+
+    #[test]
+    fn cluster_status_rejects_bad_argv_and_dead_seeds() {
+        assert_eq!(run_cluster_status(&[]), 2);
+        assert_eq!(run_cluster_status(&args(&["not-an-addr"])), 2);
+        // A resolvable but dead seed: fetch_map fails, exit 2.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(cluster_status_report(dead).is_err());
     }
 }

@@ -1,0 +1,252 @@
+//! Cluster smoke run: boots a 3-shard loopback cluster, drives a
+//! seeded locate workload through a map-chasing [`ClusterClient`],
+//! kills and restarts a shard **mid-run**, then scales out to 4 shards
+//! and audits the migration delta against the jump-hash expectation.
+//!
+//! Emits criterion-shim-compatible JSON (`cluster/*` rows) that
+//! `bench_report` folds into `BENCH_net.json`, plus the structured
+//! JSONL event log as a CI artifact. Exits nonzero on:
+//!
+//! * any **routing error** (a lookup the client could not land after
+//!   map-chasing retries, or one answered by a shard the authoritative
+//!   map does not name as owner);
+//! * any **torn cluster epoch** (an object served by more than one
+//!   shard when no handoff gate is open);
+//! * a scale-out that migrates more than the expected jump-hash
+//!   fraction `1/(n+1)` plus a 6σ binomial allowance.
+//!
+//! ```text
+//! cargo run --release -p scaddar-cluster --bin cluster_smoke -- \
+//!     [--seed N] [--objects N] [--requests N] [--out PATH] [--events-out PATH]
+//! ```
+//!
+//! `--seed` defaults to `HARNESS_SEED` when set, so CI can pin and
+//! upload the seed alongside the artifacts.
+
+use scaddar_cluster::{Cluster, ClusterConfig, ProbeResult};
+use scaddar_net::ClusterClient;
+use scaddar_obs::VirtualClock;
+use scaddar_prng::{Pcg64, SeededRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const BLOCKS_PER_OBJECT: u64 = 1_000;
+
+fn push_result(out: &mut String, group: &str, bench: &str, value: f64) {
+    if !out.is_empty() {
+        out.push_str(",\n");
+    }
+    write!(
+        out,
+        "  {{\"group\": \"{group}\", \"bench\": \"{bench}\", \"ns_per_iter\": {value:.6}, \"iterations\": 1}}"
+    )
+    .expect("write to string");
+}
+
+fn main() {
+    let mut seed: u64 = std::env::var("HARNESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5CADDA);
+    let mut objects: u64 = 96;
+    let mut requests: u64 = 600;
+    let mut out_path = "target/criterion-json/cluster.json".to_string();
+    let mut events_path = "target/cluster_smoke_events.jsonl".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("numeric --seed"),
+            "--objects" => objects = value("--objects").parse().expect("numeric --objects"),
+            "--requests" => requests = value("--requests").parse().expect("numeric --requests"),
+            "--out" => out_path = value("--out"),
+            "--events-out" => events_path = value("--events-out"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    println!("cluster_smoke: seed={seed} objects={objects} requests={requests}");
+
+    let clock = Arc::new(VirtualClock::new());
+    let mut cluster = Cluster::boot_with_clock(
+        ClusterConfig {
+            shards: 3,
+            blocks_per_object: BLOCKS_PER_OBJECT,
+            catalog_seed: seed,
+            ..ClusterConfig::default()
+        },
+        clock.clone(),
+    )
+    .expect("cluster boot");
+    cluster.populate(objects).expect("populate");
+
+    let client = ClusterClient::connect(&cluster.seeds()).expect("client connect");
+    let mut rng = Pcg64::from_seed(seed ^ 0xC1_05_7E_12);
+    let mut routing_errors: u64 = 0;
+    let mut served: u64 = 0;
+
+    // Seeded closed-loop load with a kill/restart injected mid-run:
+    // every answer is checked against the authoritative map.
+    let kill_at = requests / 3;
+    let restart_at = 2 * requests / 3;
+    let victim = 1u32;
+    let mut snapshot: Option<Vec<u8>> = None;
+    for i in 0..requests {
+        clock.advance(1_000);
+        if i == kill_at {
+            snapshot = Some(cluster.kill(victim).expect("kill"));
+            println!("cluster_smoke: killed shard {victim} at request {i}");
+        }
+        if i == restart_at {
+            cluster
+                .restart(victim, snapshot.as_deref().expect("snapshot taken"))
+                .expect("restart");
+            println!("cluster_smoke: restarted shard {victim} at request {i}");
+        }
+        let gid = rng.next_u64() % objects;
+        let owner = cluster.map().route(gid).expect("routable");
+        // While the victim is down its objects are unreachable — the
+        // client correctly erroring there is the fault model working,
+        // not a routing error; skip those lookups.
+        if cluster.addr(owner).is_none() {
+            continue;
+        }
+        let block = rng.next_u64() % BLOCKS_PER_OBJECT;
+        match client.locate(gid, block) {
+            Ok(answer) if answer.shard == owner => served += 1,
+            Ok(answer) => {
+                eprintln!(
+                    "cluster_smoke: object {gid} served by shard {} but owned by {owner}",
+                    answer.shard
+                );
+                routing_errors += 1;
+            }
+            Err(e) => {
+                eprintln!("cluster_smoke: locate {gid}/{block} failed: {e}");
+                routing_errors += 1;
+            }
+        }
+    }
+
+    // Scale out to 4 shards and audit the delta.
+    let before = cluster.map().clone();
+    let expected = before.expected_move_fraction(&before.add_shard(u32::MAX, String::new()));
+    let (new_shard, record) = cluster.add_shard().expect("add shard");
+    let fraction = record.moved.len() as f64 / record.population.max(1) as f64;
+    let sigma = (expected * (1.0 - expected) / record.population.max(1) as f64).sqrt();
+    let bound = expected + 6.0 * sigma;
+    println!(
+        "cluster_smoke: shard {new_shard} added — moved {}/{} ({fraction:.4}), expected {expected:.4}, 6σ bound {bound:.4}",
+        record.moved.len(),
+        record.population
+    );
+    let delta_ok = fraction <= bound;
+
+    // Post-scale load: everything must route to the 4-shard map.
+    for _ in 0..requests / 4 {
+        clock.advance(1_000);
+        let gid = rng.next_u64() % objects;
+        let block = rng.next_u64() % BLOCKS_PER_OBJECT;
+        match client.locate(gid, block) {
+            Ok(answer) if Some(answer.shard) == cluster.map().route(gid) => served += 1,
+            _ => routing_errors += 1,
+        }
+    }
+
+    // Torn-epoch audit: probe every object on every shard directly; at
+    // most one shard may serve it.
+    let mut torn_epochs: u64 = 0;
+    for gid in cluster.object_ids() {
+        let serving: Vec<u32> = cluster
+            .probe_object(gid, 0)
+            .into_iter()
+            .filter(|(_, r)| matches!(r, ProbeResult::Served(..)))
+            .map(|(id, _)| id)
+            .collect();
+        if serving.len() > 1 {
+            eprintln!("cluster_smoke: object {gid} served by shards {serving:?}");
+            torn_epochs += 1;
+        }
+    }
+    if let Err(e) = cluster.residency_consistent() {
+        eprintln!("cluster_smoke: residency audit failed: {e}");
+        torn_epochs += 1;
+    }
+
+    let (hits, bounces, stale, refreshes, client_errors) = client.stats_snapshot();
+    println!(
+        "cluster_smoke: served={served} hits={hits} bounces={bounces} stale={stale} refreshes={refreshes}"
+    );
+
+    let mut results = String::new();
+    push_result(
+        &mut results,
+        "cluster",
+        "routing_errors",
+        routing_errors as f64,
+    );
+    push_result(&mut results, "cluster", "torn_epochs", torn_epochs as f64);
+    push_result(&mut results, "cluster", "migrated_fraction", fraction);
+    push_result(&mut results, "cluster", "expected_fraction", expected);
+    push_result(&mut results, "cluster", "bound_6sigma", bound);
+    push_result(
+        &mut results,
+        "cluster",
+        "moved_objects",
+        record.moved.len() as f64,
+    );
+    push_result(
+        &mut results,
+        "cluster",
+        "population",
+        record.population as f64,
+    );
+    push_result(&mut results, "cluster", "served", served as f64);
+    push_result(
+        &mut results,
+        "cluster",
+        "wrong_shard_bounces",
+        bounces as f64,
+    );
+    push_result(&mut results, "cluster", "stale_map_hits", stale as f64);
+    push_result(&mut results, "cluster", "map_refreshes", refreshes as f64);
+    push_result(
+        &mut results,
+        "cluster",
+        "client_errors",
+        client_errors as f64,
+    );
+    push_result(
+        &mut results,
+        "cluster",
+        "map_version",
+        cluster.map().version as f64,
+    );
+    let json = format!("{{\"bench\": \"cluster\", \"results\": [\n{results}\n]}}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("cluster_smoke: wrote {out_path}");
+
+    if let Some(dir) = std::path::Path::new(&events_path).parent() {
+        std::fs::create_dir_all(dir).expect("create events directory");
+    }
+    cluster
+        .events()
+        .write_to(std::path::Path::new(&events_path))
+        .expect("write events");
+    println!("cluster_smoke: wrote {events_path}");
+
+    cluster.shutdown();
+
+    if routing_errors > 0 || torn_epochs > 0 || !delta_ok {
+        eprintln!(
+            "cluster_smoke: FAILED (routing_errors={routing_errors}, torn_epochs={torn_epochs}, delta_ok={delta_ok})"
+        );
+        std::process::exit(1);
+    }
+    println!("cluster_smoke: OK");
+}

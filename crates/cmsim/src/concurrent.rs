@@ -210,6 +210,21 @@ impl SharedServer {
         self.inner.write().tick();
     }
 
+    /// Ingests an object under the exclusive lock — the migration
+    /// copy-in path a cluster orchestrator uses to materialize an
+    /// object on its new shard (the shard's own `AF()` places every
+    /// block, so the copy re-enters the paper's placement discipline).
+    pub fn add_object(&self, blocks: u64) -> Result<ObjectId, ServerError> {
+        self.inner.write().add_object(blocks)
+    }
+
+    /// Deletes an object under the exclusive lock — the migration
+    /// evict path on the handoff source (pending redistribution moves
+    /// for the object are cancelled with it).
+    pub fn remove_object(&self, id: ObjectId) -> Result<(), ServerError> {
+        self.inner.write().remove_object(id)
+    }
+
     /// Pending redistribution moves.
     pub fn backlog(&self) -> u64 {
         self.inner.read().backlog()

@@ -1,0 +1,926 @@
+//! Cluster-mode harness: seeded multi-shard scenarios with kills,
+//! partitions, restarts, and online scale-out/in, cross-checked after
+//! every step against an **independent** routing model.
+//!
+//! The model ([`RoutingModel`]) reimplements jump consistent hash from
+//! the Lamping & Veach equations with its own code shape — it shares
+//! no routing code with `scaddar_net::cluster` — so a divergence
+//! anywhere in the stack (client map-chasing, shard gate, migration
+//! plumbing) is an exact failure on a specific object, not a
+//! statistical smell. Three invariants run against it:
+//!
+//! * **`cluster-routing-agree`** — every lookup the seeded load
+//!   completes landed on the model's owner;
+//! * **`cluster-epoch-single`** — direct probes of every shard find at
+//!   most one serving any sampled object;
+//! * **`cluster-migration-delta`** — each scale-out/in migrated
+//!   exactly the model's predicted delta, within the analytic
+//!   fraction + 6σ.
+//!
+//! Same seed → byte-identical trace (the cluster runs under a
+//! [`VirtualClock`] and the trace records only logical events). On
+//! failure the scenario shrinks delta-debug style ([`minimize`]) to a
+//! minimal cluster reproducer, reusing the `proptest` shim's shrinking
+//! vocabulary like the single-node harness does.
+
+use crate::invariants::{
+    check_cluster_epoch_single, check_cluster_migration_delta, check_cluster_routing_agree, Failure,
+};
+use proptest::shrink::{halvings, removal_spans};
+use proptest::test_runner::TestRng;
+use scaddar_cluster::{Cluster, ClusterConfig, MigrationRecord, ProbeResult};
+use scaddar_net::ClusterClient;
+use scaddar_obs::VirtualClock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Which routing arithmetic the *model* runs — the plantable bug the
+/// cluster acceptance tests require the harness to catch and shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterMutation {
+    /// Faithful jump hash: the clean run.
+    None,
+    /// The model routes over `n - 1` buckets whenever the cluster has
+    /// more than one shard — as if the newest shard never existed. The
+    /// first load step over a multi-shard cluster diverges on every
+    /// object the real map sends to the last bucket, so
+    /// `cluster-routing-agree` must fire and shrink to a tiny
+    /// reproducer.
+    RouteIgnoreNewestShard,
+}
+
+/// Independent copy of the jump-consistent-hash bucket function,
+/// written from the paper's equations (loop-and-advance form, distinct
+/// from `scaddar_net::jump_hash`'s while-guard form). Same LCG
+/// constant, same floating-point expression, so a faithful
+/// implementation agrees bit-for-bit.
+fn owning_bucket(object: u64, buckets: u32) -> u32 {
+    debug_assert!(buckets > 0);
+    let mut state = object;
+    let mut bucket: u64 = 0;
+    loop {
+        state = state
+            .wrapping_mul(2_862_933_555_777_941_757)
+            .wrapping_add(1);
+        let draw = ((state >> 33) + 1) as f64;
+        let candidate = ((bucket as f64 + 1.0) * (2_147_483_648.0 / draw)) as u64;
+        if candidate >= u64::from(buckets) {
+            return bucket as u32;
+        }
+        bucket = candidate;
+    }
+}
+
+/// The from-the-paper routing model: a sorted shard-id list and the
+/// jump bucket function, nothing else. Evolves in lockstep with the
+/// orchestrator's topology changes.
+#[derive(Debug, Clone)]
+pub struct RoutingModel {
+    shards: Vec<u32>,
+    mutation: ClusterMutation,
+}
+
+impl RoutingModel {
+    /// A model of a fresh cluster with shards `0..n`.
+    pub fn new(n: u32, mutation: ClusterMutation) -> RoutingModel {
+        RoutingModel {
+            shards: (0..n).collect(),
+            mutation,
+        }
+    }
+
+    /// The shard the model says owns `object`.
+    pub fn route(&self, object: u64) -> Option<u32> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let buckets = match self.mutation {
+            ClusterMutation::None => self.shards.len(),
+            ClusterMutation::RouteIgnoreNewestShard => self.shards.len().max(2) - 1,
+        };
+        Some(self.shards[owning_bucket(object, buckets as u32) as usize])
+    }
+
+    /// Mirrors a scale-out (new highest id).
+    pub fn add_shard(&mut self, id: u32) {
+        debug_assert!(self.shards.last().is_none_or(|last| *last < id));
+        self.shards.push(id);
+    }
+
+    /// Mirrors a scale-in.
+    pub fn remove_shard(&mut self, id: u32) {
+        self.shards.retain(|s| *s != id);
+    }
+
+    /// Objects in `catalog` whose owner changes between `self` and
+    /// `next` — the predicted migration delta.
+    pub fn predicted_delta(&self, next: &RoutingModel, catalog: &[u64]) -> Vec<u64> {
+        catalog
+            .iter()
+            .filter(|&&gid| self.route(gid) != next.route(gid))
+            .copied()
+            .collect()
+    }
+
+    /// Analytic expected move fraction for the transition to `next`
+    /// (the model's own derivation, mirroring the paper's `z_j`
+    /// reasoning at cluster granularity).
+    pub fn expected_fraction(&self, next: &RoutingModel) -> f64 {
+        let (old, new) = (&self.shards, &next.shards);
+        if old == new {
+            0.0
+        } else if new.len() == old.len() + 1 && new.starts_with(old) {
+            1.0 / new.len() as f64
+        } else if old.len() == new.len() + 1 {
+            match (0..old.len()).find(|&i| !new.contains(&old[i])) {
+                Some(i) => (old.len() - i) as f64 / old.len() as f64,
+                None => 1.0,
+            }
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One step of a cluster scenario. Raw picks are loose; the executor
+/// normalizes them against live topology (skipping steps that have no
+/// legal target), which keeps every shrink candidate executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterStep {
+    /// Ingest `1 + count % 8` objects.
+    Ingest {
+        /// Raw count pick.
+        count: u64,
+    },
+    /// Drive `1 + requests % 24` routed lookups through the client,
+    /// checking each against the model.
+    Load {
+        /// Raw request pick.
+        requests: u64,
+    },
+    /// Scale out by one shard (always the next id / last bucket).
+    AddShard,
+    /// Scale in: drain and retire the `pick % live`-th shard (skipped
+    /// when only one shard remains).
+    RemoveShard {
+        /// Raw victim pick.
+        pick: u64,
+    },
+    /// Kill the `pick % up`-th live shard (snapshot retained; skipped
+    /// when it would take the last live shard down).
+    Kill {
+        /// Raw victim pick.
+        pick: u64,
+    },
+    /// Restart the longest-dead shard from its snapshot (skipped when
+    /// none is down).
+    Restart,
+    /// Partition the `pick % candidates`-th non-partitioned shard from
+    /// the control plane (it keeps serving by its stale map).
+    Partition {
+        /// Raw victim pick.
+        pick: u64,
+    },
+    /// Heal the longest-partitioned shard (skipped when none).
+    Heal,
+}
+
+impl ClusterStep {
+    fn label(&self) -> String {
+        match self {
+            ClusterStep::Ingest { count } => format!("ingest({count})"),
+            ClusterStep::Load { requests } => format!("load({requests})"),
+            ClusterStep::AddShard => "add-shard".into(),
+            ClusterStep::RemoveShard { pick } => format!("remove-shard({pick})"),
+            ClusterStep::Kill { pick } => format!("kill({pick})"),
+            ClusterStep::Restart => "restart".into(),
+            ClusterStep::Partition { pick } => format!("partition({pick})"),
+            ClusterStep::Heal => "heal".into(),
+        }
+    }
+}
+
+/// A fully seeded cluster scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterScenario {
+    /// The driving seed (also each shard's catalog-seed base).
+    pub seed: u64,
+    /// Initial shard count.
+    pub initial_shards: u32,
+    /// Initial object count.
+    pub initial_objects: u64,
+    /// The step sequence.
+    pub steps: Vec<ClusterStep>,
+}
+
+impl ClusterScenario {
+    /// Deterministically generates the cluster scenario for `seed`.
+    pub fn generate(seed: u64) -> ClusterScenario {
+        let mut rng = TestRng::new(seed ^ 0xC1u64.wrapping_mul(0x5CAD_DA25_CADD_A25C));
+        let initial_shards = 2 + rng.below(3) as u32; // 2..=4
+        let initial_objects = 24 + rng.below(49); // 24..=72
+        let steps = (0..4 + rng.below(6)).map(|_| gen_step(&mut rng)).collect();
+        ClusterScenario {
+            seed,
+            initial_shards,
+            initial_objects,
+            steps,
+        }
+    }
+
+    /// A stable multi-line description (for reproducer printouts).
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "seed={} shards={} objects={}\n",
+            self.seed, self.initial_shards, self.initial_objects
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            let _ = writeln!(out, "  {i}: {}", step.label());
+        }
+        out
+    }
+
+    /// Number of topology-change steps (the measure the planted-bug
+    /// acceptance criterion bounds after shrinking).
+    pub fn topology_ops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ClusterStep::AddShard | ClusterStep::RemoveShard { .. }))
+            .count()
+    }
+}
+
+fn gen_step(rng: &mut TestRng) -> ClusterStep {
+    match rng.below(10) {
+        0 => ClusterStep::Ingest {
+            count: rng.next_u64(),
+        },
+        1..=4 => ClusterStep::Load {
+            requests: rng.next_u64(),
+        },
+        5 => ClusterStep::AddShard,
+        6 => ClusterStep::RemoveShard {
+            pick: rng.next_u64(),
+        },
+        7 => ClusterStep::Kill {
+            pick: rng.next_u64(),
+        },
+        8 => ClusterStep::Partition {
+            pick: rng.next_u64(),
+        },
+        _ => {
+            if rng.below(2) == 0 {
+                ClusterStep::Restart
+            } else {
+                ClusterStep::Heal
+            }
+        }
+    }
+}
+
+/// Execution outcome: the logical trace plus the first failure.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Logical event trace — byte-identical for a given scenario.
+    pub trace: String,
+    /// First invariant violation, if any.
+    pub failure: Option<Failure>,
+    /// Index of the step that failed.
+    pub failed_step: Option<usize>,
+}
+
+impl ClusterOutcome {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+const BLOCKS_PER_OBJECT: u64 = 400;
+
+struct Exec {
+    cluster: Cluster,
+    client: ClusterClient,
+    model: RoutingModel,
+    /// Snapshots of killed shards, oldest kill first.
+    down: Vec<(u32, Vec<u8>)>,
+    /// Partitioned shard ids, oldest first.
+    partitioned: Vec<u32>,
+    rng: TestRng,
+    trace: String,
+}
+
+impl Exec {
+    /// Shards that are up, un-partitioned, and map-current — the only
+    /// ones a routed lookup may be required to land on.
+    fn reachable(&self, shard: u32) -> bool {
+        self.cluster.addr(shard).is_some()
+            && !self.partitioned.contains(&shard)
+            && !self.down.iter().any(|(id, _)| *id == shard)
+    }
+
+    /// Runs the routed-load check: every completed lookup must land on
+    /// the model's owner.
+    fn load(&mut self, requests: u64) -> Result<(u64, u64), Failure> {
+        let population = self.cluster.object_ids().len() as u64;
+        let mut observed = Vec::new();
+        let mut skipped = 0u64;
+        for _ in 0..requests {
+            let gid = self.rng.next_u64() % population.max(1);
+            let Some(expected) = self.model.route(gid) else {
+                skipped += 1;
+                continue;
+            };
+            // Also consult the real map: when the two disagree (the
+            // planted mutation), the lookup still lands somewhere and
+            // the checker reports the divergence; but a *down* real
+            // owner makes the lookup fail for fault-model reasons, not
+            // routing reasons, so those are skipped.
+            let real_owner = self.cluster.map().route(gid);
+            if real_owner.map(|o| !self.reachable(o)).unwrap_or(true) {
+                skipped += 1;
+                continue;
+            }
+            let block = self.rng.next_u64() % BLOCKS_PER_OBJECT;
+            match self.client.locate(gid, block) {
+                Ok(answer) => observed.push((gid, answer.shard, expected)),
+                Err(e) => {
+                    return Err(Failure {
+                        invariant: "cluster-routing-agree",
+                        detail: format!("lookup {gid}/{block} failed after retries: {e}"),
+                    })
+                }
+            }
+        }
+        let served = observed.len() as u64;
+        check_cluster_routing_agree(&observed)?;
+        Ok((served, skipped))
+    }
+
+    /// Probes a deterministic sample of objects on every shard; at
+    /// most one shard may serve each.
+    fn epoch_single_sweep(&self) -> Result<(), Failure> {
+        let gids = self.cluster.object_ids();
+        let stride = (gids.len() / 6).max(1);
+        for gid in gids.iter().step_by(stride) {
+            let serving: Vec<u32> = self
+                .cluster
+                .probe_object(*gid, 0)
+                .into_iter()
+                .filter(|(_, r)| matches!(r, ProbeResult::Served(..)))
+                .map(|(id, _)| id)
+                .collect();
+            check_cluster_epoch_single(*gid, &serving)?;
+        }
+        Ok(())
+    }
+
+    /// Audits one completed migration against the model's prediction,
+    /// then advances the model to `next`.
+    fn audit_migration(
+        &mut self,
+        record: &MigrationRecord,
+        next: RoutingModel,
+    ) -> Result<(), Failure> {
+        let catalog = self.cluster.object_ids();
+        let predicted = self.model.predicted_delta(&next, &catalog);
+        let moved: Vec<u64> = record.moved.iter().map(|m| m.0).collect();
+        let expected = self.model.expected_fraction(&next);
+        check_cluster_migration_delta(&moved, &predicted, record.population, expected)?;
+        self.model = next;
+        Ok(())
+    }
+}
+
+/// Executes `scenario` against a real loopback cluster, checking the
+/// cluster invariant catalog after every step.
+pub fn execute(scenario: &ClusterScenario, mutation: ClusterMutation) -> ClusterOutcome {
+    let clock = Arc::new(VirtualClock::new());
+    let cluster = match Cluster::boot_with_clock(
+        ClusterConfig {
+            shards: scenario.initial_shards,
+            blocks_per_object: BLOCKS_PER_OBJECT,
+            catalog_seed: scenario.seed,
+            migration_batch: 4,
+            ..ClusterConfig::default()
+        },
+        clock.clone(),
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            return ClusterOutcome {
+                trace: String::new(),
+                failure: Some(Failure {
+                    invariant: "cluster-boot",
+                    detail: e,
+                }),
+                failed_step: None,
+            }
+        }
+    };
+    let mut exec = {
+        let mut cluster = cluster;
+        if let Err(e) = cluster.populate(scenario.initial_objects) {
+            return ClusterOutcome {
+                trace: String::new(),
+                failure: Some(Failure {
+                    invariant: "cluster-boot",
+                    detail: e,
+                }),
+                failed_step: None,
+            };
+        }
+        let client = match ClusterClient::connect(&cluster.seeds()) {
+            Ok(c) => c,
+            Err(e) => {
+                return ClusterOutcome {
+                    trace: String::new(),
+                    failure: Some(Failure {
+                        invariant: "cluster-boot",
+                        detail: e.to_string(),
+                    }),
+                    failed_step: None,
+                }
+            }
+        };
+        Exec {
+            client,
+            model: RoutingModel::new(scenario.initial_shards, mutation),
+            down: Vec::new(),
+            partitioned: Vec::new(),
+            rng: TestRng::new(scenario.seed ^ 0x10AD_10AD_10AD_10AD),
+            trace: format!(
+                "boot shards={} objects={} map=v{}\n",
+                scenario.initial_shards,
+                scenario.initial_objects,
+                cluster.map().version
+            ),
+            cluster,
+        }
+    };
+
+    for (i, step) in scenario.steps.iter().enumerate() {
+        clock.advance(1_000_000);
+        let result = run_step(&mut exec, step);
+        match result {
+            Ok(note) => {
+                let _ = writeln!(exec.trace, "{i}: {} -> {note}", step.label());
+            }
+            Err(failure) => {
+                let _ = writeln!(
+                    exec.trace,
+                    "{i}: {} -> FAIL [{}] {}",
+                    step.label(),
+                    failure.invariant,
+                    failure.detail
+                );
+                exec.cluster.shutdown();
+                return ClusterOutcome {
+                    trace: exec.trace,
+                    failure: Some(failure),
+                    failed_step: Some(i),
+                };
+            }
+        }
+        // The epoch-single sweep runs after every step: kills,
+        // partitions, and half-finished topology states must never
+        // leave an object served twice.
+        if let Err(failure) = exec.epoch_single_sweep() {
+            let _ = writeln!(
+                exec.trace,
+                "{i}: sweep -> FAIL [{}] {}",
+                failure.invariant, failure.detail
+            );
+            exec.cluster.shutdown();
+            return ClusterOutcome {
+                trace: exec.trace,
+                failure: Some(failure),
+                failed_step: Some(i),
+            };
+        }
+    }
+    if let Err(e) = exec.cluster.residency_consistent() {
+        let failure = Failure {
+            invariant: "cluster-epoch-single",
+            detail: format!("final residency audit: {e}"),
+        };
+        let _ = writeln!(
+            exec.trace,
+            "final: FAIL [{}] {}",
+            failure.invariant, failure.detail
+        );
+        exec.cluster.shutdown();
+        return ClusterOutcome {
+            trace: exec.trace,
+            failure: Some(failure),
+            failed_step: Some(scenario.steps.len().saturating_sub(1)),
+        };
+    }
+    let _ = writeln!(exec.trace, "final map=v{}", exec.cluster.map().version);
+    exec.cluster.shutdown();
+    ClusterOutcome {
+        trace: exec.trace,
+        failure: None,
+        failed_step: None,
+    }
+}
+
+fn run_step(exec: &mut Exec, step: &ClusterStep) -> Result<String, Failure> {
+    match step {
+        ClusterStep::Ingest { count } => {
+            let n = 1 + count % 8;
+            for _ in 0..n {
+                exec.cluster
+                    .add_object(BLOCKS_PER_OBJECT)
+                    .map_err(|e| Failure {
+                        invariant: "cluster-boot",
+                        detail: format!("ingest: {e}"),
+                    })?;
+            }
+            Ok(format!(
+                "ingested {n} (population {})",
+                exec.cluster.object_ids().len()
+            ))
+        }
+        ClusterStep::Load { requests } => {
+            let n = 1 + requests % 24;
+            let (served, skipped) = exec.load(n)?;
+            Ok(format!("served={served} skipped={skipped}"))
+        }
+        ClusterStep::AddShard => {
+            let (id, record) = exec.cluster.add_shard().map_err(|e| Failure {
+                invariant: "cluster-migration-delta",
+                detail: format!("add-shard: {e}"),
+            })?;
+            let mut next = exec.model.clone();
+            next.add_shard(id);
+            let moved = record.moved.len();
+            exec.audit_migration(&record, next)?;
+            Ok(format!(
+                "shard {id} joined, moved {moved}/{} map=v{}",
+                record.population,
+                exec.cluster.map().version
+            ))
+        }
+        ClusterStep::RemoveShard { pick } => {
+            let live = exec.cluster.shard_ids();
+            if live.len() <= 1 {
+                return Ok("skipped (last shard)".into());
+            }
+            let victim = live[(pick % live.len() as u64) as usize];
+            let record = exec.cluster.remove_shard(victim).map_err(|e| Failure {
+                invariant: "cluster-migration-delta",
+                detail: format!("remove-shard {victim}: {e}"),
+            })?;
+            exec.down.retain(|(id, _)| *id != victim);
+            exec.partitioned.retain(|id| *id != victim);
+            let mut next = exec.model.clone();
+            next.remove_shard(victim);
+            let moved = record.moved.len();
+            exec.audit_migration(&record, next)?;
+            Ok(format!(
+                "shard {victim} drained, moved {moved}/{} map=v{}",
+                record.population,
+                exec.cluster.map().version
+            ))
+        }
+        ClusterStep::Kill { pick } => {
+            let up: Vec<u32> = exec
+                .cluster
+                .shard_ids()
+                .into_iter()
+                .filter(|id| exec.cluster.addr(*id).is_some())
+                .collect();
+            if up.len() <= 1 {
+                return Ok("skipped (last live shard)".into());
+            }
+            let victim = up[(pick % up.len() as u64) as usize];
+            let snapshot = exec.cluster.kill(victim).map_err(|e| Failure {
+                invariant: "cluster-epoch-single",
+                detail: format!("kill {victim}: {e}"),
+            })?;
+            exec.down.push((victim, snapshot));
+            Ok(format!("shard {victim} down"))
+        }
+        ClusterStep::Restart => {
+            let Some((victim, snapshot)) = exec.down.first().cloned() else {
+                return Ok("skipped (none down)".into());
+            };
+            exec.down.remove(0);
+            exec.cluster
+                .restart(victim, &snapshot)
+                .map_err(|e| Failure {
+                    invariant: "cluster-epoch-single",
+                    detail: format!("restart {victim}: {e}"),
+                })?;
+            Ok(format!(
+                "shard {victim} rejoined map=v{}",
+                exec.cluster.map().version
+            ))
+        }
+        ClusterStep::Partition { pick } => {
+            let candidates: Vec<u32> = exec
+                .cluster
+                .shard_ids()
+                .into_iter()
+                .filter(|id| !exec.partitioned.contains(id))
+                .collect();
+            if candidates.len() <= 1 {
+                return Ok("skipped (no candidate)".into());
+            }
+            let victim = candidates[(pick % candidates.len() as u64) as usize];
+            exec.cluster.partition(victim).map_err(|e| Failure {
+                invariant: "cluster-epoch-single",
+                detail: format!("partition {victim}: {e}"),
+            })?;
+            exec.partitioned.push(victim);
+            Ok(format!("shard {victim} partitioned"))
+        }
+        ClusterStep::Heal => {
+            let Some(&victim) = exec.partitioned.first() else {
+                return Ok("skipped (none partitioned)".into());
+            };
+            exec.partitioned.remove(0);
+            exec.cluster.heal(victim).map_err(|e| Failure {
+                invariant: "cluster-epoch-single",
+                detail: format!("heal {victim}: {e}"),
+            })?;
+            Ok(format!("shard {victim} healed"))
+        }
+    }
+}
+
+/// The result of minimizing a failing cluster scenario.
+#[derive(Debug, Clone)]
+pub struct ShrunkCluster {
+    /// The minimal scenario found (fails the same invariant).
+    pub scenario: ClusterScenario,
+    /// Its outcome.
+    pub outcome: ClusterOutcome,
+    /// Candidate executions spent.
+    pub executions: usize,
+    /// Adopted shrink steps.
+    pub adopted: usize,
+}
+
+/// Execution budget for one cluster shrink run. Each candidate boots a
+/// real loopback cluster, so the budget is tighter than the
+/// single-node shrinker's.
+const SHRINK_BUDGET: usize = 80;
+
+/// Minimizes `scenario`, which must fail under `mutation` with the
+/// invariant named `invariant` — delta-debugging over the step list,
+/// then the initial shape, reusing the `proptest` shim's candidate
+/// generators.
+pub fn minimize(
+    scenario: &ClusterScenario,
+    mutation: ClusterMutation,
+    invariant: &str,
+) -> ShrunkCluster {
+    let mut current = scenario.clone();
+    let mut outcome = execute(&current, mutation);
+    let mut executions = 1usize;
+    let mut adopted = 0usize;
+    debug_assert!(
+        matches(&outcome, invariant),
+        "caller must pass a failing scenario"
+    );
+
+    // Everything after the failing step is dead weight.
+    if let Some(fs) = outcome.failed_step {
+        if fs + 1 < current.steps.len() {
+            current.steps.truncate(fs + 1);
+            outcome = execute(&current, mutation);
+            executions += 1;
+            adopted += 1;
+        }
+    }
+
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if executions >= SHRINK_BUDGET {
+                return ShrunkCluster {
+                    scenario: current,
+                    outcome,
+                    executions,
+                    adopted,
+                };
+            }
+            let o = execute(&candidate, mutation);
+            executions += 1;
+            if matches(&o, invariant) {
+                current = candidate;
+                outcome = o;
+                adopted += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return ShrunkCluster {
+                scenario: current,
+                outcome,
+                executions,
+                adopted,
+            };
+        }
+    }
+}
+
+fn matches(outcome: &ClusterOutcome, invariant: &str) -> bool {
+    outcome
+        .failure
+        .as_ref()
+        .is_some_and(|f| f.invariant == invariant)
+}
+
+/// All one-edit-smaller candidates, most aggressive first.
+fn candidates(s: &ClusterScenario) -> Vec<ClusterScenario> {
+    let mut out = Vec::new();
+    for (start, end) in removal_spans(s.steps.len(), 0, 16) {
+        let mut c = s.clone();
+        c.steps.drain(start..end);
+        out.push(c);
+    }
+    for (i, step) in s.steps.iter().enumerate() {
+        match step {
+            ClusterStep::Load { requests } => {
+                for r in halvings(0, *requests) {
+                    let mut c = s.clone();
+                    c.steps[i] = ClusterStep::Load { requests: r };
+                    out.push(c);
+                }
+            }
+            ClusterStep::Ingest { count } => {
+                for n in halvings(0, *count) {
+                    let mut c = s.clone();
+                    c.steps[i] = ClusterStep::Ingest { count: n };
+                    out.push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    for o in halvings(1, s.initial_objects) {
+        let mut c = s.clone();
+        c.initial_objects = o;
+        out.push(c);
+    }
+    for n in halvings(1, u64::from(s.initial_shards)) {
+        let mut c = s.clone();
+        c.initial_shards = n as u32;
+        out.push(c);
+    }
+    out
+}
+
+/// Everything one cluster seed produced.
+#[derive(Debug)]
+pub struct ClusterRunReport {
+    /// The driving seed.
+    pub seed: u64,
+    /// The generated scenario.
+    pub scenario: ClusterScenario,
+    /// Execution outcome.
+    pub outcome: ClusterOutcome,
+    /// Minimized reproducer, present iff the run failed.
+    pub shrunk: Option<ShrunkCluster>,
+}
+
+impl ClusterRunReport {
+    /// Whether the seed passed the cluster invariant catalog.
+    pub fn passed(&self) -> bool {
+        self.outcome.passed()
+    }
+
+    /// Human-readable report. Deterministic for a given seed.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(f) = &self.outcome.failure {
+            let _ = writeln!(
+                out,
+                "cluster seed {}: FAIL [{}] {}",
+                self.seed, f.invariant, f.detail
+            );
+            let _ = writeln!(out, "full scenario:\n{}", self.scenario.describe());
+            if let Some(shrunk) = &self.shrunk {
+                let _ = writeln!(
+                    out,
+                    "minimal reproducer ({} executions, {} shrink steps, \
+                     {} topology ops):\n{}",
+                    shrunk.executions,
+                    shrunk.adopted,
+                    shrunk.scenario.topology_ops(),
+                    shrunk.scenario.describe()
+                );
+                let _ = writeln!(out, "minimal trace:\n{}", shrunk.outcome.trace);
+            }
+            let _ = writeln!(out, "trace:\n{}", self.outcome.trace);
+            let _ = writeln!(
+                out,
+                "replay: HARNESS_SEED={} cargo run --release -p scaddar-harness -- --cluster",
+                self.seed
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "cluster seed {}: PASS ({} steps, {} topology ops)",
+                self.seed,
+                self.scenario.steps.len(),
+                self.scenario.topology_ops(),
+            );
+        }
+        out
+    }
+}
+
+/// Runs one cluster seed end to end: generate, execute, and (on
+/// failure) minimize.
+pub fn run_cluster_seed(seed: u64, mutation: ClusterMutation) -> ClusterRunReport {
+    let scenario = ClusterScenario::generate(seed);
+    let outcome = execute(&scenario, mutation);
+    let shrunk = outcome
+        .failure
+        .as_ref()
+        .map(|f| minimize(&scenario, mutation, f.invariant));
+    ClusterRunReport {
+        seed,
+        scenario,
+        outcome,
+        shrunk,
+    }
+}
+
+/// Keeps [`BTreeMap`] in the public graph for downstream callers that
+/// group migration records per shard.
+pub type MigrationsByShard = BTreeMap<u32, Vec<MigrationRecord>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_bucket_agrees_with_the_net_implementation() {
+        for n in [1u32, 2, 3, 5, 16, 101] {
+            for key in (0..2_000u64).chain([u64::MAX, u64::MAX / 2]) {
+                assert_eq!(
+                    owning_bucket(key, n),
+                    scaddar_net::jump_hash(key, n),
+                    "key {key} buckets {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_band() {
+        for seed in 0..100u64 {
+            let a = ClusterScenario::generate(seed);
+            assert_eq!(a, ClusterScenario::generate(seed));
+            assert!((2..=4).contains(&a.initial_shards));
+            assert!((24..=72).contains(&a.initial_objects));
+            assert!((4..=9).contains(&a.steps.len()));
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_step_kind() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..200u64 {
+            for step in ClusterScenario::generate(seed).steps {
+                kinds.insert(step.label().split('(').next().unwrap().to_string());
+            }
+        }
+        for kind in [
+            "ingest",
+            "load",
+            "add-shard",
+            "remove-shard",
+            "kill",
+            "restart",
+            "partition",
+            "heal",
+        ] {
+            assert!(kinds.contains(kind), "no seed generated {kind}");
+        }
+    }
+
+    #[test]
+    fn clean_cluster_seeds_pass() {
+        for seed in [3u64, 17] {
+            let report = run_cluster_seed(seed, ClusterMutation::None);
+            assert!(report.passed(), "seed {seed}:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn execution_is_trace_reproducible() {
+        let scenario = ClusterScenario::generate(5);
+        let a = execute(&scenario, ClusterMutation::None);
+        let b = execute(&scenario, ClusterMutation::None);
+        assert_eq!(a.trace, b.trace);
+        assert!(a.passed(), "{}", a.trace);
+    }
+}

@@ -280,6 +280,98 @@ pub fn check_health_detects_misplacement(events: &[HealthEvent]) -> Check {
     ))
 }
 
+/// **`cluster-routing-agree`** — every routed lookup landed on the
+/// shard the independent jump-hash model names as owner.
+///
+/// `observed` is `(object, serving shard)` per completed lookup;
+/// `expected` is the model's verdict for the same object (evolved with
+/// its own copy of the jump-hash equations, so any divergence — client
+/// routing, shard gate, or map plumbing — is an exact failure on a
+/// specific object).
+pub fn check_cluster_routing_agree(observed: &[(u64, u32, u32)]) -> Check {
+    for &(object, served_by, expected) in observed {
+        if served_by != expected {
+            return Err(Failure::new(
+                "cluster-routing-agree",
+                format!(
+                    "object {object} served by shard {served_by}, \
+                     model routes it to shard {expected}"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **`cluster-epoch-single`** — no object is served from two cluster
+/// epochs at once: probing every shard directly, at most one may
+/// answer a lookup (the others must redirect, declare themselves
+/// stale, or error).
+pub fn check_cluster_epoch_single(object: u64, serving: &[u32]) -> Check {
+    if serving.len() > 1 {
+        return Err(Failure::new(
+            "cluster-epoch-single",
+            format!("object {object} served by shards {serving:?} simultaneously"),
+        ));
+    }
+    Ok(())
+}
+
+/// **`cluster-migration-delta`** — a topology change migrates *exactly*
+/// the jump-hash delta (set equality against the independent model's
+/// prediction), and the realized fraction stays within the analytic
+/// expectation plus a 6σ binomial allowance.
+pub fn check_cluster_migration_delta(
+    moved: &[u64],
+    predicted: &[u64],
+    population: u64,
+    expected_fraction: f64,
+) -> Check {
+    let mut moved_sorted = moved.to_vec();
+    moved_sorted.sort_unstable();
+    let mut predicted_sorted = predicted.to_vec();
+    predicted_sorted.sort_unstable();
+    if moved_sorted != predicted_sorted {
+        let extra: Vec<u64> = moved_sorted
+            .iter()
+            .filter(|o| !predicted_sorted.contains(o))
+            .copied()
+            .collect();
+        let missing: Vec<u64> = predicted_sorted
+            .iter()
+            .filter(|o| !moved_sorted.contains(o))
+            .copied()
+            .collect();
+        return Err(Failure::new(
+            "cluster-migration-delta",
+            format!(
+                "migrated set diverges from the model's jump-hash delta: \
+                 {} moved vs {} predicted (extra {extra:?}, missing {missing:?})",
+                moved_sorted.len(),
+                predicted_sorted.len()
+            ),
+        ));
+    }
+    if population == 0 {
+        return Ok(());
+    }
+    let fraction = moved.len() as f64 / population as f64;
+    let sigma = (expected_fraction * (1.0 - expected_fraction) / population as f64).sqrt();
+    let bound = expected_fraction + 6.0 * sigma;
+    if fraction > bound {
+        return Err(Failure::new(
+            "cluster-migration-delta",
+            format!(
+                "migrated fraction {fraction:.4} exceeds expected \
+                 {expected_fraction:.4} + 6σ bound {bound:.4} \
+                 ({} of {population} objects)",
+                moved.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +446,35 @@ mod tests {
             m.from = scaddar_core::DiskIndex(1);
         }
         assert!(check_ro1_exact(&plan, &op, n_prev).is_err());
+    }
+
+    #[test]
+    fn cluster_routing_agree_flags_the_divergent_object() {
+        check_cluster_routing_agree(&[(3, 1, 1), (9, 0, 0)]).unwrap();
+        let f = check_cluster_routing_agree(&[(3, 1, 1), (9, 2, 0)]).unwrap_err();
+        assert_eq!(f.invariant, "cluster-routing-agree");
+        assert!(f.detail.contains("object 9"));
+    }
+
+    #[test]
+    fn cluster_epoch_single_allows_one_server_at_most() {
+        check_cluster_epoch_single(7, &[]).unwrap();
+        check_cluster_epoch_single(7, &[2]).unwrap();
+        let f = check_cluster_epoch_single(7, &[1, 3]).unwrap_err();
+        assert_eq!(f.invariant, "cluster-epoch-single");
+    }
+
+    #[test]
+    fn cluster_migration_delta_demands_set_equality_and_the_bound() {
+        check_cluster_migration_delta(&[4, 1], &[1, 4], 16, 0.25).unwrap();
+        // Wrong set (same size): exact failure naming the divergence.
+        let f = check_cluster_migration_delta(&[1, 5], &[1, 4], 16, 0.25).unwrap_err();
+        assert_eq!(f.invariant, "cluster-migration-delta");
+        assert!(f.detail.contains("extra [5]") && f.detail.contains("missing [4]"));
+        // Fraction over the 6σ bound: predicted agrees but too much
+        // moved (0.60 of 100 against an expected 0.25, bound ≈ 0.51).
+        let moved: Vec<u64> = (0..60).collect();
+        let f = check_cluster_migration_delta(&moved, &moved, 100, 0.25).unwrap_err();
+        assert!(f.detail.contains("exceeds expected"));
     }
 }

@@ -18,6 +18,7 @@
 //! Same seed, same binary → byte-identical trace. See `TESTING.md` at
 //! the repository root for the invariant catalog and workflow.
 
+pub mod cluster;
 pub mod exec;
 pub mod invariants;
 pub mod model;

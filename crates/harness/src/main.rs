@@ -1,8 +1,8 @@
 //! CLI for the deterministic simulation harness.
 //!
 //! ```text
-//! scaddar-harness [--seed N] [--runs K] [--plant-bug ro1|misplace]
-//!                 [--events-out PATH]
+//! scaddar-harness [--seed N] [--runs K] [--plant-bug ro1|misplace|route]
+//!                 [--events-out PATH] [--cluster]
 //! ```
 //!
 //! - `--seed N` (or env `HARNESS_SEED=N`): first seed; default 1.
@@ -13,9 +13,15 @@
 //!   the last step; the health monitor must raise `ro2-misplacement`.
 //! - `--events-out PATH` (or env `HEALTH_EVENTS_PATH`): write every
 //!   run's health-monitor JSONL event log to `PATH`.
+//! - `--cluster`: run seeded *cluster* scenarios instead — a real
+//!   loopback multi-shard cluster with kills, partitions, restarts,
+//!   and online scale, checked against the independent jump-hash
+//!   routing model. `--plant-bug route` plants the model-side routing
+//!   bug the cluster shrinker must catch and minimize.
 //!
 //! Exit code 0 iff every seed passed. Same seed → byte-identical output.
 
+use scaddar_harness::cluster::ClusterMutation;
 use scaddar_harness::scenario::Mutation;
 
 fn main() {
@@ -25,6 +31,8 @@ fn main() {
         .unwrap_or(1);
     let mut runs: u64 = 1;
     let mut mutation = Mutation::None;
+    let mut cluster = false;
+    let mut cluster_mutation = ClusterMutation::None;
     let mut events_out: Option<String> = std::env::var("HEALTH_EVENTS_PATH").ok();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,11 +51,16 @@ fn main() {
                 match args.get(i + 1).map(String::as_str) {
                     Some("ro1") => mutation = Mutation::Ro1AddOffByOne,
                     Some("misplace") => mutation = Mutation::MisplaceBlock,
+                    Some("route") => cluster_mutation = ClusterMutation::RouteIgnoreNewestShard,
                     other => die(&format!(
-                        "--plant-bug expects `ro1` or `misplace`, got {other:?}"
+                        "--plant-bug expects `ro1`, `misplace`, or `route`, got {other:?}"
                     )),
                 }
                 i += 2;
+            }
+            "--cluster" => {
+                cluster = true;
+                i += 1;
             }
             "--events-out" => {
                 match args.get(i + 1) {
@@ -59,7 +72,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: scaddar-harness [--seed N] [--runs K] \
-                     [--plant-bug ro1|misplace] [--events-out PATH]\n\
+                     [--plant-bug ro1|misplace|route] [--events-out PATH] \
+                     [--cluster]\n\
                      env: HARNESS_SEED=N sets the first seed; \
                      HEALTH_EVENTS_PATH=PATH writes the health event log"
                 );
@@ -72,6 +86,14 @@ fn main() {
     let mut failures = 0u64;
     let mut events = String::new();
     for s in seed..seed.saturating_add(runs) {
+        if cluster {
+            let report = scaddar_harness::cluster::run_cluster_seed(s, cluster_mutation);
+            print!("{}", report.render());
+            if !report.passed() {
+                failures += 1;
+            }
+            continue;
+        }
         let report = scaddar_harness::run_seed(s, mutation);
         print!("{}", report.render());
         events.push_str(&report.outcome.health_events);

@@ -27,6 +27,12 @@ impl Severity {
     pub fn is_alert(&self) -> bool {
         *self > Severity::Ok
     }
+
+    /// The worst severity in `verdicts` (`Ok` when empty) — how a
+    /// cluster rolls N per-shard health verdicts into one.
+    pub fn worst(verdicts: impl IntoIterator<Item = Severity>) -> Severity {
+        verdicts.into_iter().max().unwrap_or(Severity::Ok)
+    }
 }
 
 /// One emitted health event. An *alert* is an event with severity

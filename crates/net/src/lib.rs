@@ -29,6 +29,11 @@
 //! * [`load`] — a deterministic loopback load generator (seeded
 //!   open/closed-loop workloads) whose measurements feed
 //!   `BENCH_net.json` via `bench_report`.
+//! * [`cluster`] — the sharded-topology layer: the versioned
+//!   [`ClusterMap`] with jump-consistent-hash object routing, the
+//!   server-side [`ShardRuntime`] handoff gates, and the shard-aware
+//!   [`ClusterClient`] that chases `WrongShard`/`StaleMap` redirects by
+//!   refreshing the map.
 //!
 //! The crate is std-only (`std::net` + threads), consistent with the
 //! workspace's vendored-shim policy: no async runtime, no serde.
@@ -48,12 +53,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod load;
 pub mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, NetClient};
+pub use cluster::{
+    fetch_map, jump_hash, ClusterAnswer, ClusterBatchAnswer, ClusterClient, ClusterClientStats,
+    ClusterMap, RouteDecision, ShardRuntime,
+};
 pub use load::{run_load, LatencySummary, LoadConfig, LoadReport, LoopMode};
 pub use server::{NetServerConfig, Scaddard, ServerMode};
 pub use wire::{decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat};

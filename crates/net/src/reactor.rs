@@ -365,6 +365,29 @@ impl Worker {
                 Some(Frame::LocateBatch { blocks, .. }) => !blocks.is_empty(),
                 _ => false,
             };
+            // Cluster mode: only lookups this shard actually serves may
+            // join the wave — and the wave must see the shard-local
+            // object id. Everything else (WrongShard/StaleMap/unknown)
+            // takes the ordinary path, which runs the routing gate.
+            let coalescible = coalescible
+                && match &self.shared.shard {
+                    None => true,
+                    Some(shard) => {
+                        let frame = pending[i].1.as_mut().unwrap();
+                        let (Frame::Locate { object, .. } | Frame::LocateBatch { object, .. }) =
+                            frame
+                        else {
+                            unreachable!("coalescible is lookup-only");
+                        };
+                        match shard.decide(*object) {
+                            crate::cluster::RouteDecision::Serve(local) => {
+                                *object = local;
+                                true
+                            }
+                            _ => false,
+                        }
+                    }
+                };
             if coalescible {
                 wave.push(i);
                 continue;

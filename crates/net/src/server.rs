@@ -28,6 +28,7 @@
 //!   `Error{Protocol}` reply (best effort) and a close — the decoder
 //!   never panics, so neither does the server.
 
+use crate::cluster::{RouteDecision, ShardRuntime};
 use crate::wire::{
     decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat, FRAME_HEADER_LEN,
 };
@@ -134,7 +135,7 @@ pub struct NetStats {
 }
 
 /// The endpoints with dedicated request counters/histograms.
-pub const ENDPOINTS: [&str; 7] = [
+pub const ENDPOINTS: [&str; 8] = [
     "locate",
     "locate-batch",
     "scale",
@@ -142,6 +143,7 @@ pub const ENDPOINTS: [&str; 7] = [
     "health",
     "stats",
     "ping",
+    "fetch-map",
 ];
 
 impl NetStats {
@@ -216,6 +218,8 @@ pub(crate) struct Shared {
     pub(crate) registry: Registry,
     pub(crate) shutdown: AtomicBool,
     pub(crate) active: AtomicUsize,
+    /// Cluster-mode routing state; `None` for a standalone daemon.
+    pub(crate) shard: Option<Arc<ShardRuntime>>,
 }
 
 /// The `scaddard` daemon: a bound listener plus its accept thread.
@@ -277,6 +281,34 @@ impl Scaddard {
         registry: &Registry,
         tracer: Tracer,
     ) -> std::io::Result<Scaddard> {
+        Scaddard::bind_inner(addr, server, config, registry, tracer, None)
+    }
+
+    /// Binds a **cluster shard**: identical to [`bind`](Self::bind),
+    /// plus a [`ShardRuntime`] every `Locate`/`LocateBatch` consults
+    /// before touching the engine. Requests for objects the map routes
+    /// elsewhere answer `WrongShard`; requests landing on a drained
+    /// shard answer `StaleMap`; `FetchMap` serves the shard's current
+    /// map.
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        server: Arc<SharedServer>,
+        config: NetServerConfig,
+        registry: &Registry,
+        tracer: Tracer,
+        shard: Arc<ShardRuntime>,
+    ) -> std::io::Result<Scaddard> {
+        Scaddard::bind_inner(addr, server, config, registry, tracer, Some(shard))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        server: Arc<SharedServer>,
+        config: NetServerConfig,
+        registry: &Registry,
+        tracer: Tracer,
+        shard: Option<Arc<ShardRuntime>>,
+    ) -> std::io::Result<Scaddard> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let monitor = server.with_read(|s| {
@@ -299,6 +331,7 @@ impl Scaddard {
             registry: registry.clone(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            shard,
         });
         let core = match shared.config.mode {
             ServerMode::Threaded => {
@@ -340,6 +373,12 @@ impl Scaddard {
     /// The server's metric handles (benches read these directly).
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.shared.stats
+    }
+
+    /// The shard routing state, when bound via
+    /// [`bind_sharded`](Self::bind_sharded).
+    pub fn shard_runtime(&self) -> Option<&Arc<ShardRuntime>> {
+        self.shared.shard.as_ref()
     }
 
     /// Severity of the server's current health report — what
@@ -606,10 +645,34 @@ pub(crate) fn engine_error(e: impl std::fmt::Display) -> Frame {
     }
 }
 
+/// Cluster routing gate: `Ok` carries the engine-facing object id (the
+/// shard-local translation in cluster mode, the wire id standalone);
+/// `Err` is the routing response that must go back instead of touching
+/// the engine.
+fn shard_gate(shared: &Shared, object: u64) -> Result<u64, Frame> {
+    let Some(shard) = &shared.shard else {
+        return Ok(object);
+    };
+    match shard.decide(object) {
+        RouteDecision::Serve(local) => Ok(local),
+        RouteDecision::WrongShard { map_version, owner } => {
+            Err(Frame::WrongShard { map_version, owner })
+        }
+        RouteDecision::StaleMap { map_version } => Err(Frame::StaleMap { map_version }),
+        RouteDecision::UnknownObject => Err(engine_error(format!(
+            "unknown object {object} (owned by this shard)"
+        ))),
+    }
+}
+
 fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
     match frame {
         Frame::Locate { object, block } => {
-            match shared.server.locate(scaddar_core::ObjectId(object), block) {
+            let local = match shard_gate(shared, object) {
+                Ok(local) => local,
+                Err(response) => return response,
+            };
+            match shared.server.locate(scaddar_core::ObjectId(local), block) {
                 Ok(read) => Frame::Located {
                     epoch: read.epoch as u64,
                     disks: read.disks,
@@ -625,9 +688,13 @@ fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
                     message: "empty batch".into(),
                 };
             }
+            let local = match shard_gate(shared, object) {
+                Ok(local) => local,
+                Err(response) => return response,
+            };
             match shared
                 .server
-                .locate_batch_read(scaddar_core::ObjectId(object), &blocks)
+                .locate_batch_read(scaddar_core::ObjectId(local), &blocks)
             {
                 Ok(read) => Frame::BatchLocated {
                     epoch: read.epoch as u64,
@@ -700,6 +767,13 @@ fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
         },
         Frame::Ping => Frame::Pong {
             epoch: shared.server.epoch_view().0 as u64,
+        },
+        Frame::FetchMap { have_version: _ } => match &shared.shard {
+            Some(shard) => shard.map().to_frame(),
+            None => Frame::Error {
+                code: ErrorCode::BadRequest,
+                message: "standalone daemon: no cluster map".into(),
+            },
         },
         // is_request() filtered responses out before dispatch.
         _ => unreachable!("dispatch only sees request frames"),

@@ -228,6 +228,14 @@ pub enum Frame {
     },
     /// Liveness probe (also the pool's stale-connection check).
     Ping,
+    /// Cluster-map fetch. `have_version` is the client's current map
+    /// version; the server always answers with its full map (the field
+    /// exists so servers can log/skip-count redundant fetches and so
+    /// future versions can answer "unchanged" cheaply).
+    FetchMap {
+        /// The map version the client already holds (0 = none).
+        have_version: u64,
+    },
 
     // ---- responses ----
     /// Answer to [`Frame::Locate`]. Epoch-tagged: `disk` is valid for
@@ -288,6 +296,32 @@ pub enum Frame {
         /// Current scaling epoch.
         epoch: u64,
     },
+    /// Answer to [`Frame::FetchMap`]: the server's current cluster map.
+    /// `version` doubles as the cluster epoch — every topology change
+    /// (shard add/remove, restart re-address) bumps it by one.
+    MapUpdate {
+        /// Cluster-map version (the cluster epoch).
+        version: u64,
+        /// `(shard id, net address)` for every serving shard, sorted by
+        /// id. Addresses are UTF-8 `host:port` strings.
+        shards: Vec<(u32, String)>,
+    },
+    /// Routing rejection: per the answering shard's map, `owner` serves
+    /// this object. Carries the shard's map version (the piggyback that
+    /// tells a stale client to refresh before retrying).
+    WrongShard {
+        /// Map version the answering shard routed by.
+        map_version: u64,
+        /// Shard id the map names as the object's owner.
+        owner: u32,
+    },
+    /// The answering shard is no longer in the serving set (drained
+    /// after removal, or superseded after a restart re-address). The
+    /// client must refetch the map from a live shard and retry.
+    StaleMap {
+        /// Map version the answering shard last held.
+        map_version: u64,
+    },
     /// Typed failure response.
     Error {
         /// Machine-readable class.
@@ -307,6 +341,7 @@ const TAG_TICK: u8 = 0x04;
 const TAG_HEALTH: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
 const TAG_PING: u8 = 0x07;
+const TAG_FETCH_MAP: u8 = 0x08;
 const TAG_LOCATED: u8 = 0x81;
 const TAG_BATCH_LOCATED: u8 = 0x82;
 const TAG_SCALED: u8 = 0x83;
@@ -314,6 +349,9 @@ const TAG_TICKED: u8 = 0x84;
 const TAG_HEALTH_STATUS: u8 = 0x85;
 const TAG_STATS_TEXT: u8 = 0x86;
 const TAG_PONG: u8 = 0x87;
+const TAG_MAP_UPDATE: u8 = 0x88;
+const TAG_WRONG_SHARD: u8 = 0x89;
+const TAG_STALE_MAP: u8 = 0x8A;
 const TAG_ERROR: u8 = 0xFF;
 
 impl Frame {
@@ -327,6 +365,7 @@ impl Frame {
             Frame::Health => TAG_HEALTH,
             Frame::Stats { .. } => TAG_STATS,
             Frame::Ping => TAG_PING,
+            Frame::FetchMap { .. } => TAG_FETCH_MAP,
             Frame::Located { .. } => TAG_LOCATED,
             Frame::BatchLocated { .. } => TAG_BATCH_LOCATED,
             Frame::Scaled { .. } => TAG_SCALED,
@@ -334,6 +373,9 @@ impl Frame {
             Frame::HealthStatus { .. } => TAG_HEALTH_STATUS,
             Frame::StatsText { .. } => TAG_STATS_TEXT,
             Frame::Pong { .. } => TAG_PONG,
+            Frame::MapUpdate { .. } => TAG_MAP_UPDATE,
+            Frame::WrongShard { .. } => TAG_WRONG_SHARD,
+            Frame::StaleMap { .. } => TAG_STALE_MAP,
             Frame::Error { .. } => TAG_ERROR,
         }
     }
@@ -348,6 +390,9 @@ impl Frame {
             Frame::Health | Frame::HealthStatus { .. } => "health",
             Frame::Stats { .. } | Frame::StatsText { .. } => "stats",
             Frame::Ping | Frame::Pong { .. } => "ping",
+            Frame::FetchMap { .. } | Frame::MapUpdate { .. } => "fetch-map",
+            Frame::WrongShard { .. } => "wrong-shard",
+            Frame::StaleMap { .. } => "stale-map",
             Frame::Error { .. } => "error",
         }
     }
@@ -391,6 +436,7 @@ impl Frame {
             },
             Frame::Tick { rounds } => put_u32(buf, *rounds),
             Frame::Health | Frame::Ping => {}
+            Frame::FetchMap { have_version } => put_u64(buf, *have_version),
             Frame::Stats { format } => buf.push(*format as u8),
             Frame::Located { epoch, disks, disk } => {
                 put_u64(buf, *epoch);
@@ -436,6 +482,19 @@ impl Frame {
                 put_str(buf, text);
             }
             Frame::Pong { epoch } => put_u64(buf, *epoch),
+            Frame::MapUpdate { version, shards } => {
+                put_u64(buf, *version);
+                put_u32(buf, shards.len() as u32);
+                for (id, addr) in shards {
+                    put_u32(buf, *id);
+                    put_str(buf, addr);
+                }
+            }
+            Frame::WrongShard { map_version, owner } => {
+                put_u64(buf, *map_version);
+                put_u32(buf, *owner);
+            }
+            Frame::StaleMap { map_version } => put_u64(buf, *map_version),
             Frame::Error { code, message } => {
                 buf.push(*code as u8);
                 put_str(buf, message);
@@ -588,6 +647,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_HEALTH => "Health",
         TAG_STATS => "Stats",
         TAG_PING => "Ping",
+        TAG_FETCH_MAP => "FetchMap",
         TAG_LOCATED => "Located",
         TAG_BATCH_LOCATED => "BatchLocated",
         TAG_SCALED => "Scaled",
@@ -595,6 +655,9 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_HEALTH_STATUS => "HealthStatus",
         TAG_STATS_TEXT => "StatsText",
         TAG_PONG => "Pong",
+        TAG_MAP_UPDATE => "MapUpdate",
+        TAG_WRONG_SHARD => "WrongShard",
+        TAG_STALE_MAP => "StaleMap",
         TAG_ERROR => "Error",
         other => return Err(FrameError::UnknownTag { tag: other }),
     };
@@ -659,6 +722,9 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             Frame::Stats { format }
         }
         TAG_PING => Frame::Ping,
+        TAG_FETCH_MAP => Frame::FetchMap {
+            have_version: p.u64("have_version")?,
+        },
         TAG_LOCATED => Frame::Located {
             epoch: p.u64("epoch")?,
             disks: p.u32("disks")?,
@@ -721,6 +787,33 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_PONG => Frame::Pong {
             epoch: p.u64("epoch")?,
         },
+        TAG_MAP_UPDATE => {
+            let version = p.u64("version")?;
+            // Each entry is at least id (4B) + addr length prefix (4B):
+            // a hostile shard count is rejected before any allocation.
+            let n = p.count(8, "shards.len")?;
+            let mut shards = Vec::with_capacity(n);
+            let mut last_id: Option<u32> = None;
+            for _ in 0..n {
+                let id = p.u32("shards[].id")?;
+                if last_id.is_some_and(|prev| prev >= id) {
+                    return Err(FrameError::Malformed {
+                        frame: name,
+                        detail: format!("shard ids not strictly ascending at {id}"),
+                    });
+                }
+                last_id = Some(id);
+                shards.push((id, p.string("shards[].addr")?));
+            }
+            Frame::MapUpdate { version, shards }
+        }
+        TAG_WRONG_SHARD => Frame::WrongShard {
+            map_version: p.u64("map_version")?,
+            owner: p.u32("owner")?,
+        },
+        TAG_STALE_MAP => Frame::StaleMap {
+            map_version: p.u64("map_version")?,
+        },
         TAG_ERROR => {
             let code_byte = p.u8("code")?;
             let code = ErrorCode::from_u8(code_byte).ok_or_else(|| FrameError::Malformed {
@@ -771,6 +864,20 @@ mod tests {
                 format: StatsFormat::Json,
             },
             Frame::Ping,
+            Frame::FetchMap { have_version: 3 },
+            Frame::MapUpdate {
+                version: 4,
+                shards: vec![
+                    (0, "127.0.0.1:9000".to_string()),
+                    (1, "127.0.0.1:9001".to_string()),
+                    (5, "127.0.0.1:9005".to_string()),
+                ],
+            },
+            Frame::WrongShard {
+                map_version: 4,
+                owner: 2,
+            },
+            Frame::StaleMap { map_version: 9 },
             Frame::Located {
                 epoch: 3,
                 disks: 8,

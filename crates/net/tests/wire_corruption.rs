@@ -76,6 +76,25 @@ fn exemplars() -> Vec<Frame> {
             code: ErrorCode::Busy,
             message: "server at connection limit".into(),
         },
+        // Cluster frames: map fetch/propagation and the redirect pair.
+        Frame::FetchMap { have_version: 3 },
+        Frame::MapUpdate {
+            version: 7,
+            shards: vec![
+                (0, "127.0.0.1:7411".into()),
+                (2, "127.0.0.1:7412".into()),
+                (5, "10.0.0.9:7413".into()),
+            ],
+        },
+        Frame::MapUpdate {
+            version: 1,
+            shards: vec![],
+        },
+        Frame::WrongShard {
+            map_version: 8,
+            owner: 2,
+        },
+        Frame::StaleMap { map_version: 9 },
     ]
 }
 
@@ -181,8 +200,10 @@ fn length_prefix_overflow_classes() {
 
 #[test]
 fn every_unknown_tag_and_version_byte_is_typed() {
-    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
-    let known_responses = [0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0xFF];
+    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+    let known_responses = [
+        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0xFF,
+    ];
     for tag in 0u8..=255 {
         let buf = [2u8, 0, 0, 0, PROTOCOL_VERSION, tag];
         match decode_frame(&buf) {
@@ -249,12 +270,13 @@ fn single_bit_flips_never_panic_or_desync() {
 }
 
 /// A frame claiming a batch of `u32::MAX` elements must be rejected by
-/// arithmetic, not by attempting the allocation.
+/// arithmetic, not by attempting the allocation. `0x88` (`MapUpdate`)
+/// carries the hostile count as its shard-list length.
 #[test]
 fn hostile_counts_are_rejected_without_allocation() {
-    for tag in [0x02u8, 0x82] {
+    for tag in [0x02u8, 0x82, 0x88] {
         let mut buf = Vec::new();
-        // payload: object/epoch u64 + (disks u32 for 0x82) + count u32
+        // payload: object/epoch/version u64 + (disks u32 for 0x82) + count u32
         let payload_len = if tag == 0x82 { 8 + 4 + 4 } else { 8 + 4 };
         buf.extend_from_slice(&(2 + payload_len as u32).to_le_bytes());
         buf.push(PROTOCOL_VERSION);
@@ -269,6 +291,57 @@ fn hostile_counts_are_rejected_without_allocation() {
             "hostile count behind tag {tag:#04x} was not rejected"
         );
     }
+}
+
+/// Hostile `MapUpdate` payloads beyond the raw count: shard ids out of
+/// order (which would silently scramble jump-hash buckets if accepted)
+/// and an address string claiming to run past the payload. Both must be
+/// typed rejections — a client never installs a malformed map.
+#[test]
+fn hostile_map_updates_are_typed_rejections() {
+    let frame_bytes = |payload: &[u8]| {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        buf.extend_from_slice(&(2 + payload.len() as u32).to_le_bytes());
+        buf.push(PROTOCOL_VERSION);
+        buf.push(0x88);
+        buf.extend_from_slice(payload);
+        buf
+    };
+    let entry = |id: u32, addr: &str| {
+        let mut e = id.to_le_bytes().to_vec();
+        e.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+        e.extend_from_slice(addr.as_bytes());
+        e
+    };
+
+    // Descending and duplicate ids: both break the sorted-bucket rule.
+    for ids in [[3u32, 1], [2, 2]] {
+        let mut payload = 9u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for id in ids {
+            payload.extend_from_slice(&entry(id, "127.0.0.1:1"));
+        }
+        assert!(
+            matches!(
+                decode_frame(&frame_bytes(&payload)),
+                Err(FrameError::Malformed { .. })
+            ),
+            "unsorted shard ids {ids:?} were not rejected"
+        );
+    }
+
+    // Address length prefix pointing past the end of the payload.
+    let mut payload = 9u64.to_le_bytes().to_vec();
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // addr "length"
+    assert!(
+        matches!(
+            decode_frame(&frame_bytes(&payload)),
+            Err(FrameError::Truncated { .. } | FrameError::Malformed { .. })
+        ),
+        "runaway address length was not rejected"
+    );
 }
 
 proptest! {
