@@ -6,9 +6,9 @@
 //!   record fold, parallel vs serial planning, cached vs oracle
 //!   lookup);
 //! * `BENCH_obs.json` (when the `obs` bench has run) — the telemetry
-//!   overhead ratios (instrumented / bare), with a `within_5pct`
-//!   verdict per hot path. CI's obs-smoke job gates on the locate
-//!   ratio;
+//!   overhead ratios (instrumented / bare), with a `within_gate`
+//!   verdict per hot path keyed to the CI 1.10 acceptance gate on the
+//!   locate ratio;
 //! * `BENCH_monitor.json` (when the `monitor` bench has run) — the
 //!   health monitor's amortized overhead ratios (attached / detached),
 //!   with a `within_10pct` verdict per hot path. CI's health-smoke job
@@ -40,6 +40,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// The instrumented/bare overhead ratio CI's obs-smoke job accepts on
+/// the locate hot path; `within_gate` in `BENCH_obs.json` is keyed to
+/// the same line so the report never reads as a standing failure while
+/// CI is green.
+const OBS_OVERHEAD_GATE: f64 = 1.10;
 
 /// One measured benchmark, keyed `group/bench`.
 #[derive(Debug, Clone)]
@@ -130,8 +136,8 @@ fn obs_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
         write!(
             overheads,
             "    {{\"name\": \"{path}\", \"bare_ns\": {bare:.3}, \"instrumented_ns\": {inst:.3}, \
-             \"ratio\": {ratio:.4}, \"within_5pct\": {}}}",
-            ratio <= 1.05
+             \"ratio\": {ratio:.4}, \"within_gate\": {}}}",
+            ratio <= OBS_OVERHEAD_GATE
         )
         .expect("write to string");
     }
@@ -464,7 +470,7 @@ mod tests {
             ("obs_locate_overhead/bare", 50.0),
             ("obs_locate_overhead/instrumented", 51.0),
             ("obs_plan_overhead/bare", 10_000.0),
-            ("obs_plan_overhead/instrumented", 11_000.0),
+            ("obs_plan_overhead/instrumented", 11_500.0),
             ("obs_primitives/counter_inc", 2.0),
         ] {
             all.insert(key.to_string(), Measurement { ns_per_iter: ns });
@@ -472,10 +478,10 @@ mod tests {
         let report = obs_report(&all).expect("obs measurements present");
         assert!(report.contains("\"name\": \"locate\""));
         assert!(report.contains("\"ratio\": 1.0200"));
-        assert!(report.contains("\"within_5pct\": true"));
-        // Plan at 1.10 is over the 5% line.
-        assert!(report.contains("\"ratio\": 1.1000"));
-        assert!(report.contains("\"within_5pct\": false"));
+        assert!(report.contains("\"within_gate\": true"));
+        // Plan at 1.15 is over the CI 1.10 gate.
+        assert!(report.contains("\"ratio\": 1.1500"));
+        assert!(report.contains("\"within_gate\": false"));
         assert!(report.contains("obs_primitives/counter_inc"));
 
         all.remove("obs_plan_overhead/bare");

@@ -26,11 +26,12 @@ use scaddar_core::{
     audit_balance, audit_census, EngineStats, ObjectId, Scaddar, ScaddarConfig, ScalingOp,
 };
 use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
-use scaddar_obs::{MetricValue, MonotonicClock, Registry, Tracer};
+use scaddar_obs::{render_trace_dump, MetricValue, MonotonicClock, Registry, TraceContext, Tracer};
 use scaddar_prng::Bits;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+pub mod fleet;
 pub mod remote;
 
 /// Errors surfaced to the operator.
@@ -80,6 +81,10 @@ pub struct Session {
     registry: Registry,
     tracer: Tracer,
     monitor: Option<HealthMonitor>,
+    /// Commands executed so far — the trace-root sequence number, so
+    /// every command span carries a deterministic trace id and `trace
+    /// dump` can render it as a tree.
+    trace_seq: u64,
 }
 
 impl Default for Session {
@@ -97,6 +102,7 @@ commands:
   objects                                              list objects
   locate <object> <block>                              AF(): block -> disk
   trace <object> <block>                               full remap history
+  trace dump [trace-id-hex]                            render flight-recorder traces as trees
   scale add <count>                                    add a disk group
   scale remove <d1,d2,...>                             remove disks (current indices)
   plan add <count> | plan remove <d1,d2,...>           dry-run: predicted movement, no change
@@ -121,6 +127,7 @@ impl Session {
             registry,
             tracer,
             monitor: None,
+            trace_seq: 0,
         }
     }
 
@@ -158,7 +165,11 @@ impl Session {
             return Ok(String::new());
         };
         let args: Vec<&str> = parts.collect();
-        let mut span = self.tracer.span(&format!("cmd.{command}"));
+        // Each command is the root of its own (deterministic) trace,
+        // so `trace dump` can render the flight recorder as trees.
+        let ctx = TraceContext::root(0x5CAD_DA25, self.trace_seq);
+        self.trace_seq += 1;
+        let mut span = self.tracer.span_in(&format!("cmd.{command}"), &ctx, 0);
         let result = self.dispatch(command, &args);
         if let Err(e) = &result {
             span.event(
@@ -433,7 +444,52 @@ impl Session {
         Ok(format!("{object} block {block} -> {disk}"))
     }
 
+    /// `trace dump` — renders the flight recorder's traces as trees
+    /// ([`render_trace_dump`]): every distinct trace with no argument,
+    /// one named trace with a hex id.
+    fn cmd_trace_dump(&self, args: &[&str]) -> Result<String, CliError> {
+        let usage = || CliError::Usage("trace dump [trace-id-hex]".into());
+        let spans = self.tracer.recent(SPAN_CAPACITY);
+        match args {
+            [] => {
+                let mut ids: Vec<u64> = Vec::new();
+                for s in &spans {
+                    if s.trace_id != 0 && !ids.contains(&s.trace_id) {
+                        ids.push(s.trace_id);
+                    }
+                }
+                if ids.is_empty() {
+                    return Ok("no traces recorded".to_string());
+                }
+                let mut out = format!("{} trace(s) in the flight recorder\n", ids.len());
+                for id in ids {
+                    let _ = write!(
+                        out,
+                        "--- trace {id:016x} ---\n{}",
+                        render_trace_dump(&spans, id)
+                    );
+                }
+                Ok(out.trim_end().to_string())
+            }
+            [hex] => {
+                let id =
+                    u64::from_str_radix(hex.trim_start_matches("0x"), 16).map_err(|_| usage())?;
+                let dump = render_trace_dump(&spans, id);
+                if dump.is_empty() {
+                    return Err(CliError::Engine(format!(
+                        "no spans for trace {id:016x} in the flight recorder"
+                    )));
+                }
+                Ok(dump.trim_end().to_string())
+            }
+            _ => Err(usage()),
+        }
+    }
+
     fn cmd_trace(&self, args: &[&str]) -> Result<String, CliError> {
+        if args.first() == Some(&"dump") {
+            return self.cmd_trace_dump(&args[1..]);
+        }
         let (object, block) = Self::parse_object_block(args, "trace <object> <block>")?;
         let steps = self
             .engine_ref()?
@@ -656,6 +712,44 @@ mod tests {
         assert_eq!(trace.lines().count(), 2);
         assert!(trace.contains("epoch   0"));
         assert!(trace.contains("epoch   1"));
+    }
+
+    #[test]
+    fn trace_dump_renders_command_trees() {
+        let mut s = Session::new();
+        assert_eq!(run(&mut s, "trace dump"), "no traces recorded");
+        run(&mut s, "init 4 seed=1");
+        run(&mut s, "add-object 100");
+        let dump = run(&mut s, "trace dump");
+        assert!(dump.contains("cmd.init"), "{dump}");
+        assert!(dump.contains("cmd.add-object"), "{dump}");
+        assert!(dump.contains("--- trace "), "{dump}");
+        // A named trace renders alone; dumps are seed-deterministic,
+        // so the same command sequence yields the same trace ids.
+        let id = dump
+            .lines()
+            .find(|l| l.contains("cmd.init"))
+            .and_then(|l| l.split("trace=").nth(1))
+            .and_then(|l| l.split_whitespace().next())
+            .unwrap()
+            .to_string();
+        let one = run(&mut s, &format!("trace dump {id}"));
+        assert!(one.contains("cmd.init"), "{one}");
+        assert!(!one.contains("cmd.add-object"), "{one}");
+        // Same command sequence (`trace dump` was command 0, `init`
+        // command 1) → same deterministic trace ids.
+        let mut other = Session::new();
+        other.execute("trace dump").unwrap();
+        other.execute("init 4 seed=1").unwrap();
+        assert!(run(&mut other, "trace dump").contains(&format!("trace {id}")));
+        assert!(matches!(
+            s.execute("trace dump zzz"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            s.execute("trace dump 1"),
+            Err(CliError::Engine(_))
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! monitor verdict to the exit code (`OK`=0, `WARN`=1, `CRIT`=2), so
 //! scripts piping commands into the console can gate on the result.
 
+use scaddar_cli::fleet;
 use scaddar_cli::remote;
 use scaddar_cli::Session;
 use scaddar_monitor::Severity;
@@ -18,7 +19,9 @@ usage: scaddar-console [subcommand]
   serve --shard ID [options]  boot one cluster shard (jump-hash routed)
   serve --check               boot, health-check, exit 0/1/2 by verdict
   connect <addr> [command]    drive a remote daemon (one-shot or interactive)
-  cluster-status <addr>       fetch the cluster map, probe every shard";
+  cluster-status <addr>       fetch the cluster map, federated status of every shard
+  top <addr> [--interval MS] [--frames N]
+                              live fleet dashboard (rps/p99/epoch/health + SLO burn)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +31,7 @@ fn main() {
             "serve" => remote::run_serve(rest),
             "connect" => remote::run_connect(rest),
             "cluster-status" => remote::run_cluster_status(rest),
+            "top" => fleet::run_top(rest),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 0

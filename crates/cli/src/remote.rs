@@ -16,6 +16,7 @@
 //! them.
 
 use cmsim::{CmServer, ServerConfig, SharedServer};
+use scaddar_cluster::FleetAggregator;
 use scaddar_core::ScalingOp;
 use scaddar_monitor::Severity;
 use scaddar_net::{
@@ -300,6 +301,11 @@ pub fn run_cluster_status(args: &[String]) -> i32 {
 
 /// The `cluster-status` body, unit-testable: `(report text, exit
 /// code)`. Errors only when the seed itself won't yield a map.
+///
+/// Status comes from **one federated scrape round** (a
+/// [`FleetAggregator`] pulling `ScrapeStats` from every shard in the
+/// map), not N ad-hoc ping/health probes — epoch, verdict, and request
+/// totals all ride the same snapshot each shard already exports.
 pub fn cluster_status_report(seed: SocketAddr) -> Result<(String, i32), String> {
     let map = fetch_map(&NetClient::connect(seed), 0)
         .map_err(|e| format!("fetch map from {seed}: {e}"))?;
@@ -309,34 +315,38 @@ pub fn cluster_status_report(seed: SocketAddr) -> Result<(String, i32), String> 
         map.len()
     );
     let mut code = 0;
+    let mut targets = Vec::new();
     for (shard, addr) in &map.shards {
-        let resolved = addr.to_socket_addrs().ok().and_then(|mut a| a.next());
-        let Some(resolved) = resolved else {
-            write!(out, "\n  shard {shard} at {addr} — unresolvable address").expect("write");
-            code = code.max(2);
-            continue;
-        };
-        let client = NetClient::connect(resolved);
-        match client.ping() {
-            Ok(epoch) => {
-                let (verdict, alerts, _) = client.health().map_err(|e| e.to_string())?;
-                let label = match i32::from(verdict) {
-                    0 => "OK",
-                    1 => "WARN",
-                    _ => "CRIT",
-                };
-                write!(
-                    out,
-                    "\n  shard {shard} at {addr} — epoch {epoch}, health {label} \
-                     ({alerts} alert(s))"
-                )
-                .expect("write");
-                code = code.max(i32::from(verdict));
-            }
-            Err(e) => {
-                write!(out, "\n  shard {shard} at {addr} — unreachable: {e}").expect("write");
+        match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(resolved) => targets.push((*shard, resolved)),
+            None => {
+                write!(out, "\n  shard {shard} at {addr} — unresolvable address").expect("write");
                 code = code.max(2);
             }
+        }
+    }
+    let mut aggregator = FleetAggregator::new(Arc::new(MonotonicClock::new()));
+    let fleet = aggregator.scrape(&targets);
+    for s in &fleet.shards {
+        if s.reachable {
+            let label = match s.verdict {
+                0 => "OK",
+                1 => "WARN",
+                _ => "CRIT",
+            };
+            write!(
+                out,
+                "\n  shard {} at {} — epoch {}, health {label} ({} request(s) served)",
+                s.shard,
+                s.addr,
+                s.epoch,
+                s.requests_total(),
+            )
+            .expect("write");
+            code = code.max(i32::from(s.verdict));
+        } else {
+            write!(out, "\n  shard {} at {} — unreachable", s.shard, s.addr).expect("write");
+            code = code.max(2);
         }
     }
     Ok((out, code))

@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod federate;
+
+pub use federate::{FleetAggregator, FleetSnapshot, ShardScrape};
+
 use cmsim::{CmServer, ServerConfig, SharedServer};
 use scaddar_monitor::Severity;
 use scaddar_net::{ClusterMap, Frame, NetClient, NetServerConfig, Scaddard, ShardRuntime};
@@ -120,6 +124,7 @@ struct Shard {
     runtime: Arc<ShardRuntime>,
     addr: SocketAddr,
     registry: Registry,
+    tracer: Tracer,
     partitioned: bool,
     objects_gauge: Gauge,
 }
@@ -233,13 +238,16 @@ impl Cluster {
         runtime: Arc<ShardRuntime>,
     ) -> Result<Shard, String> {
         let registry = Registry::new();
-        let tracer = Tracer::new(self.clock.clone(), 64);
+        // 256 spans: enough that one harness load step (≤ 24 lookups ×
+        // the 8-hop budget) cannot evict its own trace before the
+        // trace-complete check reads it back.
+        let tracer = Tracer::new(self.clock.clone(), 256);
         let daemon = Scaddard::bind_sharded(
             "127.0.0.1:0",
             Arc::clone(&server),
             self.config.net.clone(),
             &registry,
-            tracer,
+            tracer.clone(),
             Arc::clone(&runtime),
         )
         .map_err(|e| format!("shard {id} bind: {e}"))?;
@@ -255,6 +263,7 @@ impl Cluster {
             runtime,
             addr,
             registry,
+            tracer,
             partitioned: false,
             objects_gauge,
         })
@@ -695,6 +704,31 @@ impl Cluster {
     /// Per-shard registries (for net-level metrics inspection).
     pub fn shard_registry(&self, shard: u32) -> Option<&Registry> {
         self.shards.get(&shard).map(|s| &s.registry)
+    }
+
+    /// Per-shard span flight recorders — each shard daemon's
+    /// continuation spans land here. Concatenate
+    /// [`Tracer::spans_for_trace`] across shards (plus the client's
+    /// tracer) to stitch one distributed trace.
+    pub fn shard_tracer(&self, shard: u32) -> Option<&Tracer> {
+        self.shards.get(&shard).map(|s| &s.tracer)
+    }
+
+    /// The injected clock every shard (and the event log) reads.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// `(shard id, net address)` scrape targets for a
+    /// [`federate::FleetAggregator`] — every live shard, partitioned
+    /// ones included (a partition blocks map installs, not the data
+    /// plane, and the aggregator must see the stale shard's stats).
+    pub fn scrape_targets(&self) -> Vec<(u32, SocketAddr)> {
+        self.shards
+            .values()
+            .filter(|s| s.daemon.is_some())
+            .map(|s| (s.id, s.addr))
+            .collect()
     }
 
     /// Consistency audit: every shard's runtime bindings resolve in its

@@ -24,13 +24,14 @@
 //! vocabulary like the single-node harness does.
 
 use crate::invariants::{
-    check_cluster_epoch_single, check_cluster_migration_delta, check_cluster_routing_agree, Failure,
+    check_cluster_epoch_single, check_cluster_migration_delta, check_cluster_routing_agree,
+    check_federation_agreement, check_trace_complete, Failure,
 };
 use proptest::shrink::{halvings, removal_spans};
 use proptest::test_runner::TestRng;
-use scaddar_cluster::{Cluster, ClusterConfig, MigrationRecord, ProbeResult};
-use scaddar_net::ClusterClient;
-use scaddar_obs::VirtualClock;
+use scaddar_cluster::{Cluster, ClusterConfig, FleetAggregator, MigrationRecord, ProbeResult};
+use scaddar_net::{ClusterClient, NetClient};
+use scaddar_obs::{Tracer, VirtualClock};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -307,6 +308,10 @@ struct Exec {
     down: Vec<(u32, Vec<u8>)>,
     /// Partitioned shard ids, oldest first.
     partitioned: Vec<u32>,
+    /// Client root spans already audited by `trace_complete_audit`
+    /// (the client tracer's capacity exceeds any scenario's lookup
+    /// count, so indices into its root list are stable).
+    roots_checked: usize,
     rng: TestRng,
     trace: String,
 }
@@ -376,6 +381,67 @@ impl Exec {
         Ok(())
     }
 
+    /// **`trace-complete`** audit over every client root span not yet
+    /// checked: each completed lookup must have stitched into exactly
+    /// one trace holding the client root plus at least one serving
+    /// hop's continuation span (the shards' flight recorders hold the
+    /// server side). Runs right after every load step, before later
+    /// traffic can evict the spans from the shard rings.
+    fn trace_complete_audit(&mut self) -> Result<usize, Failure> {
+        let Some(tracer) = self.client.tracer() else {
+            return Ok(0);
+        };
+        let roots: Vec<u64> = tracer
+            .recent(usize::MAX)
+            .iter()
+            .filter(|s| s.parent_id == 0 && s.trace_id != 0)
+            .map(|s| s.trace_id)
+            .collect();
+        let fresh = roots[self.roots_checked.min(roots.len())..].to_vec();
+        let shard_ids = self.cluster.shard_ids();
+        for &trace_id in &fresh {
+            let mut spans = tracer.spans_for_trace(trace_id);
+            for id in &shard_ids {
+                if let Some(t) = self.cluster.shard_tracer(*id) {
+                    spans.extend(t.spans_for_trace(trace_id));
+                }
+            }
+            check_trace_complete(trace_id, &spans, 2)?;
+        }
+        self.roots_checked = roots.len();
+        Ok(fresh.len())
+    }
+
+    /// **`obs-federation-agree`** end-of-run audit: one
+    /// [`FleetAggregator`] round over every live shard must find all
+    /// of them reachable and agree with direct per-shard scrapes on
+    /// every serving series.
+    fn federation_audit(&self) -> Result<usize, Failure> {
+        let targets = self.cluster.scrape_targets();
+        let mut aggregator = FleetAggregator::new(self.cluster.clock().clone());
+        let fleet = aggregator.scrape(&targets);
+        let unreachable = fleet.unreachable_shards();
+        if !unreachable.is_empty() {
+            return Err(Failure {
+                invariant: "obs-federation-agree",
+                detail: format!("aggregator found live shards unreachable: {unreachable:?}"),
+            });
+        }
+        let mut directs = Vec::new();
+        for (shard, addr) in &targets {
+            let (_, _, snapshot) =
+                NetClient::connect(*addr)
+                    .scrape_stats()
+                    .map_err(|e| Failure {
+                        invariant: "obs-federation-agree",
+                        detail: format!("direct scrape of shard {shard} failed: {e}"),
+                    })?;
+            directs.push(snapshot);
+        }
+        check_federation_agreement(&fleet.fleet_registry().snapshot(), &directs)?;
+        Ok(targets.len())
+    }
+
     /// Audits one completed migration against the model's prediction,
     /// then advances the model to `next`.
     fn audit_migration(
@@ -431,7 +497,7 @@ pub fn execute(scenario: &ClusterScenario, mutation: ClusterMutation) -> Cluster
                 failed_step: None,
             };
         }
-        let client = match ClusterClient::connect(&cluster.seeds()) {
+        let mut client = match ClusterClient::connect(&cluster.seeds()) {
             Ok(c) => c,
             Err(e) => {
                 return ClusterOutcome {
@@ -444,11 +510,17 @@ pub fn execute(scenario: &ClusterScenario, mutation: ClusterMutation) -> Cluster
                 }
             }
         };
+        // Root spans are seeded from (scenario seed, lookup sequence),
+        // so the trace ids — and the whole logical trace — stay
+        // byte-identical across runs. 4096 spans outlasts any
+        // scenario's lookup budget.
+        client.enable_tracing(Tracer::new(clock.clone(), 4096), scenario.seed);
         Exec {
             client,
             model: RoutingModel::new(scenario.initial_shards, mutation),
             down: Vec::new(),
             partitioned: Vec::new(),
+            roots_checked: 0,
             rng: TestRng::new(scenario.seed ^ 0x10AD_10AD_10AD_10AD),
             trace: format!(
                 "boot shards={} objects={} map=v{}\n",
@@ -517,6 +589,24 @@ pub fn execute(scenario: &ClusterScenario, mutation: ClusterMutation) -> Cluster
             failed_step: Some(scenario.steps.len().saturating_sub(1)),
         };
     }
+    match exec.federation_audit() {
+        Ok(shards) => {
+            let _ = writeln!(exec.trace, "federation: {shards} shards agree");
+        }
+        Err(failure) => {
+            let _ = writeln!(
+                exec.trace,
+                "federation: FAIL [{}] {}",
+                failure.invariant, failure.detail
+            );
+            exec.cluster.shutdown();
+            return ClusterOutcome {
+                trace: exec.trace,
+                failure: Some(failure),
+                failed_step: Some(scenario.steps.len().saturating_sub(1)),
+            };
+        }
+    }
     let _ = writeln!(exec.trace, "final map=v{}", exec.cluster.map().version);
     exec.cluster.shutdown();
     ClusterOutcome {
@@ -546,7 +636,8 @@ fn run_step(exec: &mut Exec, step: &ClusterStep) -> Result<String, Failure> {
         ClusterStep::Load { requests } => {
             let n = 1 + requests % 24;
             let (served, skipped) = exec.load(n)?;
-            Ok(format!("served={served} skipped={skipped}"))
+            let traced = exec.trace_complete_audit()?;
+            Ok(format!("served={served} skipped={skipped} traced={traced}"))
         }
         ClusterStep::AddShard => {
             let (id, record) = exec.cluster.add_shard().map_err(|e| Failure {
@@ -922,5 +1013,68 @@ mod tests {
         let b = execute(&scenario, ClusterMutation::None);
         assert_eq!(a.trace, b.trace);
         assert!(a.passed(), "{}", a.trace);
+    }
+
+    /// One seeded run: a client holding a stale map looks up an object
+    /// that a scale-out just moved, eats the `WrongShard` bounce, and
+    /// the stitched trace renders as a single tree with at least three
+    /// spans — client root, the stale shard's hop, and the owner's.
+    fn wrong_shard_hop_trace(seed: u64) -> (u64, String) {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cluster = Cluster::boot_with_clock(
+            ClusterConfig {
+                shards: 2,
+                blocks_per_object: BLOCKS_PER_OBJECT,
+                catalog_seed: seed,
+                migration_batch: 4,
+                ..ClusterConfig::default()
+            },
+            clock.clone(),
+        )
+        .unwrap();
+        cluster.populate(16).unwrap();
+        // Connect (adopting map v1) *before* the scale-out, so the
+        // client's first hop goes to the old owner.
+        let mut client = ClusterClient::connect(&cluster.seeds()).unwrap();
+        client.enable_tracing(Tracer::new(clock.clone(), 256), seed);
+        let old_owners: Vec<(u64, u32)> = cluster
+            .object_ids()
+            .iter()
+            .map(|g| (*g, cluster.map().route(*g).unwrap()))
+            .collect();
+        cluster.add_shard().unwrap();
+        let (moved, _) = *old_owners
+            .iter()
+            .find(|(g, old)| cluster.map().route(*g) != Some(*old))
+            .expect("a scale-out over 16 objects moves at least one");
+        let answer = client.locate(moved, 0).unwrap();
+        assert_eq!(Some(answer.shard), cluster.map().route(moved));
+        let (_, bounces, ..) = client.stats_snapshot();
+        assert!(bounces >= 1, "stale lookup must bounce via WrongShard");
+
+        let tracer = client.tracer().unwrap();
+        let root = tracer.recent(1).pop().unwrap();
+        let mut spans = tracer.spans_for_trace(root.trace_id);
+        for id in cluster.shard_ids() {
+            if let Some(t) = cluster.shard_tracer(id) {
+                spans.extend(t.spans_for_trace(root.trace_id));
+            }
+        }
+        check_trace_complete(root.trace_id, &spans, 3)
+            .unwrap_or_else(|f| panic!("[{}] {}", f.invariant, f.detail));
+        let dump = scaddar_obs::render_trace_dump(&spans, root.trace_id);
+        cluster.shutdown();
+        (root.trace_id, dump)
+    }
+
+    #[test]
+    fn stale_client_wrong_shard_hop_renders_one_trace_with_three_spans() {
+        let (trace_a, dump_a) = wrong_shard_hop_trace(42);
+        let (trace_b, dump_b) = wrong_shard_hop_trace(42);
+        assert_eq!(trace_a, trace_b, "root trace ids must be seed-stable");
+        assert_eq!(dump_a, dump_b, "trace dump must be byte-identical");
+        assert!(dump_a.contains("cluster.locate"), "{dump_a}");
+        assert!(dump_a.contains("wrong-shard"), "{dump_a}");
+        assert!(dump_a.contains("serve.locate"), "{dump_a}");
     }
 }

@@ -10,6 +10,7 @@ use crate::model::Model;
 use scaddar_analysis::uniformity::{chi_square_uniform, max_relative_deviation};
 use scaddar_core::{locate, MovePlan, Scaddar, ScalingOp};
 use scaddar_monitor::HealthEvent;
+use scaddar_obs::{Registry, RegistrySnapshot, SpanRecord};
 
 /// A named invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -372,6 +373,117 @@ pub fn check_cluster_migration_delta(
     Ok(())
 }
 
+/// **`trace-complete`** — every accepted request yields exactly one
+/// root-complete distributed trace: among the spans gathered for
+/// `trace_id` (client tracer plus every shard's flight recorder)
+/// exactly one is a root (`parent_id == 0`), every non-root span's
+/// parent is present (no orphans — a hop that recorded a span under a
+/// parent that never recorded is a broken propagation chain), and at
+/// least `min_spans` spans exist (`2` for a served lookup: the client
+/// root plus the serving shard's continuation).
+pub fn check_trace_complete(trace_id: u64, spans: &[SpanRecord], min_spans: usize) -> Check {
+    if trace_id == 0 {
+        return Err(Failure::new(
+            "trace-complete",
+            "trace id 0 marks an untraced span and can never be checked".to_string(),
+        ));
+    }
+    let trace: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    let roots: Vec<&&SpanRecord> = trace.iter().filter(|s| s.parent_id == 0).collect();
+    if roots.len() != 1 {
+        return Err(Failure::new(
+            "trace-complete",
+            format!(
+                "trace {trace_id:016x} has {} root spans ({:?}), expected exactly 1",
+                roots.len(),
+                roots.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+            ),
+        ));
+    }
+    let present: std::collections::BTreeSet<u64> = trace.iter().map(|s| s.span_id).collect();
+    for s in &trace {
+        if s.parent_id != 0 && !present.contains(&s.parent_id) {
+            return Err(Failure::new(
+                "trace-complete",
+                format!(
+                    "trace {trace_id:016x}: span {:016x} ({}) is orphaned \
+                     under absent parent {:016x}",
+                    s.span_id, s.name, s.parent_id
+                ),
+            ));
+        }
+    }
+    if trace.len() < min_spans {
+        return Err(Failure::new(
+            "trace-complete",
+            format!(
+                "trace {trace_id:016x} has {} spans, expected at least {min_spans} \
+                 (client root plus every serving hop's continuation)",
+                trace.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// **`obs-federation-agree`** — the federated fleet registry agrees
+///// with the sum of direct per-shard scrapes on every *serving* series:
+/// per-endpoint request counters and latency histograms (bucket-wise
+/// equal, not just same percentiles) plus the error counters. The
+/// `scrape-stats` endpoint and the connection/byte-level series are
+/// excluded — the scrapes themselves perturb those (observer effect),
+/// so only the serving traffic is required to agree exactly.
+pub fn check_federation_agreement(fleet: &RegistrySnapshot, directs: &[RegistrySnapshot]) -> Check {
+    let serving_counter = |name: &str| {
+        (name.starts_with("net_server_requests_total{") && !name.contains("scrape-stats"))
+            || name == "net_server_errors_total"
+            || name == "net_server_protocol_errors_total"
+    };
+    let serving_histogram =
+        |name: &str| name.starts_with("net_server_request_ns{") && !name.contains("scrape-stats");
+    // Fold the direct scrapes with the same absorb the aggregator uses,
+    // so any divergence indicts the federation path, not the fold.
+    let expect = Registry::new();
+    for d in directs {
+        expect.absorb(d);
+    }
+    let expect = expect.snapshot();
+    for c in expect.counters.iter().filter(|c| serving_counter(&c.name)) {
+        let got = fleet.counter_value(&c.name);
+        if got != Some(c.value) {
+            return Err(Failure::new(
+                "obs-federation-agree",
+                format!(
+                    "counter {}: federated {:?} vs direct sum {}",
+                    c.name, got, c.value
+                ),
+            ));
+        }
+    }
+    for h in expect
+        .histograms
+        .iter()
+        .filter(|h| serving_histogram(&h.name))
+    {
+        match fleet.histogram(&h.name) {
+            Some(got) if *got == h.snapshot => {}
+            got => {
+                return Err(Failure::new(
+                    "obs-federation-agree",
+                    format!(
+                        "histogram {}: federated buckets diverge from the \
+                         bucket-wise direct merge (count {:?} vs {})",
+                        h.name,
+                        got.map(|g| g.count),
+                        h.snapshot.count
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,5 +588,84 @@ mod tests {
         let moved: Vec<u64> = (0..60).collect();
         let f = check_cluster_migration_delta(&moved, &moved, 100, 0.25).unwrap_err();
         assert!(f.detail.contains("exceeds expected"));
+    }
+
+    fn span(name: &str, trace_id: u64, span_id: u64, parent_id: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            start_ns: 0,
+            end_ns: 0,
+            events: Vec::new(),
+            trace_id,
+            span_id,
+            parent_id,
+        }
+    }
+
+    #[test]
+    fn trace_complete_demands_one_root_no_orphans_and_enough_spans() {
+        let spans = vec![
+            span("cluster.locate", 7, 10, 0),
+            span("serve.locate", 7, 20, 10),
+            span("serve.locate", 7, 30, 10),
+            // Another trace's spans must not interfere.
+            span("cluster.locate", 8, 11, 0),
+        ];
+        check_trace_complete(7, &spans, 3).unwrap();
+        // Too few spans for the requested floor.
+        let f = check_trace_complete(7, &spans, 4).unwrap_err();
+        assert_eq!(f.invariant, "trace-complete");
+        assert!(f.detail.contains("at least 4"));
+        // No root at all.
+        let f = check_trace_complete(7, &spans[1..3], 1).unwrap_err();
+        assert!(f.detail.contains("0 root spans"));
+        // Two roots.
+        let two = vec![span("a", 7, 1, 0), span("b", 7, 2, 0)];
+        assert!(check_trace_complete(7, &two, 1).is_err());
+        // Orphan: a hop whose parent never recorded.
+        let orphaned = vec![span("root", 7, 1, 0), span("hop", 7, 2, 99)];
+        let f = check_trace_complete(7, &orphaned, 1).unwrap_err();
+        assert!(f.detail.contains("orphaned"));
+        // Trace id 0 is never checkable.
+        assert!(check_trace_complete(0, &spans, 1).is_err());
+    }
+
+    #[test]
+    fn federation_agreement_flags_counter_and_bucket_divergence() {
+        let shard = |requests: u64, latency: u64| {
+            let r = Registry::new();
+            let c = r.counter(
+                "net_server_requests_total{endpoint=\"locate\"}",
+                "Requests served, by endpoint",
+            );
+            let h = r.histogram(
+                "net_server_request_ns{endpoint=\"locate\"}",
+                "Server-side request handling latency, by endpoint",
+            );
+            for _ in 0..requests {
+                c.inc();
+                h.record(latency);
+            }
+            r.snapshot()
+        };
+        let directs = vec![shard(5, 100), shard(7, 9_000)];
+        let fleet = Registry::new();
+        for d in &directs {
+            fleet.absorb(d);
+        }
+        check_federation_agreement(&fleet.snapshot(), &directs).unwrap();
+
+        // A fleet view that lost one shard's counts must be flagged.
+        let partial = Registry::new();
+        partial.absorb(&directs[0]);
+        let f = check_federation_agreement(&partial.snapshot(), &directs).unwrap_err();
+        assert_eq!(f.invariant, "obs-federation-agree");
+
+        // Same total count but wrong buckets (percentile-averaged
+        // instead of bucket-merged) must also be flagged.
+        let skewed = Registry::new();
+        skewed.absorb(&shard(12, 100));
+        let f = check_federation_agreement(&skewed.snapshot(), &directs).unwrap_err();
+        assert!(f.detail.contains("bucket-wise"));
     }
 }

@@ -49,10 +49,12 @@ pub mod event;
 pub mod probes;
 pub mod report;
 pub mod rules;
+pub mod slo;
 
 pub use event::{HealthEvent, Severity};
 pub use report::{HealthReport, ProbeStatus};
 pub use rules::{Rule, RuleState};
+pub use slo::{SloMonitor, SloRules};
 
 use scaddar_analysis::CensusWindow;
 use scaddar_core::{FairnessTracker, OpMovement, Scaddar};

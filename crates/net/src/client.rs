@@ -28,6 +28,7 @@
 
 use crate::wire::{decode_frame_limited, Frame, FrameError, StatsFormat, HARD_MAX_FRAME_LEN};
 use scaddar_core::ScalingOp;
+use scaddar_obs::{RegistrySnapshot, TraceContext};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
@@ -236,10 +237,25 @@ impl NetClient {
     /// Sends one request and returns the server's response frame
     /// (`Error` frames surface as [`ClientError::Remote`]).
     pub fn request(&self, request: &Frame) -> Result<Frame, ClientError> {
+        self.request_traced(request, None)
+    }
+
+    /// [`request`](Self::request) carrying a distributed-trace context
+    /// in the frame's trailer, so the server can continue the trace in
+    /// its own flight recorder. Retries re-send the same context (same
+    /// logical hop, so the same span identity).
+    pub fn request_traced(
+        &self,
+        request: &Frame,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Frame, ClientError> {
         let deadline = Instant::now() + self.config.request_timeout;
         // Mutations may only be retried while nothing has hit the wire.
         let idempotent = !matches!(request, Frame::Scale { .. } | Frame::Tick { .. });
-        let bytes = request.to_bytes();
+        let bytes = match ctx {
+            Some(ctx) => request.to_bytes_traced(ctx),
+            None => request.to_bytes(),
+        };
         let mut last_err: Option<ClientError> = None;
         for _attempt in 0..=self.config.retries {
             if Instant::now() >= deadline {
@@ -409,6 +425,19 @@ impl NetClient {
     pub fn ping(&self) -> Result<u64, ClientError> {
         match self.request(&Frame::Ping)? {
             Frame::Pong { epoch } => Ok(epoch),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Scrapes the server's structured metrics snapshot for
+    /// federation: `(epoch, health verdict 0|1|2, snapshot)`.
+    pub fn scrape_stats(&self) -> Result<(u64, u8, RegistrySnapshot), ClientError> {
+        match self.request(&Frame::ScrapeStats)? {
+            Frame::StatsReply {
+                epoch,
+                verdict,
+                snapshot,
+            } => Ok((epoch, verdict, snapshot)),
             other => Err(Self::unexpected(other)),
         }
     }
@@ -606,6 +635,72 @@ mod tests {
             !stats.is_empty(),
             "stats endpoint must answer on a probed connection"
         );
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn scrape_stats_returns_a_structured_snapshot() {
+        let (daemon, client) = boot();
+        client.ping().unwrap();
+        let (epoch, verdict, snapshot) = client.scrape_stats().unwrap();
+        assert_eq!(epoch, 0);
+        assert!(verdict <= 2);
+        assert!(
+            snapshot
+                .counter_value("net_server_requests_total{endpoint=\"ping\"}")
+                .unwrap_or(0)
+                >= 1,
+            "scraped snapshot missing the ping counter"
+        );
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_continue_the_trace_server_side() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(5)).unwrap();
+        server.add_object(10_000).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 64);
+        let daemon = Scaddard::bind(
+            "127.0.0.1:0",
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig::default(),
+            &registry,
+            tracer.clone(),
+        )
+        .unwrap();
+        let client = NetClient::connect(daemon.local_addr());
+        let ctx = TraceContext::root(42, 0);
+        let response = client
+            .request_traced(
+                &Frame::Locate {
+                    object: 0,
+                    block: 1,
+                },
+                Some(&ctx),
+            )
+            .unwrap();
+        assert!(matches!(response, Frame::Located { .. }));
+        let spans = tracer.spans_for_trace(ctx.trace_id);
+        assert_eq!(spans.len(), 1, "server recorded one continuation span");
+        assert_eq!(spans[0].name, "serve.locate");
+        assert_eq!(spans[0].parent_id, ctx.span_id);
+        assert_eq!(spans[0].span_id, ctx.child(0).span_id);
+        // An unsampled context propagates ids but records no span.
+        let quiet = TraceContext {
+            sampled: false,
+            ..TraceContext::root(42, 1)
+        };
+        client
+            .request_traced(
+                &Frame::Locate {
+                    object: 0,
+                    block: 2,
+                },
+                Some(&quiet),
+            )
+            .unwrap();
+        assert!(tracer.spans_for_trace(quiet.trace_id).is_empty());
         daemon.shutdown();
     }
 

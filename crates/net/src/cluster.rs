@@ -45,6 +45,7 @@
 
 use crate::client::{ClientConfig, ClientError, NetClient};
 use crate::wire::Frame;
+use scaddar_obs::{SpanGuard, TraceContext, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -515,6 +516,19 @@ pub struct ClusterClient {
     state: Mutex<ClientMapState>,
     /// Routing counters (monotone; safe to read concurrently).
     pub stats: ClusterClientStats,
+    tracing: Option<ClientTracing>,
+}
+
+/// Client-side distributed-trace state: the flight recorder the root
+/// spans land in, plus the deterministic id stream. Trace ids are
+/// `TraceContext::root(seed, sequence)` draws, so two runs with the
+/// same seed issue identical traces — the harness's byte-identity
+/// invariant leans on this.
+#[derive(Debug)]
+struct ClientTracing {
+    tracer: Tracer,
+    seed: u64,
+    sequence: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -550,12 +564,42 @@ impl ClusterClient {
                             clients: HashMap::new(),
                         }),
                         stats: ClusterClientStats::default(),
+                        tracing: None,
                     })
                 }
                 Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or(ClientError::DeadlineExceeded))
+    }
+
+    /// Turns on distributed tracing: every subsequent
+    /// [`locate`](Self::locate)/[`locate_batch`](Self::locate_batch)
+    /// opens a root span in `tracer`, and every hop it sends carries
+    /// the trace context in the request trailer, so the shards'
+    /// continuation spans stitch into one tree with this client's root.
+    /// Root ids are deterministic draws from `seed`.
+    pub fn enable_tracing(&mut self, tracer: Tracer, seed: u64) {
+        self.tracing = Some(ClientTracing {
+            tracer,
+            seed,
+            sequence: AtomicU64::new(0),
+        });
+    }
+
+    /// The client-side tracer, when tracing is on.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracing.as_ref().map(|t| &t.tracer)
+    }
+
+    /// Opens the root span for one cluster request; `None` when
+    /// tracing is off. The returned context is what every hop of the
+    /// request sends on the wire.
+    fn open_root(&self, name: &str) -> Option<(TraceContext, SpanGuard)> {
+        let t = self.tracing.as_ref()?;
+        let sequence = t.sequence.fetch_add(1, Ordering::Relaxed);
+        let ctx = TraceContext::root(t.seed, sequence);
+        Some((ctx, t.tracer.span_in(name, &ctx, 0)))
     }
 
     /// The client's current map version.
@@ -659,6 +703,12 @@ impl ClusterClient {
     /// Locates one block of global object `object`, chasing routing
     /// redirects up to the hop budget.
     pub fn locate(&self, object: u64, block: u64) -> Result<ClusterAnswer, ClientError> {
+        let traced = self.open_root("cluster.locate");
+        let ctx = traced.as_ref().map(|(ctx, _)| *ctx);
+        let mut span = traced.map(|(_, span)| span);
+        if let Some(span) = span.as_mut() {
+            span.event("object", object);
+        }
         let mut target: Option<u32> = None;
         let mut last_err: Option<ClientError> = None;
         for hop in 0..self.max_hops {
@@ -669,11 +719,17 @@ impl ClusterClient {
                 };
                 (owner, state.map.version)
             };
-            let outcome = self.with_shard(shard, |c| c.request(&Frame::Locate { object, block }));
+            let outcome = self.with_shard(shard, |c| {
+                c.request_traced(&Frame::Locate { object, block }, ctx.as_ref())
+            });
             match outcome {
                 Ok(Frame::Located { epoch, disks, disk }) => {
                     if hop == 0 {
                         self.stats.direct_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(span) = span.as_mut() {
+                        span.event("served-by", shard);
+                        span.event("hops", hop + 1);
                     }
                     return Ok(ClusterAnswer {
                         epoch,
@@ -687,6 +743,9 @@ impl ClusterClient {
                     self.stats
                         .wrong_shard_bounces
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(span) = span.as_mut() {
+                        span.event("wrong-shard", format!("{shard}->{owner}"));
+                    }
                     if map_version > version {
                         let _ = self.refresh();
                     }
@@ -694,6 +753,9 @@ impl ClusterClient {
                 }
                 Ok(Frame::StaleMap { .. }) => {
                     self.stats.stale_map_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(span) = span.as_mut() {
+                        span.event("stale-map", shard);
+                    }
                     self.refresh()?;
                 }
                 Ok(other) => {
@@ -705,12 +767,18 @@ impl ClusterClient {
                 Err(e) => {
                     // Shard unreachable (killed/restarting): a newer map
                     // may re-address it.
+                    if let Some(span) = span.as_mut() {
+                        span.event("unreachable", shard);
+                    }
                     last_err = Some(e);
                     let _ = self.refresh();
                 }
             }
         }
         self.stats.routing_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(span) = span.as_mut() {
+            span.event("routing-error", self.max_hops);
+        }
         Err(last_err.unwrap_or(ClientError::DeadlineExceeded))
     }
 
@@ -721,6 +789,13 @@ impl ClusterClient {
         object: u64,
         blocks: &[u64],
     ) -> Result<ClusterBatchAnswer, ClientError> {
+        let traced = self.open_root("cluster.locate-batch");
+        let ctx = traced.as_ref().map(|(ctx, _)| *ctx);
+        let mut span = traced.map(|(_, span)| span);
+        if let Some(span) = span.as_mut() {
+            span.event("object", object);
+            span.event("blocks", blocks.len());
+        }
         let mut target: Option<u32> = None;
         let mut last_err: Option<ClientError> = None;
         for _hop in 0..self.max_hops {
@@ -732,10 +807,13 @@ impl ClusterClient {
                 (owner, state.map.version)
             };
             let outcome = self.with_shard(shard, |c| {
-                c.request(&Frame::LocateBatch {
-                    object,
-                    blocks: blocks.to_vec(),
-                })
+                c.request_traced(
+                    &Frame::LocateBatch {
+                        object,
+                        blocks: blocks.to_vec(),
+                    },
+                    ctx.as_ref(),
+                )
             });
             match outcome {
                 Ok(Frame::BatchLocated {
@@ -743,17 +821,23 @@ impl ClusterClient {
                     disks,
                     locations,
                 }) => {
+                    if let Some(span) = span.as_mut() {
+                        span.event("served-by", shard);
+                    }
                     return Ok(ClusterBatchAnswer {
                         epoch,
                         disks,
                         locations,
                         shard,
-                    })
+                    });
                 }
                 Ok(Frame::WrongShard { map_version, owner }) => {
                     self.stats
                         .wrong_shard_bounces
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(span) = span.as_mut() {
+                        span.event("wrong-shard", format!("{shard}->{owner}"));
+                    }
                     if map_version > version {
                         let _ = self.refresh();
                     }
@@ -761,6 +845,9 @@ impl ClusterClient {
                 }
                 Ok(Frame::StaleMap { .. }) => {
                     self.stats.stale_map_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(span) = span.as_mut() {
+                        span.event("stale-map", shard);
+                    }
                     self.refresh()?;
                 }
                 Ok(other) => {

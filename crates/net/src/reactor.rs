@@ -45,9 +45,10 @@
 //! writes under `write_timeout`), closes everything, and joins.
 
 use crate::server::{engine_error, handle_request, reply, Shared};
-use crate::wire::{decode_frame_limited, ErrorCode, Frame, FrameError};
+use crate::wire::{decode_frame_traced, ErrorCode, Frame, FrameError};
 use cmsim::LocateQuery;
 use polling::{Event, Poller};
+use scaddar_obs::TraceContext;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -108,8 +109,9 @@ struct Conn {
     /// Incarnation of this slab slot — a completion whose generation
     /// doesn't match arrived for a connection that is already gone.
     generation: u64,
-    /// Frames awaiting the in-flight offloaded op, in arrival order.
-    deferred: VecDeque<Frame>,
+    /// Frames awaiting the in-flight offloaded op, in arrival order
+    /// (each with the trace context it arrived under, if any).
+    deferred: VecDeque<TracedFrame>,
 }
 
 impl Conn {
@@ -137,9 +139,12 @@ fn is_heavy(frame: &Frame) -> bool {
     matches!(frame, Frame::Scale { .. } | Frame::Tick { .. })
 }
 
+/// A decoded frame plus the trace context that rode in on its trailer.
+type TracedFrame = (Frame, Option<TraceContext>);
+
 /// A decoded request waiting for dispatch this wakeup: slab slot plus
 /// the frame (taken out of the `Option` when individually dispatched).
-type PendingReq = (usize, Option<Frame>);
+type PendingReq = (usize, Option<TracedFrame>);
 
 struct Worker {
     shared: Arc<Shared>,
@@ -290,10 +295,10 @@ impl Worker {
         // at the end instead of a memmove per frame.
         let mut consumed = 0;
         loop {
-            match decode_frame_limited(&conn.rbuf[consumed..], self.shared.config.max_frame_len) {
-                Ok((frame, used)) => {
+            match decode_frame_traced(&conn.rbuf[consumed..], self.shared.config.max_frame_len) {
+                Ok((frame, ctx, used)) => {
                     consumed += used;
-                    pending.push((slot, Some(frame)));
+                    pending.push((slot, Some((frame, ctx))));
                 }
                 Err(FrameError::Incomplete { .. }) => break,
                 Err(err) => {
@@ -360,9 +365,12 @@ impl Worker {
                 conn.deferred.push_back(pending[i].1.take().unwrap());
                 continue;
             }
+            // Sampled-trace lookups skip the wave: they take the
+            // ordinary path so a continuation span is recorded.
             let coalescible = match pending[i].1.as_ref() {
-                Some(Frame::Locate { .. }) => true,
-                Some(Frame::LocateBatch { blocks, .. }) => !blocks.is_empty(),
+                Some((_, Some(ctx))) if ctx.sampled => false,
+                Some((Frame::Locate { .. }, _)) => true,
+                Some((Frame::LocateBatch { blocks, .. }, _)) => !blocks.is_empty(),
                 _ => false,
             };
             // Cluster mode: only lookups this shard actually serves may
@@ -373,7 +381,7 @@ impl Worker {
                 && match &self.shared.shard {
                     None => true,
                     Some(shard) => {
-                        let frame = pending[i].1.as_mut().unwrap();
+                        let (frame, _) = pending[i].1.as_mut().unwrap();
                         let (Frame::Locate { object, .. } | Frame::LocateBatch { object, .. }) =
                             frame
                         else {
@@ -393,15 +401,16 @@ impl Worker {
                 continue;
             }
             self.flush_wave(&mut wave, &pending);
-            let frame = pending[i].1.take().unwrap();
+            let (frame, ctx) = pending[i].1.take().unwrap();
             if is_heavy(&frame) {
-                self.offload(slot, frame);
+                self.offload(slot, (frame, ctx));
             } else if let Some(conn) = self.conns[slot].as_mut() {
                 if !handle_request(
                     frame,
                     &self.shared,
                     &mut conn.out,
                     self.shared.config.instrument,
+                    ctx,
                 ) {
                     conn.close_after_flush = true;
                 }
@@ -414,7 +423,7 @@ impl Worker {
     /// connection is parked (`busy`) until the completion comes back
     /// through [`Self::apply_completions`]; a spawn failure falls back
     /// to inline execution (slow, but correct).
-    fn offload(&mut self, slot: usize, frame: Frame) {
+    fn offload(&mut self, slot: usize, traced: TracedFrame) {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
         };
@@ -423,13 +432,14 @@ impl Worker {
         let completions = Arc::clone(&self.completions);
         let poller = Arc::clone(&self.poller);
         conn.busy = true;
-        let fallback = frame.clone();
+        let fallback = traced.clone();
+        let (frame, ctx) = traced;
         let spawned = std::thread::Builder::new()
             .name("scaddard-op".into())
             .spawn(move || {
                 let mut bytes = Vec::new();
                 let keep_open =
-                    handle_request(frame, &shared, &mut bytes, shared.config.instrument);
+                    handle_request(frame, &shared, &mut bytes, shared.config.instrument, ctx);
                 completions
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
@@ -445,11 +455,13 @@ impl Worker {
             // Thread exhaustion: execute inline rather than wedge.
             let conn = self.conns[slot].as_mut().expect("checked above");
             conn.busy = false;
+            let (frame, ctx) = fallback;
             if !handle_request(
-                fallback,
+                frame,
                 &self.shared,
                 &mut conn.out,
                 self.shared.config.instrument,
+                ctx,
             ) {
                 conn.close_after_flush = true;
             }
@@ -479,12 +491,12 @@ impl Worker {
                 continue;
             }
             // Replay what queued up behind the op, in order.
-            while let Some(frame) = self.conns[completion.slot]
+            while let Some((frame, ctx)) = self.conns[completion.slot]
                 .as_mut()
                 .and_then(|c| c.deferred.pop_front())
             {
                 if is_heavy(&frame) {
-                    self.offload(completion.slot, frame);
+                    self.offload(completion.slot, (frame, ctx));
                     break;
                 }
                 let conn = self.conns[completion.slot].as_mut().expect("still live");
@@ -493,6 +505,7 @@ impl Worker {
                     &self.shared,
                     &mut conn.out,
                     self.shared.config.instrument,
+                    ctx,
                 ) {
                     conn.close_after_flush = true;
                     conn.deferred.clear();
@@ -513,7 +526,7 @@ impl Worker {
         let start = instrument.then(|| self.shared.tracer.clock().now_ns());
         let queries: Vec<LocateQuery<'_>> = wave
             .iter()
-            .map(|&i| match pending[i].1.as_ref().unwrap() {
+            .map(|&i| match &pending[i].1.as_ref().unwrap().0 {
                 Frame::Locate { object, block } => LocateQuery::One {
                     object: scaddar_core::ObjectId(*object),
                     block: *block,
@@ -562,7 +575,7 @@ impl Worker {
             self.shared.tracer.clock().now_ns().saturating_sub(t0) / wave.len() as u64
         });
         for &i in wave.iter() {
-            let endpoint = pending[i].1.as_ref().unwrap().endpoint();
+            let endpoint = pending[i].1.as_ref().unwrap().0.endpoint();
             self.shared.stats.record(endpoint, per_frame_ns, instrument);
         }
         wave.clear();

@@ -30,11 +30,11 @@
 
 use crate::cluster::{RouteDecision, ShardRuntime};
 use crate::wire::{
-    decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat, FRAME_HEADER_LEN,
+    decode_frame_traced, ErrorCode, Frame, FrameError, StatsFormat, FRAME_HEADER_LEN,
 };
 use cmsim::SharedServer;
 use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
-use scaddar_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use scaddar_obs::{Counter, Gauge, Histogram, Registry, TraceContext, Tracer};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -135,7 +135,7 @@ pub struct NetStats {
 }
 
 /// The endpoints with dedicated request counters/histograms.
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 9] = [
     "locate",
     "locate-batch",
     "scale",
@@ -144,6 +144,7 @@ pub const ENDPOINTS: [&str; 8] = [
     "stats",
     "ping",
     "fetch-map",
+    "scrape-stats",
 ];
 
 impl NetStats {
@@ -527,10 +528,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         // responses for all of them go out in one write).
         out.clear();
         loop {
-            match decode_frame_limited(&buf, shared.config.max_frame_len) {
-                Ok((frame, used)) => {
+            match decode_frame_traced(&buf, shared.config.max_frame_len) {
+                Ok((frame, ctx, used)) => {
                     buf.drain(..used);
-                    if !handle_request(frame, shared, &mut out, instrument) {
+                    if !handle_request(frame, shared, &mut out, instrument, ctx) {
                         flush(&stream, shared, &out);
                         return;
                     }
@@ -611,11 +612,18 @@ fn flush(mut stream: &TcpStream, shared: &Shared, out: &[u8]) -> bool {
 /// Dispatches one request, appending the response to `out`. Returns
 /// false when the connection must close (a response frame arrived where
 /// a request belongs — direction violation).
+///
+/// When the request carried a sampled [`TraceContext`], the handler
+/// continues the distributed trace: a child span (salted with the
+/// shard id, so sibling shards touched by one client hop stay
+/// distinct) is recorded in this process's flight recorder, parented
+/// to the client's span, with routing verdicts attached as events.
 pub(crate) fn handle_request(
     frame: Frame,
     shared: &Shared,
     out: &mut Vec<u8>,
     instrument: bool,
+    ctx: Option<TraceContext>,
 ) -> bool {
     if !frame.is_request() {
         shared.stats.protocol_errors.inc();
@@ -627,12 +635,32 @@ pub(crate) fn handle_request(
         return false;
     }
     let endpoint = frame.endpoint();
+    let mut span = match &ctx {
+        Some(c) if instrument && c.sampled => {
+            let salt = shared.shard.as_ref().map_or(0, |s| u64::from(s.self_id()));
+            let child = c.child(salt);
+            Some(
+                shared
+                    .tracer
+                    .span_in(&format!("serve.{endpoint}"), &child, c.span_id),
+            )
+        }
+        _ => None,
+    };
     let start = instrument.then(|| shared.tracer.clock().now_ns());
     let response = dispatch(frame, shared, instrument);
     let ns = start.map_or(0, |s| shared.tracer.clock().now_ns().saturating_sub(s));
     shared.stats.record(endpoint, ns, instrument);
     if matches!(response, Frame::Error { .. }) {
         shared.stats.errors.inc();
+    }
+    if let Some(span) = span.as_mut() {
+        match &response {
+            Frame::WrongShard { owner, .. } => span.event("wrong-shard", owner),
+            Frame::StaleMap { map_version } => span.event("stale-map", map_version),
+            Frame::Error { code, .. } => span.event("error", code.label()),
+            _ => {}
+        }
     }
     response.encode(out);
     true
@@ -768,6 +796,28 @@ fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
         Frame::Ping => Frame::Pong {
             epoch: shared.server.epoch_view().0 as u64,
         },
+        Frame::ScrapeStats => {
+            // One RPC carries everything the fleet aggregator needs:
+            // the structured registry snapshot plus the epoch and the
+            // health verdict it would otherwise fetch separately.
+            let verdict = {
+                let mut monitor = shared.monitor.lock().unwrap_or_else(|e| e.into_inner());
+                shared.server.with_read(|s| {
+                    monitor.observe_engine(s.engine());
+                    monitor.observe_census(&s.load_census());
+                });
+                match monitor.report().verdict() {
+                    Severity::Ok => 0,
+                    Severity::Warn => 1,
+                    Severity::Crit => 2,
+                }
+            };
+            Frame::StatsReply {
+                epoch: shared.server.epoch_view().0 as u64,
+                verdict,
+                snapshot: shared.registry.snapshot(),
+            }
+        }
         Frame::FetchMap { have_version: _ } => match &shared.shard {
             Some(shard) => shard.map().to_frame(),
             None => Frame::Error {

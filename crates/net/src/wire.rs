@@ -26,9 +26,25 @@
 //!   holds this line for every cut point and every flipped byte.
 
 use scaddar_core::ScalingOp;
+use scaddar_obs::{
+    CounterSample, GaugeSample, HistogramSample, HistogramSnapshot, RegistrySnapshot, TraceContext,
+    HISTOGRAM_BUCKETS,
+};
 
 /// Protocol version carried in every frame.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Version byte of the optional trace-context trailer a request frame
+/// may carry after its payload (see [`Frame::encode_traced`]). The
+/// trailer is its own versioned mini-format precisely so it can evolve
+/// without bumping [`PROTOCOL_VERSION`]: a decoder that sees a
+/// structurally valid trailer with an *unknown* version skips it
+/// (requests still decode, just untraced) instead of rejecting the
+/// frame.
+pub const TRACE_TRAILER_VERSION: u8 = 1;
+
+/// Body length of a v1 trace trailer: trace id + span id + flags.
+pub const TRACE_TRAILER_V1_LEN: u8 = 17;
 
 /// Hard ceiling a decoder enforces on `len` regardless of configuration
 /// (16 MiB). Servers and clients usually configure a much smaller
@@ -236,6 +252,12 @@ pub enum Frame {
         /// The map version the client already holds (0 = none).
         have_version: u64,
     },
+    /// Metrics-federation pull: ship back the shard's full structured
+    /// registry snapshot (not rendered text — the aggregator needs the
+    /// histogram *buckets* to merge fleet-wide without percentile
+    /// averaging). Read-only and idempotent, so pool clients may retry
+    /// it freely.
+    ScrapeStats,
 
     // ---- responses ----
     /// Answer to [`Frame::Locate`]. Epoch-tagged: `disk` is valid for
@@ -322,6 +344,18 @@ pub enum Frame {
         /// Map version the answering shard last held.
         map_version: u64,
     },
+    /// Answer to [`Frame::ScrapeStats`]: the shard's scaling epoch,
+    /// current health verdict, and structured registry snapshot
+    /// (histograms as sparse non-zero bucket lists, mergeable
+    /// bucket-wise by the fleet aggregator).
+    StatsReply {
+        /// Scaling epoch at snapshot time.
+        epoch: u64,
+        /// Worst probe severity: 0 ok, 1 warn, 2 crit.
+        verdict: u8,
+        /// The registry snapshot.
+        snapshot: RegistrySnapshot,
+    },
     /// Typed failure response.
     Error {
         /// Machine-readable class.
@@ -342,6 +376,7 @@ const TAG_HEALTH: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
 const TAG_PING: u8 = 0x07;
 const TAG_FETCH_MAP: u8 = 0x08;
+const TAG_SCRAPE_STATS: u8 = 0x09;
 const TAG_LOCATED: u8 = 0x81;
 const TAG_BATCH_LOCATED: u8 = 0x82;
 const TAG_SCALED: u8 = 0x83;
@@ -352,6 +387,7 @@ const TAG_PONG: u8 = 0x87;
 const TAG_MAP_UPDATE: u8 = 0x88;
 const TAG_WRONG_SHARD: u8 = 0x89;
 const TAG_STALE_MAP: u8 = 0x8A;
+const TAG_STATS_REPLY: u8 = 0x8B;
 const TAG_ERROR: u8 = 0xFF;
 
 impl Frame {
@@ -366,6 +402,7 @@ impl Frame {
             Frame::Stats { .. } => TAG_STATS,
             Frame::Ping => TAG_PING,
             Frame::FetchMap { .. } => TAG_FETCH_MAP,
+            Frame::ScrapeStats => TAG_SCRAPE_STATS,
             Frame::Located { .. } => TAG_LOCATED,
             Frame::BatchLocated { .. } => TAG_BATCH_LOCATED,
             Frame::Scaled { .. } => TAG_SCALED,
@@ -376,6 +413,7 @@ impl Frame {
             Frame::MapUpdate { .. } => TAG_MAP_UPDATE,
             Frame::WrongShard { .. } => TAG_WRONG_SHARD,
             Frame::StaleMap { .. } => TAG_STALE_MAP,
+            Frame::StatsReply { .. } => TAG_STATS_REPLY,
             Frame::Error { .. } => TAG_ERROR,
         }
     }
@@ -391,6 +429,7 @@ impl Frame {
             Frame::Stats { .. } | Frame::StatsText { .. } => "stats",
             Frame::Ping | Frame::Pong { .. } => "ping",
             Frame::FetchMap { .. } | Frame::MapUpdate { .. } => "fetch-map",
+            Frame::ScrapeStats | Frame::StatsReply { .. } => "scrape-stats",
             Frame::WrongShard { .. } => "wrong-shard",
             Frame::StaleMap { .. } => "stale-map",
             Frame::Error { .. } => "error",
@@ -435,7 +474,7 @@ impl Frame {
                 }
             },
             Frame::Tick { rounds } => put_u32(buf, *rounds),
-            Frame::Health | Frame::Ping => {}
+            Frame::Health | Frame::Ping | Frame::ScrapeStats => {}
             Frame::FetchMap { have_version } => put_u64(buf, *have_version),
             Frame::Stats { format } => buf.push(*format as u8),
             Frame::Located { epoch, disks, disk } => {
@@ -495,6 +534,15 @@ impl Frame {
                 put_u32(buf, *owner);
             }
             Frame::StaleMap { map_version } => put_u64(buf, *map_version),
+            Frame::StatsReply {
+                epoch,
+                verdict,
+                snapshot,
+            } => {
+                put_u64(buf, *epoch);
+                buf.push(*verdict);
+                put_snapshot(buf, snapshot);
+            }
             Frame::Error { code, message } => {
                 buf.push(*code as u8);
                 put_str(buf, message);
@@ -505,10 +553,38 @@ impl Frame {
         buf.len() - start
     }
 
+    /// Encodes the frame with a trace-context trailer appended after
+    /// the payload: `[version: u8] [len: u8] [trace_id: u64]
+    /// [span_id: u64] [flags: u8]` (bit 0 of `flags` = sampled),
+    /// covered by the frame's length prefix. Only meaningful on
+    /// request frames — a traced decoder surfaces the context, a
+    /// trace-unaware v1 decoder skips the trailer, and responses never
+    /// carry one. Returns the encoded length.
+    pub fn encode_traced(&self, buf: &mut Vec<u8>, ctx: &TraceContext) -> usize {
+        debug_assert!(self.is_request(), "trace trailers ride on requests");
+        let start = buf.len();
+        self.encode(buf);
+        buf.push(TRACE_TRAILER_VERSION);
+        buf.push(TRACE_TRAILER_V1_LEN);
+        put_u64(buf, ctx.trace_id);
+        put_u64(buf, ctx.span_id);
+        buf.push(u8::from(ctx.sampled));
+        let len = (buf.len() - start - 4) as u32;
+        buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        buf.len() - start
+    }
+
     /// Convenience: the frame encoded into a fresh buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + 16);
         self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: [`Frame::encode_traced`] into a fresh buffer.
+    pub fn to_bytes_traced(&self, ctx: &TraceContext) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + 40);
+        self.encode_traced(&mut buf, ctx);
         buf
     }
 }
@@ -526,6 +602,47 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes a registry snapshot: three counted sections (counters,
+/// gauges, histograms), names and help as length-prefixed strings,
+/// histograms as `count`/`sum`/`max` plus a sparse list of non-zero
+/// `(bucket index: u32, count: u64)` pairs in strictly ascending index
+/// order — canonical, so encode∘decode is byte-identical.
+fn put_snapshot(buf: &mut Vec<u8>, snap: &RegistrySnapshot) {
+    put_u32(buf, snap.counters.len() as u32);
+    for c in &snap.counters {
+        put_str(buf, &c.name);
+        put_str(buf, &c.help);
+        put_u64(buf, c.value);
+    }
+    put_u32(buf, snap.gauges.len() as u32);
+    for g in &snap.gauges {
+        put_str(buf, &g.name);
+        put_str(buf, &g.help);
+        put_u64(buf, g.value as u64);
+    }
+    put_u32(buf, snap.histograms.len() as u32);
+    for h in &snap.histograms {
+        put_str(buf, &h.name);
+        put_str(buf, &h.help);
+        put_u64(buf, h.snapshot.count);
+        put_u64(buf, h.snapshot.sum);
+        put_u64(buf, h.snapshot.max);
+        let nonzero: Vec<(usize, u64)> = h
+            .snapshot
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        put_u32(buf, nonzero.len() as u32);
+        for (i, n) in nonzero {
+            put_u32(buf, i as u32);
+            put_u64(buf, n);
+        }
+    }
 }
 
 /// A cursor over one frame's payload; every read is bounds-checked and
@@ -588,16 +705,6 @@ impl<'a> Payload<'a> {
             detail: format!("`{field}` is not UTF-8"),
         })
     }
-
-    fn finish(self) -> Result<(), FrameError> {
-        if self.pos != self.bytes.len() {
-            return Err(FrameError::TrailingBytes {
-                frame: self.frame,
-                extra: self.bytes.len() - self.pos,
-            });
-        }
-        Ok(())
-    }
 }
 
 /// Decodes the first frame in `buf` with the default
@@ -608,11 +715,26 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
 
 /// Decodes the first frame in `buf`, returning the frame and the bytes
 /// consumed. `max_len` caps the accepted length prefix (clamped to
-/// [`HARD_MAX_FRAME_LEN`]).
+/// [`HARD_MAX_FRAME_LEN`]). Any trace trailer is validated and
+/// discarded — use [`decode_frame_traced`] to surface it.
 ///
 /// Never panics: any malformed input maps to a [`FrameError`].
 /// [`FrameError::Incomplete`] means "read more and retry".
 pub fn decode_frame_limited(buf: &[u8], max_len: u32) -> Result<(Frame, usize), FrameError> {
+    decode_frame_traced(buf, max_len).map(|(frame, _ctx, used)| (frame, used))
+}
+
+/// [`decode_frame_limited`] plus the request's trace context, when a
+/// valid current-version trace trailer rides after the payload.
+/// `None` on untraced frames *and* on structurally valid trailers of
+/// an unknown version (skip-don't-reject: an old server must keep
+/// serving a newer client's requests). Arbitrary padding that does not
+/// parse as a trailer is still a [`FrameError::TrailingBytes`] error,
+/// and responses never carry trailers.
+pub fn decode_frame_traced(
+    buf: &[u8],
+    max_len: u32,
+) -> Result<(Frame, Option<TraceContext>, usize), FrameError> {
     if buf.len() < 4 {
         return Err(FrameError::Incomplete { needed: 4 });
     }
@@ -634,12 +756,14 @@ pub fn decode_frame_limited(buf: &[u8], max_len: u32) -> Result<(Frame, usize), 
     }
     let tag = buf[5];
     let payload = &buf[6..total];
-    let frame = decode_payload(tag, payload)?;
-    Ok((frame, total))
+    let name = tag_name(tag)?;
+    let (frame, used) = decode_payload(tag, name, payload)?;
+    let ctx = decode_trailer(&frame, name, &payload[used..])?;
+    Ok((frame, ctx, total))
 }
 
-fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
-    let name = match tag {
+fn tag_name(tag: u8) -> Result<&'static str, FrameError> {
+    Ok(match tag {
         TAG_LOCATE => "Locate",
         TAG_LOCATE_BATCH => "LocateBatch",
         TAG_SCALE => "Scale",
@@ -648,6 +772,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_STATS => "Stats",
         TAG_PING => "Ping",
         TAG_FETCH_MAP => "FetchMap",
+        TAG_SCRAPE_STATS => "ScrapeStats",
         TAG_LOCATED => "Located",
         TAG_BATCH_LOCATED => "BatchLocated",
         TAG_SCALED => "Scaled",
@@ -658,9 +783,67 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_MAP_UPDATE => "MapUpdate",
         TAG_WRONG_SHARD => "WrongShard",
         TAG_STALE_MAP => "StaleMap",
+        TAG_STATS_REPLY => "StatsReply",
         TAG_ERROR => "Error",
         other => return Err(FrameError::UnknownTag { tag: other }),
-    };
+    })
+}
+
+/// Parses the bytes left after a frame's payload. Empty → no trailer.
+/// A well-formed trailer (`[version][len][len bytes]`, exactly filling
+/// the remainder, on a *request*) yields the context for the current
+/// version and `None` for unknown versions; anything else is the same
+/// trailing-bytes rejection v1 always made.
+fn decode_trailer(
+    frame: &Frame,
+    name: &'static str,
+    rest: &[u8],
+) -> Result<Option<TraceContext>, FrameError> {
+    if rest.is_empty() {
+        return Ok(None);
+    }
+    let reject = Err(FrameError::TrailingBytes {
+        frame: name,
+        extra: rest.len(),
+    });
+    if !frame.is_request() || rest.len() < 2 {
+        return reject;
+    }
+    let (version, len) = (rest[0], rest[1] as usize);
+    if rest.len() - 2 != len {
+        return reject;
+    }
+    if version != TRACE_TRAILER_VERSION {
+        return Ok(None); // future trailer version: skip, don't reject
+    }
+    if len != TRACE_TRAILER_V1_LEN as usize {
+        return Err(FrameError::Malformed {
+            frame: name,
+            detail: format!(
+                "trace trailer v1 carries {len} bytes, expected {TRACE_TRAILER_V1_LEN}"
+            ),
+        });
+    }
+    let trace_id = u64::from_le_bytes(rest[2..10].try_into().expect("8 bytes"));
+    let span_id = u64::from_le_bytes(rest[10..18].try_into().expect("8 bytes"));
+    if trace_id == 0 {
+        return Err(FrameError::Malformed {
+            frame: name,
+            detail: "trace trailer with trace id 0".to_string(),
+        });
+    }
+    Ok(Some(TraceContext {
+        trace_id,
+        span_id,
+        sampled: rest[18] & 1 != 0,
+    }))
+}
+
+fn decode_payload(
+    tag: u8,
+    name: &'static str,
+    payload: &[u8],
+) -> Result<(Frame, usize), FrameError> {
     let mut p = Payload {
         bytes: payload,
         pos: 0,
@@ -725,6 +908,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_FETCH_MAP => Frame::FetchMap {
             have_version: p.u64("have_version")?,
         },
+        TAG_SCRAPE_STATS => Frame::ScrapeStats,
         TAG_LOCATED => Frame::Located {
             epoch: p.u64("epoch")?,
             disks: p.u32("disks")?,
@@ -814,6 +998,21 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         TAG_STALE_MAP => Frame::StaleMap {
             map_version: p.u64("map_version")?,
         },
+        TAG_STATS_REPLY => {
+            let epoch = p.u64("epoch")?;
+            let verdict = p.u8("verdict")?;
+            if verdict > 2 {
+                return Err(FrameError::Malformed {
+                    frame: name,
+                    detail: format!("verdict {verdict} out of range"),
+                });
+            }
+            Frame::StatsReply {
+                epoch,
+                verdict,
+                snapshot: get_snapshot(&mut p)?,
+            }
+        }
         TAG_ERROR => {
             let code_byte = p.u8("code")?;
             let code = ErrorCode::from_u8(code_byte).ok_or_else(|| FrameError::Malformed {
@@ -827,13 +1026,106 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         }
         _ => unreachable!("tag validated above"),
     };
-    p.finish()?;
-    Ok(frame)
+    Ok((frame, p.pos))
+}
+
+/// Decodes one [`RegistrySnapshot`] (see [`put_snapshot`] for the
+/// layout). Hostile counts are bounded before allocation via the
+/// minimum on-wire size of each element, bucket indices must be in
+/// range and strictly ascending (the canonical form `put_snapshot`
+/// emits — so encode∘decode is byte-identical), and everything else is
+/// a typed [`FrameError`].
+fn get_snapshot(p: &mut Payload) -> Result<RegistrySnapshot, FrameError> {
+    // Counter/gauge: two string length prefixes (4+4) + value (8).
+    let n = p.count(16, "counters.len")?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push(CounterSample {
+            name: p.string("counters[].name")?,
+            help: p.string("counters[].help")?,
+            value: p.u64("counters[].value")?,
+        });
+    }
+    let n = p.count(16, "gauges.len")?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push(GaugeSample {
+            name: p.string("gauges[].name")?,
+            help: p.string("gauges[].help")?,
+            value: p.u64("gauges[].value")? as i64,
+        });
+    }
+    // Histogram: prefixes (4+4) + count/sum/max (24) + pair count (4).
+    let n = p.count(36, "histograms.len")?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = p.string("histograms[].name")?;
+        let help = p.string("histograms[].help")?;
+        let mut snapshot = HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: p.u64("histograms[].count")?,
+            sum: p.u64("histograms[].sum")?,
+            max: p.u64("histograms[].max")?,
+        };
+        let pairs = p.count(12, "histograms[].buckets.len")?;
+        let mut last: Option<u32> = None;
+        for _ in 0..pairs {
+            let index = p.u32("histograms[].buckets[].index")?;
+            if index as usize >= HISTOGRAM_BUCKETS {
+                return Err(FrameError::Malformed {
+                    frame: p.frame,
+                    detail: format!("histogram bucket index {index} out of range"),
+                });
+            }
+            if last.is_some_and(|prev| prev >= index) {
+                return Err(FrameError::Malformed {
+                    frame: p.frame,
+                    detail: format!("histogram bucket indices not strictly ascending at {index}"),
+                });
+            }
+            last = Some(index);
+            let count = p.u64("histograms[].buckets[].count")?;
+            if count == 0 {
+                return Err(FrameError::Malformed {
+                    frame: p.frame,
+                    detail: format!("histogram bucket {index} encoded with zero count"),
+                });
+            }
+            snapshot.buckets[index as usize] = count;
+        }
+        histograms.push(HistogramSample {
+            name,
+            help,
+            snapshot,
+        });
+    }
+    Ok(RegistrySnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A representative registry snapshot: counters, a negative gauge,
+    /// and a histogram spanning several octaves.
+    pub(crate) fn sample_snapshot() -> RegistrySnapshot {
+        let registry = scaddar_obs::Registry::new();
+        registry
+            .counter("net_requests_total", "requests accepted")
+            .add(41);
+        registry
+            .gauge("net_active_connections", "open connections")
+            .set(-3);
+        let hist = registry.histogram("net_locate_ns", "locate latency");
+        for v in [90, 450, 90_000, 2_000_000] {
+            hist.record(v);
+        }
+        registry.snapshot()
+    }
 
     /// One exemplar of every frame type (shared with the corruption
     /// sweep in `tests/wire_corruption.rs`).
@@ -865,6 +1157,7 @@ mod tests {
             },
             Frame::Ping,
             Frame::FetchMap { have_version: 3 },
+            Frame::ScrapeStats,
             Frame::MapUpdate {
                 version: 4,
                 shards: vec![
@@ -907,6 +1200,16 @@ mod tests {
                 text: "{\"counters\": []}".to_string(),
             },
             Frame::Pong { epoch: 11 },
+            Frame::StatsReply {
+                epoch: 6,
+                verdict: 1,
+                snapshot: sample_snapshot(),
+            },
+            Frame::StatsReply {
+                epoch: 0,
+                verdict: 0,
+                snapshot: RegistrySnapshot::default(),
+            },
             Frame::Error {
                 code: ErrorCode::Busy,
                 message: "128 connections".to_string(),
@@ -1042,6 +1345,236 @@ mod tests {
         }
         .is_request());
         assert!(!Frame::Pong { epoch: 0 }.is_request());
+    }
+
+    #[test]
+    fn stats_reply_snapshot_round_trips_byte_identically() {
+        let frame = Frame::StatsReply {
+            epoch: 9,
+            verdict: 2,
+            snapshot: sample_snapshot(),
+        };
+        let bytes = frame.to_bytes();
+        let (decoded, used) = decode_frame(&bytes).expect("decode");
+        assert_eq!(used, bytes.len());
+        // Canonical encoding: re-encoding the decoded frame reproduces
+        // the original bytes exactly (the federation-agreement
+        // invariant leans on this).
+        assert_eq!(decoded.to_bytes(), bytes);
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn hostile_snapshots_are_typed_errors() {
+        let malformed = |bytes: &[u8]| {
+            assert!(
+                matches!(
+                    decode_frame(bytes),
+                    Err(FrameError::Malformed {
+                        frame: "StatsReply",
+                        ..
+                    })
+                ),
+                "expected Malformed, got {:?}",
+                decode_frame(bytes)
+            );
+        };
+        let reply = |tail: &[u8]| {
+            let mut buf = vec![0, 0, 0, 0, PROTOCOL_VERSION, TAG_STATS_REPLY];
+            buf.extend_from_slice(&1u64.to_le_bytes()); // epoch
+            buf.push(0); // verdict
+            buf.extend_from_slice(tail);
+            let len = (buf.len() - 4) as u32;
+            buf[..4].copy_from_slice(&len.to_le_bytes());
+            buf
+        };
+        // A hostile counter count cannot balloon memory.
+        malformed(&reply(&u32::MAX.to_le_bytes()));
+        // Bucket index out of range.
+        let mut tail = Vec::new();
+        put_u32(&mut tail, 0); // counters
+        put_u32(&mut tail, 0); // gauges
+        put_u32(&mut tail, 1); // one histogram
+        put_str(&mut tail, "h");
+        put_str(&mut tail, "help");
+        put_u64(&mut tail, 1); // count
+        put_u64(&mut tail, 5); // sum
+        put_u64(&mut tail, 5); // max
+        put_u32(&mut tail, 1); // one bucket pair
+        put_u32(&mut tail, HISTOGRAM_BUCKETS as u32); // first invalid index
+        put_u64(&mut tail, 1);
+        malformed(&reply(&tail));
+        // Non-ascending bucket indices.
+        let pair_count_at = tail.len() - 16;
+        tail[pair_count_at..pair_count_at + 4].copy_from_slice(&2u32.to_le_bytes());
+        let idx_at = tail.len() - 12;
+        tail[idx_at..idx_at + 4].copy_from_slice(&3u32.to_le_bytes());
+        put_u32(&mut tail, 3);
+        put_u64(&mut tail, 1);
+        malformed(&reply(&tail));
+        // Zero-count bucket pairs are non-canonical.
+        let mut tail = Vec::new();
+        put_u32(&mut tail, 0);
+        put_u32(&mut tail, 0);
+        put_u32(&mut tail, 1);
+        put_str(&mut tail, "h");
+        put_str(&mut tail, "help");
+        put_u64(&mut tail, 0);
+        put_u64(&mut tail, 0);
+        put_u64(&mut tail, 0);
+        put_u32(&mut tail, 1);
+        put_u32(&mut tail, 4);
+        put_u64(&mut tail, 0);
+        malformed(&reply(&tail));
+        // An out-of-range health verdict.
+        let mut buf = vec![0, 0, 0, 0, PROTOCOL_VERSION, TAG_STATS_REPLY];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(3);
+        for _ in 0..3 {
+            put_u32(&mut buf, 0);
+        }
+        let len = (buf.len() - 4) as u32;
+        buf[..4].copy_from_slice(&len.to_le_bytes());
+        malformed(&buf);
+    }
+
+    fn ctx() -> TraceContext {
+        TraceContext::root(0xFEED_FACE, 7)
+    }
+
+    #[test]
+    fn traced_requests_round_trip_the_context() {
+        let frame = Frame::Locate {
+            object: 3,
+            block: 99,
+        };
+        let bytes = frame.to_bytes_traced(&ctx());
+        let (decoded, got, used) =
+            decode_frame_traced(&bytes, HARD_MAX_FRAME_LEN).expect("traced decode");
+        assert_eq!(decoded, frame);
+        assert_eq!(got, Some(ctx()));
+        assert_eq!(used, bytes.len());
+        // The un-traced decoders tolerate (and discard) the trailer,
+        // so an old server keeps serving a tracing client.
+        assert_eq!(decode_frame(&bytes), Ok((frame, bytes.len())));
+    }
+
+    #[test]
+    fn every_request_exemplar_carries_a_trailer() {
+        for frame in exemplars().into_iter().filter(Frame::is_request) {
+            let bytes = frame.to_bytes_traced(&ctx());
+            let (decoded, got, _) =
+                decode_frame_traced(&bytes, HARD_MAX_FRAME_LEN).expect("traced decode");
+            assert_eq!(decoded, frame);
+            assert_eq!(got, Some(ctx()), "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_frames_decode_with_no_context() {
+        for frame in exemplars() {
+            let bytes = frame.to_bytes();
+            let (_, got, _) = decode_frame_traced(&bytes, HARD_MAX_FRAME_LEN).expect("decode");
+            assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn unknown_trailer_versions_are_skipped_not_rejected() {
+        // A v2 trailer from some future client: structurally sound
+        // (version, len, len bytes), so the frame still decodes — with
+        // no context, because we cannot interpret it.
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes.push(TRACE_TRAILER_VERSION + 1);
+        bytes.push(3);
+        bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let (frame, got, _) =
+            decode_frame_traced(&bytes, HARD_MAX_FRAME_LEN).expect("skip unknown version");
+        assert_eq!(frame, Frame::Ping);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn trailer_truncation_at_every_boundary_is_rejected() {
+        let frame = Frame::Tick { rounds: 2 };
+        let full = frame.to_bytes_traced(&ctx());
+        let plain = frame.to_bytes().len();
+        // Cutting at `plain` exactly removes the whole trailer (legal);
+        // every partial trailer in between must be a typed error.
+        for cut in plain + 1..full.len() {
+            let mut bytes = full[..cut].to_vec();
+            let len = (bytes.len() - 4) as u32;
+            bytes[..4].copy_from_slice(&len.to_le_bytes());
+            let result = decode_frame(&bytes);
+            assert!(
+                matches!(
+                    result,
+                    Err(FrameError::TrailingBytes { .. } | FrameError::Malformed { .. })
+                ),
+                "cut at {cut}: {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_trailer_lengths_are_typed_errors() {
+        // Version byte right, length byte lying about the remainder.
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes.push(TRACE_TRAILER_VERSION);
+        bytes.push(200);
+        bytes.extend_from_slice(&[0; 17]);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::TrailingBytes { frame: "Ping", .. })
+        ));
+        // Consistent length that is wrong for v1: malformed, since we
+        // do understand version 1 and it must be 17 bytes.
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes.push(TRACE_TRAILER_VERSION);
+        bytes.push(3);
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Malformed { frame: "Ping", .. })
+        ));
+        // A v1 trailer claiming trace id 0 (the "untraced" sentinel).
+        let mut bytes = Frame::Ping.to_bytes();
+        bytes.push(TRACE_TRAILER_VERSION);
+        bytes.push(TRACE_TRAILER_V1_LEN);
+        bytes.extend_from_slice(&[0; 17]);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Malformed { frame: "Ping", .. })
+        ));
+    }
+
+    #[test]
+    fn responses_never_carry_trailers() {
+        // A trailer-shaped suffix on a *response* frame is plain
+        // trailing garbage: tracing context only flows client → server.
+        let mut bytes = Frame::Pong { epoch: 1 }.to_bytes();
+        bytes.push(TRACE_TRAILER_VERSION);
+        bytes.push(TRACE_TRAILER_V1_LEN);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.push(1);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::TrailingBytes {
+                frame: "Pong",
+                extra: 19
+            })
+        );
     }
 
     #[test]

@@ -9,9 +9,31 @@
 use proptest::prelude::*;
 use scaddar_core::ScalingOp;
 use scaddar_net::wire::{
-    decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat,
-    FRAME_HEADER_LEN, HARD_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    decode_frame, decode_frame_limited, decode_frame_traced, ErrorCode, Frame, FrameError,
+    StatsFormat, FRAME_HEADER_LEN, HARD_MAX_FRAME_LEN, PROTOCOL_VERSION, TRACE_TRAILER_V1_LEN,
+    TRACE_TRAILER_VERSION,
 };
+use scaddar_obs::{Registry, RegistrySnapshot, TraceContext};
+
+/// A populated registry snapshot for the `StatsReply` exemplar, so the
+/// corruption sweeps cover every section of the snapshot encoding.
+fn sample_snapshot() -> RegistrySnapshot {
+    let registry = Registry::new();
+    registry
+        .counter("net_requests_total", "requests accepted")
+        .add(7);
+    registry
+        .counter("net_errors_total", "errored requests")
+        .add(1);
+    registry
+        .gauge("net_active_connections", "open connections")
+        .set(-2);
+    let hist = registry.histogram("net_locate_ns", "locate latency");
+    for v in [80, 900, 64_000, 3_000_000] {
+        hist.record(v);
+    }
+    registry.snapshot()
+}
 
 /// One frame of every variant, with variable-length fields populated
 /// (the in-crate unit tests have their own copy; integration tests
@@ -95,6 +117,18 @@ fn exemplars() -> Vec<Frame> {
             owner: 2,
         },
         Frame::StaleMap { map_version: 9 },
+        // Federation frames: the stats scrape and its snapshot reply.
+        Frame::ScrapeStats,
+        Frame::StatsReply {
+            epoch: 3,
+            verdict: 1,
+            snapshot: sample_snapshot(),
+        },
+        Frame::StatsReply {
+            epoch: 0,
+            verdict: 0,
+            snapshot: RegistrySnapshot::default(),
+        },
     ]
 }
 
@@ -200,9 +234,9 @@ fn length_prefix_overflow_classes() {
 
 #[test]
 fn every_unknown_tag_and_version_byte_is_typed() {
-    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
     let known_responses = [
-        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0xFF,
+        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x8B, 0xFF,
     ];
     for tag in 0u8..=255 {
         let buf = [2u8, 0, 0, 0, PROTOCOL_VERSION, tag];
@@ -342,6 +376,101 @@ fn hostile_map_updates_are_typed_rejections() {
         ),
         "runaway address length was not rejected"
     );
+}
+
+/// Trace trailers ride after every *request* payload. Sweep every
+/// truncation boundary of every traced request: stream truncation must
+/// stay retryable `Incomplete`, an in-frame cut through the trailer
+/// must be a typed error, and the intact trailer must round-trip the
+/// context exactly.
+#[test]
+fn trace_trailer_truncation_at_every_boundary_is_typed() {
+    let ctx = TraceContext::root(0xC0FFEE, 1);
+    for frame in exemplars().into_iter().filter(Frame::is_request) {
+        let full = frame.to_bytes_traced(&ctx);
+        let plain_len = frame.to_bytes().len();
+        for cut in 0..full.len() {
+            assert!(
+                matches!(
+                    decode_frame(&full[..cut]),
+                    Err(FrameError::Incomplete { .. })
+                ),
+                "{frame:?} stream cut at {cut} was not retryable"
+            );
+        }
+        // Shrink the length prefix so the frame *claims* to end inside
+        // the trailer (cutting at `plain_len` exactly removes it — a
+        // legal untraced frame).
+        for cut in plain_len + 1..full.len() {
+            let mut bytes = full[..cut].to_vec();
+            let len = (bytes.len() - 4) as u32;
+            bytes[..4].copy_from_slice(&len.to_le_bytes());
+            match decode_frame(&bytes) {
+                Err(FrameError::TrailingBytes { .. } | FrameError::Malformed { .. }) => {}
+                other => panic!("{frame:?} trailer cut at {cut}: {other:?}"),
+            }
+        }
+        let (decoded, got, used) =
+            decode_frame_traced(&full, HARD_MAX_FRAME_LEN).expect("intact traced frame");
+        assert_eq!(decoded, frame);
+        assert_eq!(got, Some(ctx), "{frame:?} lost its context");
+        assert_eq!(used, full.len());
+    }
+}
+
+/// Every (claimed length, actual length) mismatch across the trailer
+/// length byte's full range: nothing panics, nothing desyncs, and only
+/// a self-consistent trailer ever decodes.
+#[test]
+fn hostile_trailer_lengths_never_panic_or_desync() {
+    let base = Frame::Ping.to_bytes();
+    for claim in 0u8..=255 {
+        for actual in [0usize, 1, 3, 16, 17, 18, 32, 255] {
+            let mut bytes = base.clone();
+            bytes.push(TRACE_TRAILER_VERSION);
+            bytes.push(claim);
+            bytes.extend(std::iter::repeat_n(0x5Au8, actual));
+            let len = (bytes.len() - 4) as u32;
+            bytes[..4].copy_from_slice(&len.to_le_bytes());
+            match decode_frame_traced(&bytes, HARD_MAX_FRAME_LEN) {
+                Ok((frame, ctx, used)) => {
+                    // Only the self-consistent v1 trailer parses to a
+                    // context (0x5A body → non-zero trace id).
+                    assert_eq!(usize::from(claim), actual, "inconsistent trailer accepted");
+                    assert_eq!(claim, TRACE_TRAILER_V1_LEN, "wrong v1 length accepted");
+                    assert_eq!(frame, Frame::Ping);
+                    assert!(ctx.is_some());
+                    assert_eq!(used, bytes.len());
+                }
+                Err(FrameError::TrailingBytes { .. } | FrameError::Malformed { .. }) => {}
+                other => panic!("claim {claim} actual {actual}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// A structurally sound trailer of any *future* version must be
+/// skipped, not rejected: an old server keeps serving a newer client.
+/// Only the length-consistency rule is enforced.
+#[test]
+fn unknown_trailer_versions_are_skipped_not_rejected() {
+    for version in (0u8..=255).filter(|v| *v != TRACE_TRAILER_VERSION) {
+        for body_len in [0usize, 1, 17, 64, 255] {
+            let mut bytes = Frame::Tick { rounds: 3 }.to_bytes();
+            bytes.push(version);
+            bytes.push(body_len as u8);
+            bytes.extend(std::iter::repeat_n(0xEEu8, body_len));
+            let len = (bytes.len() - 4) as u32;
+            bytes[..4].copy_from_slice(&len.to_le_bytes());
+            let (frame, ctx, used) = decode_frame_traced(&bytes, HARD_MAX_FRAME_LEN)
+                .unwrap_or_else(|e| {
+                    panic!("future trailer v{version} ({body_len}B) rejected: {e:?}")
+                });
+            assert_eq!(frame, Frame::Tick { rounds: 3 });
+            assert_eq!(ctx, None, "uninterpretable trailer produced a context");
+            assert_eq!(used, bytes.len());
+        }
+    }
 }
 
 proptest! {

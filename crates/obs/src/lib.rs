@@ -52,6 +52,7 @@ pub mod clock;
 pub mod events;
 pub mod metrics;
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
@@ -60,6 +61,8 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS, SUB_BITS, SUB_BUCKETS,
 };
 pub use registry::{
-    json_escape, parse_json_values, try_parse_json_values, MetricValue, ParseError, Registry,
+    json_escape, parse_json_values, try_parse_json_values, CounterSample, GaugeSample,
+    HistogramSample, MetricValue, ParseError, Registry, RegistrySnapshot,
 };
-pub use trace::{SpanGuard, SpanRecord, Tracer};
+pub use slo::{BurnRates, SloConfig, SloTracker, WindowBurn};
+pub use trace::{render_trace_dump, SpanGuard, SpanRecord, TraceContext, Tracer};

@@ -200,6 +200,23 @@ impl Histogram {
         self.inner.count.load(Ordering::Relaxed)
     }
 
+    /// Merges a remote snapshot into this histogram bucket-wise: every
+    /// bucket count, the total count, and the sum are added; the max is
+    /// raised if the snapshot's is larger. This is the federation
+    /// primitive — merging buckets keeps quantile error bounded by one
+    /// sub-bucket width, whereas averaging per-shard *percentiles*
+    /// (the classic fleet-dashboard mistake) has no error bound at all.
+    pub fn merge_from(&self, snap: &HistogramSnapshot) {
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n > 0 {
+                self.inner.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.inner.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the whole histogram (the unit quantile
     /// math and renderers work over, so every field is from one pass).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -273,6 +290,31 @@ impl HistogramSnapshot {
     /// Mean sample; `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merges `other` into this snapshot bucket-wise (the owned-value
+    /// twin of [`Histogram::merge_from`], for aggregators that fold
+    /// many shard snapshots before ever touching a live histogram).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded in buckets whose *upper bound*
+    /// exceeds `threshold` — an upper estimate of "samples slower than
+    /// threshold", overcounting by at most the one bucket straddling
+    /// it. The SLO latency burn-rate feeds on this.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bucket_upper_bound(i) > threshold)
+            .map(|(_, &n)| n)
+            .sum()
     }
 
     /// Cumulative `(upper_bound, count)` pairs up to and including the
@@ -446,6 +488,106 @@ mod tests {
         assert_eq!(h.snapshot().buckets[0], 2);
         assert_eq!(h.p50(), Some(0));
         assert_eq!(h.max(), Some(0));
+    }
+
+    #[test]
+    fn merge_from_adds_bucket_wise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 90, 4000] {
+            a.record(v);
+        }
+        for v in [3u64, 512, 1 << 20] {
+            b.record(v);
+        }
+        a.merge_from(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 3 + 90 + 4000 + 3 + 512 + (1 << 20));
+        assert_eq!(snap.max, 1 << 20);
+        assert_eq!(snap.buckets[bucket_of(3)], 2, "shared bucket sums");
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 6);
+        // Merging an empty snapshot is a no-op.
+        a.merge_from(&Histogram::new().snapshot());
+        assert_eq!(a.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_live_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..200u64 {
+            a.record(v * 7);
+            b.record(v * 13 + 1);
+        }
+        let mut folded = a.snapshot();
+        folded.merge(&b.snapshot());
+        a.merge_from(&b.snapshot());
+        assert_eq!(folded, a.snapshot());
+    }
+
+    #[test]
+    fn count_over_bounds_the_slow_sample_count() {
+        let h = Histogram::new();
+        for v in [10u64, 50_000, 99_000, 150_000, 200_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count_over(1 << 40), 0);
+        assert_eq!(snap.count_over(0), 5);
+        // True count over 100 µs is 2; the bucket straddling the
+        // threshold ([98304, 102399], holding the 99 µs sample) may
+        // overcount by its own occupancy — an upper estimate, never an
+        // undercount.
+        assert_eq!(snap.count_over(100_000), 3);
+        // A threshold on an exact bucket boundary is exact.
+        assert_eq!(snap.count_over(102_399), 2);
+    }
+
+    proptest::proptest! {
+        /// Satellite: merge-then-percentile equals the percentile of the
+        /// concatenated sample stream, within one sub-bucket width —
+        /// the soundness claim behind bucket-wise federation.
+        #[test]
+        fn merged_quantiles_match_concatenated_samples(
+            xs in proptest::collection::vec(0u64..1_000_000, 1..200),
+            ys in proptest::collection::vec(0u64..1_000_000, 1..200),
+            qs in proptest::collection::vec(0.01f64..1.0, 1..6),
+        ) {
+            let a = Histogram::new();
+            let b = Histogram::new();
+            let all = Histogram::new();
+            for &v in &xs { a.record(v); all.record(v); }
+            for &v in &ys { b.record(v); all.record(v); }
+            let merged = {
+                let m = Histogram::new();
+                m.merge_from(&a.snapshot());
+                m.merge_from(&b.snapshot());
+                m.snapshot()
+            };
+            let reference = all.snapshot();
+            proptest::prop_assert_eq!(&merged, &reference,
+                "bucket-wise merge must equal recording the concatenation");
+            for &q in &qs {
+                let mq = merged.quantile(q);
+                let rq = reference.quantile(q);
+                proptest::prop_assert_eq!(mq, rq);
+                // And against the exact sample quantile: bounded by one
+                // sub-bucket (1/16 relative) overshoot, never undershoot.
+                let mut sorted: Vec<u64> =
+                    xs.iter().chain(ys.iter()).copied().collect();
+                sorted.sort_unstable();
+                let rank = ((q * sorted.len() as f64).ceil() as usize)
+                    .clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                let est = mq.unwrap();
+                proptest::prop_assert!(est >= exact);
+                proptest::prop_assert!(
+                    est - exact <= exact / SUB_BUCKETS as u64 + 1,
+                    "estimate {} vs exact {} at q={}", est, exact, q
+                );
+            }
+        }
     }
 
     #[test]

@@ -201,6 +201,56 @@ impl Registry {
             .collect()
     }
 
+    /// An owned, structured copy of every registered metric — the unit
+    /// of metrics federation. A shard serializes this over the wire
+    /// (`ScrapeStats`/`StatsReply` in `scaddar-net`); the fleet
+    /// aggregator folds many of them back into one registry with
+    /// [`Registry::absorb`]. Entries are in name order; histograms are
+    /// full bucket snapshots so merges stay bucket-wise.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = RegistrySnapshot::default();
+        for (name, entry) in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => snap.counters.push(CounterSample {
+                    name: name.clone(),
+                    help: entry.help.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                    name: name.clone(),
+                    help: entry.help.clone(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSample {
+                    name: name.clone(),
+                    help: entry.help.clone(),
+                    snapshot: h.snapshot(),
+                }),
+            }
+        }
+        snap
+    }
+
+    /// Folds a snapshot into this registry: counters and gauges *add*
+    /// (a fleet total is the sum of shard values), histograms merge
+    /// bucket-wise. Names absent here are registered with the
+    /// snapshot's help text.
+    ///
+    /// # Panics
+    /// If a snapshot name is already registered as a different kind.
+    pub fn absorb(&self, snap: &RegistrySnapshot) {
+        for c in &snap.counters {
+            self.counter(&c.name, &c.help).add(c.value);
+        }
+        for g in &snap.gauges {
+            self.gauge(&g.name, &g.help).add(g.value);
+        }
+        for h in &snap.histograms {
+            self.histogram(&h.name, &h.help).merge_from(&h.snapshot);
+        }
+    }
+
     /// Renders the Prometheus text exposition format (v0.0.4): `# HELP`
     /// and `# TYPE` per family, one sample line per counter/gauge, and
     /// the `_bucket`/`_sum`/`_count` triplet per histogram.
@@ -284,6 +334,86 @@ impl Registry {
         format!(
             "{{\n  \"counters\": [\n{counters}\n  ],\n  \"gauges\": [\n{gauges}\n  ],\n  \"histograms\": [\n{histograms}\n  ]\n}}\n"
         )
+    }
+}
+
+/// One counter in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name (may carry inline labels).
+    pub name: String,
+    /// Help text as registered.
+    pub help: String,
+    /// Counter total at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name (may carry inline labels).
+    pub name: String,
+    /// Help text as registered.
+    pub help: String,
+    /// Gauge level at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name (may carry inline labels).
+    pub name: String,
+    /// Help text as registered.
+    pub help: String,
+    /// Full bucket snapshot — the mergeable representation.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// A structured point-in-time copy of a whole [`Registry`], in name
+/// order per kind. Built by [`Registry::snapshot`], shipped over the
+/// wire by the stats-scrape frames, folded back by
+/// [`Registry::absorb`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter samples, name-sorted.
+    pub counters: Vec<CounterSample>,
+    /// Gauge samples, name-sorted.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram samples, name-sorted.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl RegistrySnapshot {
+    /// Total number of samples across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether the snapshot carries no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.snapshot)
     }
 }
 
@@ -698,6 +828,44 @@ mod tests {
                 value: "bogus".to_string(),
             })
         );
+    }
+
+    #[test]
+    fn structured_snapshot_round_trips_through_absorb() {
+        let r = sample_registry();
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.counter_value("alpha_total"), Some(3));
+        assert_eq!(snap.gauge_value("beta"), Some(-7));
+        assert_eq!(snap.histogram("gamma_ns").unwrap().count, 2);
+        assert_eq!(snap.counters[0].help, "first");
+
+        // Absorbing into an empty registry reproduces it exactly.
+        let fleet = Registry::new();
+        fleet.absorb(&snap);
+        assert_eq!(fleet.snapshot(), snap);
+        assert_eq!(fleet.render_prometheus(), r.render_prometheus());
+
+        // Absorbing a second shard's snapshot sums counters/gauges and
+        // merges histogram buckets.
+        let peer = sample_registry();
+        peer.counter("alpha_total", "first").add(10);
+        fleet.absorb(&peer.snapshot());
+        assert_eq!(fleet.snapshot().counter_value("alpha_total"), Some(16));
+        assert_eq!(fleet.snapshot().gauge_value("beta"), Some(-14));
+        let merged = fleet.snapshot();
+        let h = merged.histogram("gamma_ns").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 210);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.counter_value("missing"), None);
+        assert_eq!(snap.gauge_value("missing"), None);
+        assert!(snap.histogram("missing").is_none());
     }
 
     #[test]
