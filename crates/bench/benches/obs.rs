@@ -12,9 +12,14 @@ use scaddar_core::{
     plan_last_op_parallel, plan_last_op_parallel_instrumented, EngineStats, Scaddar, ScaddarConfig,
     ScalingOp,
 };
-use scaddar_obs::{Counter, Histogram, Registry, Tracer, VirtualClock};
+use scaddar_obs::{
+    Counter, Histogram, MonotonicClock, Profiler, Registry, StateHandle, ThreadState, Tracer,
+    VirtualClock,
+};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A churned engine: 8 disks, one 10k-block object, `ops` scale ops.
 fn churned_engine(ops: usize) -> Scaddar {
@@ -86,6 +91,47 @@ fn bench_plan_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The armed-profiler tax on the serving hot path: both sides run the
+/// fully instrumented locate loop and bracket every call with the two
+/// state-word stores the reactor performs (`engine` on entry, `decode`
+/// on exit). `bare` uses a detached handle and no sampler;
+/// `instrumented` registers with a live [`Profiler`] whose 1 kHz
+/// sampler thread runs for the whole measurement — so the ratio is
+/// exactly what arming the profiler costs a worker. CI's
+/// profile-smoke job gates this ratio at 1.10 via `BENCH_obs.json`.
+fn bench_profile_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_profile_overhead");
+    let run = |b: &mut criterion::Bencher, handle: &StateHandle| {
+        let mut engine = churned_engine(8);
+        let registry = Registry::new();
+        engine.attach_stats(EngineStats::register_monotonic(&registry));
+        let id = engine.catalog().objects()[0].id;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            handle.set(ThreadState::Engine);
+            let located = engine.locate(id, black_box(i)).expect("valid block");
+            handle.set(ThreadState::Decode);
+            black_box(located)
+        });
+    };
+    let detached = StateHandle::detached();
+    group.bench_with_input(BenchmarkId::from_parameter("bare"), &(), |b, ()| {
+        run(b, &detached)
+    });
+    let profiler = Profiler::new(Arc::new(MonotonicClock::new()));
+    let registered = profiler.register("bench-worker");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let sampler = profiler.spawn_sampler(Duration::from_millis(1), shutdown.clone());
+    group.bench_with_input(BenchmarkId::from_parameter("instrumented"), &(), |b, ()| {
+        run(b, &registered)
+    });
+    shutdown.store(true, Ordering::SeqCst);
+    sampler.join().expect("sampler joins");
+    assert!(profiler.rounds() > 0, "sampler never ran during the bench");
+    group.finish();
+}
+
 /// The raw primitives, for the overhead budget table in `DESIGN.md` §9:
 /// a relaxed counter increment, a histogram record (bucket index +
 /// three relaxed atomics), and a full span open/event/drop cycle
@@ -123,6 +169,7 @@ criterion_group!(
     benches,
     bench_locate_overhead,
     bench_plan_overhead,
+    bench_profile_overhead,
     bench_primitives
 );
 criterion_main!(benches);

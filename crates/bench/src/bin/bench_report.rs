@@ -121,7 +121,7 @@ fn speedup(all: &BTreeMap<String, Measurement>, baseline: &str, candidate: &str)
 /// measurements. `None` when the `obs` bench has not run.
 fn obs_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     let mut overheads = String::new();
-    for path in ["locate", "plan"] {
+    for path in ["locate", "plan", "profile"] {
         let bare = all.get(&format!("obs_{path}_overhead/bare"))?.ns_per_iter;
         let inst = all
             .get(&format!("obs_{path}_overhead/instrumented"))?
@@ -471,6 +471,8 @@ mod tests {
             ("obs_locate_overhead/instrumented", 51.0),
             ("obs_plan_overhead/bare", 10_000.0),
             ("obs_plan_overhead/instrumented", 11_500.0),
+            ("obs_profile_overhead/bare", 60.0),
+            ("obs_profile_overhead/instrumented", 63.0),
             ("obs_primitives/counter_inc", 2.0),
         ] {
             all.insert(key.to_string(), Measurement { ns_per_iter: ns });
@@ -482,10 +484,24 @@ mod tests {
         // Plan at 1.15 is over the CI 1.10 gate.
         assert!(report.contains("\"ratio\": 1.1500"));
         assert!(report.contains("\"within_gate\": false"));
+        // The armed-profiler path (1.05) sits inside the gate.
+        assert!(report.contains("\"name\": \"profile\""));
+        assert!(report.contains("\"ratio\": 1.0500"));
         assert!(report.contains("obs_primitives/counter_inc"));
 
         all.remove("obs_plan_overhead/bare");
         assert!(obs_report(&all).is_none(), "partial obs run emits nothing");
+        all.insert(
+            "obs_plan_overhead/bare".to_string(),
+            Measurement {
+                ns_per_iter: 10_000.0,
+            },
+        );
+        all.remove("obs_profile_overhead/instrumented");
+        assert!(
+            obs_report(&all).is_none(),
+            "a missing profile side emits nothing rather than a silently ungated report"
+        );
     }
 
     #[test]

@@ -80,6 +80,25 @@ pub fn parse_top_args(args: &[String]) -> Result<TopArgs, String> {
     Ok(parsed)
 }
 
+/// Turns two `(requests_total, at_ns)` observations into an rps cell.
+///
+/// Counters are monotone per process, but a shard *restart* resets
+/// them to zero — a naive `now - then` underflows (or, with a signed
+/// cast, renders a negative rate). The delta is clamped at zero and
+/// the caller is told the counter ran backwards so the dashboard can
+/// mark the shard `restarted` instead of lying about throughput.
+fn rps_cell(prev: Option<(u64, u64)>, requests: u64, at_ns: u64) -> (String, bool) {
+    match prev {
+        Some((req0, at0)) if at_ns > at0 => {
+            let restarted = requests < req0;
+            let dt = (at_ns - at0) as f64 / 1e9;
+            let delta = requests.saturating_sub(req0);
+            (format!("{:.1}/s", delta as f64 / dt), restarted)
+        }
+        _ => ("-".to_string(), false),
+    }
+}
+
 /// The dashboard state: one aggregator (so unreachable shards keep
 /// their last-known data across frames) plus the previous frame's
 /// request totals, which turn monotone counters into per-shard rps.
@@ -145,19 +164,18 @@ impl FleetTop {
         let mut epochs = Vec::new();
         let mut prev = BTreeMap::new();
         for s in &fleet.shards {
-            let state = if s.reachable { "up" } else { "UNREACHABLE" };
             let verdict = match s.verdict {
                 0 => "ok",
                 1 => "WARN",
                 _ => "CRIT",
             };
             let requests = s.requests_total();
-            let rps = match self.prev.get(&s.shard) {
-                Some(&(req0, at0)) if s.scraped_at_ns > at0 => {
-                    let dt = (s.scraped_at_ns - at0) as f64 / 1e9;
-                    format!("{:.1}/s", requests.saturating_sub(req0) as f64 / dt)
-                }
-                _ => "-".to_string(),
+            let (rps, restarted) =
+                rps_cell(self.prev.get(&s.shard).copied(), requests, s.scraped_at_ns);
+            let state = match (s.reachable, restarted) {
+                (false, _) => "UNREACHABLE",
+                (true, true) => "up restarted",
+                (true, false) => "up",
             };
             let _ = writeln!(
                 out,
@@ -332,6 +350,31 @@ mod tests {
         assert!(text.contains("1 unreachable"), "{text}");
         assert!(text.contains("[UNREACHABLE]"), "{text}");
         shard0.shutdown();
+    }
+
+    /// The restart clamp: a counter that runs backwards (shard restart
+    /// between scrapes) renders a zero rate and a `restarted` flag —
+    /// never a negative or underflowed rps figure.
+    #[test]
+    fn rps_cell_clamps_restarts_at_zero() {
+        // No baseline yet: dash, not restarted.
+        assert_eq!(rps_cell(None, 100, 1_000_000_000), ("-".into(), false));
+        // Same timestamp (clock didn't advance): no division by zero.
+        assert_eq!(
+            rps_cell(Some((50, 1_000_000_000)), 100, 1_000_000_000),
+            ("-".into(), false)
+        );
+        // Normal forward progress: 50 requests over 1s.
+        assert_eq!(
+            rps_cell(Some((50, 1_000_000_000)), 100, 2_000_000_000),
+            ("50.0/s".into(), false)
+        );
+        // Restart: the counter reset below the baseline. Clamped to
+        // zero and flagged.
+        assert_eq!(
+            rps_cell(Some((5000, 1_000_000_000)), 12, 2_000_000_000),
+            ("0.0/s".into(), true)
+        );
     }
 
     #[test]

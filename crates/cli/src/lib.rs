@@ -32,6 +32,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 pub mod fleet;
+pub mod profile;
 pub mod remote;
 
 /// Errors surfaced to the operator.

@@ -7,6 +7,7 @@
 //! scripts piping commands into the console can gate on the result.
 
 use scaddar_cli::fleet;
+use scaddar_cli::profile;
 use scaddar_cli::remote;
 use scaddar_cli::Session;
 use scaddar_monitor::Severity;
@@ -21,7 +22,9 @@ usage: scaddar-console [subcommand]
   connect <addr> [command]    drive a remote daemon (one-shot or interactive)
   cluster-status <addr>       fetch the cluster map, federated status of every shard
   top <addr> [--interval MS] [--frames N]
-                              live fleet dashboard (rps/p99/epoch/health + SLO burn)";
+                              live fleet dashboard (rps/p99/epoch/health + SLO burn)
+  profile <addr> [--seconds N] [--folded]
+                              dump the daemon's cooperative profiler (folded = flamegraph input)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +35,7 @@ fn main() {
             "connect" => remote::run_connect(rest),
             "cluster-status" => remote::run_cluster_status(rest),
             "top" => fleet::run_top(rest),
+            "profile" => profile::run_profile(rest),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 0

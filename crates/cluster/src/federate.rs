@@ -25,7 +25,7 @@
 use scaddar_monitor::{HealthEvent, Severity, SloMonitor, SloRules};
 use scaddar_net::{ClientConfig, NetClient};
 use scaddar_obs::slo::{SloConfig, SloTracker};
-use scaddar_obs::{Clock, EventLog, Registry, RegistrySnapshot, Tracer};
+use scaddar_obs::{Clock, EventLog, ProfileSnapshot, Registry, RegistrySnapshot, Tracer};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
@@ -115,9 +115,15 @@ impl FleetSnapshot {
     /// exposes both the fleet totals and each member's liveness.
     pub fn fleet_registry(&self) -> Registry {
         let fleet = Registry::new();
+        // Histograms merge bucket-wise, which is only sound when both
+        // sides agree on the bucket boundaries. A shard built with a
+        // different layout (its snapshot carries a mismatched — or no —
+        // `obs_bucket_layout` fingerprint) still folds its counters and
+        // gauges, but its histogram series are skipped and counted.
+        let mut skipped = 0u64;
         for s in &self.shards {
             if s.scraped_at_ns > 0 {
-                fleet.absorb(&s.snapshot);
+                skipped += fleet.absorb_checked(&s.snapshot);
             }
             let shard = s.shard;
             fleet
@@ -145,6 +151,12 @@ impl FleetSnapshot {
                 )
                 .set(s.staleness_ns(self.at_ns).min(i64::MAX as u64) as i64);
         }
+        fleet
+            .counter(
+                "fleet_merge_skipped_total",
+                "Histogram series skipped for mismatched bucket layouts",
+            )
+            .add(skipped);
         fleet
             .gauge("fleet_shards", "Shards known to the aggregator")
             .set(self.shards.len() as i64);
@@ -209,13 +221,16 @@ fn merged_request_p99(snapshot: &RegistrySnapshot) -> Option<u64> {
 
 /// `(requests, errors, slower-than-objective)` totals in one shard
 /// snapshot — the monotone counters whose scrape-to-scrape deltas feed
-/// the fleet SLO. The `scrape-stats` endpoint is excluded: the
-/// aggregator's own polling must not register as serving traffic, or
-/// every idle federation round would feed (and eventually dilute) the
-/// SLO with its own observer effect.
+/// the fleet SLO. The `scrape-stats` and `profile` endpoints are
+/// excluded: the aggregator's own polling must not register as serving
+/// traffic, or every idle federation round would feed (and eventually
+/// dilute) the SLO with its own observer effect.
 fn request_totals(snapshot: &RegistrySnapshot, objective_ns: u64) -> (u64, u64, u64) {
-    let serving =
-        |name: &str, prefix: &str| name.starts_with(prefix) && !name.contains("scrape-stats");
+    let serving = |name: &str, prefix: &str| {
+        name.starts_with(prefix)
+            && !name.contains("scrape-stats")
+            && !name.contains("endpoint=\"profile\"")
+    };
     let total = snapshot
         .counters
         .iter()
@@ -355,6 +370,36 @@ impl FleetAggregator {
         }
     }
 
+    /// Pulls every target's cumulative profiler snapshot
+    /// (`ProfileDump`) and merges them into one fleet-wide
+    /// [`ProfileSnapshot`]: each shard's thread rows are re-rooted
+    /// under a `shard<id>` frame (so the folded rendering yields
+    /// `shard0;scaddard-worker-1;engine 42` — a ready-made fleet
+    /// flamegraph), sorted for deterministic output. `rounds` sums
+    /// across shards; unreachable shards are skipped (their absence is
+    /// visible as a missing `shard<id>` root, and the regular scrape
+    /// round already reports them unreachable).
+    pub fn scrape_profiles(&self, targets: &[(u32, SocketAddr)]) -> ProfileSnapshot {
+        let mut merged = ProfileSnapshot {
+            at_ns: self.clock.now_ns(),
+            rounds: 0,
+            threads: Vec::new(),
+        };
+        for &(shard, addr) in targets {
+            let client = NetClient::with_config(addr, self.config.clone());
+            let Ok(profile) = client.profile_dump() else {
+                continue;
+            };
+            merged.rounds += profile.rounds;
+            for mut thread in profile.threads {
+                thread.name = format!("shard{shard};{}", thread.name);
+                merged.threads.push(thread);
+            }
+        }
+        merged.threads.sort_by(|a, b| a.name.cmp(&b.name));
+        merged
+    }
+
     /// Evaluates the fleet SLO rules once (after a
     /// [`scrape`](Self::scrape) fed them), emitting due health events;
     /// on a transition into CRIT the `flight` recorder is captured
@@ -467,6 +512,78 @@ mod tests {
         assert!(prom.contains("fleet_shards_unreachable 1"));
         assert!(prom.contains("fleet_shard_up{shard=\"1\"} 0"));
         assert!(fleet.render_table().contains("UNREACHABLE"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn mismatched_bucket_layouts_are_skipped_not_merged() {
+        let scrape = |shard: u32, snapshot: RegistrySnapshot| ShardScrape {
+            shard,
+            addr: "127.0.0.1:1".parse().unwrap(),
+            reachable: true,
+            epoch: 0,
+            verdict: 0,
+            snapshot,
+            scraped_at_ns: 1,
+        };
+        // A foreign shard whose snapshot carries no bucket-layout
+        // fingerprint (e.g. a build predating the marker, or one with
+        // different bucket boundaries).
+        let foreign = Registry::new();
+        foreign
+            .histogram("net_server_request_ns{endpoint=\"locate\"}", "latency")
+            .record(5);
+        foreign.counter("net_server_errors_total", "errors").inc();
+        // A current-build shard with the marker stamped.
+        let native = Registry::new();
+        native.mark_bucket_layout();
+        native
+            .histogram("net_server_request_ns{endpoint=\"locate\"}", "latency")
+            .record(7);
+        let fleet = FleetSnapshot {
+            at_ns: 2,
+            shards: vec![scrape(0, foreign.snapshot()), scrape(1, native.snapshot())],
+        };
+        let snap = fleet.fleet_registry().snapshot();
+        // Only the layout-compatible shard's histogram merged...
+        assert_eq!(
+            snap.histogram("net_server_request_ns{endpoint=\"locate\"}")
+                .unwrap()
+                .count,
+            1
+        );
+        // ...the incompatible series was counted, not silently dropped...
+        assert_eq!(snap.counter_value("fleet_merge_skipped_total"), Some(1));
+        // ...and the foreign shard's counters still folded in.
+        assert_eq!(snap.counter_value("net_server_errors_total"), Some(1));
+    }
+
+    #[test]
+    fn fleet_profiles_merge_under_shard_roots() {
+        let mut cluster = Cluster::boot(small()).unwrap();
+        cluster.populate(6).unwrap();
+        let client = ClusterClient::connect(&cluster.seeds()).unwrap();
+        for gid in cluster.object_ids() {
+            client.locate(gid, 0).unwrap();
+        }
+        let aggregator = FleetAggregator::new(cluster.clock().clone());
+        let profile = aggregator.scrape_profiles(&cluster.scrape_targets());
+        // Every shard contributes rows, re-rooted under its shard id.
+        for shard in 0..3u32 {
+            assert!(
+                profile
+                    .threads
+                    .iter()
+                    .any(|t| t.name.starts_with(&format!("shard{shard};"))),
+                "missing shard {shard} rows"
+            );
+        }
+        assert!(profile.threads.iter().all(|t| t.conserves()));
+        // The folded rendering is a three-deep stack per line.
+        for line in profile.render_folded().lines() {
+            let (stack, _count) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 3, "{line}");
+        }
         cluster.shutdown();
     }
 

@@ -169,7 +169,24 @@ impl SharedServer {
     /// lock round-trip per frame this is the difference between `n`
     /// atomic RMWs on the lock word per wakeup and two.
     pub fn locate_coalesced(&self, queries: &[LocateQuery<'_>]) -> CoalescedRead {
+        self.locate_coalesced_with(queries, || {})
+    }
+
+    /// [`locate_coalesced`](Self::locate_coalesced) with a hook fired
+    /// the moment the shared lock is *acquired* — before any query is
+    /// answered. This is the instrumentation seam the serving layer's
+    /// latency anatomy uses to split "engine read-lock wait" from
+    /// "engine execute" without `SharedServer` depending on any clock:
+    /// the caller timestamps around the call and inside the hook, and
+    /// the cooperative profiler flips its state word from `lock-wait`
+    /// to `engine` in the hook.
+    pub fn locate_coalesced_with(
+        &self,
+        queries: &[LocateQuery<'_>],
+        on_locked: impl FnOnce(),
+    ) -> CoalescedRead {
         let guard = self.inner.read();
+        on_locked();
         let answers = queries
             .iter()
             .map(|query| match *query {
@@ -458,6 +475,23 @@ mod tests {
         })
         .expect("threads join cleanly");
         assert_eq!(shared.with_read(|s| s.disks().disks()), 7);
+    }
+
+    #[test]
+    fn coalesced_with_fires_the_hook_after_lock_acquisition() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(3)).unwrap();
+        let object = server.add_object(1_000).unwrap();
+        let shared = SharedServer::new(server);
+        let fired = AtomicU64::new(0);
+        let queries = [LocateQuery::One { object, block: 5 }];
+        let read = shared.locate_coalesced_with(&queries, || {
+            fired.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fires exactly once");
+        // The hooked variant answers identically to the plain one.
+        let plain = shared.locate_coalesced(&queries);
+        assert_eq!((read.epoch, read.disks), (plain.epoch, plain.disks));
+        assert_eq!(read.answers, plain.answers);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::invariants::{
     check_cluster_epoch_single, check_cluster_migration_delta, check_cluster_routing_agree,
-    check_federation_agreement, check_trace_complete, Failure,
+    check_federation_agreement, check_profile_conserves, check_trace_complete, Failure,
 };
 use proptest::shrink::{halvings, removal_spans};
 use proptest::test_runner::TestRng;
@@ -442,6 +442,33 @@ impl Exec {
         Ok(targets.len())
     }
 
+    /// **`profile-conserves`** end-of-run audit: a fleet-wide profile
+    /// scrape of every live shard must merge into shard-rooted rows
+    /// whose residency counts conserve exactly (each thread's counts
+    /// sum to the rounds that observed it). The daemons' real-time
+    /// samplers make the *counts* wall-clock dependent, so only the
+    /// exact conservation identity is asserted here — the scripted
+    /// byte-identical-per-seed half lives in the invariant's own
+    /// `VirtualClock` tests.
+    fn profile_audit(&self) -> Result<usize, Failure> {
+        let targets = self.cluster.scrape_targets();
+        let aggregator = FleetAggregator::new(self.cluster.clock().clone());
+        let merged = aggregator.scrape_profiles(&targets);
+        if merged.threads.len() < targets.len() {
+            return Err(Failure {
+                invariant: "profile-conserves",
+                detail: format!(
+                    "fleet profile has {} thread rows across {} live shards — \
+                     some shard answered ProfileDump with no registered threads",
+                    merged.threads.len(),
+                    targets.len()
+                ),
+            });
+        }
+        check_profile_conserves(&merged)?;
+        Ok(targets.len())
+    }
+
     /// Audits one completed migration against the model's prediction,
     /// then advances the model to `next`.
     fn audit_migration(
@@ -597,6 +624,27 @@ pub fn execute(scenario: &ClusterScenario, mutation: ClusterMutation) -> Cluster
             let _ = writeln!(
                 exec.trace,
                 "federation: FAIL [{}] {}",
+                failure.invariant, failure.detail
+            );
+            exec.cluster.shutdown();
+            return ClusterOutcome {
+                trace: exec.trace,
+                failure: Some(failure),
+                failed_step: Some(scenario.steps.len().saturating_sub(1)),
+            };
+        }
+    }
+    match exec.profile_audit() {
+        Ok(shards) => {
+            // Only the shard count goes in the trace: the real-time
+            // sampler makes round counts wall-clock dependent, and the
+            // trace must stay byte-identical per seed.
+            let _ = writeln!(exec.trace, "profiles: {shards} shards conserve");
+        }
+        Err(failure) => {
+            let _ = writeln!(
+                exec.trace,
+                "profiles: FAIL [{}] {}",
                 failure.invariant, failure.detail
             );
             exec.cluster.shutdown();

@@ -10,7 +10,7 @@ use crate::model::Model;
 use scaddar_analysis::uniformity::{chi_square_uniform, max_relative_deviation};
 use scaddar_core::{locate, MovePlan, Scaddar, ScalingOp};
 use scaddar_monitor::HealthEvent;
-use scaddar_obs::{Registry, RegistrySnapshot, SpanRecord};
+use scaddar_obs::{ProfileSnapshot, Registry, RegistrySnapshot, SpanRecord};
 
 /// A named invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -484,6 +484,41 @@ pub fn check_federation_agreement(fleet: &RegistrySnapshot, directs: &[RegistryS
     Ok(())
 }
 
+/// **`profile-conserves`** — the cooperative profiler's residency
+/// accounting is exact, not approximate: for every registered thread
+/// the per-state counts sum to precisely the rounds that observed it
+/// (sampling and snapshotting share one lock, so no round can be
+/// half-attributed), and no thread reports more samples than the
+/// profiler ran rounds. Holds for a single daemon's dump and for a
+/// fleet-merged profile alike; under scripted `VirtualClock` driving,
+/// the folded rendering is additionally byte-identical per seed
+/// (pinned by the checker's unit tests).
+pub fn check_profile_conserves(profile: &ProfileSnapshot) -> Check {
+    for thread in &profile.threads {
+        let total: u64 = thread.counts.iter().copied().sum();
+        if total != thread.samples {
+            return Err(Failure::new(
+                "profile-conserves",
+                format!(
+                    "thread {}: residency counts sum to {total} but {} rounds \
+                     observed it (counts {:?})",
+                    thread.name, thread.samples, thread.counts
+                ),
+            ));
+        }
+        if thread.samples > profile.rounds {
+            return Err(Failure::new(
+                "profile-conserves",
+                format!(
+                    "thread {}: {} samples exceed the profiler's {} total rounds",
+                    thread.name, thread.samples, profile.rounds
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +663,73 @@ mod tests {
         assert!(f.detail.contains("orphaned"));
         // Trace id 0 is never checkable.
         assert!(check_trace_complete(0, &spans, 1).is_err());
+    }
+
+    #[test]
+    fn profile_conserves_demands_exact_residency_accounting() {
+        use scaddar_obs::ThreadProfile;
+        let thread = |samples: u64, counts: Vec<u64>| ThreadProfile {
+            name: "scaddard-worker-0".to_string(),
+            samples,
+            counts,
+        };
+        let ok = ProfileSnapshot {
+            at_ns: 0,
+            rounds: 10,
+            threads: vec![thread(10, vec![3, 7]), thread(4, vec![4])],
+        };
+        check_profile_conserves(&ok).unwrap();
+        // Counts that don't sum to the observed rounds: a lost or
+        // double-attributed sample.
+        let torn = ProfileSnapshot {
+            at_ns: 0,
+            rounds: 10,
+            threads: vec![thread(10, vec![3, 6])],
+        };
+        let f = check_profile_conserves(&torn).unwrap_err();
+        assert_eq!(f.invariant, "profile-conserves");
+        assert!(f.detail.contains("sum to 9"), "{}", f.detail);
+        // A thread claiming more observations than rounds ever ran.
+        let inflated = ProfileSnapshot {
+            at_ns: 0,
+            rounds: 3,
+            threads: vec![thread(5, vec![5])],
+        };
+        let f = check_profile_conserves(&inflated).unwrap_err();
+        assert!(f.detail.contains("exceed"), "{}", f.detail);
+    }
+
+    /// The determinism half of `profile-conserves`: a seeded scripted
+    /// drive of the profiler under a `VirtualClock` — the harness's
+    /// sampling mode — must conserve *and* render byte-identical
+    /// folded output run after run, for every seed.
+    #[test]
+    fn profile_conserves_is_byte_identical_per_seed() {
+        use scaddar_obs::{Profiler, ThreadState, VirtualClock};
+        use std::sync::Arc;
+        let run = |seed: u64| {
+            let profiler = Profiler::new(Arc::new(VirtualClock::new()));
+            let workers: Vec<_> = (0..3)
+                .map(|i| profiler.register(&format!("scaddard-worker-{i}")))
+                .collect();
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            for _ in 0..500 {
+                for (i, w) in workers.iter().enumerate() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    w.set(ThreadState::from_u8(((state >> (8 * i)) % 8) as u8).unwrap());
+                }
+                profiler.sample_once();
+            }
+            let snap = profiler.snapshot();
+            check_profile_conserves(&snap).unwrap();
+            snap.render_folded()
+        };
+        for seed in [1u64, 42, 31_337] {
+            assert_eq!(run(seed), run(seed), "seed {seed} diverged");
+        }
+        assert_ne!(run(1), run(2), "different seeds must script differently");
     }
 
     #[test]

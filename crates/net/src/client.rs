@@ -28,7 +28,7 @@
 
 use crate::wire::{decode_frame_limited, Frame, FrameError, StatsFormat, HARD_MAX_FRAME_LEN};
 use scaddar_core::ScalingOp;
-use scaddar_obs::{RegistrySnapshot, TraceContext};
+use scaddar_obs::{ProfileSnapshot, RegistrySnapshot, TraceContext};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
@@ -441,6 +441,16 @@ impl NetClient {
             other => Err(Self::unexpected(other)),
         }
     }
+
+    /// Fetches the daemon's cumulative profiler snapshot. Two dumps
+    /// N seconds apart diffed with [`ProfileSnapshot::since`] give an
+    /// interval profile without any server-side blocking.
+    pub fn profile_dump(&self) -> Result<ProfileSnapshot, ClientError> {
+        match self.request(&Frame::ProfileDump)? {
+            Frame::ProfileReply { profile } => Ok(profile),
+            other => Err(Self::unexpected(other)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +476,26 @@ mod tests {
         .unwrap();
         let client = NetClient::connect(daemon.local_addr());
         (daemon, client)
+    }
+
+    #[test]
+    fn profile_dump_diffs_into_interval_profiles() {
+        let (daemon, client) = boot();
+        for block in 0..100 {
+            client.locate(0, block).unwrap();
+        }
+        let first = client.profile_dump().unwrap();
+        assert!(first.threads.iter().all(|t| t.conserves()));
+        for block in 100..200 {
+            client.locate(0, block).unwrap();
+        }
+        let second = client.profile_dump().unwrap();
+        let interval = second.since(&first);
+        assert_eq!(interval.rounds, second.rounds - first.rounds);
+        assert!(interval.threads.iter().all(|t| t.conserves()));
+        // Cumulative dumps never run backwards.
+        assert!(second.rounds >= first.rounds);
+        daemon.shutdown();
     }
 
     #[test]

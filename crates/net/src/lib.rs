@@ -65,5 +65,10 @@ pub use cluster::{
     ClusterMap, RouteDecision, ShardRuntime,
 };
 pub use load::{run_load, LatencySummary, LoadConfig, LoadReport, LoopMode};
-pub use server::{NetServerConfig, Scaddard, ServerMode};
-pub use wire::{decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat};
+pub use server::{
+    depth_bucket, NetServerConfig, PhaseStats, Scaddard, ServerMode, ENGINE_DEPTH_BUCKETS,
+};
+pub use wire::{
+    decode_frame, decode_frame_limited, ErrorCode, Frame, FrameError, StatsFormat,
+    MAX_PROFILE_STATES,
+};

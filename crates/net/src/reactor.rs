@@ -48,7 +48,7 @@ use crate::server::{engine_error, handle_request, reply, Shared};
 use crate::wire::{decode_frame_traced, ErrorCode, Frame, FrameError};
 use cmsim::LocateQuery;
 use polling::{Event, Poller};
-use scaddar_obs::TraceContext;
+use scaddar_obs::{StateHandle, ThreadState, TraceContext};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -142,9 +142,11 @@ fn is_heavy(frame: &Frame) -> bool {
 /// A decoded frame plus the trace context that rode in on its trailer.
 type TracedFrame = (Frame, Option<TraceContext>);
 
-/// A decoded request waiting for dispatch this wakeup: slab slot plus
-/// the frame (taken out of the `Option` when individually dispatched).
-type PendingReq = (usize, Option<TracedFrame>);
+/// A decoded request waiting for dispatch this wakeup: slab slot, the
+/// frame (taken out of the `Option` when individually dispatched), and
+/// — when this request drew the 1-in-N phase sample — the clock
+/// reading at decode completion (feeding the `coalesce-wait` phase).
+type PendingReq = (usize, Option<TracedFrame>, Option<u64>);
 
 struct Worker {
     shared: Arc<Shared>,
@@ -160,6 +162,8 @@ struct Worker {
     events: Vec<Event>,
     /// Output backlog (bytes) beyond which reads are suspended.
     high_water: usize,
+    /// This worker's profiler state word, flipped at phase boundaries.
+    state: StateHandle,
 }
 
 impl Worker {
@@ -171,13 +175,17 @@ impl Worker {
         loop {
             let timeout = self.next_timeout();
             self.events.clear();
+            self.state.set(ThreadState::Epoll);
             let _ = self.poller.wait(&mut self.events, timeout);
+            self.state.set(ThreadState::Idle);
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 self.drain();
+                self.state.set(ThreadState::Idle);
                 return;
             }
             self.admit_new();
             self.apply_completions();
+            self.state.set(ThreadState::Decode);
             let mut pending: Vec<PendingReq> = Vec::new();
             let events = std::mem::take(&mut self.events);
             for ev in &events {
@@ -185,7 +193,9 @@ impl Worker {
             }
             self.events = events;
             self.dispatch(pending);
+            self.state.set(ThreadState::Write);
             self.flush_and_retune();
+            self.state.set(ThreadState::Idle);
             self.sweep_deadlines();
         }
     }
@@ -268,6 +278,10 @@ impl Worker {
         {
             return; // writable-only wakeups are handled by the flush pass
         }
+        let instrument = self.shared.config.instrument;
+        // One clock read per readable wakeup anchors the `decode`
+        // phase for whichever frames draw the 1-in-N sample below.
+        let readable_at = instrument.then(|| self.shared.tracer.clock().now_ns());
         let mut peer_closed = false;
         loop {
             match conn.stream.read(&mut self.chunk) {
@@ -298,7 +312,18 @@ impl Worker {
             match decode_frame_traced(&conn.rbuf[consumed..], self.shared.config.max_frame_len) {
                 Ok((frame, ctx, used)) => {
                     consumed += used;
-                    pending.push((slot, Some((frame, ctx))));
+                    // Per-request phase-sample decision, made at decode
+                    // time: a hit stamps the frame and records the
+                    // socket-readable→decoded phase.
+                    let stamp = match readable_at {
+                        Some(t0) if self.shared.phases.sample_hit() => {
+                            let now = self.shared.tracer.clock().now_ns();
+                            self.shared.phases.decode.record(now.saturating_sub(t0));
+                            Some(now)
+                        }
+                        _ => None,
+                    };
+                    pending.push((slot, Some((frame, ctx)), stamp));
                 }
                 Err(FrameError::Incomplete { .. }) => break,
                 Err(err) => {
@@ -405,6 +430,7 @@ impl Worker {
             if is_heavy(&frame) {
                 self.offload(slot, (frame, ctx));
             } else if let Some(conn) = self.conns[slot].as_mut() {
+                self.state.set(ThreadState::Engine);
                 if !handle_request(
                     frame,
                     &self.shared,
@@ -414,6 +440,7 @@ impl Worker {
                 ) {
                     conn.close_after_flush = true;
                 }
+                self.state.set(ThreadState::Decode);
             }
         }
         self.flush_wave(&mut wave, &pending);
@@ -437,6 +464,10 @@ impl Worker {
         let spawned = std::thread::Builder::new()
             .name("scaddard-op".into())
             .spawn(move || {
+                // The op threads share one state word ("scaddard-op");
+                // concurrent ops overlap on it, which is the documented
+                // approximation for these short-lived threads.
+                let _op_guard = shared.op_state.enter(ThreadState::Offload);
                 let mut bytes = Vec::new();
                 let keep_open =
                     handle_request(frame, &shared, &mut bytes, shared.config.instrument, ctx);
@@ -524,6 +555,20 @@ impl Worker {
         }
         let instrument = self.shared.config.instrument;
         let start = instrument.then(|| self.shared.tracer.clock().now_ns());
+        // Any phase-stamped member makes this wave pay for the extra
+        // clock reads; the stamped members' wait in the wave is the
+        // `coalesce-wait` phase.
+        let wave_sampled = instrument && wave.iter().any(|&i| pending[i].2.is_some());
+        if let Some(t0) = start.filter(|_| wave_sampled) {
+            for &i in wave.iter() {
+                if let Some(decoded_at) = pending[i].2 {
+                    self.shared
+                        .phases
+                        .coalesce_wait
+                        .record(t0.saturating_sub(decoded_at));
+                }
+            }
+        }
         let queries: Vec<LocateQuery<'_>> = wave
             .iter()
             .map(|&i| match &pending[i].1.as_ref().unwrap().0 {
@@ -538,8 +583,27 @@ impl Worker {
                 _ => unreachable!("wave holds only lookup frames"),
             })
             .collect();
-        let read = self.shared.server.locate_coalesced(&queries);
+        let state = &self.state;
+        let clock = self.shared.tracer.clock();
+        state.set(ThreadState::LockWait);
+        let mut locked_at = None;
+        let read = self.shared.server.locate_coalesced_with(&queries, || {
+            state.set(ThreadState::Engine);
+            if wave_sampled {
+                locked_at = Some(clock.now_ns());
+            }
+        });
+        let engine_done_at = locked_at.map(|_| clock.now_ns());
+        state.set(ThreadState::Encode);
         drop(queries);
+        if let (Some(t0), Some(locked), Some(done)) = (start, locked_at, engine_done_at) {
+            self.shared
+                .phases
+                .lock_wait
+                .record(locked.saturating_sub(t0));
+            let depth = crate::server::depth_bucket(read.epoch as u64);
+            self.shared.phases.engine[depth].record(done.saturating_sub(locked));
+        }
         let epoch = read.epoch as u64;
         let disks = read.disks;
         for (&i, answer) in wave.iter().zip(read.answers) {
@@ -571,14 +635,23 @@ impl Worker {
         // Per-frame latency is the wave's wall time split evenly — the
         // whole point of coalescing is that the lock+dispatch cost is
         // shared, so the share *is* the per-request server-side cost.
-        let per_frame_ns = start.map_or(0, |t0| {
-            self.shared.tracer.clock().now_ns().saturating_sub(t0) / wave.len() as u64
-        });
+        let wave_done_at = start.map(|_| self.shared.tracer.clock().now_ns());
+        if let (Some(done), Some(engine_done)) = (wave_done_at, engine_done_at) {
+            self.shared
+                .phases
+                .encode
+                .record(done.saturating_sub(engine_done));
+        }
+        let per_frame_ns = match (start, wave_done_at) {
+            (Some(t0), Some(done)) => done.saturating_sub(t0) / wave.len() as u64,
+            _ => 0,
+        };
         for &i in wave.iter() {
             let endpoint = pending[i].1.as_ref().unwrap().0.endpoint();
             self.shared.stats.record(endpoint, per_frame_ns, instrument);
         }
         wave.clear();
+        self.state.set(ThreadState::Decode);
     }
 
     /// Writes every connection's pending output (one syscall per
@@ -586,11 +659,14 @@ impl Worker {
     /// on short writes, read suspension across the high-water mark,
     /// close when a draining connection empties.
     fn flush_and_retune(&mut self) {
+        let instrument = self.shared.config.instrument;
         for slot in 0..self.conns.len() {
             let Some(conn) = self.conns[slot].as_mut() else {
                 continue;
             };
             if conn.unflushed() > 0 {
+                let flush_started = (instrument && self.shared.phases.sample_hit())
+                    .then(|| self.shared.tracer.clock().now_ns());
                 loop {
                     match conn.stream.write(&conn.out[conn.out_pos..]) {
                         Ok(0) => {
@@ -612,6 +688,12 @@ impl Worker {
                             break;
                         }
                     }
+                }
+                if let Some(t0) = flush_started {
+                    self.shared
+                        .phases
+                        .write_flush
+                        .record(self.shared.tracer.clock().now_ns().saturating_sub(t0));
                 }
             }
             let Some(conn) = self.conns[slot].as_mut() else {
@@ -774,6 +856,7 @@ impl Reactor {
                 chunk: vec![0u8; READ_CHUNK],
                 events: Vec::with_capacity(256),
                 high_water: shared.config.max_frame_len as usize * 4,
+                state: shared.profiler.register(&format!("scaddard-worker-{i}")),
             };
             let pin = shared.config.pin_workers;
             let thread = std::thread::Builder::new()

@@ -34,7 +34,9 @@ use crate::wire::{
 };
 use cmsim::SharedServer;
 use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
-use scaddar_obs::{Counter, Gauge, Histogram, Registry, TraceContext, Tracer};
+use scaddar_obs::{
+    Counter, Gauge, Histogram, Profiler, Registry, StateHandle, TraceContext, Tracer,
+};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -84,6 +86,14 @@ pub struct NetServerConfig {
     /// When false, per-request histograms/spans are skipped — the bare
     /// baseline the `BENCH_net.json` overhead ratio divides by.
     pub instrument: bool,
+    /// Phase-decomposition sampling mask: a request's lifecycle phases
+    /// are clock-timed when a weak counter increment ANDed with this
+    /// mask is zero — `0` times every request, `63` one in 64 (the
+    /// default, keeping the 1.10× overhead gate comfortable). The
+    /// phase *state words* the profiler samples are always published;
+    /// only the nanosecond histograms are sampled. Ignored when
+    /// `instrument` is false.
+    pub phase_sample_mask: u64,
 }
 
 impl Default for NetServerConfig {
@@ -97,6 +107,7 @@ impl Default for NetServerConfig {
             write_timeout: Duration::from_secs(5),
             max_frame_len: 1 << 20,
             instrument: true,
+            phase_sample_mask: 63,
         }
     }
 }
@@ -135,7 +146,7 @@ pub struct NetStats {
 }
 
 /// The endpoints with dedicated request counters/histograms.
-pub const ENDPOINTS: [&str; 9] = [
+pub const ENDPOINTS: [&str; 10] = [
     "locate",
     "locate-batch",
     "scale",
@@ -145,6 +156,7 @@ pub const ENDPOINTS: [&str; 9] = [
     "ping",
     "fetch-map",
     "scrape-stats",
+    "profile",
 ];
 
 impl NetStats {
@@ -209,6 +221,91 @@ impl NetStats {
     }
 }
 
+/// REMAP chain-depth label values for the `engine` phase histogram:
+/// the engine epoch *is* the worst-case chain length a lookup may
+/// walk, so residency is bucketed by it.
+pub const ENGINE_DEPTH_BUCKETS: [&str; 4] = ["0", "1-4", "5-16", "17+"];
+
+/// The [`ENGINE_DEPTH_BUCKETS`] index for an engine epoch.
+pub fn depth_bucket(epoch: u64) -> usize {
+    match epoch {
+        0 => 0,
+        1..=4 => 1,
+        5..=16 => 2,
+        _ => 3,
+    }
+}
+
+/// Request-lifecycle phase histograms (`net_phase_ns{phase=...}`),
+/// one log-scale [`Histogram`] per phase of the reactor's anatomy:
+///
+/// | phase | covers |
+/// |---|---|
+/// | `decode` | socket readable → frame decoded |
+/// | `coalesce-wait` | decoded → lookup wave dispatched |
+/// | `lock-wait` | wave dispatched → engine read lock held |
+/// | `engine` | lock held → answers computed (labelled by REMAP chain depth) |
+/// | `encode` | answers → response frames in the write buffer |
+/// | `write-flush` | write buffer → kernel accepted the bytes |
+///
+/// Recording is sampled 1-in-N ([`NetServerConfig::phase_sample_mask`])
+/// via the weak-counter idiom so the instrumented path stays inside
+/// the 1.10× overhead gate.
+pub struct PhaseStats {
+    /// Weak 1-in-N decision counter; its running value drives the
+    /// mask, so it counts *decisions*, not hits.
+    sample: Counter,
+    mask: u64,
+    /// Socket readable → frame decoded.
+    pub decode: Histogram,
+    /// Frame decoded → its lookup wave dispatched.
+    pub coalesce_wait: Histogram,
+    /// Wave dispatched → engine read lock acquired.
+    pub lock_wait: Histogram,
+    /// Lock held → answers computed, by [`ENGINE_DEPTH_BUCKETS`].
+    pub engine: [Histogram; 4],
+    /// Answers computed → responses encoded.
+    pub encode: Histogram,
+    /// One connection's buffered responses → kernel took the bytes.
+    pub write_flush: Histogram,
+}
+
+impl PhaseStats {
+    /// Registers the `net_phase_ns` family against `registry`.
+    pub fn register(registry: &Registry, mask: u64) -> Arc<PhaseStats> {
+        let phase = |name: &str| {
+            registry.histogram(
+                &format!("net_phase_ns{{phase=\"{name}\"}}"),
+                "Request lifecycle phase latency",
+            )
+        };
+        Arc::new(PhaseStats {
+            sample: registry.counter(
+                "net_phase_decisions_total",
+                "Phase-sampling decisions taken (1 in mask+1 of them time the phases)",
+            ),
+            mask,
+            decode: phase("decode"),
+            coalesce_wait: phase("coalesce-wait"),
+            lock_wait: phase("lock-wait"),
+            engine: ENGINE_DEPTH_BUCKETS.map(|depth| {
+                registry.histogram(
+                    &format!("net_phase_ns{{phase=\"engine\",depth=\"{depth}\"}}"),
+                    "Engine execute phase latency, by REMAP chain depth",
+                )
+            }),
+            encode: phase("encode"),
+            write_flush: phase("write-flush"),
+        })
+    }
+
+    /// One 1-in-N sampling decision: true when this request's (or
+    /// flush's) phases should pay for clock reads.
+    pub(crate) fn sample_hit(&self) -> bool {
+        self.sample.inc_weak() & self.mask == 0
+    }
+}
+
 /// Everything the serving threads share, in either mode.
 pub(crate) struct Shared {
     pub(crate) server: Arc<SharedServer>,
@@ -221,6 +318,15 @@ pub(crate) struct Shared {
     pub(crate) active: AtomicUsize,
     /// Cluster-mode routing state; `None` for a standalone daemon.
     pub(crate) shard: Option<Arc<ShardRuntime>>,
+    /// Request-lifecycle phase histograms (sampled 1-in-N).
+    pub(crate) phases: Arc<PhaseStats>,
+    /// The always-on cooperative profiler; reactor workers and offload
+    /// threads register state words against it, `ProfileDump` reads it.
+    pub(crate) profiler: Arc<Profiler>,
+    /// Shared state word for the short-lived `scaddard-op` offload
+    /// threads (one row; concurrent ops share it, which is the
+    /// documented approximation).
+    pub(crate) op_state: StateHandle,
 }
 
 /// The `scaddard` daemon: a bound listener plus its accept thread.
@@ -250,6 +356,9 @@ pub struct Scaddard {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     core: Core,
+    /// Stops the `obs-sampler` thread on shutdown.
+    sampler_shutdown: Arc<AtomicBool>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Mode-specific serving machinery behind a bound [`Scaddard`].
@@ -323,6 +432,13 @@ impl Scaddard {
             m
         });
         let stats = NetStats::register(registry);
+        // Stamp the bucket-layout fingerprint so fleet aggregation can
+        // refuse to merge histograms from a peer built with different
+        // bucket boundaries.
+        registry.mark_bucket_layout();
+        let phases = PhaseStats::register(registry, config.phase_sample_mask);
+        let profiler = Profiler::new(tracer.clock().clone());
+        let op_state = profiler.register("scaddard-op");
         let shared = Arc::new(Shared {
             server,
             config,
@@ -333,6 +449,9 @@ impl Scaddard {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             shard,
+            phases,
+            profiler: Arc::clone(&profiler),
+            op_state,
         });
         let core = match shared.config.mode {
             ServerMode::Threaded => {
@@ -354,10 +473,17 @@ impl Scaddard {
                 Arc::clone(&shared),
             )?),
         };
+        // ~1 kHz wall-clock sampler; tests and the harness that need
+        // determinism drive `Profiler::sample_once` directly instead.
+        let sampler_shutdown = Arc::new(AtomicBool::new(false));
+        let sampler =
+            profiler.spawn_sampler(Duration::from_millis(1), Arc::clone(&sampler_shutdown));
         Ok(Scaddard {
             local_addr,
             shared,
             core,
+            sampler_shutdown,
+            sampler: Some(sampler),
         })
     }
 
@@ -374,6 +500,12 @@ impl Scaddard {
     /// The server's metric handles (benches read these directly).
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.shared.stats
+    }
+
+    /// The daemon's cooperative profiler (tests and benches sample or
+    /// snapshot it directly; remote callers use `ProfileDump`).
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.shared.profiler
     }
 
     /// The shard routing state, when bound via
@@ -424,6 +556,10 @@ impl Scaddard {
                 }
             }
             Core::EventLoop(reactor) => reactor.shutdown(),
+        }
+        self.sampler_shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.sampler.take() {
+            let _ = handle.join();
         }
     }
 
@@ -655,6 +791,10 @@ pub(crate) fn handle_request(
         shared.stats.errors.inc();
     }
     if let Some(span) = span.as_mut() {
+        // The per-request critical-path record: sampled traces carry
+        // the server-side dispatch cost alongside the phase histograms'
+        // aggregate view.
+        span.event("critical-path-ns", ns);
         match &response {
             Frame::WrongShard { owner, .. } => span.event("wrong-shard", owner),
             Frame::StaleMap { map_version } => span.event("stale-map", map_version),
@@ -816,6 +956,14 @@ fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
                 epoch: shared.server.epoch_view().0 as u64,
                 verdict,
                 snapshot: shared.registry.snapshot(),
+            }
+        }
+        Frame::ProfileDump => {
+            // Mirror the tallies into the registry (so plain scrapes
+            // see them too), then ship the structured snapshot.
+            shared.profiler.publish(&shared.registry);
+            Frame::ProfileReply {
+                profile: shared.profiler.snapshot(),
             }
         }
         Frame::FetchMap { have_version: _ } => match &shared.shard {
@@ -1087,6 +1235,110 @@ mod tests {
             Frame::Pong { epoch: 0 }
         ));
         daemon.shutdown();
+    }
+
+    #[test]
+    fn profile_dump_and_phase_histograms_cover_the_anatomy() {
+        let mut server = CmServer::new(ServerConfig::new(4).with_catalog_seed(11)).unwrap();
+        server.add_object(5_000).unwrap();
+        let registry = Registry::new();
+        let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 64);
+        let daemon = Scaddard::bind(
+            "127.0.0.1:0",
+            Arc::new(SharedServer::new(server)),
+            NetServerConfig {
+                // Time every request's phases — no sampling noise.
+                phase_sample_mask: 0,
+                ..NetServerConfig::default()
+            },
+            &registry,
+            tracer,
+        )
+        .unwrap();
+        let addr = daemon.local_addr();
+        // Pipelined lookups so coalescing waves form and every phase
+        // of the anatomy fires.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut buf = Vec::new();
+        for round in 0..50u64 {
+            let mut batch = Vec::new();
+            for block in 0..8u64 {
+                Frame::Locate {
+                    object: 0,
+                    block: round * 8 + block,
+                }
+                .encode(&mut batch);
+            }
+            stream.write_all(&batch).unwrap();
+            for _ in 0..8 {
+                assert!(matches!(
+                    read_buffered(&mut stream, &mut buf),
+                    Frame::Located { .. }
+                ));
+            }
+        }
+        // ProfileDump over the wire: worker rows present, conservation
+        // invariant exact, and the ~1 kHz sampler has run.
+        let mut profile = None;
+        for _ in 0..200 {
+            let reply = roundtrip(addr, &Frame::ProfileDump);
+            let Frame::ProfileReply { profile: p } = reply else {
+                panic!("expected ProfileReply, got {reply:?}");
+            };
+            if p.rounds > 0 {
+                profile = Some(p);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let profile = profile.expect("sampler never ran");
+        assert!(profile
+            .threads
+            .iter()
+            .any(|t| t.name.starts_with("scaddard-worker-")));
+        assert!(profile.threads.iter().any(|t| t.name == "scaddard-op"));
+        assert!(profile.threads.iter().all(|t| t.conserves()), "{profile:?}");
+        // The dump also mirrored the tallies into the registry.
+        assert!(registry
+            .render_prometheus()
+            .contains("# TYPE profiler_rounds gauge"));
+        daemon.shutdown();
+        let snap = registry.snapshot();
+        let phase = |name: &str| {
+            snap.histogram(&format!("net_phase_ns{{phase=\"{name}\"}}"))
+                .unwrap_or_else(|| panic!("missing phase histogram {name}"))
+        };
+        for name in [
+            "decode",
+            "coalesce-wait",
+            "lock-wait",
+            "encode",
+            "write-flush",
+        ] {
+            assert!(phase(name).count > 0, "phase {name} never recorded");
+        }
+        let engine = snap
+            .histogram("net_phase_ns{phase=\"engine\",depth=\"0\"}")
+            .expect("missing engine depth-0 histogram");
+        assert!(engine.count > 0, "engine phase never recorded");
+        // Sum-consistency: medians are not additive across distinct
+        // histograms, but the serve-side phases (lock-wait + engine +
+        // encode, which together span one wave) cannot collectively
+        // dwarf the end-to-end latency. The envelope is deliberately
+        // generous — 10× the per-request p50 (a wave of up to 8 frames
+        // splits its wall time 8 ways) plus 100 µs of scheduling noise
+        // and log-bucket overshoot.
+        let e2e = snap
+            .histogram("net_server_request_ns{endpoint=\"locate\"}")
+            .expect("missing locate histogram");
+        let phase_sum = phase("lock-wait").quantile(0.5).unwrap()
+            + engine.quantile(0.5).unwrap()
+            + phase("encode").quantile(0.5).unwrap();
+        let envelope = 10 * e2e.quantile(0.5).unwrap() + 100_000;
+        assert!(
+            phase_sum <= envelope,
+            "phase p50 sum {phase_sum}ns exceeds envelope {envelope}ns"
+        );
     }
 
     #[test]

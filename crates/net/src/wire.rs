@@ -27,9 +27,15 @@
 
 use scaddar_core::ScalingOp;
 use scaddar_obs::{
-    CounterSample, GaugeSample, HistogramSample, HistogramSnapshot, RegistrySnapshot, TraceContext,
-    HISTOGRAM_BUCKETS,
+    CounterSample, GaugeSample, HistogramSample, HistogramSnapshot, ProfileSnapshot,
+    RegistrySnapshot, ThreadProfile, TraceContext, HISTOGRAM_BUCKETS,
 };
+
+/// Most states-per-thread a decoder accepts in a [`Frame::ProfileReply`].
+/// The current protocol defines `scaddar_obs::THREAD_STATES` (8); the
+/// headroom lets a newer peer add states without a version bump while
+/// still bounding hostile allocations.
+pub const MAX_PROFILE_STATES: usize = 64;
 
 /// Protocol version carried in every frame.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -258,6 +264,11 @@ pub enum Frame {
     /// averaging). Read-only and idempotent, so pool clients may retry
     /// it freely.
     ScrapeStats,
+    /// Profiler pull: ship back the shard's cumulative state-residency
+    /// profile (every registered thread's per-state sample counts).
+    /// Read-only and idempotent; interval profiles are computed
+    /// client-side by diffing two dumps.
+    ProfileDump,
 
     // ---- responses ----
     /// Answer to [`Frame::Locate`]. Epoch-tagged: `disk` is valid for
@@ -356,6 +367,13 @@ pub enum Frame {
         /// The registry snapshot.
         snapshot: RegistrySnapshot,
     },
+    /// Answer to [`Frame::ProfileDump`]: the shard's cumulative
+    /// cooperative-profiler snapshot — per-thread state-residency
+    /// sample counts plus the total sampling rounds run.
+    ProfileReply {
+        /// The profiler snapshot.
+        profile: ProfileSnapshot,
+    },
     /// Typed failure response.
     Error {
         /// Machine-readable class.
@@ -377,6 +395,7 @@ const TAG_STATS: u8 = 0x06;
 const TAG_PING: u8 = 0x07;
 const TAG_FETCH_MAP: u8 = 0x08;
 const TAG_SCRAPE_STATS: u8 = 0x09;
+const TAG_PROFILE_DUMP: u8 = 0x0A;
 const TAG_LOCATED: u8 = 0x81;
 const TAG_BATCH_LOCATED: u8 = 0x82;
 const TAG_SCALED: u8 = 0x83;
@@ -388,6 +407,7 @@ const TAG_MAP_UPDATE: u8 = 0x88;
 const TAG_WRONG_SHARD: u8 = 0x89;
 const TAG_STALE_MAP: u8 = 0x8A;
 const TAG_STATS_REPLY: u8 = 0x8B;
+const TAG_PROFILE_REPLY: u8 = 0x8C;
 const TAG_ERROR: u8 = 0xFF;
 
 impl Frame {
@@ -403,6 +423,7 @@ impl Frame {
             Frame::Ping => TAG_PING,
             Frame::FetchMap { .. } => TAG_FETCH_MAP,
             Frame::ScrapeStats => TAG_SCRAPE_STATS,
+            Frame::ProfileDump => TAG_PROFILE_DUMP,
             Frame::Located { .. } => TAG_LOCATED,
             Frame::BatchLocated { .. } => TAG_BATCH_LOCATED,
             Frame::Scaled { .. } => TAG_SCALED,
@@ -414,6 +435,7 @@ impl Frame {
             Frame::WrongShard { .. } => TAG_WRONG_SHARD,
             Frame::StaleMap { .. } => TAG_STALE_MAP,
             Frame::StatsReply { .. } => TAG_STATS_REPLY,
+            Frame::ProfileReply { .. } => TAG_PROFILE_REPLY,
             Frame::Error { .. } => TAG_ERROR,
         }
     }
@@ -430,6 +452,7 @@ impl Frame {
             Frame::Ping | Frame::Pong { .. } => "ping",
             Frame::FetchMap { .. } | Frame::MapUpdate { .. } => "fetch-map",
             Frame::ScrapeStats | Frame::StatsReply { .. } => "scrape-stats",
+            Frame::ProfileDump | Frame::ProfileReply { .. } => "profile",
             Frame::WrongShard { .. } => "wrong-shard",
             Frame::StaleMap { .. } => "stale-map",
             Frame::Error { .. } => "error",
@@ -474,7 +497,7 @@ impl Frame {
                 }
             },
             Frame::Tick { rounds } => put_u32(buf, *rounds),
-            Frame::Health | Frame::Ping | Frame::ScrapeStats => {}
+            Frame::Health | Frame::Ping | Frame::ScrapeStats | Frame::ProfileDump => {}
             Frame::FetchMap { have_version } => put_u64(buf, *have_version),
             Frame::Stats { format } => buf.push(*format as u8),
             Frame::Located { epoch, disks, disk } => {
@@ -542,6 +565,19 @@ impl Frame {
                 put_u64(buf, *epoch);
                 buf.push(*verdict);
                 put_snapshot(buf, snapshot);
+            }
+            Frame::ProfileReply { profile } => {
+                put_u64(buf, profile.at_ns);
+                put_u64(buf, profile.rounds);
+                put_u32(buf, profile.threads.len() as u32);
+                for t in &profile.threads {
+                    put_str(buf, &t.name);
+                    put_u64(buf, t.samples);
+                    put_u32(buf, t.counts.len() as u32);
+                    for &c in &t.counts {
+                        put_u64(buf, c);
+                    }
+                }
             }
             Frame::Error { code, message } => {
                 buf.push(*code as u8);
@@ -773,6 +809,7 @@ fn tag_name(tag: u8) -> Result<&'static str, FrameError> {
         TAG_PING => "Ping",
         TAG_FETCH_MAP => "FetchMap",
         TAG_SCRAPE_STATS => "ScrapeStats",
+        TAG_PROFILE_DUMP => "ProfileDump",
         TAG_LOCATED => "Located",
         TAG_BATCH_LOCATED => "BatchLocated",
         TAG_SCALED => "Scaled",
@@ -784,6 +821,7 @@ fn tag_name(tag: u8) -> Result<&'static str, FrameError> {
         TAG_WRONG_SHARD => "WrongShard",
         TAG_STALE_MAP => "StaleMap",
         TAG_STATS_REPLY => "StatsReply",
+        TAG_PROFILE_REPLY => "ProfileReply",
         TAG_ERROR => "Error",
         other => return Err(FrameError::UnknownTag { tag: other }),
     })
@@ -909,6 +947,7 @@ fn decode_payload(
             have_version: p.u64("have_version")?,
         },
         TAG_SCRAPE_STATS => Frame::ScrapeStats,
+        TAG_PROFILE_DUMP => Frame::ProfileDump,
         TAG_LOCATED => Frame::Located {
             epoch: p.u64("epoch")?,
             disks: p.u32("disks")?,
@@ -1011,6 +1050,43 @@ fn decode_payload(
                 epoch,
                 verdict,
                 snapshot: get_snapshot(&mut p)?,
+            }
+        }
+        TAG_PROFILE_REPLY => {
+            let at_ns = p.u64("at_ns")?;
+            let rounds = p.u64("rounds")?;
+            // Each thread is at least a name length prefix (4B), its
+            // samples (8B), and a counts length prefix (4B).
+            let n = p.count(16, "threads.len")?;
+            let mut threads = Vec::with_capacity(n);
+            for _ in 0..n {
+                let thread_name = p.string("threads[].name")?;
+                let samples = p.u64("threads[].samples")?;
+                let states = p.count(8, "threads[].counts.len")?;
+                if states > MAX_PROFILE_STATES {
+                    return Err(FrameError::Malformed {
+                        frame: name,
+                        detail: format!(
+                            "profile thread claims {states} states (max {MAX_PROFILE_STATES})"
+                        ),
+                    });
+                }
+                let mut counts = Vec::with_capacity(states);
+                for _ in 0..states {
+                    counts.push(p.u64("threads[].counts[]")?);
+                }
+                threads.push(ThreadProfile {
+                    name: thread_name,
+                    samples,
+                    counts,
+                });
+            }
+            Frame::ProfileReply {
+                profile: ProfileSnapshot {
+                    at_ns,
+                    rounds,
+                    threads,
+                },
             }
         }
         TAG_ERROR => {
@@ -1127,6 +1203,32 @@ mod tests {
         registry.snapshot()
     }
 
+    /// A representative profiler snapshot: two workers plus an offload
+    /// thread, residency spread over several states.
+    pub(crate) fn sample_profile() -> ProfileSnapshot {
+        ProfileSnapshot {
+            at_ns: 1_234_567,
+            rounds: 1_000,
+            threads: vec![
+                ThreadProfile {
+                    name: "scaddard-op".to_string(),
+                    samples: 400,
+                    counts: vec![300, 0, 0, 0, 0, 0, 0, 100],
+                },
+                ThreadProfile {
+                    name: "scaddard-worker-0".to_string(),
+                    samples: 1_000,
+                    counts: vec![10, 700, 90, 40, 100, 20, 40, 0],
+                },
+                ThreadProfile {
+                    name: "scaddard-worker-1".to_string(),
+                    samples: 1_000,
+                    counts: vec![0, 900, 50, 10, 30, 5, 5, 0],
+                },
+            ],
+        }
+    }
+
     /// One exemplar of every frame type (shared with the corruption
     /// sweep in `tests/wire_corruption.rs`).
     pub(crate) fn exemplars() -> Vec<Frame> {
@@ -1158,6 +1260,7 @@ mod tests {
             Frame::Ping,
             Frame::FetchMap { have_version: 3 },
             Frame::ScrapeStats,
+            Frame::ProfileDump,
             Frame::MapUpdate {
                 version: 4,
                 shards: vec![
@@ -1209,6 +1312,16 @@ mod tests {
                 epoch: 0,
                 verdict: 0,
                 snapshot: RegistrySnapshot::default(),
+            },
+            Frame::ProfileReply {
+                profile: sample_profile(),
+            },
+            Frame::ProfileReply {
+                profile: ProfileSnapshot {
+                    at_ns: 0,
+                    rounds: 0,
+                    threads: Vec::new(),
+                },
             },
             Frame::Error {
                 code: ErrorCode::Busy,
@@ -1436,6 +1549,70 @@ mod tests {
         let len = (buf.len() - 4) as u32;
         buf[..4].copy_from_slice(&len.to_le_bytes());
         malformed(&buf);
+    }
+
+    #[test]
+    fn profile_reply_round_trips_byte_identically() {
+        let frame = Frame::ProfileReply {
+            profile: sample_profile(),
+        };
+        let bytes = frame.to_bytes();
+        let (decoded, used) = decode_frame(&bytes).expect("decode");
+        assert_eq!(used, bytes.len());
+        // Canonical: re-encoding reproduces the exact bytes, so the
+        // harness can assert byte-identical dumps per seed.
+        assert_eq!(decoded.to_bytes(), bytes);
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn hostile_profile_replies_are_typed_errors() {
+        let reply = |tail: &[u8]| {
+            let mut buf = vec![0, 0, 0, 0, PROTOCOL_VERSION, TAG_PROFILE_REPLY];
+            buf.extend_from_slice(&9u64.to_le_bytes()); // at_ns
+            buf.extend_from_slice(&5u64.to_le_bytes()); // rounds
+            buf.extend_from_slice(tail);
+            let len = (buf.len() - 4) as u32;
+            buf[..4].copy_from_slice(&len.to_le_bytes());
+            buf
+        };
+        let malformed = |bytes: &[u8]| {
+            assert!(
+                matches!(
+                    decode_frame(bytes),
+                    Err(FrameError::Malformed {
+                        frame: "ProfileReply",
+                        ..
+                    })
+                ),
+                "expected Malformed, got {:?}",
+                decode_frame(bytes)
+            );
+        };
+        // A hostile thread count cannot balloon memory.
+        malformed(&reply(&u32::MAX.to_le_bytes()));
+        // A per-thread state count past the protocol ceiling.
+        let mut tail = Vec::new();
+        put_u32(&mut tail, 1); // one thread
+        put_str(&mut tail, "w");
+        put_u64(&mut tail, 0); // samples
+        put_u32(&mut tail, (MAX_PROFILE_STATES + 1) as u32);
+        for _ in 0..MAX_PROFILE_STATES + 1 {
+            put_u64(&mut tail, 0);
+        }
+        malformed(&reply(&tail));
+        // A state count lying about the remaining payload.
+        let mut tail = Vec::new();
+        put_u32(&mut tail, 1);
+        put_str(&mut tail, "w");
+        put_u64(&mut tail, 3);
+        put_u32(&mut tail, 8); // claims 8 counts, provides none
+        malformed(&reply(&tail));
+        // Truncation inside a thread name is a typed error too.
+        let mut tail = Vec::new();
+        put_u32(&mut tail, 1);
+        put_u32(&mut tail, 40); // name length past the payload end
+        malformed(&reply(&tail));
     }
 
     fn ctx() -> TraceContext {

@@ -13,7 +13,7 @@ use scaddar_net::wire::{
     StatsFormat, FRAME_HEADER_LEN, HARD_MAX_FRAME_LEN, PROTOCOL_VERSION, TRACE_TRAILER_V1_LEN,
     TRACE_TRAILER_VERSION,
 };
-use scaddar_obs::{Registry, RegistrySnapshot, TraceContext};
+use scaddar_obs::{ProfileSnapshot, Registry, RegistrySnapshot, ThreadProfile, TraceContext};
 
 /// A populated registry snapshot for the `StatsReply` exemplar, so the
 /// corruption sweeps cover every section of the snapshot encoding.
@@ -129,6 +129,33 @@ fn exemplars() -> Vec<Frame> {
             verdict: 0,
             snapshot: RegistrySnapshot::default(),
         },
+        // Profiler frames: the dump request and its residency reply.
+        Frame::ProfileDump,
+        Frame::ProfileReply {
+            profile: ProfileSnapshot {
+                at_ns: 42_000,
+                rounds: 500,
+                threads: vec![
+                    ThreadProfile {
+                        name: "scaddard-worker-0".into(),
+                        samples: 500,
+                        counts: vec![5, 400, 30, 20, 25, 10, 10, 0],
+                    },
+                    ThreadProfile {
+                        name: "scaddard-op".into(),
+                        samples: 120,
+                        counts: vec![100, 0, 0, 0, 0, 0, 0, 20],
+                    },
+                ],
+            },
+        },
+        Frame::ProfileReply {
+            profile: ProfileSnapshot {
+                at_ns: 0,
+                rounds: 0,
+                threads: vec![],
+            },
+        },
     ]
 }
 
@@ -234,9 +261,9 @@ fn length_prefix_overflow_classes() {
 
 #[test]
 fn every_unknown_tag_and_version_byte_is_typed() {
-    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A];
     let known_responses = [
-        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x8B, 0xFF,
+        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x8B, 0x8C, 0xFF,
     ];
     for tag in 0u8..=255 {
         let buf = [2u8, 0, 0, 0, PROTOCOL_VERSION, tag];
@@ -474,6 +501,35 @@ fn unknown_trailer_versions_are_skipped_not_rejected() {
 }
 
 proptest! {
+    /// Arbitrary profiler snapshots round-trip exactly through the
+    /// `ProfileReply` encoding (names, samples, and every count), and
+    /// re-encoding is byte-identical — the canonical-form property the
+    /// harness `profile-conserves` byte-identity check leans on.
+    #[test]
+    fn arbitrary_profile_replies_round_trip(
+        at_ns in any::<u64>(),
+        rounds in any::<u64>(),
+        threads in proptest::collection::vec(
+            ("[a-z0-9-]{1,24}", any::<u64>(), proptest::collection::vec(any::<u64>(), 0..12)),
+            0..6,
+        ),
+    ) {
+        let profile = ProfileSnapshot {
+            at_ns,
+            rounds,
+            threads: threads
+                .into_iter()
+                .map(|(name, samples, counts)| ThreadProfile { name, samples, counts })
+                .collect(),
+        };
+        let frame = Frame::ProfileReply { profile };
+        let bytes = frame.to_bytes();
+        let (decoded, used) = decode_frame(&bytes).expect("round trip");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(&decoded.to_bytes(), &bytes);
+        prop_assert_eq!(decoded, frame);
+    }
+
     /// Arbitrary byte soup: decode returns, never panics, and any
     /// successful decode consumes no more than the buffer.
     #[test]

@@ -15,6 +15,10 @@
 //!   JSON Lines, clock-stamped for deterministic replay;
 //! * [`trace`] — structured spans with enter/exit timing and `key=value`
 //!   events, recorded into a bounded ring buffer by a [`Tracer`];
+//! * [`profile`] — the cooperative sampling profiler: per-thread
+//!   atomic state words ([`StateHandle`]) read by a [`Profiler`]
+//!   sampler into state-residency profiles rendered as folded-stack
+//!   text and Registry gauges;
 //! * [`clock`] — the pluggable [`Clock`] trait: [`MonotonicClock`] for
 //!   production, [`VirtualClock`] for deterministic harness runs (same
 //!   seed → byte-identical span timelines).
@@ -51,6 +55,7 @@
 pub mod clock;
 pub mod events;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod slo;
 pub mod trace;
@@ -58,11 +63,16 @@ pub mod trace;
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use events::{Event, EventLog};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS, SUB_BITS, SUB_BUCKETS,
+    bucket_layout, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS, SUB_BITS,
+    SUB_BUCKETS,
+};
+pub use profile::{
+    ProfileSnapshot, Profiler, StateGuard, StateHandle, ThreadProfile, ThreadState, THREAD_STATES,
+    THREAD_STATE_NAMES,
 };
 pub use registry::{
     json_escape, parse_json_values, try_parse_json_values, CounterSample, GaugeSample,
-    HistogramSample, MetricValue, ParseError, Registry, RegistrySnapshot,
+    HistogramSample, MetricValue, ParseError, Registry, RegistrySnapshot, BUCKET_LAYOUT_GAUGE,
 };
 pub use slo::{BurnRates, SloConfig, SloTracker, WindowBurn};
 pub use trace::{render_trace_dump, SpanGuard, SpanRecord, TraceContext, Tracer};

@@ -31,6 +31,18 @@ const MAX_EXP: usize = 39;
 /// one top bucket catches everything at or beyond `2^MAX_EXP`.
 pub const HISTOGRAM_BUCKETS: usize = SUB_BUCKETS + (MAX_EXP - SUB_BITS) * SUB_BUCKETS + 1;
 
+/// A fingerprint of the histogram bucket grid: every parameter that
+/// determines bucket boundaries, packed into one value. Two processes
+/// with equal fingerprints bucket every sample identically, so their
+/// histograms may be merged bucket-wise; unequal fingerprints mean a
+/// merge would silently misattribute counts. Shards publish this as
+/// the `obs_bucket_layout` gauge and the fleet aggregator refuses to
+/// merge histogram series from a shard whose fingerprint differs
+/// (see `Registry::absorb_checked`).
+pub fn bucket_layout() -> u64 {
+    ((SUB_BITS as u64) << 32) | ((MAX_EXP as u64) << 16) | HISTOGRAM_BUCKETS as u64
+}
+
 /// A monotonically increasing counter.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {

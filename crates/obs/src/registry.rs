@@ -18,6 +18,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
+/// Name of the marker gauge carrying the histogram bucket-layout
+/// fingerprint (see [`Registry::mark_bucket_layout`] /
+/// [`Registry::absorb_checked`]).
+pub const BUCKET_LAYOUT_GAUGE: &str = "obs_bucket_layout";
+
 /// An owned sample of one registered metric, for read-side consumers
 /// (the health monitor, report tooling) that poll values generically
 /// instead of holding typed handles.
@@ -248,6 +253,54 @@ impl Registry {
         }
         for h in &snap.histograms {
             self.histogram(&h.name, &h.help).merge_from(&h.snapshot);
+        }
+    }
+
+    /// Registers and sets the [`BUCKET_LAYOUT_GAUGE`] marker: the
+    /// histogram bucket-grid fingerprint
+    /// ([`bucket_layout`](crate::metrics::bucket_layout)) that lets a
+    /// federating peer verify bucket-wise histogram merges are sound.
+    /// Every process that serves its snapshot over the wire should
+    /// call this once at registry setup.
+    pub fn mark_bucket_layout(&self) {
+        self.gauge(
+            BUCKET_LAYOUT_GAUGE,
+            "Histogram bucket-layout fingerprint (merge compatibility marker)",
+        )
+        .set(crate::metrics::bucket_layout() as i64);
+    }
+
+    /// [`Registry::absorb`] with the histogram merge guarded by the
+    /// peer's [`BUCKET_LAYOUT_GAUGE`] marker. Counters and gauges
+    /// always fold in (they are layout-independent; the marker gauge
+    /// itself is excluded so fleet totals don't sum fingerprints), but
+    /// histogram series merge bucket-wise only when the snapshot
+    /// declares *our* bucket layout. A missing or mismatched marker —
+    /// a shard running an older obs build — skips every histogram
+    /// series in that snapshot rather than silently misattributing
+    /// counts to wrong boundaries. Returns the number of skipped
+    /// histogram series (feed it to `fleet_merge_skipped_total`).
+    ///
+    /// # Panics
+    /// If a snapshot name is already registered as a different kind.
+    pub fn absorb_checked(&self, snap: &RegistrySnapshot) -> u64 {
+        let layout_ok =
+            snap.gauge_value(BUCKET_LAYOUT_GAUGE) == Some(crate::metrics::bucket_layout() as i64);
+        for c in &snap.counters {
+            self.counter(&c.name, &c.help).add(c.value);
+        }
+        for g in &snap.gauges {
+            if g.name != BUCKET_LAYOUT_GAUGE {
+                self.gauge(&g.name, &g.help).add(g.value);
+            }
+        }
+        if layout_ok {
+            for h in &snap.histograms {
+                self.histogram(&h.name, &h.help).merge_from(&h.snapshot);
+            }
+            0
+        } else {
+            snap.histograms.len() as u64
         }
     }
 
@@ -895,6 +948,44 @@ mod tests {
                 ("disk_load{disk=\"1\"}".to_string(), 20),
             ]
         );
+    }
+
+    #[test]
+    fn absorb_checked_merges_only_matching_bucket_layouts() {
+        let shard = Registry::new();
+        shard.mark_bucket_layout();
+        shard.counter("reqs_total", "requests").add(3);
+        shard.histogram("lat_ns", "latency").record(100);
+        let snap = shard.snapshot();
+
+        let fleet = Registry::new();
+        assert_eq!(fleet.absorb_checked(&snap), 0, "matching layout merges");
+        assert_eq!(
+            fleet
+                .value("lat_ns")
+                .map(|v| matches!(v, MetricValue::Histogram(h) if h.count == 1)),
+            Some(true)
+        );
+        // The marker gauge is excluded from the fold: fleet totals
+        // must not sum fingerprints across shards.
+        assert_eq!(fleet.value(crate::registry::BUCKET_LAYOUT_GAUGE), None);
+
+        // A snapshot with a wrong (or missing) marker skips every
+        // histogram series but still folds scalars.
+        let mut stale = snap.clone();
+        for g in &mut stale.gauges {
+            if g.name == BUCKET_LAYOUT_GAUGE {
+                g.value ^= 1;
+            }
+        }
+        let fleet2 = Registry::new();
+        assert_eq!(fleet2.absorb_checked(&stale), 1);
+        assert_eq!(fleet2.value("lat_ns"), None);
+        assert_eq!(fleet2.counter("reqs_total", "requests").get(), 3);
+
+        let mut unmarked = snap.clone();
+        unmarked.gauges.retain(|g| g.name != BUCKET_LAYOUT_GAUGE);
+        assert_eq!(Registry::new().absorb_checked(&unmarked), 1);
     }
 
     #[test]
