@@ -13,6 +13,7 @@
 //! | [`RoundRobinStrategy`] | §1, ref \[8\] | ~all blocks | perfect (deterministic) | disk count |
 //! | [`ConsistentHashStrategy`] | modern comparator | near-optimal | ~1/√vnodes spread | ring |
 //! | [`JumpHashStrategy`] | modern comparator | optimal-grow, tail-only shrink | excellent | disk count |
+//! | [`PowerHashStrategy`] | modern comparator | near-optimal-grow, tail-only shrink | exactly uniform | disk count |
 //!
 //! The [`harness`] module runs schedules and measures movement against
 //! *physical* disk identity (so renumbering is not miscounted) plus load
@@ -27,6 +28,7 @@ pub mod full;
 pub mod harness;
 pub mod jump_hash;
 pub mod naive;
+pub mod power_hash;
 pub mod round_robin;
 pub mod scaddar;
 pub mod strategy;
@@ -39,6 +41,7 @@ pub use harness::{
 };
 pub use jump_hash::{jump_consistent_hash, JumpHashStrategy};
 pub use naive::NaiveStrategy;
+pub use power_hash::{power_consistent_hash, PowerHashStrategy};
 pub use round_robin::RoundRobinStrategy;
 pub use scaddar::ScaddarStrategy;
 pub use strategy::{BlockKey, PlacementStrategy, PlacementStrategyExt};
@@ -65,6 +68,7 @@ mod tests {
             Box::new(RoundRobinStrategy::new(4).unwrap()),
             Box::new(ConsistentHashStrategy::new(4, 64).unwrap()),
             Box::new(JumpHashStrategy::new(4).unwrap()),
+            Box::new(PowerHashStrategy::new(4).unwrap()),
         ];
         let mut dir = DirectoryStrategy::new(4, 5).unwrap();
         dir.register(&keys);
@@ -98,9 +102,14 @@ mod tests {
             frac(run_schedule(&mut RoundRobinStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
         let jump =
             frac(run_schedule(&mut JumpHashStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
+        let power =
+            frac(run_schedule(&mut PowerHashStrategy::new(4).unwrap(), &keys, &schedule).unwrap());
 
         assert!((scaddar - 0.2).abs() < 0.02);
         assert!((jump - 0.2).abs() < 0.02);
+        // Power hash pays a bounded donation churn on top of z_j but
+        // stays far from a reshuffle.
+        assert!((0.18..0.45).contains(&power), "power moved {power}");
         assert!(full > 0.7);
         assert!(rr > 0.7);
     }

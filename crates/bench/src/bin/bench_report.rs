@@ -21,7 +21,13 @@
 //!   `"cluster"` object with the routing/torn-epoch gates and the
 //!   scale-out migration delta vs its 6σ bound. CI's net-smoke job
 //!   gates on protocol errors and that ratio; cluster-smoke gates on
-//!   the cluster object.
+//!   the cluster object;
+//! * `BENCH_compact.json` (when the `compaction_smoke` harness has
+//!   run) — the rehash-compaction gates: locate ns before/after the
+//!   flip vs a fresh chain-length-0 engine with a `within_gate`
+//!   verdict keyed to the CI 1.2× ceiling, the mid-cutover hiccup and
+//!   unknown-object counts (both must be zero), and the budget
+//!   refill. CI's compaction-smoke job gates on all three.
 //!
 //! Run after the benches:
 //!
@@ -31,12 +37,13 @@
 //! cargo run -p scaddar-bench --bin bench_report
 //! ```
 //!
-//! Reads `target/criterion-json/{remap,access,obs,monitor,net,net_load}.json`
+//! Reads `target/criterion-json/{remap,access,obs,monitor,net,net_load,cluster,compact}.json`
 //! relative to the current directory (override with `BENCH_JSON_DIR`)
 //! and writes `BENCH_remap.json` (override with the first CLI
 //! argument), `BENCH_obs.json` (override with `BENCH_OBS_PATH`),
-//! `BENCH_monitor.json` (override with `BENCH_MONITOR_PATH`), and
-//! `BENCH_net.json` (override with `BENCH_NET_PATH`).
+//! `BENCH_monitor.json` (override with `BENCH_MONITOR_PATH`),
+//! `BENCH_net.json` (override with `BENCH_NET_PATH`), and
+//! `BENCH_compact.json` (override with `BENCH_COMPACT_PATH`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -46,6 +53,11 @@ use std::fmt::Write as _;
 /// the same line so the report never reads as a standing failure while
 /// CI is green.
 const OBS_OVERHEAD_GATE: f64 = 1.10;
+
+/// The post-compaction/fresh-engine locate ratio CI's compaction-smoke
+/// job accepts: a collapsed generation must locate within 1.2× of a
+/// brand-new chain-length-0 engine over the same catalog.
+const COMPACT_LOCATE_GATE: f64 = 1.2;
 
 /// One measured benchmark, keyed `group/bench`.
 #[derive(Debug, Clone)]
@@ -88,7 +100,7 @@ fn parse_results(json: &str) -> Vec<(String, String, f64)> {
 fn load_measurements(dirs: &[std::path::PathBuf]) -> BTreeMap<String, Measurement> {
     let mut all = BTreeMap::new();
     for stem in [
-        "remap", "access", "obs", "monitor", "net", "net_load", "cluster",
+        "remap", "access", "obs", "monitor", "net", "net_load", "cluster", "compact",
     ] {
         // Cargo runs bench binaries with the package directory as cwd,
         // so the shim's reports land under `crates/bench/target/` when
@@ -200,6 +212,71 @@ fn monitor_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
     }
     Some(format!(
         "{{\n  \"overheads\": [\n{overheads}\n  ],\n  \"raw\": [\n{raw}\n  ]\n}}\n"
+    ))
+}
+
+/// The `BENCH_compact.json` body: the rehash-compaction acceptance
+/// gates from the `compaction_smoke` harness — the locate-ns triple
+/// (long chain / post-flip / fresh engine) with the ≤1.2× `within_gate`
+/// verdict on the post-flip-vs-fresh ratio, the zero-hiccup and
+/// zero-unknown-object serving gates from the dual-generation cutover,
+/// and the chain/budget bookkeeping around the flip. `None` when the
+/// smoke has not run (or emitted only a partial row set — a
+/// half-written report must not read as a passing one).
+fn compact_report(all: &BTreeMap<String, Measurement>) -> Option<String> {
+    let get = |key: &str| Some(all.get(&format!("compact/{key}"))?.ns_per_iter);
+    let before = get("locate_before_ns")?;
+    let after = get("locate_after_ns")?;
+    let fresh = get("locate_fresh_ns")?;
+    if fresh <= 0.0 {
+        return None;
+    }
+    let ratio = after / fresh;
+    let hiccups = get("hiccups")?;
+    let unknown = get("unknown_objects")?;
+    let count = |key: &str| get(key).unwrap_or(0.0);
+    let mut raw = String::new();
+    for (key, m) in all.iter().filter(|(k, _)| k.starts_with("compact/")) {
+        if !raw.is_empty() {
+            raw.push_str(",\n");
+        }
+        write!(
+            raw,
+            "    {{\"bench\": \"{key}\", \"ns_per_iter\": {:.3}}}",
+            m.ns_per_iter
+        )
+        .expect("write to string");
+    }
+    Some(format!(
+        "{{\n  \"locate_before_ns\": {before:.3},\n\
+         \x20 \"locate_after_ns\": {after:.3},\n\
+         \x20 \"locate_fresh_ns\": {fresh:.3},\n\
+         \x20 \"locate_ratio\": {ratio:.4},\n\
+         \x20 \"within_gate\": {},\n\
+         \x20 \"hiccups\": {hiccups:.0},\n\
+         \x20 \"zero_hiccups\": {},\n\
+         \x20 \"unknown_objects\": {unknown:.0},\n\
+         \x20 \"zero_unknown_objects\": {},\n\
+         \x20 \"lookups_served\": {:.0},\n\
+         \x20 \"chain_ops_before\": {:.0},\n\
+         \x20 \"chain_ops_after\": {:.0},\n\
+         \x20 \"generation\": {:.0},\n\
+         \x20 \"moved_blocks\": {:.0},\n\
+         \x20 \"total_blocks\": {:.0},\n\
+         \x20 \"budget_before\": {:.0},\n\
+         \x20 \"budget_after\": {:.0},\n\
+         \x20 \"raw\": [\n{raw}\n  ]\n}}\n",
+        ratio <= COMPACT_LOCATE_GATE,
+        hiccups == 0.0,
+        unknown == 0.0,
+        count("lookups_served"),
+        count("chain_ops_before"),
+        count("chain_ops_after"),
+        count("generation"),
+        count("moved_blocks"),
+        count("total_blocks"),
+        count("budget_before"),
+        count("budget_after"),
     ))
 }
 
@@ -432,6 +509,13 @@ fn main() {
         std::fs::write(&net_path, &net).expect("write net report");
         println!("bench_report: wrote {net_path}");
     }
+
+    if let Some(compact) = compact_report(&all) {
+        let compact_path = std::env::var("BENCH_COMPACT_PATH")
+            .unwrap_or_else(|_| "BENCH_compact.json".to_string());
+        std::fs::write(&compact_path, &compact).expect("write compact report");
+        println!("bench_report: wrote {compact_path}");
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +658,59 @@ mod tests {
 
         all.remove("net_locate_overhead/bare");
         assert!(net_report(&all).is_none(), "no load run, nothing written");
+    }
+
+    #[test]
+    fn compact_report_carries_gates_and_refuses_partial_runs() {
+        let mut all = BTreeMap::new();
+        for (key, ns) in [
+            ("compact/locate_before_ns", 61.0),
+            ("compact/locate_after_ns", 35.0),
+            ("compact/locate_fresh_ns", 34.0),
+            ("compact/hiccups", 0.0),
+            ("compact/unknown_objects", 0.0),
+            ("compact/lookups_served", 9_568.0),
+            ("compact/chain_ops_before", 8.0),
+            ("compact/chain_ops_after", 0.0),
+            ("compact/generation", 1.0),
+            ("compact/moved_blocks", 42_048.0),
+            ("compact/total_blocks", 48_000.0),
+            ("compact/budget_before", 0.0),
+            ("compact/budget_after", 8.0),
+        ] {
+            all.insert(key.to_string(), Measurement { ns_per_iter: ns });
+        }
+        let report = compact_report(&all).expect("compact measurements present");
+        assert!(report.contains("\"locate_ratio\": 1.0294"));
+        assert!(report.contains("\"within_gate\": true"));
+        assert!(report.contains("\"zero_hiccups\": true"));
+        assert!(report.contains("\"zero_unknown_objects\": true"));
+        assert!(report.contains("\"chain_ops_after\": 0"));
+        assert!(report.contains("\"budget_after\": 8"));
+        assert!(report.contains("compact/moved_blocks"), "raw rows present");
+
+        // A post-flip locate slower than 1.2x fresh flips the verdict.
+        all.insert(
+            "compact/locate_after_ns".to_string(),
+            Measurement { ns_per_iter: 45.0 },
+        );
+        let slow = compact_report(&all).expect("report");
+        assert!(slow.contains("\"within_gate\": false"));
+
+        // A single mid-cutover hiccup flips its gate.
+        all.insert(
+            "compact/hiccups".to_string(),
+            Measurement { ns_per_iter: 1.0 },
+        );
+        let hiccuped = compact_report(&all).expect("report");
+        assert!(hiccuped.contains("\"zero_hiccups\": false"));
+
+        // A partial emission is dropped, not half-gated.
+        all.remove("compact/unknown_objects");
+        assert!(
+            compact_report(&all).is_none(),
+            "missing gate row emits nothing"
+        );
     }
 
     #[test]

@@ -177,10 +177,13 @@ impl FleetTop {
                 (true, true) => "up restarted",
                 (true, false) => "up",
             };
+            let compaction = s
+                .compaction()
+                .map_or(String::new(), |c| format!(" {}", c.render()));
             let _ = writeln!(
                 out,
                 "shard {:>3} @ {} [{state}] epoch={} health={verdict} requests={requests} \
-                 ({rps}) p99={} stale={}ms",
+                 ({rps}) p99={} stale={}ms{compaction}",
                 s.shard,
                 s.addr,
                 s.epoch,
@@ -333,6 +336,7 @@ mod tests {
         assert!(text.contains("shard   1 @"), "{text}");
         assert!(text.contains("(-)"), "first frame has no rps baseline");
         assert!(text.contains("burn availability:"), "{text}");
+        assert!(text.contains("gen 0"), "compaction cell renders: {text}");
 
         // Serve some traffic, then the next frame has an rps figure.
         let client = NetClient::connect(shard0.local_addr());

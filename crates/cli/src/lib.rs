@@ -109,6 +109,7 @@ commands:
   plan add <count> | plan remove <d1,d2,...>           dry-run: predicted movement, no change
   census                                               per-disk block counts
   fairness                                             the §4.3 budget state
+  compact                                              rehash to the next generation (REMAP chain -> O(1))
   audit                                                balance + census self-check
   save <path> / load <path>                            persist / restore metadata
   metrics [--json]                                     telemetry (Prometheus text, or JSON)
@@ -199,6 +200,7 @@ impl Session {
             "plan" => self.cmd_plan(args),
             "census" => self.cmd_census(),
             "fairness" => self.cmd_fairness(),
+            "compact" => self.cmd_compact(),
             "audit" => self.cmd_audit(),
             "save" => self.cmd_save(args),
             "load" => self.cmd_load(args),
@@ -273,8 +275,19 @@ impl Session {
     fn cmd_health(&mut self) -> Result<String, CliError> {
         self.engine_ref()?;
         self.feed_monitor();
+        let engine = self.engine.as_ref().expect("engine_ref checked");
         let monitor = self.monitor.as_ref().expect("engine implies monitor");
         let mut out = monitor.report().render().trim_end().to_string();
+        // The §4.3 headline number an operator plans around: how many
+        // more scaling ops fit in the fairness budget before a rehash
+        // (`compact`) is the prescribed remedy.
+        write!(
+            out,
+            "\ngeneration {}: {} safe scaling op(s) remaining in the §4.3 budget",
+            engine.generation(),
+            monitor.budget_remaining()
+        )
+        .expect("write to string");
         let events = monitor.events();
         if !events.is_empty() {
             let shown = events.len().min(5);
@@ -616,6 +629,33 @@ impl Session {
             fmt_f64(report.unfairness_bound, 8),
             fmt_pct(self.epsilon),
             if safe { "yes" } else { "NO — redistribute in full" },
+        ))
+    }
+
+    /// `compact` — the console owns a bare metadata engine (no block
+    /// store to migrate), so this is the **offline** rehash: replace
+    /// the engine with its next generation in place. The online,
+    /// rate-limited cutover lives behind the daemon's `compact`
+    /// (`scaddar connect`).
+    fn cmd_compact(&mut self) -> Result<String, CliError> {
+        let engine = self.engine_mut()?;
+        let from = engine.generation();
+        let total = engine.catalog().total_blocks();
+        let moved = engine.rehash_to_next_generation();
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.note_compaction_started(from, from + 1, moved);
+            monitor.note_compaction_completed(from + 1, total);
+        }
+        // Replaying the flipped engine's (empty) log is what refills
+        // the monitor's §4.3 budget probe.
+        self.feed_monitor();
+        Ok(format!(
+            "compacted: generation {} -> {}; {}/{} block(s) re-placed; \
+             REMAP chain length 0, fairness budget reset",
+            from,
+            from + 1,
+            moved,
+            total,
         ))
     }
 
@@ -964,6 +1004,55 @@ mod tests {
     }
 
     #[test]
+    fn health_prints_the_remaining_safe_ops_number() {
+        let mut s = Session::new();
+        run(&mut s, "init 6 seed=4");
+        run(&mut s, "add-object 5000");
+        let health = run(&mut s, "health");
+        assert!(
+            health.contains("safe scaling op(s) remaining in the §4.3 budget"),
+            "{health}"
+        );
+        assert!(health.contains("generation 0:"), "{health}");
+    }
+
+    #[test]
+    fn compact_collapses_the_chain_and_resets_the_budget() {
+        let mut s = Session::new();
+        run(&mut s, "init 8 eps=0.05");
+        run(&mut s, "add-object 500");
+        for i in 0..24 {
+            run(
+                &mut s,
+                if i % 2 == 0 {
+                    "scale remove 0"
+                } else {
+                    "scale add 1"
+                },
+            );
+        }
+        assert!(run(&mut s, "health").starts_with("health: CRIT"));
+        let before = run(&mut s, "locate 0 123");
+        assert!(before.contains("-> disk"));
+
+        let out = run(&mut s, "compact");
+        assert!(out.contains("generation 0 -> 1"), "{out}");
+        assert!(out.contains("fairness budget reset"), "{out}");
+
+        // Chain collapsed, budget refilled, engine still serves.
+        let health = run(&mut s, "health");
+        assert!(health.starts_with("health: OK"), "{health}");
+        assert!(health.contains("generation 1:"), "{health}");
+        assert!(health.contains("compaction-complete"), "{health}");
+        let fairness = run(&mut s, "fairness");
+        assert!(fairness.contains("operations: 0"), "{fairness}");
+        assert!(run(&mut s, "locate 0 123").contains("-> disk"));
+        assert!(run(&mut s, "audit").contains("PASS"));
+        // A second compact keeps counting generations.
+        assert!(run(&mut s, "compact").contains("generation 1 -> 2"));
+    }
+
+    #[test]
     fn watch_renders_frames_with_key_metrics() {
         let mut s = Session::new();
         run(&mut s, "init 4 seed=2");
@@ -1035,6 +1124,7 @@ mod fuzz {
                     Just("bits=64".to_string()),
                     Just("eps=0.05".to_string()),
                     Just("health".to_string()),
+                    Just("compact".to_string()),
                     (0u64..100).prop_map(|n| n.to_string()),
                     Just("0,1,2".to_string()),
                 ],

@@ -59,6 +59,10 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Boot, evaluate health, exit with the verdict instead of serving.
     pub check: bool,
+    /// Auto-compaction threshold: `Some(n)` makes the daemon's
+    /// generation manager fire a rehash compaction on its own once the
+    /// monitor's §4.3 remaining-safe-ops number sinks to `n`.
+    pub auto_compact: Option<u32>,
     /// Boot as cluster shard `id`: the daemon answers `FetchMap` and
     /// redirects non-resident objects with `WrongShard`/`StaleMap`.
     pub shard: Option<u32>,
@@ -78,6 +82,7 @@ impl Default for ServeArgs {
             mode: ServerMode::EventLoop,
             workers: 0,
             check: false,
+            auto_compact: None,
             shard: None,
             peers: Vec::new(),
         }
@@ -86,7 +91,7 @@ impl Default for ServeArgs {
 
 const SERVE_USAGE: &str = "serve [--addr HOST:PORT] [--disks N] [--blocks N] [--seed N] \
                            [--max-conns N] [--event-loop | --threaded] [--workers N] [--check] \
-                           [--shard ID [--peers ID=HOST:PORT,...]]";
+                           [--auto-compact N] [--shard ID [--peers ID=HOST:PORT,...]]";
 
 /// Parses `serve` argv (everything after the subcommand word).
 pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -119,6 +124,13 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 parsed.workers = value("--workers")?.parse().map_err(|_| bad("--workers"))?;
             }
             "--check" => parsed.check = true,
+            "--auto-compact" => {
+                parsed.auto_compact = Some(
+                    value("--auto-compact")?
+                        .parse()
+                        .map_err(|_| bad("--auto-compact"))?,
+                );
+            }
             "--shard" => {
                 parsed.shard = Some(value("--shard")?.parse().map_err(|_| bad("--shard"))?);
             }
@@ -171,12 +183,21 @@ fn peers_usage(entry: &str) -> String {
 /// registers the pre-loaded object as global id 0 so single-shard
 /// quick-starts serve it immediately.
 pub fn boot_daemon(args: &ServeArgs) -> Result<(Scaddard, Option<Arc<ShardRuntime>>), String> {
-    let mut server = CmServer::new(ServerConfig::new(args.disks).with_catalog_seed(args.seed))
-        .map_err(|e| format!("engine: {e}"))?;
+    let mut engine_config = ServerConfig::new(args.disks).with_catalog_seed(args.seed);
+    if let Some(threshold) = args.auto_compact {
+        engine_config = engine_config
+            .with_auto_compact(true)
+            .with_auto_compact_threshold(threshold);
+    }
+    let mut server = CmServer::new(engine_config).map_err(|e| format!("engine: {e}"))?;
     server
         .add_object(args.blocks)
         .map_err(|e| format!("engine: {e}"))?;
     let registry = Registry::new();
+    // Engine metrics (service rounds, moves, compaction gauges) share
+    // the daemon registry, so `ScrapeStats` federation and `top` see
+    // them alongside the `net_server_*` family.
+    server.attach_stats(cmsim::ServerStats::register_monotonic(&registry));
     let tracer = Tracer::new(Arc::new(MonotonicClock::new()), 256);
     let config = NetServerConfig {
         max_connections: args.max_connections,
@@ -360,6 +381,7 @@ remote commands:
   scale add <count>                add a disk group
   scale remove <d1,d2,...>         remove disks (current indices)
   tick [rounds]                    advance service rounds (default 1)
+  compact                          begin (or join) an online rehash compaction
   health                           remote health report (exit 0/1/2 one-shot)
   stats [--json]                   server telemetry (Prometheus text, or JSON)
   ping                             liveness probe (returns current epoch)
@@ -462,6 +484,25 @@ impl RemoteSession {
                 };
                 let backlog = self.client.tick(rounds).map_err(|e| e.to_string())?;
                 Ok((format!("backlog: {backlog} moves remaining"), 0))
+            }
+            "compact" => {
+                let status = self.client.compact().map_err(|e| e.to_string())?;
+                let out = if status.active {
+                    format!(
+                        "compaction: generation {} -> {}; {}/{} block(s) migrated, {} move(s) queued",
+                        status.generation,
+                        status.target_generation,
+                        status.migrated,
+                        status.total,
+                        status.backlog,
+                    )
+                } else {
+                    format!(
+                        "compaction flipped instantly: serving generation {}",
+                        status.generation
+                    )
+                };
+                Ok((out, 0))
             }
             "health" => {
                 let (verdict, alerts, report) = self.client.health().map_err(|e| e.to_string())?;
@@ -581,6 +622,8 @@ mod tests {
             "--workers",
             "3",
             "--check",
+            "--auto-compact",
+            "2",
         ]))
         .unwrap();
         assert_eq!(parsed.addr, "127.0.0.1:0");
@@ -589,12 +632,15 @@ mod tests {
         assert_eq!(parsed.mode, ServerMode::Threaded);
         assert_eq!(parsed.workers, 3);
         assert!(parsed.check);
+        assert_eq!(parsed.auto_compact, Some(2));
         assert_eq!(
             parse_serve_args(&args(&["--event-loop"])).unwrap().mode,
             ServerMode::EventLoop
         );
+        assert_eq!(parse_serve_args(&[]).unwrap().auto_compact, None);
         assert!(parse_serve_args(&args(&["--disks", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--disks"])).is_err());
+        assert!(parse_serve_args(&args(&["--auto-compact", "x"])).is_err());
         assert!(parse_serve_args(&args(&["--frobnicate"])).is_err());
     }
 
@@ -661,9 +707,50 @@ mod tests {
         assert_eq!(code, 0, "OK health exits 0");
         let (out, _) = session.execute("stats").unwrap();
         assert!(out.contains("net_server_requests_total"));
+        assert!(out.contains("cmsim_compaction_generation"), "{out}");
         assert!(session.execute("locate nope").is_err());
         assert!(session.execute("frobnicate").is_err());
         assert_eq!(session.execute("").unwrap(), (String::new(), 0));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn remote_compact_migrates_to_the_next_generation() {
+        let parsed = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--blocks",
+            "3000",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        let (daemon, _) = boot_daemon(&parsed).unwrap();
+        let session = RemoteSession::connect(daemon.local_addr());
+
+        let (out, code) = session.execute("compact").unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("generation 0 -> 1"), "{out}");
+        let mut rounds = 0;
+        loop {
+            let (out, _) = session.execute("tick 8").unwrap();
+            if out.contains("backlog: 0") {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds < 10_000, "migration never drains");
+        }
+        // The flip landed: the compaction gauges report generation 1
+        // with nothing in flight, and lookups still answer.
+        let (stats, _) = session.execute("stats").unwrap();
+        assert!(stats.contains("cmsim_compaction_generation 1"), "{stats}");
+        assert!(stats.contains("cmsim_compaction_active 0"), "{stats}");
+        assert!(
+            stats.contains("cmsim_compactions_completed_total 1"),
+            "{stats}"
+        );
+        let (out, _) = session.execute("locate 0 1234").unwrap();
+        assert!(out.contains("-> disk"));
         daemon.shutdown();
     }
 

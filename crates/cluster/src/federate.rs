@@ -75,6 +75,61 @@ impl ShardScrape {
     pub fn request_p99(&self) -> Option<u64> {
         merged_request_p99(&self.snapshot)
     }
+
+    /// The shard's rehash-compaction state per its last snapshot —
+    /// `None` for shards that never exported the compaction gauges
+    /// (engines without stats attached).
+    pub fn compaction(&self) -> Option<ShardCompaction> {
+        let gauge = |name: &str| self.snapshot.gauge_value(name).map(|v| v.max(0) as u64);
+        Some(ShardCompaction {
+            active: gauge("cmsim_compaction_active")? == 1,
+            generation: gauge("cmsim_compaction_generation")?,
+            target_generation: gauge("cmsim_compaction_target_generation")?,
+            remaining_blocks: gauge("cmsim_compaction_remaining_blocks")?,
+            total_blocks: gauge("cmsim_compaction_total_blocks")?,
+        })
+    }
+}
+
+/// One shard's rehash-compaction state, decoded from the
+/// `cmsim_compaction_*` gauges in its scraped snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCompaction {
+    /// True while a compaction migration is in flight on the shard.
+    pub active: bool,
+    /// The shard's serving placement generation.
+    pub generation: u64,
+    /// The generation an in-flight compaction is migrating toward.
+    pub target_generation: u64,
+    /// Blocks the in-flight compaction has not yet migrated.
+    pub remaining_blocks: u64,
+    /// Blocks the in-flight compaction must account for.
+    pub total_blocks: u64,
+}
+
+impl ShardCompaction {
+    /// Migrated fraction in `[0, 1]` (1.0 when idle or empty).
+    pub fn fraction(&self) -> f64 {
+        if !self.active || self.total_blocks == 0 {
+            1.0
+        } else {
+            1.0 - self.remaining_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Renders like `gen 2 compacting ->3 41%` or `gen 2` when idle.
+    pub fn render(&self) -> String {
+        if self.active {
+            format!(
+                "gen {} compacting ->{} {:.0}%",
+                self.generation,
+                self.target_generation,
+                self.fraction() * 100.0
+            )
+        } else {
+            format!("gen {}", self.generation)
+        }
+    }
 }
 
 /// One federation round's fleet view: every known shard's last scrape,
@@ -187,9 +242,12 @@ impl FleetSnapshot {
                 _ => "CRIT",
             };
             let p99 = s.request_p99();
+            let compaction = s
+                .compaction()
+                .map_or(String::new(), |c| format!(" {}", c.render()));
             let _ = writeln!(
                 out,
-                "shard {:>3} @ {} [{state}] epoch={} verdict={verdict} requests={} p99={}ns stale={}ms",
+                "shard {:>3} @ {} [{state}] epoch={} verdict={verdict} requests={} p99={}ns stale={}ms{compaction}",
                 s.shard,
                 s.addr,
                 s.epoch,
@@ -513,6 +571,52 @@ mod tests {
         assert!(prom.contains("fleet_shard_up{shard=\"1\"} 0"));
         assert!(fleet.render_table().contains("UNREACHABLE"));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn compaction_gauges_surface_per_shard_in_the_fleet_view() {
+        let scrape = |shard: u32, snapshot: RegistrySnapshot| ShardScrape {
+            shard,
+            addr: "127.0.0.1:1".parse().unwrap(),
+            reachable: true,
+            epoch: 0,
+            verdict: 0,
+            snapshot,
+            scraped_at_ns: 1,
+        };
+        // Shard 0: mid-compaction. Shard 1: idle at generation 3.
+        // Shard 2: an engine without stats (no gauges at all).
+        let busy = Registry::new();
+        busy.gauge("cmsim_compaction_active", "").set(1);
+        busy.gauge("cmsim_compaction_generation", "").set(2);
+        busy.gauge("cmsim_compaction_target_generation", "").set(3);
+        busy.gauge("cmsim_compaction_remaining_blocks", "").set(600);
+        busy.gauge("cmsim_compaction_total_blocks", "").set(1000);
+        let idle = Registry::new();
+        idle.gauge("cmsim_compaction_active", "").set(0);
+        idle.gauge("cmsim_compaction_generation", "").set(3);
+        idle.gauge("cmsim_compaction_target_generation", "").set(3);
+        idle.gauge("cmsim_compaction_remaining_blocks", "").set(0);
+        idle.gauge("cmsim_compaction_total_blocks", "").set(0);
+        let fleet = FleetSnapshot {
+            at_ns: 2,
+            shards: vec![
+                scrape(0, busy.snapshot()),
+                scrape(1, idle.snapshot()),
+                scrape(2, RegistrySnapshot::default()),
+            ],
+        };
+        let c0 = fleet.shard(0).unwrap().compaction().unwrap();
+        assert!(c0.active);
+        assert_eq!((c0.generation, c0.target_generation), (2, 3));
+        assert!((c0.fraction() - 0.4).abs() < 1e-9);
+        let c1 = fleet.shard(1).unwrap().compaction().unwrap();
+        assert!(!c1.active);
+        assert_eq!(c1.render(), "gen 3");
+        assert_eq!(fleet.shard(2).unwrap().compaction(), None);
+        let table = fleet.render_table();
+        assert!(table.contains("gen 2 compacting ->3 40%"), "{table}");
+        assert!(table.contains("gen 3"), "{table}");
     }
 
     #[test]

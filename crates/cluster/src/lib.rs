@@ -39,7 +39,7 @@
 
 pub mod federate;
 
-pub use federate::{FleetAggregator, FleetSnapshot, ShardScrape};
+pub use federate::{FleetAggregator, FleetSnapshot, ShardCompaction, ShardScrape};
 
 use cmsim::{CmServer, ServerConfig, SharedServer};
 use scaddar_monitor::Severity;

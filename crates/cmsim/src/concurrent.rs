@@ -116,10 +116,12 @@ impl SharedServer {
     }
 
     /// Consistent lookup: epoch, disk count and location read under one
-    /// shared lock acquisition.
+    /// shared lock acquisition. Generation-aware: during a compaction,
+    /// migrated blocks answer from the staging generation
+    /// ([`CmServer::locate_current`]).
     pub fn locate(&self, object: ObjectId, block: u64) -> Result<EpochRead, ServerError> {
         let guard = self.inner.read();
-        let disk = guard.engine().locate(object, block)?;
+        let disk = guard.locate_current(object, block)?;
         Ok(EpochRead {
             epoch: guard.engine().epoch(),
             disks: guard.disks().disks(),
@@ -190,11 +192,9 @@ impl SharedServer {
         let answers = queries
             .iter()
             .map(|query| match *query {
-                LocateQuery::One { object, block } => guard
-                    .engine()
-                    .locate(object, block)
-                    .map(LocateAnswer::One)
-                    .map_err(ServerError::from),
+                LocateQuery::One { object, block } => {
+                    guard.locate_current(object, block).map(LocateAnswer::One)
+                }
                 LocateQuery::Many { object, blocks } => {
                     guard.locate_batch(object, blocks).map(LocateAnswer::Many)
                 }
@@ -245,6 +245,18 @@ impl SharedServer {
     /// Pending redistribution moves.
     pub fn backlog(&self) -> u64 {
         self.inner.read().backlog()
+    }
+
+    /// Begins an online rehash compaction under the exclusive lock
+    /// (see [`CmServer::begin_compaction`]).
+    pub fn begin_compaction(&self) -> Result<u64, ServerError> {
+        self.inner.write().begin_compaction()
+    }
+
+    /// Progress of the in-flight compaction, if any, read under the
+    /// shared lock.
+    pub fn compaction_progress(&self) -> Option<crate::compaction::CompactionProgress> {
+        self.inner.read().compaction_progress()
     }
 
     /// The current `(epoch, disks)` pair read under one shared lock

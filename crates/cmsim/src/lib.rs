@@ -12,6 +12,8 @@
 //!   interactivity, Zipf popularity, Poisson arrivals, statistical
 //!   admission control;
 //! * [`redistribute`] — the rate-limited online redistribution executor;
+//! * [`compaction`] — online rehash to the next placement generation
+//!   (dual-generation serving during cutover, atomic flip);
 //! * [`server`] — the round-based server tying it all together;
 //! * [`sim`] — the closed-loop driver (workload + server);
 //! * [`concurrent`] — thread-safe online access during scaling
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod compaction;
 pub mod concurrent;
 pub mod config;
 pub mod decluster;
@@ -64,6 +67,7 @@ pub mod stream;
 pub mod workload;
 
 pub use admission::AdmissionController;
+pub use compaction::CompactionProgress;
 pub use concurrent::{
     BatchRead, CoalescedRead, EpochRead, LocateAnswer, LocateQuery, SharedServer,
 };

@@ -13,6 +13,7 @@
 //! 4. metrics record whether they actually kept playing (hiccups).
 
 use crate::admission::AdmissionController;
+use crate::compaction::{CompactionProgress, CompactionState};
 use crate::config::ServerConfig;
 use crate::disk::{DiskArray, DiskSpec};
 use crate::metrics::{Metrics, RoundRecord};
@@ -21,7 +22,9 @@ use crate::stats::ServerStats;
 use crate::store::BlockStore;
 use crate::stream::{PlayState, Stream, StreamId};
 use scaddar_baselines::PhysicalDiskId;
-use scaddar_core::{BlockRef, ObjectId, Scaddar, ScaddarConfig, ScaddarError, ScalingOp};
+use scaddar_core::{
+    BlockRef, DiskIndex, ObjectId, Scaddar, ScaddarConfig, ScaddarError, ScalingOp,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -40,6 +43,14 @@ pub enum ServerError {
     RedistributionPending,
     /// A snapshot failed to decode.
     Snapshot(String),
+    /// The operation conflicts with an in-flight rehash compaction
+    /// (scaling, snapshots, and a second compaction must wait for the
+    /// generation flip).
+    CompactionActive,
+    /// A rehash compaction was requested while failed disks are still
+    /// in the array (they cannot receive their new-generation share;
+    /// remove them first — reconstruction — then compact).
+    FailedDisksPresent,
 }
 
 impl std::fmt::Display for ServerError {
@@ -56,6 +67,15 @@ impl std::fmt::Display for ServerError {
                 )
             }
             ServerError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
+            ServerError::CompactionActive => {
+                write!(f, "a rehash compaction is in flight — wait for the flip")
+            }
+            ServerError::FailedDisksPresent => {
+                write!(
+                    f,
+                    "failed disk(s) still in the array — remove them before compacting"
+                )
+            }
         }
     }
 }
@@ -90,6 +110,11 @@ pub struct CmServer {
     /// §6 mirror until the operator removes the disk, and removal moves
     /// reconstruct from mirrors.
     failed: HashSet<PhysicalDiskId>,
+    /// In-flight rehash compaction, if any: the staging next-generation
+    /// engine plus the migrated set (see [`crate::compaction`]). While
+    /// set, lookups dual-serve (migrated blocks answer from the staging
+    /// generation) and scaling/snapshots are refused.
+    compaction: Option<CompactionState>,
     stats: Option<Arc<ServerStats>>,
 }
 
@@ -120,6 +145,7 @@ impl CmServer {
             admission: AdmissionController::new(0.8),
             draining: HashMap::new(),
             failed: HashSet::new(),
+            compaction: None,
             stats: None,
             config,
         })
@@ -138,9 +164,17 @@ impl CmServer {
         self.stats.as_ref()
     }
 
-    /// The placement engine (read-only).
+    /// The placement engine (read-only). During a compaction this is
+    /// the *old* generation; migrated blocks answer from the staging
+    /// engine via [`CmServer::locate_current`].
     pub fn engine(&self) -> &Scaddar {
         &self.engine
+    }
+
+    /// The static configuration (read-only) — trigger policies read the
+    /// auto-compaction knobs from here.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The disk array (read-only).
@@ -173,6 +207,9 @@ impl CmServer {
     /// server quiesces before checkpointing, and a snapshot taken
     /// mid-drain would teleport in-transit blocks on restore.
     pub fn snapshot(&self) -> Result<Vec<u8>, ServerError> {
+        if self.compaction.is_some() {
+            return Err(ServerError::CompactionActive);
+        }
         if !self.executor.is_idle() {
             return Err(ServerError::RedistributionPending);
         }
@@ -231,6 +268,7 @@ impl CmServer {
             admission: AdmissionController::new(0.8),
             draining: HashMap::new(),
             failed: HashSet::new(),
+            compaction: None,
             stats: None,
             config,
         })
@@ -248,9 +286,37 @@ impl CmServer {
         if let Some(stats) = &self.stats {
             stats.disk_failures.inc();
         }
+        // Mid-compaction, migration moves *into* the dead disk would
+        // never drain (a dead disk has no move bandwidth) and would
+        // wedge the cutover. They complete here as metadata-only
+        // relocations instead: the block's new-generation home is the
+        // dead disk, its data stays recoverable through the §6 mirror
+        // — exactly the steady state a failed disk has outside
+        // compaction (resident but unreadable, mirror-served). No
+        // bandwidth is charged because nothing can be written.
+        if let Some(c) = self.compaction.as_mut() {
+            let stranded: Vec<PendingMove> = self
+                .executor
+                .pending()
+                .filter(|mv| mv.to == id)
+                .copied()
+                .collect();
+            self.executor
+                .cancel_blocks(|b| stranded.iter().any(|mv| mv.block == b));
+            for mv in stranded {
+                if let Some(stored) = self.store.locate(mv.block) {
+                    if stored != id {
+                        self.store.relocate(mv.block, stored, id);
+                    }
+                }
+                c.migrated.insert(mv.block);
+            }
+        }
         // Pending moves sourced from the dead disk must now read from
         // the mirror of the block's *current placement* (the data's
-        // replica location).
+        // replica location). During a compaction every pending move's
+        // block is still un-migrated, so the old-generation engine is
+        // the right mirror basis either way.
         let engine = &self.engine;
         let disks = &self.disks;
         let n = disks.disks();
@@ -262,6 +328,9 @@ impl CmServer {
                 None
             }
         });
+        // Completing stranded moves may have emptied the queue.
+        self.refresh_compaction_gauges();
+        self.maybe_finish_compaction();
         id
     }
 
@@ -314,6 +383,36 @@ impl CmServer {
                 disk,
             );
         }
+        // Object churn during a compaction: the staging generation must
+        // carry the same catalog, so register the object there too (ids
+        // advance in lockstep — both catalogs share `next_id`) and
+        // schedule its blocks toward their new-generation placement.
+        if let Some(c) = &mut self.compaction {
+            let staged = c.staging.add_object(blocks);
+            debug_assert_eq!(staged, id, "generations allocate ids in lockstep");
+            c.total += blocks;
+            let mut moves = Vec::new();
+            for b in 0..blocks {
+                let blockref = BlockRef {
+                    object: id,
+                    block: b,
+                };
+                let stored = self.store.locate(blockref).expect("just ingested");
+                let target = self
+                    .disks
+                    .physical(c.staging.locate(id, b).expect("staged block"));
+                if stored == target {
+                    c.migrated.insert(blockref);
+                } else {
+                    moves.push(PendingMove {
+                        block: blockref,
+                        from: stored,
+                        to: target,
+                    });
+                }
+            }
+            self.executor.enqueue(moves);
+        }
         Ok(id)
     }
 
@@ -326,6 +425,13 @@ impl CmServer {
                 object: id,
                 block: b,
             });
+        }
+        if let Some(c) = &mut self.compaction {
+            c.staging
+                .remove_object(id)
+                .expect("generations hold the same catalog");
+            c.migrated.retain(|blk| blk.object != id);
+            c.total = c.total.saturating_sub(obj.blocks);
         }
         self.executor.cancel_blocks(|blk| blk.object == id);
         let before = self.streams.len();
@@ -397,6 +503,12 @@ impl CmServer {
     /// *actual* current residency, so at most one pending move exists per
     /// block at any time.
     pub fn scale(&mut self, op: ScalingOp) -> Result<u64, ServerError> {
+        if self.compaction.is_some() {
+            // Scaling mid-compaction would have to re-plan against two
+            // generations at once; operators wait for the flip (the
+            // compaction is itself the response to too much scaling).
+            return Err(ServerError::CompactionActive);
+        }
         let scale_start = self.stats.as_ref().map(|s| s.clock.now_ns());
         let plan = self.engine.scale(op.clone())?;
         // A removed disk enters the *draining* state: it leaves the
@@ -507,10 +619,211 @@ impl CmServer {
         }
     }
 
-    /// Retires draining disks whose last block has been copied off.
+    /// Retires draining disks whose last block has been copied off, and
+    /// forgets failed disks that have been pulled from the array and
+    /// fully reconstructed — once nothing resides on a removed dead
+    /// disk the failure is history, and a later compaction sees a
+    /// healthy array again.
     fn purge_drained(&mut self) {
         let store = &self.store;
         self.draining.retain(|&id, _| store.blocks_on(id) > 0);
+        let in_array: HashSet<PhysicalDiskId> = self.disks.physical_ids().into_iter().collect();
+        self.failed
+            .retain(|&id| in_array.contains(&id) || store.blocks_on(id) > 0);
+    }
+
+    /// Begins an **online rehash compaction**: opens the next placement
+    /// generation (fresh `X_0 mod N` seed, empty scaling log) and
+    /// enqueues one move per block whose new-generation placement
+    /// differs from its current residency. Subsequent [`Self::tick`]
+    /// calls drain the migration within the usual bandwidth budgets
+    /// while lookups dual-serve from both generations; the generation
+    /// flips atomically the round the last move lands. Returns the
+    /// number of queued migration moves.
+    ///
+    /// Requires an idle executor (a compaction re-plans *every* block,
+    /// so in-flight scaling moves must land first) and no compaction
+    /// already in flight.
+    pub fn begin_compaction(&mut self) -> Result<u64, ServerError> {
+        if self.compaction.is_some() {
+            return Err(ServerError::CompactionActive);
+        }
+        if !self.executor.is_idle() {
+            return Err(ServerError::RedistributionPending);
+        }
+        // A rehash at the same N re-assigns ~1/N of all blocks *to*
+        // every disk — including a dead one, which can accept nothing.
+        // The §6 remedy is to remove the failed disk first (its blocks
+        // reconstruct from mirrors onto the survivors) and compact the
+        // healthy array; refusing here is what keeps the migration
+        // guaranteed to drain.
+        if !self.failed.is_empty() {
+            return Err(ServerError::FailedDisksPresent);
+        }
+        let staging = self.engine.open_next_generation();
+        let mut migrated = HashSet::new();
+        let mut moves = Vec::new();
+        for obj in staging.catalog().objects().to_vec() {
+            let targets = staging.locate_all(obj.id).expect("staged object");
+            for (b, &logical) in targets.iter().enumerate() {
+                let blockref = BlockRef {
+                    object: obj.id,
+                    block: b as u64,
+                };
+                let stored = self.store.locate(blockref).expect("catalog block stored");
+                let target = self.disks.physical(logical);
+                if stored == target {
+                    migrated.insert(blockref);
+                } else {
+                    moves.push(PendingMove {
+                        block: blockref,
+                        from: stored,
+                        to: target,
+                    });
+                }
+            }
+        }
+        let queued = moves.len() as u64;
+        self.executor.enqueue(moves);
+        let total = self.engine.catalog().total_blocks();
+        let generation = staging.generation();
+        self.compaction = Some(CompactionState {
+            staging,
+            migrated,
+            total,
+        });
+        if let Some(stats) = &self.stats {
+            stats.compactions_started.inc();
+            stats.compaction_active.set(1);
+            stats.compaction_target_generation.set(generation as i64);
+            stats
+                .backlog
+                .set(self.executor.backlog().min(i64::MAX as u64) as i64);
+        }
+        self.refresh_compaction_gauges();
+        // An empty catalog (or one whose placements all coincide)
+        // finishes immediately.
+        self.maybe_finish_compaction();
+        Ok(queued)
+    }
+
+    /// Progress of the in-flight compaction, if any.
+    pub fn compaction_progress(&self) -> Option<CompactionProgress> {
+        let c = self.compaction.as_ref()?;
+        Some(CompactionProgress {
+            from_generation: self.engine.generation(),
+            to_generation: c.staging.generation(),
+            total_blocks: c.total,
+            migrated_blocks: c.migrated.len() as u64,
+            backlog: self.executor.backlog(),
+        })
+    }
+
+    /// True while a compaction is migrating blocks.
+    pub fn compaction_active(&self) -> bool {
+        self.compaction.is_some()
+    }
+
+    /// The serving placement generation (post-flip it reflects the new
+    /// generation; during a compaction, still the old one).
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// Marks compaction moves executed this round as migrated.
+    fn note_compaction_executed(&mut self, executed: &[PendingMove]) {
+        if let Some(c) = &mut self.compaction {
+            // While a compaction is in flight scaling is refused, so
+            // every executed move is a migration move.
+            for mv in executed {
+                c.migrated.insert(mv.block);
+            }
+        }
+    }
+
+    /// Flips to the next generation once every migration move has
+    /// landed: the staging engine becomes *the* engine (stats handles
+    /// transfer), lookups collapse back to one O(1) hash, and the
+    /// fairness budget is full again.
+    fn maybe_finish_compaction(&mut self) {
+        let done = self
+            .compaction
+            .as_ref()
+            .is_some_and(|_| self.executor.is_idle());
+        if !done {
+            return;
+        }
+        let c = self.compaction.take().expect("checked above");
+        let mut staging = c.staging;
+        debug_assert_eq!(
+            c.migrated.len(),
+            self.store.len(),
+            "flip with unmigrated blocks"
+        );
+        if let Some(stats) = self.engine.stats() {
+            staging.attach_stats(stats.clone());
+        }
+        self.engine = staging;
+        if let Some(stats) = &self.stats {
+            stats.compactions_completed.inc();
+            stats.compaction_active.set(0);
+            stats.compaction_remaining.set(0);
+            stats
+                .compaction_generation
+                .set(self.engine.generation().min(i64::MAX as u64) as i64);
+        }
+    }
+
+    /// Publishes the compaction progress gauges.
+    fn refresh_compaction_gauges(&self) {
+        let Some(stats) = &self.stats else { return };
+        stats
+            .compaction_generation
+            .set(self.engine.generation().min(i64::MAX as u64) as i64);
+        if let Some(c) = &self.compaction {
+            stats
+                .compaction_remaining
+                .set((c.total.saturating_sub(c.migrated.len() as u64)).min(i64::MAX as u64) as i64);
+            stats
+                .compaction_total
+                .set(c.total.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    /// Mid-compaction residency audit, the dual-generation analogue of
+    /// [`CmServer::residency_consistent`]: every catalog block must be
+    /// resident exactly where its generation says — migrated blocks at
+    /// their staging placement, everything else at its old placement or
+    /// in the pending-move queue. With no compaction in flight this is
+    /// plain residency consistency.
+    pub fn compaction_consistent(&self) -> bool {
+        let Some(c) = &self.compaction else {
+            return self.residency_consistent();
+        };
+        let pending: HashSet<BlockRef> = self.executor.pending().map(|mv| mv.block).collect();
+        for obj in self.engine.catalog().objects() {
+            let old = self.engine.locate_all(obj.id).expect("catalog object");
+            let new = c.staging.locate_all(obj.id).expect("staged object");
+            for b in 0..obj.blocks {
+                let blockref = BlockRef {
+                    object: obj.id,
+                    block: b,
+                };
+                let Some(stored) = self.store.locate(blockref) else {
+                    return false;
+                };
+                if c.migrated.contains(&blockref) {
+                    if stored != self.disks.physical(new[b as usize]) {
+                        return false;
+                    }
+                } else if !pending.contains(&blockref)
+                    && stored != self.disks.physical(old[b as usize])
+                {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Advances one service round.
@@ -556,11 +869,17 @@ impl CmServer {
             };
             let (serve_from, is_recovery) = if self.failed.contains(&disk) {
                 // Primary gone: read the mirror copy at
-                // (AF + N/2) mod N.
-                let af = self
-                    .engine
-                    .locate(stream.object, block)
-                    .expect("stream block in catalog");
+                // (AF + N/2) mod N. The mirror is defined against the
+                // generation the block is currently served by.
+                let af = match self
+                    .compaction
+                    .as_ref()
+                    .filter(|c| c.migrated.contains(&blockref))
+                {
+                    Some(c) => c.staging.locate(stream.object, block),
+                    None => self.engine.locate(stream.object, block),
+                }
+                .expect("stream block in catalog");
                 let mirror = self.disks.physical(crate::faults::mirror_of(af, n));
                 if self.failed.contains(&mirror) {
                     // Both copies gone: data loss, permanent stall.
@@ -592,7 +911,10 @@ impl CmServer {
             .collect();
         let executed = self.executor.execute_round(&mut move_budget);
         self.apply_executed(&executed);
+        self.note_compaction_executed(&executed);
         self.purge_drained();
+        self.refresh_compaction_gauges();
+        self.maybe_finish_compaction();
 
         // 3. Reap finished streams and record the round.
         let before = self.streams.len();
@@ -649,12 +971,41 @@ impl CmServer {
         object: ObjectId,
         blocks: &[u64],
     ) -> Result<Vec<PhysicalDiskId>, ServerError> {
-        Ok(self
-            .engine
-            .locate_batch(object, blocks)?
+        let logical = self.engine.locate_batch(object, blocks)?;
+        let mut out: Vec<PhysicalDiskId> = logical
             .into_iter()
             .map(|logical| self.disks.physical(logical))
-            .collect())
+            .collect();
+        // Dual-generation serving: blocks already migrated answer from
+        // the staging generation (new-gen residency first, old-gen
+        // fallback — residency is never ambiguous between the two).
+        if let Some(c) = &self.compaction {
+            for (slot, &b) in out.iter_mut().zip(blocks) {
+                let blockref = BlockRef { object, block: b };
+                if c.migrated.contains(&blockref) {
+                    *slot = self
+                        .disks
+                        .physical(c.staging.locate(object, b).expect("staged block"));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Generation-aware `AF()`: the **logical** disk of one block under
+    /// the generation currently serving it — the staging generation for
+    /// blocks already migrated by an in-flight compaction, the live
+    /// engine for everything else (and for every block when no
+    /// compaction is running). This is the lookup session threads use;
+    /// it is what collapses back to a single O(1) hash at flip.
+    pub fn locate_current(&self, object: ObjectId, block: u64) -> Result<DiskIndex, ServerError> {
+        if let Some(c) = &self.compaction {
+            let blockref = BlockRef { object, block };
+            if c.migrated.contains(&blockref) {
+                return Ok(c.staging.locate(object, block)?);
+            }
+        }
+        Ok(self.engine.locate(object, block)?)
     }
 
     /// Load census (blocks per disk) in logical order — the §5 metric's
@@ -987,6 +1338,286 @@ mod tests {
         // Rollback leaves the server empty and usable.
         assert_eq!(s.store().len(), 0);
         assert!(s.add_object(10).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+
+    fn server(disks: u32) -> CmServer {
+        CmServer::new(
+            ServerConfig::new(disks)
+                .with_bandwidth(32)
+                .with_redistribution_bandwidth(8)
+                .with_catalog_seed(7),
+        )
+        .unwrap()
+    }
+
+    /// Burns the §4.3 budget with alternating remove/add round-trips
+    /// (dominant unfairness growth, zero net size change), draining each
+    /// op so the executor is idle afterwards.
+    fn burn_budget(s: &mut CmServer, round_trips: usize) {
+        for _ in 0..round_trips {
+            s.scale_offline(ScalingOp::remove_one(0)).unwrap();
+            s.scale_offline(ScalingOp::Add { count: 1 }).unwrap();
+        }
+    }
+
+    #[test]
+    fn compaction_migrates_online_and_flips() {
+        let mut s = server(6);
+        let obj = s.add_object(6_000).unwrap();
+        burn_budget(&mut s, 4);
+        for _ in 0..10 {
+            s.open_stream(obj).unwrap();
+        }
+        let epoch_before = s.engine().epoch();
+        assert!(epoch_before >= 8);
+
+        let queued = s.begin_compaction().unwrap();
+        // A rehash is a near-complete reshuffle: ~(1 - 1/6) of blocks.
+        let frac = queued as f64 / 6_000.0;
+        assert!((frac - 5.0 / 6.0).abs() < 0.05, "queued fraction {frac}");
+        assert!(s.compaction_active());
+
+        // Every cutover round: dual-generation residency stays
+        // consistent, every block stays locatable, streams keep playing.
+        let mut rounds = 0;
+        while s.compaction_active() {
+            assert!(s.compaction_consistent(), "round {rounds}");
+            for blk in (0..6_000).step_by(599) {
+                let logical = s.locate_current(obj, blk).unwrap();
+                assert!(logical.0 < 6);
+            }
+            s.tick();
+            rounds += 1;
+            assert!(rounds < 10_000, "compaction never finishes");
+        }
+        assert!(rounds > 1, "online compaction should take >1 round");
+
+        // The flip collapses locate back to a single O(1) hash: fresh
+        // log, bumped generation, full budget, consistent residency.
+        assert_eq!(s.generation(), 1);
+        assert_eq!(s.engine().epoch(), 0);
+        assert!(s.engine().next_op_is_safe(5));
+        assert!(s.residency_consistent());
+        assert_eq!(s.metrics().total_hiccups(), 0, "no service interruption");
+        // locate_batch and locate_current agree post-flip.
+        let batch = s.locate_batch(obj, &[0, 17, 5_999]).unwrap();
+        for (&b, &physical) in [0u64, 17, 5_999].iter().zip(&batch) {
+            assert_eq!(
+                physical,
+                s.disks().physical(s.locate_current(obj, b).unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_resets_the_fairness_budget() {
+        let mut s = server(8);
+        s.add_object(2_000).unwrap();
+        let mut trips = 0;
+        while s.next_op_is_safe(&ScalingOp::remove_one(0)) && trips < 50 {
+            burn_budget(&mut s, 1);
+            trips += 1;
+        }
+        assert!(
+            !s.next_op_is_safe(&ScalingOp::remove_one(0)),
+            "budget should be exhausted"
+        );
+        s.begin_compaction().unwrap();
+        while s.compaction_active() {
+            s.tick();
+        }
+        assert!(
+            s.next_op_is_safe(&ScalingOp::remove_one(0)),
+            "flip must refill the §4.3 budget"
+        );
+    }
+
+    #[test]
+    fn scaling_and_snapshots_wait_for_the_flip() {
+        let mut s = server(4);
+        s.add_object(3_000).unwrap();
+        s.begin_compaction().unwrap();
+        assert_eq!(
+            s.scale(ScalingOp::Add { count: 1 }),
+            Err(ServerError::CompactionActive)
+        );
+        assert!(matches!(s.snapshot(), Err(ServerError::CompactionActive)));
+        assert_eq!(s.begin_compaction(), Err(ServerError::CompactionActive));
+        while s.compaction_active() {
+            s.tick();
+        }
+        assert!(s.scale(ScalingOp::Add { count: 1 }).is_ok());
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.snapshot().is_ok());
+    }
+
+    #[test]
+    fn begin_requires_an_idle_executor() {
+        let mut s = server(4);
+        s.add_object(3_000).unwrap();
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert!(s.backlog() > 0);
+        assert_eq!(
+            s.begin_compaction(),
+            Err(ServerError::RedistributionPending)
+        );
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.begin_compaction().is_ok());
+    }
+
+    #[test]
+    fn object_churn_during_compaction_stays_consistent() {
+        let mut s = server(5);
+        let keep = s.add_object(2_000).unwrap();
+        let doomed = s.add_object(1_500).unwrap();
+        s.begin_compaction().unwrap();
+        // A few rounds in: delete one object, ingest another.
+        for _ in 0..3 {
+            s.tick();
+        }
+        s.remove_object(doomed).unwrap();
+        assert!(s.compaction_consistent());
+        let newcomer = s.add_object(800).unwrap();
+        assert!(s.compaction_consistent());
+        while s.compaction_active() {
+            s.tick();
+            assert!(s.compaction_consistent());
+        }
+        assert_eq!(s.generation(), 1);
+        assert!(s.residency_consistent());
+        assert_eq!(s.load_census().iter().sum::<u64>(), 2_800);
+        assert!(s.locate_current(keep, 0).is_ok());
+        assert!(s.locate_current(newcomer, 799).is_ok());
+        assert!(matches!(
+            s.locate_current(doomed, 0),
+            Err(ServerError::Engine(ScaddarError::UnknownObject(_)))
+        ));
+    }
+
+    #[test]
+    fn empty_catalog_compaction_flips_immediately() {
+        let mut s = server(4);
+        assert_eq!(s.begin_compaction().unwrap(), 0);
+        assert!(!s.compaction_active(), "nothing to migrate");
+        assert_eq!(s.generation(), 1);
+    }
+
+    #[test]
+    fn progress_reporting_counts_down_to_the_flip() {
+        let mut s = server(4);
+        s.add_object(4_000).unwrap();
+        assert!(s.compaction_progress().is_none());
+        let queued = s.begin_compaction().unwrap();
+        let p0 = s.compaction_progress().unwrap();
+        assert_eq!((p0.from_generation, p0.to_generation), (0, 1));
+        assert_eq!(p0.total_blocks, 4_000);
+        assert_eq!(p0.backlog, queued);
+        assert_eq!(p0.migrated_blocks, 4_000 - queued);
+        let mut last = p0.migrated_blocks;
+        while s.compaction_active() {
+            s.tick();
+            if let Some(p) = s.compaction_progress() {
+                assert!(p.migrated_blocks >= last, "progress is monotone");
+                last = p.migrated_blocks;
+            }
+        }
+        assert!(s.compaction_progress().is_none());
+    }
+
+    #[test]
+    fn compaction_stats_follow_the_migration() {
+        use crate::stats::ServerStats;
+        use scaddar_obs::Registry;
+        let registry = Registry::new();
+        let stats = ServerStats::register_monotonic(&registry);
+        let mut s = server(4);
+        s.attach_stats(stats.clone());
+        s.add_object(3_000).unwrap();
+        s.begin_compaction().unwrap();
+        assert_eq!(stats.compactions_started.get(), 1);
+        assert_eq!(stats.compaction_active.get(), 1);
+        assert_eq!(stats.compaction_target_generation.get(), 1);
+        assert!(stats.compaction_remaining.get() > 0);
+        assert_eq!(stats.compaction_total.get(), 3_000);
+        while s.compaction_active() {
+            s.tick();
+        }
+        assert_eq!(stats.compactions_completed.get(), 1);
+        assert_eq!(stats.compaction_active.get(), 0);
+        assert_eq!(stats.compaction_remaining.get(), 0);
+        assert_eq!(stats.compaction_generation.get(), 1);
+        let text = registry.render_prometheus();
+        assert!(text.contains("cmsim_compactions_completed_total 1"));
+    }
+
+    #[test]
+    fn compaction_refuses_failed_disks_until_they_are_removed() {
+        let mut s = server(6);
+        s.add_object(3_000).unwrap();
+        let dead = s.fail_disk(scaddar_core::DiskIndex(2));
+        assert!(s.store().blocks_on(dead) > 0);
+        assert_eq!(s.begin_compaction(), Err(ServerError::FailedDisksPresent));
+        // The §6 remedy: remove the dead disk (its blocks reconstruct
+        // from mirrors onto the survivors), then compact the healthy
+        // 5-disk array.
+        s.scale(ScalingOp::remove_one(2)).unwrap();
+        while s.backlog() > 0 {
+            s.tick();
+        }
+        assert!(s.begin_compaction().is_ok());
+        let mut rounds = 0;
+        while s.compaction_active() {
+            s.tick();
+            rounds += 1;
+            assert!(rounds < 10_000, "compaction never finishes");
+        }
+        assert_eq!(s.generation(), 1);
+        assert!(s.residency_consistent());
+        assert_eq!(s.load_census().len(), 5);
+    }
+
+    #[test]
+    fn disk_failure_mid_compaction_still_flips() {
+        let mut s = server(6);
+        let obj = s.add_object(4_000).unwrap();
+        s.begin_compaction().unwrap();
+        for _ in 0..3 {
+            s.tick();
+        }
+        let dead = s.fail_disk(scaddar_core::DiskIndex(2));
+        assert!(s.compaction_consistent());
+        let mut rounds = 0;
+        while s.compaction_active() {
+            s.tick();
+            assert!(s.compaction_consistent(), "round {rounds}");
+            rounds += 1;
+            assert!(rounds < 10_000, "compaction wedged on the dead disk");
+        }
+        // The cutover completed: blocks whose new-generation home is
+        // the dead disk are resident there (unreadable, mirror-served
+        // — the same steady state a failed disk has outside
+        // compaction); everything else actually moved.
+        assert_eq!(s.generation(), 1);
+        assert!(s.residency_consistent());
+        assert!(s.store().blocks_on(dead) > 0);
+        // Streams keep playing through the §6 mirror fallback.
+        for _ in 0..4 {
+            s.open_stream(obj).unwrap();
+        }
+        for _ in 0..50 {
+            s.tick();
+        }
+        assert_eq!(s.metrics().total_hiccups(), 0);
+        assert!(s.metrics().total_recovered() > 0, "mirror reads happened");
     }
 }
 

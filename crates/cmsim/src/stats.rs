@@ -55,6 +55,20 @@ pub struct ServerStats {
     pub disk_failures: Counter,
     /// Round records evicted from the in-memory retention window.
     pub rounds_evicted: Counter,
+    /// Rehash compactions begun.
+    pub compactions_started: Counter,
+    /// Rehash compactions that flipped to the new generation.
+    pub compactions_completed: Counter,
+    /// 1 while a compaction is migrating blocks, else 0.
+    pub compaction_active: Gauge,
+    /// The placement generation currently serving.
+    pub compaction_generation: Gauge,
+    /// The generation an in-flight compaction is migrating toward.
+    pub compaction_target_generation: Gauge,
+    /// Blocks an in-flight compaction has not yet migrated.
+    pub compaction_remaining: Gauge,
+    /// Blocks the in-flight compaction must account for.
+    pub compaction_total: Gauge,
     /// Time source for the latency histograms.
     pub clock: Arc<dyn Clock>,
     registry: Registry,
@@ -110,6 +124,34 @@ impl ServerStats {
             rounds_evicted: registry.counter(
                 "cmsim_metrics_rounds_evicted_total",
                 "Round records evicted from the retention window",
+            ),
+            compactions_started: registry.counter(
+                "cmsim_compactions_started_total",
+                "Rehash compactions begun",
+            ),
+            compactions_completed: registry.counter(
+                "cmsim_compactions_completed_total",
+                "Rehash compactions that flipped to the new generation",
+            ),
+            compaction_active: registry.gauge(
+                "cmsim_compaction_active",
+                "1 while a rehash compaction is migrating blocks",
+            ),
+            compaction_generation: registry.gauge(
+                "cmsim_compaction_generation",
+                "Placement generation currently serving",
+            ),
+            compaction_target_generation: registry.gauge(
+                "cmsim_compaction_target_generation",
+                "Generation an in-flight compaction is migrating toward",
+            ),
+            compaction_remaining: registry.gauge(
+                "cmsim_compaction_remaining_blocks",
+                "Blocks an in-flight compaction has not yet migrated",
+            ),
+            compaction_total: registry.gauge(
+                "cmsim_compaction_total_blocks",
+                "Blocks the in-flight compaction must account for",
             ),
             clock,
             registry: registry.clone(),

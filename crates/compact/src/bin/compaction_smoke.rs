@@ -1,0 +1,273 @@
+//! Compaction smoke run: boots a single cmsim shard, burns the §4.3
+//! fairness budget with remove/add round-trips until the monitor goes
+//! CRIT, then lets the auto-compaction policy fire and serves a seeded
+//! lookup workload through the entire dual-generation cutover.
+//!
+//! Emits criterion-shim-compatible JSON (`compact/*` rows) that
+//! `bench_report` folds into `BENCH_compact.json`. Exits nonzero on:
+//!
+//! * any **hiccup** (a lookup that errored or landed out of range at
+//!   any point of the cutover);
+//! * any **unknown object** (a cataloged block the serving path could
+//!   not place, audited by full-catalog sweeps before, during, and
+//!   after the migration);
+//! * a post-compaction locate slower than 1.2× a fresh chain-length-0
+//!   engine over the same catalog (the collapse-to-O(1) acceptance
+//!   gate);
+//! * a flip that leaves residency inconsistent or the budget unfilled.
+//!
+//! ```text
+//! cargo run --release -p scaddar-compact --bin compaction_smoke -- \
+//!     [--seed N] [--objects N] [--blocks N] [--disks N] [--out PATH]
+//! ```
+//!
+//! `--seed` defaults to `HARNESS_SEED` when set, so CI can pin and
+//! upload the seed alongside the artifacts.
+
+use cmsim::{CmServer, ServerConfig};
+use scaddar_compact::CompactionController;
+use scaddar_core::ScalingOp;
+use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
+use scaddar_obs::VirtualClock;
+use scaddar_prng::{Pcg64, SeededRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Lookups timed per measurement repetition; the best of three
+/// repetitions is reported so scheduler noise cannot fake a ratio.
+const TIMED_LOOKUPS: u64 = 200_000;
+/// Lookups served between executor ticks while the migration drains.
+const LOOKUPS_PER_ROUND: u64 = 32;
+
+fn push_result(out: &mut String, bench: &str, value: f64) {
+    if !out.is_empty() {
+        out.push_str(",\n");
+    }
+    write!(
+        out,
+        "  {{\"group\": \"compact\", \"bench\": \"{bench}\", \"ns_per_iter\": {value:.6}, \"iterations\": 1}}"
+    )
+    .expect("write to string");
+}
+
+/// Mean ns per `locate_current` over the seeded workload, best of
+/// three repetitions (wall time; the checksum defeats dead-code
+/// elimination).
+fn measure_locate(server: &CmServer, objects: u64, blocks: u64, seed: u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for rep in 0..3u64 {
+        let mut rng = Pcg64::from_seed(seed ^ (0xBE_AC << 8) ^ rep);
+        let start = std::time::Instant::now();
+        let mut checksum = 0u64;
+        for _ in 0..TIMED_LOOKUPS {
+            let object = scaddar_core::ObjectId(rng.next_u64() % objects);
+            let block = rng.next_u64() % blocks;
+            let disk = server.locate_current(object, block).expect("catalog block");
+            checksum = checksum.wrapping_add(u64::from(disk.0));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / TIMED_LOOKUPS as f64;
+        std::hint::black_box(checksum);
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Full-catalog sweep: every block of every cataloged object must
+/// resolve to an in-range disk through the generation-aware path.
+/// Returns the number of unplaceable blocks (the unknown-object gate).
+fn audit_catalog(server: &CmServer) -> u64 {
+    let disks = server.engine().disks();
+    let mut unknown = 0u64;
+    for obj in server.engine().catalog().objects() {
+        for block in 0..obj.blocks {
+            match server.locate_current(obj.id, block) {
+                Ok(d) if d.0 < disks => {}
+                _ => unknown += 1,
+            }
+        }
+    }
+    unknown
+}
+
+fn main() {
+    let mut seed: u64 = std::env::var("HARNESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5CADDA);
+    let mut objects: u64 = 24;
+    let mut blocks: u64 = 2_000;
+    let mut disks: u32 = 8;
+    let mut out_path = "target/criterion-json/compact.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("numeric --seed"),
+            "--objects" => objects = value("--objects").parse().expect("numeric --objects"),
+            "--blocks" => blocks = value("--blocks").parse().expect("numeric --blocks"),
+            "--disks" => disks = value("--disks").parse().expect("numeric --disks"),
+            "--out" => out_path = value("--out"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    println!("compaction_smoke: seed={seed} objects={objects} blocks={blocks} disks={disks}");
+
+    let config = ServerConfig::new(disks)
+        .with_catalog_seed(seed)
+        .with_auto_compact(true)
+        .with_auto_compact_threshold(0);
+    let mut server = CmServer::new(config).expect("server boot");
+    for _ in 0..objects {
+        server.add_object(blocks).expect("add object");
+    }
+    let clock = Arc::new(VirtualClock::new());
+    let mut monitor =
+        HealthMonitor::for_engine(MonitorConfig::default(), clock.clone(), server.engine());
+    let mut controller = CompactionController::from_config(&config);
+
+    // Burn the §4.3 budget: remove/add round-trips are the fastest
+    // spenders, each drained offline so the executor stays idle.
+    while server.next_op_is_safe(&ScalingOp::remove_one(0)) {
+        server
+            .scale_offline(ScalingOp::remove_one(0))
+            .expect("remove");
+        server
+            .scale_offline(ScalingOp::Add { count: 1 })
+            .expect("add");
+    }
+    monitor.observe_engine(server.engine());
+    let chain_before = server.engine().log().epoch() as u64;
+    let budget_before = u64::from(monitor.budget_remaining());
+    let verdict_before = monitor.report().verdict();
+    println!(
+        "compaction_smoke: budget burned — chain {chain_before} ops, \
+         {budget_before} safe op(s) left, verdict {verdict_before:?}"
+    );
+    assert_eq!(
+        verdict_before,
+        Severity::Crit,
+        "the burn loop must drive the monitor to CRIT before compaction"
+    );
+    let mut unknown_objects = audit_catalog(&server);
+    let locate_before_ns = measure_locate(&server, objects, blocks, seed);
+    println!("compaction_smoke: long-chain locate {locate_before_ns:.1} ns");
+
+    // The auto policy fires on the first step (budget 0 ≤ threshold 0);
+    // the shard keeps serving the seeded workload through the cutover.
+    let mut rng = Pcg64::from_seed(seed ^ 0xC0_4A_C7);
+    let mut hiccups = 0u64;
+    let mut lookups_served = 0u64;
+    let mut moved_blocks = 0u64;
+    let mut midway_audited = false;
+    let total_blocks = server.engine().catalog().total_blocks();
+    let mut rounds = 0u64;
+    loop {
+        clock.advance(1_000);
+        for event in controller.step(&mut server, &mut monitor) {
+            println!("compaction_smoke: {event}");
+            if let scaddar_compact::ControllerEvent::Started { queued, .. } = event {
+                moved_blocks = queued;
+            }
+        }
+        if !server.compaction_active() && !controller.in_flight() {
+            break;
+        }
+        for _ in 0..LOOKUPS_PER_ROUND {
+            let object = scaddar_core::ObjectId(rng.next_u64() % objects);
+            let block = rng.next_u64() % blocks;
+            match server.locate_current(object, block) {
+                Ok(d) if d.0 < server.engine().disks() => lookups_served += 1,
+                _ => hiccups += 1,
+            }
+        }
+        // One full sweep while the migration is genuinely half-done:
+        // the unknown-object gate must hold under dual-generation
+        // serving, not just at the endpoints.
+        if !midway_audited
+            && server
+                .compaction_progress()
+                .is_some_and(|p| p.fraction() >= 0.5)
+        {
+            unknown_objects += audit_catalog(&server);
+            midway_audited = true;
+            println!("compaction_smoke: mid-cutover catalog sweep clean");
+        }
+        server.tick();
+        rounds += 1;
+        assert!(
+            rounds <= total_blocks + 10_000,
+            "compaction wedged after {rounds} rounds"
+        );
+    }
+    unknown_objects += audit_catalog(&server);
+    monitor.observe_engine(server.engine());
+    let generation = server.generation();
+    let chain_after = server.engine().log().epoch() as u64;
+    let budget_after = u64::from(monitor.budget_remaining());
+    let residency_ok = server.residency_consistent();
+    println!(
+        "compaction_smoke: flipped to generation {generation} in {rounds} round(s) — \
+         chain {chain_after} ops, {budget_after} safe op(s), \
+         served {lookups_served} lookup(s), {hiccups} hiccup(s), \
+         {unknown_objects} unknown object(s), residency_ok={residency_ok}"
+    );
+    let locate_after_ns = measure_locate(&server, objects, blocks, seed);
+
+    // Fresh-engine baseline: a brand-new shard over the same catalog
+    // (chain length 0 by construction) is what "collapsed to O(1)"
+    // must be indistinguishable from.
+    let fresh_config = ServerConfig::new(disks).with_catalog_seed(seed);
+    let mut fresh = CmServer::new(fresh_config).expect("fresh boot");
+    for _ in 0..objects {
+        fresh.add_object(blocks).expect("add object");
+    }
+    let locate_fresh_ns = measure_locate(&fresh, objects, blocks, seed);
+    let locate_ratio = locate_after_ns / locate_fresh_ns;
+    println!(
+        "compaction_smoke: locate before={locate_before_ns:.1}ns \
+         after={locate_after_ns:.1}ns fresh={locate_fresh_ns:.1}ns \
+         ratio={locate_ratio:.3}"
+    );
+
+    let mut results = String::new();
+    push_result(&mut results, "locate_before_ns", locate_before_ns);
+    push_result(&mut results, "locate_after_ns", locate_after_ns);
+    push_result(&mut results, "locate_fresh_ns", locate_fresh_ns);
+    push_result(&mut results, "locate_ratio", locate_ratio);
+    push_result(&mut results, "hiccups", hiccups as f64);
+    push_result(&mut results, "unknown_objects", unknown_objects as f64);
+    push_result(&mut results, "lookups_served", lookups_served as f64);
+    push_result(&mut results, "chain_ops_before", chain_before as f64);
+    push_result(&mut results, "chain_ops_after", chain_after as f64);
+    push_result(&mut results, "generation", generation as f64);
+    push_result(&mut results, "moved_blocks", moved_blocks as f64);
+    push_result(&mut results, "total_blocks", total_blocks as f64);
+    push_result(&mut results, "budget_before", budget_before as f64);
+    push_result(&mut results, "budget_after", budget_after as f64);
+    let json = format!("{{\"bench\": \"compact\", \"results\": [\n{results}\n]}}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("compaction_smoke: wrote {out_path}");
+
+    let gates_ok = hiccups == 0
+        && unknown_objects == 0
+        && locate_ratio <= 1.2
+        && residency_ok
+        && generation == 1
+        && chain_after == 0
+        && budget_after > 0;
+    if !gates_ok {
+        eprintln!(
+            "compaction_smoke: FAILED (hiccups={hiccups}, unknown_objects={unknown_objects}, \
+             locate_ratio={locate_ratio:.3}, residency_ok={residency_ok}, \
+             generation={generation}, chain_after={chain_after}, budget_after={budget_after})"
+        );
+        std::process::exit(1);
+    }
+    println!("compaction_smoke: OK");
+}

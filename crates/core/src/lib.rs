@@ -211,6 +211,22 @@ pub struct Scaddar {
     epsilon: f64,
     movements: Vec<OpMovement>,
     stats: Option<Arc<EngineStats>>,
+    /// Placement generation: bumped by a rehash compaction, which
+    /// re-derives every `X_0` from a fresh catalog seed and restarts the
+    /// scaling log (see [`Scaddar::open_next_generation`]).
+    generation: u64,
+}
+
+/// Generation `g`'s catalog seed, chained from generation `g-1`'s via a
+/// SplitMix64-style finalizer. Deterministic, so two replicas compacting
+/// the same state open identical generations.
+fn next_generation_seed(seed: u64, generation: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(generation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Scaddar {
@@ -226,6 +242,7 @@ impl Scaddar {
             epsilon: config.epsilon,
             movements: Vec::new(),
             stats: None,
+            generation: 0,
         })
     }
 
@@ -265,6 +282,12 @@ impl Scaddar {
     /// Current epoch `j`.
     pub fn epoch(&self) -> usize {
         self.log.epoch()
+    }
+
+    /// Current placement generation (0 for an engine that has never
+    /// been rehash-compacted).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The compiled remap pipeline kept in lockstep with the log.
@@ -491,6 +514,66 @@ impl Scaddar {
         moved
     }
 
+    /// Opens the **next placement generation**: a staging engine with
+    /// the same objects under re-derived seeds (fresh `X_0` per block),
+    /// a scaling log restarted at the current disk count (locate
+    /// collapses back to one `X_0 mod N` hash), and a full fairness
+    /// budget. The staging engine serves nothing by itself — a caller
+    /// (cmsim's compaction) migrates block residency toward it and then
+    /// flips over. Deterministic: the new catalog seed is chained from
+    /// the current one, so the next generation is a pure function of
+    /// the current placement state.
+    pub fn open_next_generation(&self) -> Scaddar {
+        let generation = self.generation + 1;
+        let catalog = self.catalog.reseeded(next_generation_seed(
+            self.catalog.catalog_seed(),
+            generation,
+        ));
+        let disks = self.disks();
+        let log = ScalingLog::new(disks).expect("disks > 0 by invariant");
+        let pipeline = RemapPipeline::compile(&log);
+        let cache = XCache::rebuild(&catalog, &pipeline);
+        Scaddar {
+            fairness: FairnessTracker::new(catalog.bits(), disks),
+            catalog,
+            log,
+            pipeline,
+            cache,
+            epsilon: self.epsilon,
+            movements: Vec::new(),
+            // Staging engines are unobserved; the caller re-attaches
+            // handles at flip time so preview work never double-counts.
+            stats: None,
+            generation,
+        }
+    }
+
+    /// **Offline** rehash compaction: replaces this engine with its next
+    /// generation in place and returns how many blocks change disks.
+    /// Unlike [`Scaddar::full_redistribution`] — which keeps the old
+    /// `X_0`s and merely restarts the log — this re-derives every
+    /// placement from a fresh seed, so the expected moved fraction is
+    /// `1 - 1/N` regardless of history. The online, rate-limited path
+    /// lives in cmsim's compaction machinery on top of
+    /// [`Scaddar::open_next_generation`].
+    pub fn rehash_to_next_generation(&mut self) -> u64 {
+        let next = self.open_next_generation();
+        let disks = u64::from(self.disks());
+        let moved = self
+            .cache
+            .blocks_with_x(&self.catalog)
+            .zip(next.cache.blocks_with_x(&next.catalog))
+            .filter(|((_, x_old), (_, x_new))| x_old % disks != x_new % disks)
+            .count() as u64;
+        let stats = self.stats.take();
+        *self = next;
+        self.stats = stats;
+        if let Some(stats) = &self.stats {
+            stats.xcache_rebuilds.inc();
+        }
+        moved
+    }
+
     /// Serializes the engine's entire placement state (catalog + log) to
     /// the compact [`persist`] format — everything a restarted server
     /// needs to relocate every block.
@@ -498,6 +581,7 @@ impl Scaddar {
         let bytes = persist::encode(&Snapshot {
             log: self.log.clone(),
             catalog: self.catalog.clone(),
+            generation: self.generation,
         });
         if let Some(stats) = &self.stats {
             stats.persist_bytes_written.add(bytes.len() as u64);
@@ -554,6 +638,7 @@ impl Scaddar {
             // move counts, so restored engines restart RO1 accounting.
             movements: Vec::new(),
             stats,
+            generation: snap.generation,
         })
     }
 
@@ -747,6 +832,84 @@ mod tests {
         assert!(s.next_op_is_safe(8));
         let loads = s.load_distribution();
         assert_eq!(loads.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn next_generation_collapses_locate_to_one_hash() {
+        let (mut s, id) = engine(8, 10_000);
+        for _ in 0..6 {
+            s.scale(ScalingOp::remove_one(0)).unwrap();
+            s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        }
+        assert_eq!(s.epoch(), 12);
+        assert_eq!(s.generation(), 0);
+        let next = s.open_next_generation();
+        assert_eq!(next.generation(), 1);
+        assert_eq!(next.epoch(), 0, "fresh log: locate is X_0 mod N again");
+        assert_eq!(next.disks(), s.disks());
+        assert!(next.next_op_is_safe(7), "fairness budget is full again");
+        next.verify_derived_state().unwrap();
+        // Same library, new placement: every block locatable, loads
+        // balanced straight from X_0.
+        let loads = next.load_distribution();
+        assert_eq!(loads.iter().sum::<u64>(), 10_000);
+        let mean = 10_000.0 / loads.len() as f64;
+        for &l in &loads {
+            assert!((l as f64 - mean).abs() / mean < 0.15, "{loads:?}");
+        }
+        // Determinism: opening the next generation twice is identical.
+        let again = s.open_next_generation();
+        for blk in (0..10_000).step_by(997) {
+            assert_eq!(
+                next.locate(id, blk).unwrap(),
+                again.locate(id, blk).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn offline_rehash_replaces_in_place_and_counts_moves() {
+        let (mut s, id) = engine(5, 8_000);
+        s.scale(ScalingOp::Add { count: 2 }).unwrap();
+        s.scale(ScalingOp::remove_one(1)).unwrap();
+        let staged = s.open_next_generation();
+        let moved = s.rehash_to_next_generation();
+        assert_eq!(s.generation(), 1);
+        assert_eq!(s.epoch(), 0);
+        // A rehash is a near-complete reshuffle: expect ~(1 - 1/6) moved.
+        let frac = moved as f64 / 8_000.0;
+        assert!((frac - 5.0 / 6.0).abs() < 0.05, "moved fraction {frac}");
+        // In-place result equals the staged next generation.
+        for blk in (0..8_000).step_by(271) {
+            assert_eq!(s.locate(id, blk).unwrap(), staged.locate(id, blk).unwrap());
+        }
+        s.verify_derived_state().unwrap();
+        // Generations chain: the second rehash lands on generation 2
+        // with yet another placement.
+        s.rehash_to_next_generation();
+        assert_eq!(s.generation(), 2);
+    }
+
+    #[test]
+    fn generation_survives_snapshot_round_trip() {
+        let (mut s, id) = engine(4, 1_000);
+        s.rehash_to_next_generation();
+        s.scale(ScalingOp::Add { count: 1 }).unwrap();
+        let restored = Scaddar::from_snapshot(&s.snapshot(), 0.05).unwrap();
+        assert_eq!(restored.generation(), 1);
+        for blk in (0..1_000).step_by(97) {
+            assert_eq!(
+                restored.locate(id, blk).unwrap(),
+                s.locate(id, blk).unwrap()
+            );
+        }
+        // The next generation after restore matches the next generation
+        // before restore (the chain is a function of placement state).
+        let a = s.open_next_generation();
+        let b = restored.open_next_generation();
+        for blk in (0..1_000).step_by(97) {
+            assert_eq!(a.locate(id, blk).unwrap(), b.locate(id, blk).unwrap());
+        }
     }
 
     #[test]

@@ -137,6 +137,30 @@ impl Catalog {
         self.objects.iter().map(|o| o.blocks).sum()
     }
 
+    /// A catalog with the same objects (ids, block counts, id
+    /// allocation) but every object seed re-derived from `new_seed` —
+    /// the content side of opening a new placement *generation*: the
+    /// same library, fresh `X_0` sequences.
+    pub fn reseeded(&self, new_seed: u64) -> Catalog {
+        let deriver = SeedDeriver::new(new_seed);
+        let objects = self
+            .objects
+            .iter()
+            .map(|o| CmObject {
+                id: o.id,
+                seed: deriver.object_seed(o.id.0),
+                blocks: o.blocks,
+            })
+            .collect();
+        Catalog {
+            kind: self.kind,
+            bits: self.bits,
+            deriver,
+            objects,
+            next_id: self.next_id,
+        }
+    }
+
     /// The random sequence `p_r(s_m)` of an object.
     pub fn randoms(&self, object: &CmObject) -> BlockRandoms {
         BlockRandoms::new(self.kind, object.seed, self.bits)
@@ -271,6 +295,34 @@ mod tests {
                 assert_eq!(span, full[start as usize..end], "{kind} [{start}, +{len})");
             }
         }
+    }
+
+    #[test]
+    fn reseeding_keeps_content_and_changes_placement() {
+        let mut c = catalog();
+        let a = c.add_object(10);
+        let b = c.add_object(20);
+        c.remove_object(a).unwrap();
+        let r = c.reseeded(0xDEAD_BEEF);
+        // Same library: ids, block counts, and id allocation survive.
+        assert!(r.object(a).is_none());
+        assert_eq!(r.object(b).unwrap().blocks, 20);
+        assert_eq!(r.next_object_id(), c.next_object_id());
+        assert_eq!(r.catalog_seed(), 0xDEAD_BEEF);
+        // Fresh placement: seeds differ, and so do the X_0 streams.
+        assert_ne!(r.object(b).unwrap().seed, c.object(b).unwrap().seed);
+        assert_ne!(r.x0(r.object(b).unwrap(), 0), c.x0(c.object(b).unwrap(), 0));
+        // New objects in the reseeded catalog derive from the new seed.
+        let mut r2 = r.clone();
+        let mut fresh = Catalog::new(c.rng_kind(), c.bits(), 0xDEAD_BEEF);
+        fresh.add_object(10);
+        fresh.add_object(20);
+        let d = r2.add_object(5);
+        let mut fresh2 = fresh.clone();
+        assert_eq!(fresh2.add_object(5), d);
+        assert_eq!(r2.object(d).unwrap().seed, fresh2.object(d).unwrap().seed);
+        // Reseeding is idempotent in distribution: same seed, same result.
+        assert_eq!(c.reseeded(0xDEAD_BEEF).objects(), r.objects());
     }
 
     #[test]

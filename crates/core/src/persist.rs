@@ -9,7 +9,7 @@
 //! Format (little-endian, varint = LEB128):
 //!
 //! ```text
-//! magic "SCDR" | version u8 |
+//! magic "SCDR" | version u8 | generation varint (v2+) |
 //! log:     initial_disks varint | record count varint |
 //!          per record: tag u8 (0=add, 1=remove) |
 //!                      add: count varint
@@ -23,6 +23,10 @@
 //! Decoding validates structurally (every record is re-validated through
 //! [`ScalingLog::push`]) and by checksum, so a truncated or bit-flipped
 //! snapshot is rejected rather than silently mislocating every block.
+//!
+//! Version history: v1 predates rehash compaction; v2 adds the placement
+//! generation right after the version byte. v1 snapshots still decode
+//! (as generation 0); encoding always writes v2.
 
 use crate::error::ScalingError;
 use crate::log::{RecordAction, ScalingLog};
@@ -71,7 +75,9 @@ impl std::fmt::Display for PersistError {
 impl std::error::Error for PersistError {}
 
 const MAGIC: &[u8; 4] = b"SCDR";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// The oldest format version [`decode`] still accepts.
+const OLDEST_SUPPORTED_VERSION: u8 = 1;
 
 /// A complete placement-metadata snapshot.
 #[derive(Debug, Clone)]
@@ -80,6 +86,8 @@ pub struct Snapshot {
     pub log: ScalingLog,
     /// The object catalog.
     pub catalog: Catalog,
+    /// The placement generation (0 for pre-compaction v1 snapshots).
+    pub generation: u64,
 }
 
 // --- primitives ---------------------------------------------------------
@@ -172,6 +180,7 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     buf.extend_from_slice(MAGIC);
     buf.push(VERSION);
+    put_varint(&mut buf, snapshot.generation);
 
     // Log.
     put_varint(&mut buf, u64::from(snapshot.log.initial_disks()));
@@ -231,9 +240,15 @@ pub fn decode(data: &[u8]) -> Result<Snapshot, PersistError> {
 
     let mut pos = 4usize;
     let version = get_u8(body, &mut pos)?;
-    if version != VERSION {
+    if !(OLDEST_SUPPORTED_VERSION..=VERSION).contains(&version) {
         return Err(PersistError::UnknownVersion(version));
     }
+    // v1 predates compaction: every v1 snapshot is generation 0.
+    let generation = if version >= 2 {
+        get_varint(body, &mut pos)?
+    } else {
+        0
+    };
 
     // Log, re-validated operation by operation.
     let initial =
@@ -283,7 +298,11 @@ pub fn decode(data: &[u8]) -> Result<Snapshot, PersistError> {
     if pos != body.len() {
         return Err(PersistError::TrailingBytes);
     }
-    Ok(Snapshot { log, catalog })
+    Ok(Snapshot {
+        log,
+        catalog,
+        generation,
+    })
 }
 
 /// Decode-and-discard: `Ok(())` iff `data` is a byte-exact valid
@@ -311,7 +330,11 @@ mod tests {
         let first = catalog.objects()[0].id;
         catalog.remove_object(first).unwrap();
         catalog.add_object(7);
-        Snapshot { log, catalog }
+        Snapshot {
+            log,
+            catalog,
+            generation: 3,
+        }
     }
 
     #[test]
@@ -320,6 +343,7 @@ mod tests {
         let bytes = encode(&snap);
         let back = decode(&bytes).unwrap();
         assert_eq!(back.log, snap.log);
+        assert_eq!(back.generation, snap.generation);
         assert_eq!(back.catalog.rng_kind(), snap.catalog.rng_kind());
         assert_eq!(back.catalog.bits(), snap.catalog.bits());
         assert_eq!(back.catalog.objects(), snap.catalog.objects());
@@ -370,6 +394,38 @@ mod tests {
             decode(&bytes),
             Err(PersistError::UnknownVersion(99))
         ));
+    }
+
+    /// Re-encodes `snap` as a v1 byte stream (no generation field) —
+    /// what a pre-compaction build would have written.
+    fn encode_as_v1(snap: &Snapshot) -> Vec<u8> {
+        let mut bytes = encode(snap);
+        // The generation varint of a generation-0 snapshot is the
+        // single byte right after the version byte; drop it and rewrite
+        // version + checksum.
+        assert_eq!(snap.generation, 0, "v1 can only express generation 0");
+        assert_eq!(bytes[5], 0);
+        bytes.remove(5);
+        bytes[4] = 1;
+        let n = bytes.len();
+        let fixed_crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&fixed_crc.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn decodes_legacy_v1_snapshots_as_generation_zero() {
+        let mut snap = sample_snapshot();
+        snap.generation = 0;
+        let v1 = encode_as_v1(&snap);
+        let back = decode(&v1).unwrap();
+        assert_eq!(back.generation, 0);
+        assert_eq!(back.log, snap.log);
+        assert_eq!(back.catalog.objects(), snap.catalog.objects());
+        // The v1 bytes still fail on corruption like any other stream.
+        let mut bad = v1.clone();
+        bad[8] ^= 0x10;
+        assert!(decode(&bad).is_err());
     }
 
     #[test]
@@ -437,9 +493,10 @@ mod tests {
             }
             let mut catalog = Catalog::new(RngKind::SplitMix64, Bits::B64, seed);
             catalog.add_object(seed % 1_000);
-            let snap = Snapshot { log, catalog };
+            let snap = Snapshot { log, catalog, generation: seed % 5 };
             let back = decode(&encode(&snap)).unwrap();
             prop_assert_eq!(back.log, snap.log);
+            prop_assert_eq!(back.generation, snap.generation);
             prop_assert_eq!(back.catalog.objects(), snap.catalog.objects());
         }
     }

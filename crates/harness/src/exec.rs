@@ -212,6 +212,7 @@ impl<'a> Executor<'a> {
             }
             Step::RemoveObject { pick } => self.run_remove_object(i, *pick, span)?,
             Step::Workload { rounds } => self.run_workload(i, *rounds, span)?,
+            Step::Compact { kill } => self.run_compact(i, *kill, span)?,
         }
         self.check_invariants(if matches!(step, Step::Scale { .. }) {
             None // already checked with the plan in run_scale
@@ -360,6 +361,147 @@ impl<'a> Executor<'a> {
             self.trace,
             "  step {i}: workload {rounds} rounds, {} active streams",
             self.server.active_streams()
+        );
+        Ok(())
+    }
+
+    /// One online rehash compaction: the server migrates to the next
+    /// generation through its executor while the standalone engine
+    /// flips offline; both must land on the same placement (same
+    /// catalog seed, same history, same generation seed derivation).
+    /// `kill` fails a disk mid-migration on a *clone* — the clone must
+    /// still complete the flip without losing a block, while the real
+    /// timeline stays fault-free and deterministic.
+    fn run_compact(
+        &mut self,
+        i: usize,
+        kill: Option<u64>,
+        span: &mut SpanGuard,
+    ) -> Result<(), Failure> {
+        let from = self.engine.generation();
+        let pre_catalog: Vec<(ObjectId, u64)> = self
+            .engine
+            .catalog()
+            .objects()
+            .iter()
+            .map(|o| (o.id, o.blocks))
+            .collect();
+        let pre_resident: u64 = self.server.load_census().iter().sum();
+        let backlog = match self.server.begin_compaction() {
+            Ok(b) => b,
+            Err(e) => {
+                span.event("skipped", "refused");
+                let _ = writeln!(self.trace, "  step {i}: compact skipped ({e:?})");
+                return Ok(());
+            }
+        };
+        let moved = self.engine.rehash_to_next_generation();
+        if moved != backlog {
+            return Err(exec_failure(format!(
+                "compaction backlog skew: server queued {backlog}, \
+                 engine re-placed {moved}"
+            )));
+        }
+        self.monitor
+            .note_compaction_started(from, from + 1, backlog);
+        span.event("generation", format!("{from}->{}", from + 1));
+        span.event("backlog", backlog);
+
+        // A few migration rounds first, so an injected kill lands
+        // mid-flight rather than before any move committed.
+        let mut ticks = 0u32;
+        for _ in 0..3 {
+            if !self.server.compaction_active() {
+                break;
+            }
+            self.server.tick();
+            ticks += 1;
+        }
+        if let Some(pick) = kill {
+            let victim = DiskIndex((pick % u64::from(self.engine.disks())) as u32);
+            let mut clone = self.server.clone();
+            clone.fail_disk(victim);
+            let mut t = 0u32;
+            while clone.compaction_active() {
+                clone.tick();
+                t += 1;
+                if t > MAX_TICKS {
+                    return Err(Failure {
+                        invariant: "compaction-no-loss",
+                        detail: format!(
+                            "kill-during-compaction({victim:?}): migration wedged \
+                             after {MAX_TICKS} ticks"
+                        ),
+                    });
+                }
+            }
+            if clone.generation() != from + 1 || !clone.residency_consistent() {
+                return Err(Failure {
+                    invariant: "compaction-no-loss",
+                    detail: format!(
+                        "kill-during-compaction({victim:?}): generation {} \
+                         (expected {}), residency_consistent={}",
+                        clone.generation(),
+                        from + 1,
+                        clone.residency_consistent()
+                    ),
+                });
+            }
+            let clone_resident: u64 = clone.load_census().iter().sum();
+            invariants::check_compaction_no_loss(
+                &self.engine,
+                &pre_catalog,
+                pre_resident,
+                clone_resident,
+            )?;
+            span.event("kill", format!("{victim:?}"));
+            let _ = writeln!(
+                self.trace,
+                "    fault kill-during-compaction({victim:?}) ok"
+            );
+        }
+        while self.server.compaction_active() {
+            self.server.tick();
+            ticks += 1;
+            if ticks > MAX_TICKS {
+                return Err(exec_failure(format!(
+                    "compaction drain stuck after {MAX_TICKS} ticks"
+                )));
+            }
+        }
+        self.drain_server()?;
+
+        let total = self.engine.catalog().total_blocks();
+        self.monitor.note_compaction_completed(from + 1, total);
+        // The flip is durable (v2 snapshots carry the generation), so it
+        // is also a persistence point: crash recovery replays on top of
+        // the flipped snapshot, never the dead generation's.
+        self.last_snapshot = self.engine.snapshot();
+        self.journal.clear();
+        // The model's REMAP copy described the dead generation; rebuild
+        // it from the flipped catalog's fresh X_0 draws.
+        self.model = Model::new(self.engine.disks(), self.mutation);
+        for obj in self.engine.catalog().objects() {
+            let x0s = (0..obj.blocks)
+                .map(|b| self.engine.catalog().x0(obj, b))
+                .collect();
+            self.model.add_object(obj.id, x0s);
+        }
+        self.monitor.observe_engine(&self.engine);
+        let post_resident: u64 = self.server.load_census().iter().sum();
+        invariants::check_compaction_no_loss(
+            &self.engine,
+            &pre_catalog,
+            pre_resident,
+            post_resident,
+        )?;
+        invariants::check_compaction_resets_budget(&self.engine, self.monitor.budget_remaining())?;
+        self.clock.advance(backlog + 1);
+        let kill_label = kill.map_or(String::new(), |_| " kill".to_string());
+        let _ = writeln!(
+            self.trace,
+            "  step {i}: compact generation {from}->{} moved {moved}/{total}{kill_label}",
+            from + 1
         );
         Ok(())
     }
@@ -674,6 +816,7 @@ fn step_name(step: &Step) -> &'static str {
         Step::AddObject { .. } => "step.add-object",
         Step::RemoveObject { .. } => "step.remove-object",
         Step::Workload { .. } => "step.workload",
+        Step::Compact { .. } => "step.compact",
     }
 }
 
@@ -860,7 +1003,7 @@ mod tests {
 
     #[test]
     fn health_event_log_is_byte_identical_per_seed() {
-        for seed in [3u64, 17, 404] {
+        for seed in [19u64, 17, 404] {
             let scenario = Scenario::generate(seed);
             let a = execute(&scenario, Mutation::None);
             let b = execute(&scenario, Mutation::None);
@@ -924,6 +1067,75 @@ mod tests {
         // Companion negative check: the detection invariant itself.
         let err = crate::invariants::check_health_detects_misplacement(&[]).unwrap_err();
         assert_eq!(err.invariant, "health-detects-misplacement");
+    }
+
+    /// The mid-churn compaction acceptance: seeded scenarios containing
+    /// a kill-during-compaction step must pass the whole invariant
+    /// catalog (no lost block, budget refilled, byte-identical traces).
+    #[test]
+    fn kill_during_compaction_scenarios_pass_with_identical_traces() {
+        let mut found = 0;
+        for seed in 0..200u64 {
+            let scenario = Scenario::generate(seed);
+            let has_kill = scenario
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::Compact { kill: Some(_) }));
+            if !has_kill {
+                continue;
+            }
+            let a = execute(&scenario, Mutation::None);
+            assert!(a.passed(), "seed {seed} failed:\n{}", a.trace);
+            assert!(
+                a.trace.contains("fault kill-during-compaction")
+                    || a.trace.contains("compact skipped"),
+                "seed {seed} trace missing the kill:\n{}",
+                a.trace
+            );
+            let b = execute(&scenario, Mutation::None);
+            assert_eq!(a.trace, b.trace, "seed {seed} trace not reproducible");
+            if a.trace.contains("fault kill-during-compaction") {
+                found += 1;
+            }
+            if found >= 2 {
+                return;
+            }
+        }
+        assert!(found > 0, "no seed in 0..200 exercised a compaction kill");
+    }
+
+    /// Compaction lifecycle events land in the health log, and the trace
+    /// records the generation flip with the collapsed chain's effects
+    /// visible to the budget invariant (checked inside the executor).
+    #[test]
+    fn compaction_steps_log_lifecycle_events() {
+        for seed in 0..200u64 {
+            let scenario = Scenario::generate(seed);
+            if !scenario
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::Compact { .. }))
+            {
+                continue;
+            }
+            let outcome = execute(&scenario, Mutation::None);
+            assert!(outcome.passed(), "seed {seed} failed:\n{}", outcome.trace);
+            if !outcome.trace.contains("compact generation") {
+                continue; // every compact step in this seed was refused
+            }
+            assert!(
+                outcome.health_events.contains("compaction-active"),
+                "seed {seed} missing start event:\n{}",
+                outcome.health_events
+            );
+            assert!(
+                outcome.health_events.contains("compaction-complete"),
+                "seed {seed} missing completion event:\n{}",
+                outcome.health_events
+            );
+            return;
+        }
+        panic!("no seed in 0..200 executed a compaction step");
     }
 
     #[test]

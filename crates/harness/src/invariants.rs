@@ -8,9 +8,10 @@
 
 use crate::model::Model;
 use scaddar_analysis::uniformity::{chi_square_uniform, max_relative_deviation};
-use scaddar_core::{locate, MovePlan, Scaddar, ScalingOp};
-use scaddar_monitor::HealthEvent;
-use scaddar_obs::{ProfileSnapshot, Registry, RegistrySnapshot, SpanRecord};
+use scaddar_core::{locate, MovePlan, ObjectId, Scaddar, ScalingOp};
+use scaddar_monitor::{HealthEvent, HealthMonitor, MonitorConfig};
+use scaddar_obs::{ProfileSnapshot, Registry, RegistrySnapshot, SpanRecord, VirtualClock};
+use std::sync::Arc;
 
 /// A named invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -279,6 +280,103 @@ pub fn check_health_detects_misplacement(events: &[HealthEvent]) -> Check {
             events.len()
         ),
     ))
+}
+
+/// **`compaction-no-loss`** — a rehash compaction reorganizes but never
+/// loses: the flipped engine serves exactly the pre-compaction catalog
+/// (same objects, same block counts), every block locates onto a live
+/// disk of the new generation, and the serving store's resident total
+/// is unchanged (blocks migrate, they don't vanish or duplicate).
+pub fn check_compaction_no_loss(
+    engine: &Scaddar,
+    pre_catalog: &[(ObjectId, u64)],
+    pre_resident: u64,
+    post_resident: u64,
+) -> Check {
+    let post: Vec<(ObjectId, u64)> = engine
+        .catalog()
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.blocks))
+        .collect();
+    if post != pre_catalog {
+        return Err(Failure::new(
+            "compaction-no-loss",
+            format!("catalog changed across the flip: {pre_catalog:?} -> {post:?}"),
+        ));
+    }
+    for obj in engine.catalog().objects() {
+        let disks = engine.locate_all(obj.id).map_err(|e| {
+            Failure::new(
+                "compaction-no-loss",
+                format!("locate_all({:?}) after the flip: {e:?}", obj.id),
+            )
+        })?;
+        if disks.len() != obj.blocks as usize {
+            return Err(Failure::new(
+                "compaction-no-loss",
+                format!(
+                    "object {:?}: {} blocks locatable after the flip, expected {}",
+                    obj.id,
+                    disks.len(),
+                    obj.blocks
+                ),
+            ));
+        }
+        if let Some(d) = disks.iter().find(|d| d.0 >= engine.disks()) {
+            return Err(Failure::new(
+                "compaction-no-loss",
+                format!(
+                    "object {:?} placed on disk {} outside the {}-disk array",
+                    obj.id,
+                    d.0,
+                    engine.disks()
+                ),
+            ));
+        }
+    }
+    if post_resident != pre_resident {
+        return Err(Failure::new(
+            "compaction-no-loss",
+            format!(
+                "resident block total changed across compaction: \
+                 {pre_resident} -> {post_resident}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// **`compaction-resets-budget`** — after a completed compaction the
+/// REMAP chain is empty (locate is one mod, §4.2's fold has nothing to
+/// fold) and the monitor's §4.3 budget probe reports the *full* fresh
+/// allowance at the current disk count — the same number a monitor
+/// built from scratch against the flipped engine computes.
+pub fn check_compaction_resets_budget(engine: &Scaddar, budget_remaining: u32) -> Check {
+    let chain = engine.log().epoch();
+    if chain != 0 {
+        return Err(Failure::new(
+            "compaction-resets-budget",
+            format!("REMAP chain still {chain} op(s) long after the flip"),
+        ));
+    }
+    let fresh = HealthMonitor::for_engine(
+        MonitorConfig::default(),
+        Arc::new(VirtualClock::new()),
+        engine,
+    )
+    .budget_remaining();
+    if budget_remaining != fresh {
+        return Err(Failure::new(
+            "compaction-resets-budget",
+            format!(
+                "budget probe reports {budget_remaining} safe op(s) remaining, \
+                 a fresh monitor computes {fresh} at N={}",
+                engine.disks()
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// **`cluster-routing-agree`** — every routed lookup landed on the
@@ -593,6 +691,50 @@ mod tests {
             m.from = scaddar_core::DiskIndex(1);
         }
         assert!(check_ro1_exact(&plan, &op, n_prev).is_err());
+    }
+
+    #[test]
+    fn compaction_no_loss_passes_a_real_flip_and_flags_fabricated_loss() {
+        let mut e = engine();
+        e.scale(ScalingOp::Add { count: 3 }).unwrap();
+        e.scale(ScalingOp::remove_one(1)).unwrap();
+        let pre: Vec<(scaddar_core::ObjectId, u64)> = e
+            .catalog()
+            .objects()
+            .iter()
+            .map(|o| (o.id, o.blocks))
+            .collect();
+        let resident = e.catalog().total_blocks();
+        e.rehash_to_next_generation();
+        check_compaction_no_loss(&e, &pre, resident, resident).unwrap();
+        // A store that lost a block across the flip.
+        let f = check_compaction_no_loss(&e, &pre, resident, resident - 1).unwrap_err();
+        assert_eq!(f.invariant, "compaction-no-loss");
+        assert!(f.detail.contains("resident block total"), "{}", f.detail);
+        // A catalog that changed across the flip.
+        let mut wrong = pre.clone();
+        wrong[0].1 += 1;
+        let f = check_compaction_no_loss(&e, &wrong, resident, resident).unwrap_err();
+        assert!(f.detail.contains("catalog changed"), "{}", f.detail);
+    }
+
+    #[test]
+    fn compaction_resets_budget_demands_empty_chain_and_full_allowance() {
+        let mut e = engine();
+        e.scale(ScalingOp::Add { count: 2 }).unwrap();
+        // Chain not collapsed: a "compaction" that left ops behind.
+        let f = check_compaction_resets_budget(&e, 99).unwrap_err();
+        assert_eq!(f.invariant, "compaction-resets-budget");
+        assert!(f.detail.contains("chain still 1"), "{}", f.detail);
+        // A real flip with the fresh monitor's own number passes...
+        e.rehash_to_next_generation();
+        let fresh =
+            HealthMonitor::for_engine(MonitorConfig::default(), Arc::new(VirtualClock::new()), &e)
+                .budget_remaining();
+        check_compaction_resets_budget(&e, fresh).unwrap();
+        // ...but a budget probe that failed to refill does not.
+        let f = check_compaction_resets_budget(&e, fresh - 1).unwrap_err();
+        assert!(f.detail.contains("fresh monitor computes"), "{}", f.detail);
     }
 
     #[test]

@@ -106,6 +106,14 @@ pub enum Step {
         /// Raw round pick.
         rounds: u32,
     },
+    /// Rehash-compact to the next generation (collapsing the REMAP
+    /// chain); `kill` optionally names a disk (raw pick, normalized at
+    /// exec time) to fail mid-migration on a cloned server, which must
+    /// still complete the flip without losing a block.
+    Compact {
+        /// Raw mid-migration kill victim, if any.
+        kill: Option<u64>,
+    },
 }
 
 /// A fully seeded test scenario.
@@ -171,6 +179,12 @@ impl Scenario {
                 Step::Workload { rounds } => {
                     out.push_str(&format!("  {i}: workload {rounds}\n"));
                 }
+                Step::Compact { kill: Some(pick) } => {
+                    out.push_str(&format!("  {i}: compact kill({pick})\n"));
+                }
+                Step::Compact { kill: None } => {
+                    out.push_str(&format!("  {i}: compact\n"));
+                }
             }
         }
         out
@@ -178,7 +192,7 @@ impl Scenario {
 }
 
 fn gen_step(rng: &mut TestRng) -> Step {
-    match rng.below(8) {
+    match rng.below(10) {
         0..=3 => {
             let op = if rng.below(2) == 0 {
                 ScalingOp::Add {
@@ -203,8 +217,11 @@ fn gen_step(rng: &mut TestRng) -> Step {
         5 => Step::RemoveObject {
             pick: rng.next_u64(),
         },
-        _ => Step::Workload {
+        6 | 7 => Step::Workload {
             rounds: rng.below(16) as u32,
+        },
+        _ => Step::Compact {
+            kill: (rng.below(2) == 0).then(|| rng.next_u64()),
         },
     }
 }
@@ -256,6 +273,7 @@ mod tests {
     #[test]
     fn seeds_cover_every_step_and_fault_kind() {
         let (mut scale, mut add, mut remove, mut work) = (0, 0, 0, 0);
+        let (mut compact, mut compact_kill) = (0, 0);
         let mut fault_kinds = std::collections::BTreeSet::new();
         for seed in 0..300u64 {
             for step in Scenario::generate(seed).steps {
@@ -271,10 +289,18 @@ mod tests {
                     Step::AddObject { .. } => add += 1,
                     Step::RemoveObject { .. } => remove += 1,
                     Step::Workload { .. } => work += 1,
+                    Step::Compact { kill } => {
+                        compact += 1;
+                        if kill.is_some() {
+                            compact_kill += 1;
+                        }
+                    }
                 }
             }
         }
         assert!(scale > 0 && add > 0 && remove > 0 && work > 0);
+        assert!(compact > 0, "compaction steps generated");
+        assert!(compact_kill > 0, "kill-during-compaction steps generated");
         assert_eq!(fault_kinds.len(), 6, "every fault kind generated");
     }
 }

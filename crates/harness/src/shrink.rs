@@ -155,6 +155,13 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
                     out.push(c);
                 }
             }
+            Step::Compact { kill } => {
+                if kill.is_some() {
+                    let mut c = s.clone();
+                    c.steps[i] = Step::Compact { kill: None };
+                    out.push(c);
+                }
+            }
         }
     }
 
@@ -214,6 +221,41 @@ mod tests {
             }
         }
         assert!(caught > 0, "no seed in 0..64 tripped the planted bug");
+    }
+
+    /// Delta-debugging composes with compaction: a failing scenario that
+    /// also contains compact steps still minimizes (irrelevant compact
+    /// steps drop out or lose their kill), and the reproducer still
+    /// fails the same invariant.
+    #[test]
+    fn scenarios_with_compact_steps_still_shrink() {
+        for seed in 0..200u64 {
+            let scenario = Scenario::generate(seed);
+            if !scenario
+                .steps
+                .iter()
+                .any(|st| matches!(st, Step::Compact { .. }))
+            {
+                continue;
+            }
+            let outcome = exec::execute(&scenario, Mutation::Ro1AddOffByOne);
+            let Some(failure) = &outcome.failure else {
+                continue;
+            };
+            if failure.invariant != "ro1-model" {
+                continue;
+            }
+            let shrunk = minimize(&scenario, Mutation::Ro1AddOffByOne, "ro1-model");
+            assert!(!shrunk.outcome.passed());
+            assert!(
+                shrunk.scenario.scale_ops() <= 3,
+                "seed {seed}: shrunk to {} scale ops\n{}",
+                shrunk.scenario.scale_ops(),
+                shrunk.scenario.describe()
+            );
+            return;
+        }
+        panic!("no failing seed with a compact step in 0..200");
     }
 
     /// Shrinking is deterministic: same input, same minimal scenario.

@@ -362,6 +362,67 @@ impl HealthMonitor {
         self.evaluate(SlotId::Budget, pressure, detail);
     }
 
+    /// Records the start of a rehash compaction as a
+    /// `compaction-active` event (informational — severity Ok): the
+    /// serving layer opened generation `to_generation` and queued
+    /// `backlog` migration moves. Compaction is the *remedy* for the
+    /// `rehash-advised` alert, so its lifecycle belongs in the same
+    /// event stream the alert fired into.
+    pub fn note_compaction_started(
+        &mut self,
+        from_generation: u64,
+        to_generation: u64,
+        backlog: u64,
+    ) {
+        self.note_compaction(
+            "compaction-active",
+            backlog as f64,
+            format!(
+                "rehash compaction started: generation {from_generation} -> {to_generation}, \
+                 {backlog} block move(s) queued"
+            ),
+        );
+    }
+
+    /// Records a completed compaction flip as a `compaction-complete`
+    /// event and discards generation-scoped probe state: the RO1/RO2
+    /// slots and the census window all describe placements of the dead
+    /// generation, so they reset to "never evaluated". The caller
+    /// should follow up with [`HealthMonitor::observe_engine`] on the
+    /// flipped engine — its fresh scaling log resets the §4.3 budget
+    /// probe to Ok.
+    pub fn note_compaction_completed(&mut self, generation: u64, total_blocks: u64) {
+        self.note_compaction(
+            "compaction-complete",
+            total_blocks as f64,
+            format!(
+                "rehash compaction complete: serving generation {generation}, \
+                 {total_blocks} block(s) at chain length 0"
+            ),
+        );
+        self.window = CensusWindow::new(self.config.window);
+        self.ro1 = Slot::new("ro1", "ro1-deviation", self.config.ro1);
+        self.ro2_chi = Slot::new("ro2", "ro2-chi-square", self.config.ro2_chi);
+        self.ro2_misplace = Slot::new("ro2", "ro2-misplacement", self.config.ro2_misplacement);
+    }
+
+    fn note_compaction(&mut self, kind: &'static str, value: f64, detail: String) {
+        let event = HealthEvent {
+            ts_ns: self.clock.now_ns(),
+            probe: "compaction",
+            kind,
+            severity: Severity::Ok,
+            value,
+            threshold: 0.0,
+            detail,
+        };
+        event.emit_into(&self.log);
+        if let Some(g) = &self.gauges {
+            g.events.inc();
+        }
+        self.events.push(event);
+    }
+
     /// Every event emitted so far, oldest first.
     pub fn events(&self) -> &[HealthEvent] {
         &self.events
@@ -635,6 +696,24 @@ mod tests {
         monitor.observe_engine(&engine);
         assert!(monitor.budget_remaining() > 0);
         assert_eq!(monitor.report().verdict(), Severity::Ok);
+    }
+
+    #[test]
+    fn compaction_lifecycle_lands_in_the_event_stream() {
+        let engine = engine_with_blocks(4, 1_000);
+        let (mut monitor, clock) = monitor_for(&engine);
+        monitor.note_compaction_started(0, 1, 750);
+        clock.advance(5_000);
+        monitor.note_compaction_completed(1, 1_000);
+        let kinds: Vec<&str> = monitor.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["compaction-active", "compaction-complete"]);
+        // Lifecycle events are informational, never alerts.
+        assert_eq!(monitor.alerts_emitted(), 0);
+        assert_eq!(monitor.report().verdict(), Severity::Ok);
+        let jsonl = monitor.events_jsonl();
+        assert!(jsonl.contains("generation 0 -> 1"), "{jsonl}");
+        assert!(jsonl.contains("750 block move(s) queued"), "{jsonl}");
+        assert!(jsonl.contains("serving generation 1"), "{jsonl}");
     }
 
     #[test]

@@ -451,6 +451,48 @@ impl NetClient {
             other => Err(Self::unexpected(other)),
         }
     }
+
+    /// Begins an online rehash compaction (or joins the one already in
+    /// flight) and returns the server's compaction status. The server
+    /// answers an error when it must refuse — redistribution still
+    /// draining, or failed disks present.
+    pub fn compact(&self) -> Result<CompactionStatus, ClientError> {
+        match self.request(&Frame::Compact)? {
+            Frame::CompactStatus {
+                active,
+                generation,
+                target_generation,
+                migrated,
+                total,
+                backlog,
+            } => Ok(CompactionStatus {
+                active: active == 1,
+                generation,
+                target_generation,
+                migrated,
+                total,
+                backlog,
+            }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}
+
+/// A shard's compaction state as answered by [`NetClient::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStatus {
+    /// True while a compaction migration is in flight.
+    pub active: bool,
+    /// The serving generation (the one being retired when active).
+    pub generation: u64,
+    /// The generation being migrated to (== `generation` when idle).
+    pub target_generation: u64,
+    /// Blocks already at their new-generation placement.
+    pub migrated: u64,
+    /// Blocks the compaction must account for.
+    pub total: u64,
+    /// Migration moves still queued in the executor.
+    pub backlog: u64,
 }
 
 #[cfg(test)]
@@ -513,6 +555,50 @@ mod tests {
         assert_eq!(verdict, 0, "{report}");
         let stats = client.stats(StatsFormat::Prometheus).unwrap();
         assert!(stats.contains("net_server_requests_total"));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn compact_drives_a_generation_flip_over_the_wire() {
+        let (daemon, client) = boot();
+        let status = client.compact().unwrap();
+        assert!(status.active);
+        assert_eq!(status.generation, 0);
+        assert_eq!(status.target_generation, 1);
+        assert!(status.backlog > 0);
+        let mut rounds = 0;
+        while client.tick(8).unwrap() > 0 {
+            // Lookups keep answering mid-cutover.
+            let (_, _, disk) = client.locate(0, 42).unwrap();
+            assert!(disk < 4);
+            rounds += 1;
+            assert!(rounds < 10_000, "migration never drains");
+        }
+        // A second `compact` starting from generation 1 is the proof
+        // the first one flipped.
+        let next = client.compact().unwrap();
+        assert!(next.active);
+        assert_eq!(next.generation, 1);
+        assert_eq!(next.target_generation, 2);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn compact_refuses_while_redistribution_drains() {
+        let (daemon, client) = boot();
+        let (_, _, queued) = client.scale(ScalingOp::Add { count: 1 }).unwrap();
+        assert!(queued > 0);
+        let err = client.compact().unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ClientError::Remote {
+                    code: crate::wire::ErrorCode::Engine,
+                    ..
+                }
+            ),
+            "{err}"
+        );
         daemon.shutdown();
     }
 

@@ -59,7 +59,7 @@ pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, ClientError, NetClient};
+pub use client::{ClientConfig, ClientError, CompactionStatus, NetClient};
 pub use cluster::{
     fetch_map, jump_hash, ClusterAnswer, ClusterBatchAnswer, ClusterClient, ClusterClientStats,
     ClusterMap, RouteDecision, ShardRuntime,

@@ -33,6 +33,7 @@ use crate::wire::{
     decode_frame_traced, ErrorCode, Frame, FrameError, StatsFormat, FRAME_HEADER_LEN,
 };
 use cmsim::SharedServer;
+use scaddar_compact::CompactionController;
 use scaddar_monitor::{HealthMonitor, MonitorConfig, Severity};
 use scaddar_obs::{
     Counter, Gauge, Histogram, Profiler, Registry, StateHandle, TraceContext, Tracer,
@@ -146,7 +147,7 @@ pub struct NetStats {
 }
 
 /// The endpoints with dedicated request counters/histograms.
-pub const ENDPOINTS: [&str; 10] = [
+pub const ENDPOINTS: [&str; 11] = [
     "locate",
     "locate-batch",
     "scale",
@@ -157,6 +158,7 @@ pub const ENDPOINTS: [&str; 10] = [
     "fetch-map",
     "scrape-stats",
     "profile",
+    "compact",
 ];
 
 impl NetStats {
@@ -313,6 +315,9 @@ pub(crate) struct Shared {
     pub(crate) stats: Arc<NetStats>,
     pub(crate) tracer: Tracer,
     pub(crate) monitor: Mutex<HealthMonitor>,
+    /// The generation manager: fires the engine-config auto-compaction
+    /// policy on the tick path and serves manual `Compact` requests.
+    pub(crate) controller: Mutex<CompactionController>,
     pub(crate) registry: Registry,
     pub(crate) shutdown: AtomicBool,
     pub(crate) active: AtomicUsize,
@@ -431,6 +436,7 @@ impl Scaddard {
             m.evaluate_budget();
             m
         });
+        let controller = server.with_read(|s| CompactionController::from_config(s.config()));
         let stats = NetStats::register(registry);
         // Stamp the bucket-layout fingerprint so fleet aggregation can
         // refuse to merge histograms from a peer built with different
@@ -445,6 +451,7 @@ impl Scaddard {
             stats,
             tracer,
             monitor: Mutex::new(monitor),
+            controller: Mutex::new(controller),
             registry: registry.clone(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -904,10 +911,55 @@ fn dispatch(frame: Frame, shared: &Shared, instrument: bool) -> Frame {
             for _ in 0..rounds {
                 shared.server.tick();
             }
+            // The generation manager rides the tick path: it syncs the
+            // monitor's budget probe, fires the engine-config auto
+            // policy when the §4.3 budget runs dry, and notes the
+            // compaction-complete event after a flip.
+            {
+                let mut monitor = shared.monitor.lock().unwrap_or_else(|e| e.into_inner());
+                let mut controller = shared.controller.lock().unwrap_or_else(|e| e.into_inner());
+                controller.step_shared(&shared.server, &mut monitor);
+            }
             Frame::Ticked {
                 rounds,
                 backlog: shared.server.backlog(),
             }
+        }
+        Frame::Compact => {
+            let mut monitor = shared.monitor.lock().unwrap_or_else(|e| e.into_inner());
+            let mut controller = shared.controller.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-issuing `compact` mid-migration joins the in-flight
+            // compaction (answers its progress) instead of queueing a
+            // second one behind it.
+            if !shared.server.with_read(|s| s.compaction_active()) {
+                controller.request();
+            }
+            let events = controller.step_shared(&shared.server, &mut monitor);
+            let deferred = events.iter().find_map(|e| match e {
+                scaddar_compact::ControllerEvent::Deferred { reason } => Some(reason.clone()),
+                _ => None,
+            });
+            if let Some(reason) = deferred {
+                return engine_error(reason);
+            }
+            shared.server.with_read(|s| match s.compaction_progress() {
+                Some(p) => Frame::CompactStatus {
+                    active: 1,
+                    generation: p.from_generation,
+                    target_generation: p.to_generation,
+                    migrated: p.migrated_blocks,
+                    total: p.total_blocks,
+                    backlog: p.backlog,
+                },
+                None => Frame::CompactStatus {
+                    active: 0,
+                    generation: s.generation(),
+                    target_generation: s.generation(),
+                    migrated: 0,
+                    total: 0,
+                    backlog: 0,
+                },
+            })
         }
         Frame::Health => {
             let mut monitor = shared.monitor.lock().unwrap_or_else(|e| e.into_inner());

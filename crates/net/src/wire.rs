@@ -269,6 +269,12 @@ pub enum Frame {
     /// Read-only and idempotent; interval profiles are computed
     /// client-side by diffing two dumps.
     ProfileDump,
+    /// Begin an online rehash compaction (or join the one already in
+    /// flight — re-issuing mid-migration answers its progress rather
+    /// than erroring). Answered by [`Frame::CompactStatus`], or
+    /// [`Frame::Error`] when the server refuses (redistribution
+    /// pending, failed disks present).
+    Compact,
 
     // ---- responses ----
     /// Answer to [`Frame::Locate`]. Epoch-tagged: `disk` is valid for
@@ -374,6 +380,25 @@ pub enum Frame {
         /// The profiler snapshot.
         profile: ProfileSnapshot,
     },
+    /// Answer to [`Frame::Compact`]: the shard's compaction state.
+    /// `active == 1` means a migration is draining from `generation`
+    /// toward `target_generation`; `active == 0` means the shard serves
+    /// a single generation (after an instant flip, `generation` is the
+    /// already-bumped serving generation and the counters are zero).
+    CompactStatus {
+        /// 1 while a compaction migration is in flight, else 0.
+        active: u8,
+        /// The serving generation (the one being retired when active).
+        generation: u64,
+        /// The generation being migrated to (== `generation` when idle).
+        target_generation: u64,
+        /// Blocks already at their new-generation placement.
+        migrated: u64,
+        /// Blocks the compaction must account for.
+        total: u64,
+        /// Migration moves still queued in the executor.
+        backlog: u64,
+    },
     /// Typed failure response.
     Error {
         /// Machine-readable class.
@@ -396,6 +421,7 @@ const TAG_PING: u8 = 0x07;
 const TAG_FETCH_MAP: u8 = 0x08;
 const TAG_SCRAPE_STATS: u8 = 0x09;
 const TAG_PROFILE_DUMP: u8 = 0x0A;
+const TAG_COMPACT: u8 = 0x0B;
 const TAG_LOCATED: u8 = 0x81;
 const TAG_BATCH_LOCATED: u8 = 0x82;
 const TAG_SCALED: u8 = 0x83;
@@ -408,6 +434,7 @@ const TAG_WRONG_SHARD: u8 = 0x89;
 const TAG_STALE_MAP: u8 = 0x8A;
 const TAG_STATS_REPLY: u8 = 0x8B;
 const TAG_PROFILE_REPLY: u8 = 0x8C;
+const TAG_COMPACT_STATUS: u8 = 0x8D;
 const TAG_ERROR: u8 = 0xFF;
 
 impl Frame {
@@ -424,6 +451,7 @@ impl Frame {
             Frame::FetchMap { .. } => TAG_FETCH_MAP,
             Frame::ScrapeStats => TAG_SCRAPE_STATS,
             Frame::ProfileDump => TAG_PROFILE_DUMP,
+            Frame::Compact => TAG_COMPACT,
             Frame::Located { .. } => TAG_LOCATED,
             Frame::BatchLocated { .. } => TAG_BATCH_LOCATED,
             Frame::Scaled { .. } => TAG_SCALED,
@@ -436,6 +464,7 @@ impl Frame {
             Frame::StaleMap { .. } => TAG_STALE_MAP,
             Frame::StatsReply { .. } => TAG_STATS_REPLY,
             Frame::ProfileReply { .. } => TAG_PROFILE_REPLY,
+            Frame::CompactStatus { .. } => TAG_COMPACT_STATUS,
             Frame::Error { .. } => TAG_ERROR,
         }
     }
@@ -453,6 +482,7 @@ impl Frame {
             Frame::FetchMap { .. } | Frame::MapUpdate { .. } => "fetch-map",
             Frame::ScrapeStats | Frame::StatsReply { .. } => "scrape-stats",
             Frame::ProfileDump | Frame::ProfileReply { .. } => "profile",
+            Frame::Compact | Frame::CompactStatus { .. } => "compact",
             Frame::WrongShard { .. } => "wrong-shard",
             Frame::StaleMap { .. } => "stale-map",
             Frame::Error { .. } => "error",
@@ -497,7 +527,11 @@ impl Frame {
                 }
             },
             Frame::Tick { rounds } => put_u32(buf, *rounds),
-            Frame::Health | Frame::Ping | Frame::ScrapeStats | Frame::ProfileDump => {}
+            Frame::Health
+            | Frame::Ping
+            | Frame::ScrapeStats
+            | Frame::ProfileDump
+            | Frame::Compact => {}
             Frame::FetchMap { have_version } => put_u64(buf, *have_version),
             Frame::Stats { format } => buf.push(*format as u8),
             Frame::Located { epoch, disks, disk } => {
@@ -578,6 +612,21 @@ impl Frame {
                         put_u64(buf, c);
                     }
                 }
+            }
+            Frame::CompactStatus {
+                active,
+                generation,
+                target_generation,
+                migrated,
+                total,
+                backlog,
+            } => {
+                buf.push(*active);
+                put_u64(buf, *generation);
+                put_u64(buf, *target_generation);
+                put_u64(buf, *migrated);
+                put_u64(buf, *total);
+                put_u64(buf, *backlog);
             }
             Frame::Error { code, message } => {
                 buf.push(*code as u8);
@@ -810,6 +859,7 @@ fn tag_name(tag: u8) -> Result<&'static str, FrameError> {
         TAG_FETCH_MAP => "FetchMap",
         TAG_SCRAPE_STATS => "ScrapeStats",
         TAG_PROFILE_DUMP => "ProfileDump",
+        TAG_COMPACT => "Compact",
         TAG_LOCATED => "Located",
         TAG_BATCH_LOCATED => "BatchLocated",
         TAG_SCALED => "Scaled",
@@ -822,6 +872,7 @@ fn tag_name(tag: u8) -> Result<&'static str, FrameError> {
         TAG_STALE_MAP => "StaleMap",
         TAG_STATS_REPLY => "StatsReply",
         TAG_PROFILE_REPLY => "ProfileReply",
+        TAG_COMPACT_STATUS => "CompactStatus",
         TAG_ERROR => "Error",
         other => return Err(FrameError::UnknownTag { tag: other }),
     })
@@ -948,6 +999,7 @@ fn decode_payload(
         },
         TAG_SCRAPE_STATS => Frame::ScrapeStats,
         TAG_PROFILE_DUMP => Frame::ProfileDump,
+        TAG_COMPACT => Frame::Compact,
         TAG_LOCATED => Frame::Located {
             epoch: p.u64("epoch")?,
             disks: p.u32("disks")?,
@@ -1087,6 +1139,23 @@ fn decode_payload(
                     rounds,
                     threads,
                 },
+            }
+        }
+        TAG_COMPACT_STATUS => {
+            let active = p.u8("active")?;
+            if active > 1 {
+                return Err(FrameError::Malformed {
+                    frame: name,
+                    detail: format!("active flag {active} out of range"),
+                });
+            }
+            Frame::CompactStatus {
+                active,
+                generation: p.u64("generation")?,
+                target_generation: p.u64("target_generation")?,
+                migrated: p.u64("migrated")?,
+                total: p.u64("total")?,
+                backlog: p.u64("backlog")?,
             }
         }
         TAG_ERROR => {
@@ -1261,6 +1330,7 @@ mod tests {
             Frame::FetchMap { have_version: 3 },
             Frame::ScrapeStats,
             Frame::ProfileDump,
+            Frame::Compact,
             Frame::MapUpdate {
                 version: 4,
                 shards: vec![
@@ -1322,6 +1392,22 @@ mod tests {
                     rounds: 0,
                     threads: Vec::new(),
                 },
+            },
+            Frame::CompactStatus {
+                active: 1,
+                generation: 2,
+                target_generation: 3,
+                migrated: 4_120,
+                total: 10_000,
+                backlog: 5_880,
+            },
+            Frame::CompactStatus {
+                active: 0,
+                generation: 3,
+                target_generation: 3,
+                migrated: 0,
+                total: 0,
+                backlog: 0,
             },
             Frame::Error {
                 code: ErrorCode::Busy,

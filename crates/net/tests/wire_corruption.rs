@@ -261,9 +261,11 @@ fn length_prefix_overflow_classes() {
 
 #[test]
 fn every_unknown_tag_and_version_byte_is_typed() {
-    let known_requests = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A];
+    let known_requests = [
+        0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B,
+    ];
     let known_responses = [
-        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x8B, 0x8C, 0xFF,
+        0x81u8, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x8B, 0x8C, 0x8D, 0xFF,
     ];
     for tag in 0u8..=255 {
         let buf = [2u8, 0, 0, 0, PROTOCOL_VERSION, tag];
